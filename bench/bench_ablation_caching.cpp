@@ -1,0 +1,140 @@
+// Ablation: IP-address caching (§3.2).
+//
+// On a DHT the first update message for a document is routed through the
+// overlay (O(log N) hops); caching the resolved address makes subsequent
+// updates direct. The Freenet configuration (anonymity guarantees) must
+// route every message. This bench measures total hop-transmissions for
+// one full pagerank computation's message stream under the three
+// regimes, plus the cache storage the paper bounds by the sum of
+// out-links per peer.
+
+#include "bench_util.hpp"
+
+#include "common/guid.hpp"
+#include "net/ip_cache.hpp"
+
+namespace dprank {
+namespace {
+
+struct Row {
+  std::uint64_t messages = 0;
+  std::uint64_t hops_cached = 0;
+  std::uint64_t hops_uncached = 0;
+  std::uint64_t cache_entries = 0;
+  double avg_route_len = 0.0;
+};
+
+benchutil::ResultStore<Row>& store() {
+  static benchutil::ResultStore<Row> s;
+  return s;
+}
+
+void BM_Caching(benchmark::State& state) {
+  const auto size = static_cast<std::uint64_t>(state.range(0));
+  constexpr PeerId kPeers = 500;
+  ExperimentConfig cfg;
+  cfg.num_docs = size;
+  cfg.num_peers = kPeers;
+  cfg.epsilon = 1e-3;
+  cfg.seed = experiment_seed();
+  const StandardExperiment exp(cfg);
+  const auto& graph = exp.graph();
+  const auto& placement = exp.placement();
+  const ChordRing ring(kPeers);
+
+  // Hop costs depend only on (source peer, destination document), so the
+  // run's message stream is a repeated traversal of the cross-peer edges.
+  // Measure the actual per-edge multiplicity from an engine run, then
+  // replay that many sweeps: the first sweep is cold, the rest hit the
+  // cache — the amortization the paper's scheme is designed for.
+  std::uint64_t cross_edges = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const PeerId pu = placement.peer_of(u);
+    for (const NodeId v : graph.out_neighbors(u)) {
+      if (placement.peer_of(v) != pu) ++cross_edges;
+    }
+  }
+  const auto outcome = exp.run_distributed();
+  const auto sweeps = std::max<std::uint64_t>(
+      1, (outcome.messages + cross_edges / 2) / std::max<std::uint64_t>(
+                                                    1, cross_edges));
+
+  for (auto _ : state) {
+    IpCache cached(true);
+    IpCache uncached(false);
+    Row row;
+    std::uint64_t route_total = 0;
+    for (std::uint64_t sweep = 0; sweep < sweeps; ++sweep) {
+      for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+        const PeerId pu = placement.peer_of(u);
+        for (const NodeId v : graph.out_neighbors(u)) {
+          if (placement.peer_of(v) == pu) continue;
+          const Guid key = document_guid(v);
+          ++row.messages;
+          row.hops_cached += cached.send_hops(pu, key, ring);
+          const auto hops = uncached.send_hops(pu, key, ring);
+          row.hops_uncached += hops;
+          route_total += hops;
+        }
+      }
+    }
+    row.cache_entries = cached.entries();
+    row.avg_route_len = row.messages == 0
+                            ? 0.0
+                            : static_cast<double>(route_total) /
+                                  static_cast<double>(row.messages);
+    store().put(size_label(size), row);
+    state.counters["hops_cached"] = static_cast<double>(row.hops_cached);
+    state.counters["hops_uncached"] = static_cast<double>(row.hops_uncached);
+    state.counters["replayed_sweeps"] = static_cast<double>(sweeps);
+  }
+}
+
+void register_benchmarks() {
+  for (const auto size : experiment_graph_sizes()) {
+    if (size > 100'000) continue;  // per-message route() replay is O(edges * sweeps)
+    benchmark::RegisterBenchmark("ablation/ip_caching", BM_Caching)
+        ->Args({static_cast<long>(size)})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void print_table() {
+  benchutil::print_banner(
+      "Ablation: IP caching vs per-message DHT routing (500 peers)");
+  TextTable table({"Graph size", "cross-peer edges", "hops (cached)",
+                   "hops (routed)", "routing overhead", "avg route len",
+                   "cache entries"});
+  for (const auto size : experiment_graph_sizes()) {
+    const auto* r = store().find(size_label(size));
+    if (r == nullptr) continue;
+    table.add_row(
+        {size_label(size), format_count(r->messages),
+         format_count(r->hops_cached), format_count(r->hops_uncached),
+         format_fixed(static_cast<double>(r->hops_uncached) /
+                          static_cast<double>(std::max<std::uint64_t>(
+                              1, r->hops_cached)),
+                      2) +
+             "x",
+         format_fixed(r->avg_route_len, 2), format_count(r->cache_entries)});
+  }
+  benchutil::emit(table, "ablation_caching_1");
+  std::cout << "\nWith caching, steady-state cost approaches 1 hop per "
+               "message; Freenet-style routing pays ~0.5*log2(500) = ~4.5 "
+               "hops on every message (§3.2). Cache storage is bounded by "
+               "distinct (source peer, destination peer) pairs, itself "
+               "bounded by the sum of out-links per peer.\n";
+}
+
+}  // namespace
+}  // namespace dprank
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  dprank::register_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  dprank::print_table();
+  benchmark::Shutdown();
+  return 0;
+}

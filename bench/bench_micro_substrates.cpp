@@ -1,0 +1,159 @@
+// Microbenchmarks of the substrate layers: graph construction, overlay
+// routing, samplers, index operations and the engines' per-document
+// costs. These are throughput numbers for the data structures the
+// table-level benches are built on, useful when tuning or porting.
+
+#include <benchmark/benchmark.h>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "dht/can.hpp"
+#include "dht/pastry.hpp"
+#include "dht/ring.hpp"
+#include "graph/generator.hpp"
+#include "pagerank/centralized.hpp"
+#include "pagerank/distributed_engine.hpp"
+#include "search/bloom.hpp"
+#include "search/corpus.hpp"
+#include "search/distributed_index.hpp"
+#include "sim/experiment.hpp"
+
+namespace dprank {
+namespace {
+
+void BM_GraphGeneration(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const Digraph g = paper_graph(nodes, seed++);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_GraphGeneration)->Arg(10'000)->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CsrFromEdges(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint64_t>(state.range(0));
+  const Digraph g = paper_graph(nodes, 7);
+  const auto edges = g.edge_list();
+  for (auto _ : state) {
+    const Digraph rebuilt =
+        Digraph::from_edges(g.num_nodes(), edges);
+    benchmark::DoNotOptimize(rebuilt.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_CsrFromEdges)->Arg(10'000)->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ChordRoute(benchmark::State& state) {
+  const auto peers = static_cast<PeerId>(state.range(0));
+  const ChordRing ring(peers);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto route = ring.route(
+        static_cast<PeerId>(rng.bounded(peers)), Guid{rng(), rng()});
+    benchmark::DoNotOptimize(route.hop_count());
+  }
+}
+BENCHMARK(BM_ChordRoute)->Arg(50)->Arg(500);
+
+void BM_PastryRoute(benchmark::State& state) {
+  const auto peers = static_cast<PeerId>(state.range(0));
+  const PastryRing ring(peers);
+  Rng rng(4);
+  for (auto _ : state) {
+    const auto route = ring.route(
+        static_cast<PeerId>(rng.bounded(peers)), Guid{rng(), rng()});
+    benchmark::DoNotOptimize(route.hop_count());
+  }
+}
+BENCHMARK(BM_PastryRoute)->Arg(50)->Arg(500);
+
+void BM_CanRoute(benchmark::State& state) {
+  const auto peers = static_cast<PeerId>(state.range(0));
+  const CanSpace can(peers);
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto route = can.route(
+        static_cast<PeerId>(rng.bounded(peers)), Guid{rng(), rng()});
+    benchmark::DoNotOptimize(route.hop_count());
+  }
+}
+BENCHMARK(BM_CanRoute)->Arg(50)->Arg(500);
+
+void BM_PowerLawSample(benchmark::State& state) {
+  const PowerLawSampler sampler(2.1, 1, 1000);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_PowerLawSample);
+
+void BM_BloomInsertQuery(benchmark::State& state) {
+  BloomFilter filter(100'000, 8.0);
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto x = rng();
+    filter.insert(x);
+    benchmark::DoNotOptimize(filter.possibly_contains(x ^ 1));
+  }
+}
+BENCHMARK(BM_BloomInsertQuery);
+
+void BM_CentralizedSweep(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint64_t>(state.range(0));
+  const auto graph = cached_paper_graph(nodes, experiment_seed());
+  std::vector<double> in(graph->num_nodes(), 1.0);
+  std::vector<double> out(graph->num_nodes());
+  for (auto _ : state) {
+    pagerank_sweep(*graph, 0.85, in, out);
+    in.swap(out);
+    benchmark::DoNotOptimize(in.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph->num_edges()));
+}
+BENCHMARK(BM_CentralizedSweep)->Arg(10'000)->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistributedFullRun(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint64_t>(state.range(0));
+  const auto graph = cached_paper_graph(nodes, experiment_seed());
+  const auto placement =
+      Placement::random(nodes, 500, experiment_seed());
+  PagerankOptions opts;
+  opts.epsilon = 1e-3;
+  for (auto _ : state) {
+    DistributedPagerank engine(*graph, placement, opts);
+    const auto run = engine.run();
+    benchmark::DoNotOptimize(run.passes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_DistributedFullRun)->Arg(10'000)->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IndexBuild(benchmark::State& state) {
+  CorpusParams cp;
+  cp.num_docs = 11'000;
+  const Corpus corpus = Corpus::synthesize(cp);
+  const ChordRing ring(50);
+  for (auto _ : state) {
+    const DistributedIndex index(corpus, ring);
+    benchmark::DoNotOptimize(index.total_postings());
+  }
+  state.SetLabel("11k docs / 1880 terms");
+}
+BENCHMARK(BM_IndexBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dprank
+
+BENCHMARK_MAIN();

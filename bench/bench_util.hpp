@@ -1,0 +1,85 @@
+#pragma once
+
+// Shared plumbing for the table-reproduction bench binaries.
+//
+// Each bench is a google-benchmark executable whose benchmark bodies run
+// one full experiment (Iterations(1)); the measured metrics are stashed
+// in a process-global results store and, after RunSpecifiedBenchmarks,
+// main() prints the corresponding paper table on stdout.
+//
+// Scale control: default graph sizes are {10k, 100k}; DPRANK_FULL=1 adds
+// the paper's 500k and 5000k (see common/env.hpp). DPRANK_CACHE_DIR, if
+// set, persists generated graphs across binaries.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+namespace dprank::benchutil {
+
+/// The paper's threshold sweeps.
+inline const std::vector<double> kTable23Thresholds{
+    0.2, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6};
+inline const std::vector<double> kTable4Thresholds{
+    0.2, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5};
+
+inline std::string threshold_label(double eps) {
+  if (eps == 0.2) return "0.2";
+  if (eps >= 1e-1) return "1e-1";
+  if (eps >= 1e-2) return "1e-2";
+  if (eps >= 1e-3) return "1e-3";
+  if (eps >= 1e-4) return "1e-4";
+  if (eps >= 1e-5) return "1e-5";
+  return "1e-6";
+}
+
+/// Keyed results store: benches fill it during benchmark runs and print
+/// from it afterwards.
+template <typename Value>
+class ResultStore {
+ public:
+  void put(const std::string& key, Value v) { results_[key] = std::move(v); }
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    const auto it = results_.find(key);
+    return it == results_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const std::map<std::string, Value>& all() const {
+    return results_;
+  }
+
+ private:
+  std::map<std::string, Value> results_;
+};
+
+inline void print_banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!full_scale_requested()) {
+    std::cout << "(quick mode: sizes 10k/100k; set DPRANK_FULL=1 for the "
+                 "paper's full 10k/100k/500k/5000k sweep)\n";
+  }
+  std::cout << "\n";
+}
+
+/// Print the table; when DPRANK_CSV_DIR is set, also persist it as
+/// <dir>/<name>.csv for plotting pipelines.
+inline void emit(const TextTable& table, const std::string& name) {
+  table.print(std::cout);
+  const char* dir = std::getenv("DPRANK_CSV_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    std::filesystem::create_directories(dir);
+    const auto path = std::filesystem::path(dir) / (name + ".csv");
+    table.write_csv(path);
+    std::cout << "[csv written to " << path.string() << "]\n";
+  }
+}
+
+}  // namespace dprank::benchutil

@@ -1,0 +1,81 @@
+// Churn tolerance: peers leaving and joining mid-computation (§3.1,
+// §4.3 "dynamic effects").
+//
+// Runs the same pagerank computation at several availability levels and
+// shows that convergence survives churn — at a slower rate — with
+// undeliverable updates parked in sender outboxes and delivered when
+// peers return. Also demonstrates the threaded chaotic runtime on a
+// small network (the asynchronous algorithm with real threads).
+//
+// Build & run:  ./build/examples/churn_demo
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "pagerank/async_runtime.hpp"
+#include "pagerank/quality.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace dprank;
+  constexpr std::uint64_t kDocs = 20'000;
+  constexpr PeerId kPeers = 500;
+
+  std::cout << "Distributed pagerank on " << kDocs << " documents / "
+            << kPeers << " peers, epsilon 1e-3, under churn:\n\n";
+
+  TextTable table({"Availability", "Passes", "Messages", "Parked (peak)",
+                   "Late deliveries", "Max rel err vs R_c"});
+
+  for (const double availability : {1.0, 0.75, 0.5, 0.25}) {
+    ExperimentConfig cfg;
+    cfg.num_docs = kDocs;
+    cfg.num_peers = kPeers;
+    cfg.epsilon = 1e-3;
+    cfg.availability = availability;
+    const StandardExperiment exp(cfg);
+
+    DistributedPagerank engine(exp.graph(), exp.placement(),
+                               exp.pagerank_options());
+    DistributedRunResult run;
+    if (availability < 1.0) {
+      ChurnSchedule churn(kPeers, availability, 99);
+      run = engine.run(&churn);
+    } else {
+      run = engine.run();
+    }
+    std::uint64_t late = 0;
+    for (const auto& s : engine.pass_history()) {
+      late += s.messages_delivered_late;
+    }
+    const auto q = summarize_quality(engine.ranks(), exp.reference_ranks());
+    table.add_row({format_fixed(availability * 100, 0) + "%",
+                   std::to_string(run.passes) + (run.converged ? "" : "*"),
+                   format_count(engine.traffic().messages()),
+                   format_count(engine.outbox_peak()), format_count(late),
+                   format_sig(q.max, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nHalving availability roughly doubles passes (the "
+               "paper's Table 1 observation); accuracy is unaffected "
+               "because updates wait in outboxes instead of being lost.\n";
+
+  std::cout << "\n--- Threaded chaotic runtime (8 peer threads, no "
+               "synchronization) ---\n";
+  ExperimentConfig cfg;
+  cfg.num_docs = 5'000;
+  cfg.num_peers = 8;
+  cfg.epsilon = 1e-6;
+  const StandardExperiment exp(cfg);
+  AsyncPagerankRuntime runtime(exp.graph(), exp.placement(),
+                               exp.pagerank_options());
+  const auto result = runtime.run();
+  const auto q = summarize_quality(result.ranks, exp.reference_ranks());
+  std::cout << "  quiescent after " << format_count(result.recomputes)
+            << " document recomputes, "
+            << format_count(result.cross_peer_messages)
+            << " cross-peer messages\n  max relative error vs R_c: "
+            << format_sig(q.max, 3)
+            << " (chaotic iteration reaches the same fixed point).\n";
+  return 0;
+}

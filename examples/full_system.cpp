@@ -1,0 +1,86 @@
+// Full-system walkthrough: one P2PSystem object running the paper's
+// whole story — initial convergence, keyword search with incremental
+// result fetching, live document inserts and deletes with continuously
+// fresh ranks and index entries, and a single traffic ledger.
+//
+// Build & run:  ./build/examples/full_system
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/p2p_system.hpp"
+#include "graph/generator.hpp"
+#include "search/corpus.hpp"
+
+int main() {
+  using namespace dprank;
+
+  std::cout << "Bootstrapping: 8,000 documents on 50 peers...\n";
+  CorpusParams cp;
+  cp.num_docs = 8000;
+  cp.vocabulary = 800;
+  cp.mean_terms = 60;
+  cp.min_terms = 8;
+  cp.max_terms = 300;
+  const Corpus corpus = Corpus::synthesize(cp);
+  const Digraph graph = paper_graph(cp.num_docs);
+
+  P2PSystemConfig cfg;
+  cfg.num_peers = 50;
+  cfg.pagerank.epsilon = 1e-4;
+  P2PSystem system(graph, corpus, cfg);
+
+  const auto passes = system.converge();
+  std::cout << "  pagerank converged in " << passes << " passes; "
+            << format_count(system.traffic().messages())
+            << " messages so far (pagerank + index publication)\n\n";
+
+  std::cout << "Paged search for {term 3 AND term 7}, 10% per screen:\n";
+  SearchPolicy top10;
+  top10.forward_fraction = 0.10;
+  auto session = system.begin_search({3, 7}, top10);
+  int screen = 1;
+  while (!session.exhausted() && screen <= 3) {
+    const auto batch = session.fetch_more();
+    std::cout << "  screen " << screen++ << ": " << batch.size()
+              << " new hits";
+    if (!batch.empty()) {
+      std::cout << " (best: doc-" << batch.front() << ", rank "
+                << format_fixed(system.rank_of(batch.front()), 3) << ")";
+    }
+    std::cout << ", " << format_count(session.total_ids_transferred())
+              << " ids moved so far\n";
+  }
+  const auto full = system.search({3, 7}, kForwardEverything);
+  std::cout << "  (full result set: " << full.hits.size() << " hits for "
+            << format_count(full.ids_transferred)
+            << " ids — most users never pay it)\n\n";
+
+  std::cout << "Live updates: inserting 3 documents, deleting 1...\n";
+  const auto msgs_before = system.traffic().messages();
+  const NodeId a = system.add_document({3, 7, 50}, {10, 20, 30});
+  const NodeId b = system.add_document({3, 7}, {a, 40});
+  const NodeId c = system.add_document({99}, {a, b});
+  system.remove_document(c);
+  std::cout << "  lifecycle traffic: "
+            << format_count(system.traffic().messages() - msgs_before)
+            << " messages (increments + index refreshes)\n";
+
+  const auto fresh = system.search({3, 7}, top10);
+  const bool found_a =
+      std::find(fresh.hits.begin(), fresh.hits.end(), a) != fresh.hits.end();
+  const bool found_b =
+      std::find(fresh.hits.begin(), fresh.hits.end(), b) != fresh.hits.end();
+  std::cout << "  new documents discoverable immediately: doc-" << a
+            << (found_a ? " yes" : " (below top-10% cut)") << ", doc-" << b
+            << (found_b ? " yes" : " (below top-10% cut)") << "\n"
+            << "  deleted doc-" << c << " is live: "
+            << (system.is_live(c) ? "yes (BUG)" : "no") << "\n\n";
+
+  std::cout << "Total system traffic: "
+            << format_count(system.traffic().messages()) << " messages, "
+            << format_count(system.traffic().bytes() / 1024)
+            << " KiB — no crawler, no central server, ranks always "
+               "fresh.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Incremental updates: documents entering and leaving a converged
+// network (§3.1, §4.7, Figure 2).
+//
+// Part 1 replays the paper's Figure 2 example exactly.
+// Part 2 inserts and deletes documents in a live 10k-document system and
+// shows how few update messages each change costs compared with a full
+// recomputation.
+//
+// Build & run:  ./build/examples/incremental_updates
+
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "graph/generator.hpp"
+#include "graph/mutable_digraph.hpp"
+#include "pagerank/centralized.hpp"
+#include "pagerank/incremental.hpp"
+#include "pagerank/quality.hpp"
+
+namespace {
+
+void figure2_walkthrough() {
+  using namespace dprank;
+  std::cout << "--- Figure 2: increment propagation ---\n"
+            << "G has rank 1.0 and links to H, I, J; H links to K and L.\n";
+  const Digraph g = figure2_graph();
+  PagerankOptions options;
+  options.damping = 1.0;  // match the paper's illustration
+  options.epsilon = 1e-9;
+  std::vector<double> ranks(6, 0.0);
+  IncrementalPagerank engine(g, ranks, options);
+  (void)engine.seed_and_propagate(0);
+  const char* names = "GHIJKL";
+  for (dprank::NodeId v = 1; v < 6; ++v) {
+    std::cout << "  " << names[v] << " received "
+              << format_sig(ranks[v], 4) << "\n";
+  }
+  std::cout << "(1/3 at G's out-links, 1/6 after H forwards — the paper's "
+               "figure.)\n\n";
+}
+
+void live_system_demo() {
+  using namespace dprank;
+  std::cout << "--- Live inserts/deletes on a converged 10k system ---\n";
+  const Digraph base = paper_graph(10'000);
+  MutableDigraph graph(base);
+  std::vector<double> ranks =
+      centralized_pagerank(base, 0.85, 1e-12).ranks;
+
+  PagerankOptions options;
+  options.epsilon = 1e-5;
+
+  Rng rng(7);
+  TextTable table({"Operation", "Update messages", "Docs touched",
+                   "Longest chain"});
+
+  // Insert five new documents, each linking to a few random existing ones.
+  std::vector<NodeId> inserted;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<NodeId> links;
+    for (int l = 0; l < 3; ++l) {
+      links.push_back(static_cast<NodeId>(rng.bounded(base.num_nodes())));
+    }
+    NodeId id = 0;
+    const auto stats = insert_document(graph, ranks, links, options, &id);
+    inserted.push_back(id);
+    table.add_row({"insert doc-" + std::to_string(id),
+                   format_count(stats.updates_delivered),
+                   format_count(stats.nodes_covered),
+                   std::to_string(stats.path_length)});
+  }
+
+  // Delete two of them again.
+  for (int i = 0; i < 2; ++i) {
+    const NodeId id = inserted[static_cast<std::size_t>(i)];
+    const auto stats = delete_document(graph, ranks, id, options);
+    table.add_row({"delete doc-" + std::to_string(id),
+                   format_count(stats.updates_delivered),
+                   format_count(stats.nodes_covered),
+                   std::to_string(stats.path_length)});
+  }
+  table.print(std::cout);
+
+  // Verify the incrementally maintained ranks against a full recompute.
+  const Digraph final_graph = graph.freeze();
+  auto exact = centralized_pagerank(final_graph, 0.85, 1e-12).ranks;
+  for (int i = 0; i < 2; ++i) {
+    exact[inserted[static_cast<std::size_t>(i)]] = 0.0;  // deleted docs
+  }
+  const auto q = summarize_quality(ranks, exact);
+  std::cout << "\nIncrementally maintained ranks vs full recompute: max "
+               "relative error "
+            << format_sig(q.max, 3) << ", avg " << format_sig(q.avg, 3)
+            << ".\n"
+            << "A full distributed recompute would cost ~100k+ messages; "
+               "each insert cost the handful above — the paper's "
+               "continuously-accurate-pageranks story.\n";
+}
+
+}  // namespace
+
+int main() {
+  figure2_walkthrough();
+  live_system_demo();
+  return 0;
+}

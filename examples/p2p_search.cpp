@@ -1,0 +1,107 @@
+// P2P keyword search with pagerank-sorted incremental forwarding
+// (§2.4, §4.9).
+//
+// The full pipeline: synthesize a corpus over a link graph, compute
+// distributed pageranks, publish them into a term-partitioned index, and
+// run multi-word boolean queries three ways — baseline (all hits
+// forwarded), incremental top-10%, and incremental + Bloom prefilter.
+//
+// Build & run:  ./build/examples/p2p_search [query terms...]
+//               (terms are vocabulary indices; default runs a demo set)
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "search/corpus.hpp"
+#include "search/distributed_index.hpp"
+#include "search/incremental_search.hpp"
+#include "search/query_gen.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dprank;
+  constexpr PeerId kPeers = 50;  // the paper's search testbed
+
+  std::cout << "Building an 11k-document corpus (1880-term vocabulary) "
+               "and its link graph...\n";
+  CorpusParams cp;  // paper defaults
+  const Corpus corpus = Corpus::synthesize(cp);
+
+  ExperimentConfig cfg;
+  cfg.num_docs = cp.num_docs;
+  cfg.num_peers = kPeers;
+  cfg.epsilon = 1e-3;
+  const StandardExperiment exp(cfg);
+
+  std::cout << "Computing pageranks with the distributed engine...\n";
+  const auto outcome = exp.run_distributed();
+  std::cout << "  converged in " << outcome.run.passes << " passes, "
+            << format_count(outcome.messages) << " messages\n";
+
+  std::cout << "Publishing ranks into the term-partitioned index...\n";
+  ChordRing ring(kPeers);
+  DistributedIndex index(corpus, ring);
+  std::vector<PeerId> owner(cp.num_docs);
+  for (NodeId d = 0; d < cp.num_docs; ++d) {
+    owner[d] = exp.placement().peer_of(d);
+  }
+  TrafficMeter index_meter;
+  index.publish_ranks(outcome.ranks, owner, &index_meter);
+  std::cout << "  " << format_count(index.total_postings())
+            << " postings, "
+            << format_count(index_meter.messages())
+            << " index update messages\n\n";
+
+  // Queries: from argv, or a generated demo workload.
+  std::vector<std::vector<TermId>> queries;
+  if (argc > 2) {
+    std::vector<TermId> q;
+    for (int i = 1; i < argc; ++i) {
+      q.push_back(static_cast<TermId>(std::stoul(argv[i])));
+    }
+    queries.push_back(q);
+  } else {
+    queries = generate_queries(
+        corpus, {.term_pool = 100, .num_queries = 5, .terms_per_query = 2});
+    const auto q3 = generate_queries(
+        corpus, {.term_pool = 100, .num_queries = 5, .terms_per_query = 3});
+    queries.insert(queries.end(), q3.begin(), q3.end());
+  }
+
+  SearchEngine engine(index);
+  SearchPolicy top10;
+  top10.forward_fraction = 0.10;
+  SearchPolicy top10_bloom = top10;
+  top10_bloom.bloom_prefilter = true;
+
+  TextTable table({"Query", "Hits (baseline)", "IDs moved (baseline)",
+                   "Hits (top-10%)", "IDs moved (top-10%)",
+                   "IDs moved (top-10%+bloom)", "Reduction"});
+  for (const auto& q : queries) {
+    std::string label;
+    for (const TermId t : q) {
+      label += (label.empty() ? "t" : "&t") + std::to_string(t);
+    }
+    const auto base = engine.run_query(q, kForwardEverything);
+    const auto inc = engine.run_query(q, top10);
+    const auto bloom = engine.run_query(q, top10_bloom);
+    table.add_row(
+        {label, format_count(base.hits.size()),
+         format_count(base.ids_transferred), format_count(inc.hits.size()),
+         format_count(inc.ids_transferred),
+         format_count(bloom.ids_transferred),
+         format_fixed(static_cast<double>(base.ids_transferred) /
+                          static_cast<double>(std::max<std::uint64_t>(
+                              1, inc.ids_transferred)),
+                      1) +
+             "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe top-10% policy returns the highest-pagerank hits "
+               "while moving ~10x fewer document ids (the paper's "
+               "Table 6); more hits can be fetched incrementally on "
+               "demand.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Web-server backbone estimate (§4.6.2, §8).
+//
+// The paper closes by asking whether web servers themselves could
+// compute pageranks as a backbone Internet service: servers exchange
+// update messages over T3-class links, eliminating the central crawler.
+// This example measures per-node message costs on simulated graphs, then
+// extrapolates to a 3-billion-document web at several thresholds and
+// bandwidths — the paper's "about 35 days at 1e-5 / 14 days at 1e-3"
+// estimate.
+//
+// Build & run:  ./build/examples/web_backbone
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "sim/time_model.hpp"
+
+int main() {
+  using namespace dprank;
+  constexpr double kWebDocuments = 3e9;  // the paper's web-scale corpus
+
+  std::cout << "Measuring per-node message cost on a simulated 100k-"
+               "document network (500 peers)...\n\n";
+
+  TextTable table({"Threshold", "msgs/node (measured)", "passes",
+                   "T3 (5.6 MB/s)", "200 KB/s", "32 KB/s"});
+  for (const double eps : {1e-1, 1e-2, 1e-3, 1e-4, 1e-5}) {
+    ExperimentConfig cfg;
+    cfg.num_docs = 100'000;
+    cfg.num_peers = 500;
+    cfg.epsilon = eps;
+    const StandardExperiment exp(cfg);
+    const auto outcome = exp.run_distributed();
+    const double per_node = static_cast<double>(outcome.messages) /
+                            static_cast<double>(cfg.num_docs);
+    const auto passes = static_cast<double>(outcome.run.passes);
+
+    auto days = [&](const NetworkParams& net) {
+      return extrapolate_internet_scale(per_node, passes, kWebDocuments, net)
+          .total_days();
+    };
+    table.add_row({format_sig(eps, 1), format_fixed(per_node, 1),
+                   format_fixed(passes, 0),
+                   format_fixed(days(t3_network()), 1) + " days",
+                   format_fixed(days(broadband_network()), 0) + " days",
+                   format_fixed(days(modem_network()), 0) + " days"});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nPaper's §4.6.2 estimate: ~14 days at epsilon 1e-3 and ~35 days "
+         "at 1e-5 over T3 links for 3B documents — the same order as a "
+         "2003-era crawler cycle, but with *continuous* incremental "
+         "updates instead of periodic recrawls.\n"
+         "The '99% of the graph converges in ~10 passes' observation "
+         "means usable ranks arrive in roughly a tenth of the full "
+         "convergence time (~4 days in the paper's arithmetic).\n";
+  return 0;
+}

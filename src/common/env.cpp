@@ -1,0 +1,30 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace dprank {
+
+bool full_scale_requested() {
+  const char* v = std::getenv("DPRANK_FULL");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+std::uint64_t experiment_seed() {
+  const char* v = std::getenv("DPRANK_SEED");
+  if (v == nullptr || v[0] == '\0') return 42;
+  return std::strtoull(v, nullptr, 10);
+}
+
+std::vector<std::uint64_t> experiment_graph_sizes() {
+  if (full_scale_requested()) {
+    return {10'000, 100'000, 500'000, 5'000'000};
+  }
+  return {10'000, 100'000};
+}
+
+std::string size_label(std::uint64_t nodes) {
+  if (nodes % 1000 == 0) return std::to_string(nodes / 1000) + "k";
+  return std::to_string(nodes);
+}
+
+}  // namespace dprank

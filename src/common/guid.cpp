@@ -1,0 +1,50 @@
+#include "common/guid.hpp"
+
+#include "common/rng.hpp"
+
+namespace dprank {
+
+Guid guid_from_bytes(std::string_view bytes, std::uint64_t seed) {
+  // Process the input as 8-byte little-endian blocks feeding a SplitMix64
+  // absorb/mix sponge; derive two independent 64-bit lanes.
+  std::uint64_t h1 = seed ^ 0x6A09E667F3BCC908ULL;
+  std::uint64_t h2 = seed ^ 0xBB67AE8584CAA73BULL;
+  std::size_t i = 0;
+  while (i < bytes.size()) {
+    std::uint64_t block = 0;
+    const std::size_t n = std::min<std::size_t>(8, bytes.size() - i);
+    for (std::size_t b = 0; b < n; ++b) {
+      block |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(bytes[i + b]))
+               << (8 * b);
+    }
+    h1 = mix64(h1 ^ block);
+    h2 = mix64(h2 + block + 0x9E3779B97F4A7C15ULL);
+    i += n;
+  }
+  h1 = mix64(h1 ^ bytes.size());
+  h2 = mix64(h2 ^ (bytes.size() * 0xFF51AFD7ED558CCDULL));
+  return Guid{h1, h2};
+}
+
+namespace {
+Guid guid_from_tagged_int(std::uint64_t tag, std::uint64_t value) {
+  const std::uint64_t h1 = mix64(value ^ tag);
+  const std::uint64_t h2 = mix64(h1 ^ (value * 0xC2B2AE3D27D4EB4FULL) ^ tag);
+  return Guid{h1, h2};
+}
+}  // namespace
+
+Guid document_guid(std::uint64_t doc) {
+  return guid_from_tagged_int(0xD0C0D0C0D0C0D0C0ULL, doc);
+}
+
+Guid peer_guid(std::uint64_t peer) {
+  return guid_from_tagged_int(0x9EE29EE29EE29EE2ULL, peer);
+}
+
+Guid term_guid(std::string_view term) {
+  return guid_from_bytes(term, 0x7E347E347E347E34ULL);
+}
+
+}  // namespace dprank

@@ -1,0 +1,37 @@
+#pragma once
+
+// Global Unique Identifiers for documents and peers.
+//
+// The paper assumes a DHT-based P2P layer where "the GUID implements a
+// pointer to each document" (§2.1) and pagerank update messages carry a
+// 128-bit GUID plus a 64-bit rank value (§4.6.1, 24-byte messages).
+// GUIDs here are derived by hashing a stable name (document id, peer id)
+// into the 128-bit ring, mirroring how Chord/Pastry hash keys and node
+// addresses into their identifier space.
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/uint128.hpp"
+
+namespace dprank {
+
+using Guid = U128;
+
+/// Hash an arbitrary byte string into the 128-bit identifier space.
+/// A seeded xor-fold construction over SplitMix64 blocks; not
+/// cryptographic, but uniform enough for consistent hashing.
+[[nodiscard]] Guid guid_from_bytes(std::string_view bytes,
+                                   std::uint64_t seed = 0);
+
+/// GUID for document number `doc` (stable across runs).
+[[nodiscard]] Guid document_guid(std::uint64_t doc);
+
+/// GUID for peer number `peer` (stable across runs; distinct stream
+/// from document GUIDs).
+[[nodiscard]] Guid peer_guid(std::uint64_t peer);
+
+/// GUID for an index term (used to place inverted-index partitions).
+[[nodiscard]] Guid term_guid(std::string_view term);
+
+}  // namespace dprank

@@ -1,0 +1,106 @@
+#include "common/rng.hpp"
+
+#include <unordered_set>
+
+namespace dprank {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // Seed the 256-bit state through SplitMix64 per Blackman & Vigna's
+  // recommendation: never seed xoshiro with correlated words.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state is invalid (fixed point); SplitMix64 cannot emit four
+  // zero words from any seed, but guard anyway for safety.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9E3779B97F4A7C15ULL;
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::bounded(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+Rng Rng::fork() noexcept { return Rng((*this)() ^ 0xD1B54A32D192ED03ULL); }
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) {
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  if (k >= n) {
+    out.resize(n);
+    for (std::uint64_t i = 0; i < n; ++i) out[i] = i;
+    shuffle(out);
+    return out;
+  }
+  // Floyd's algorithm: iterate j over the last k values of the range.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(k * 2);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = bounded(j + 1);
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  shuffle(out);  // Floyd yields a biased order; callers expect uniform order.
+  return out;
+}
+
+}  // namespace dprank

@@ -1,0 +1,73 @@
+#pragma once
+
+// Deterministic, fast pseudo-random generation for simulations.
+//
+// All stochastic components in dprank (graph synthesis, document placement,
+// churn schedules, query generation) draw from Xoshiro256** seeded through
+// SplitMix64, so every experiment is reproducible from a single uint64 seed.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dprank {
+
+/// SplitMix64 step: maps any 64-bit value to a well-mixed 64-bit value.
+/// Used for seeding and as a cheap stateless hash.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless variant: hash a single value (does not advance external state).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Xoshiro256** — the recommended general-purpose generator of the
+/// xoshiro/xoroshiro family. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  [[nodiscard]] std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Fork a statistically independent child generator. Deterministic:
+  /// the child seed depends only on this generator's current state.
+  [[nodiscard]] Rng fork() noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      using std::swap;
+      swap(v[i], v[bounded(i + 1)]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) without replacement
+  /// (Floyd's algorithm; O(k) expected). Requires k <= n.
+  [[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(
+      std::uint64_t n, std::uint64_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dprank

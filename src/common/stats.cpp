@@ -1,0 +1,105 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dprank {
+
+Summary::Summary(std::vector<double> sample) : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+  double mean = 0.0;
+  double m2 = 0.0;
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const double x : sorted_) {
+    ++n;
+    total += x;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (x - mean);
+  }
+  mean_ = mean;
+  m2_ = m2;
+  total_ = total;
+}
+
+double Summary::percentile(double pct) const {
+  if (sorted_.empty()) throw std::logic_error("Summary::percentile on empty");
+  if (pct <= 0.0 || pct > 100.0) {
+    throw std::invalid_argument("Summary::percentile: pct out of (0,100]");
+  }
+  // Nearest-rank: ceil(pct/100 * n), 1-based.
+  const auto n = static_cast<double>(sorted_.size());
+  auto rank = static_cast<std::size_t>(std::ceil(pct / 100.0 * n));
+  if (rank == 0) rank = 1;
+  return sorted_[rank - 1];
+}
+
+double Summary::min() const {
+  if (sorted_.empty()) throw std::logic_error("Summary::min on empty");
+  return sorted_.front();
+}
+
+double Summary::max() const {
+  if (sorted_.empty()) throw std::logic_error("Summary::max on empty");
+  return sorted_.back();
+}
+
+double Summary::stddev() const {
+  if (sorted_.size() < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(sorted_.size() - 1));
+}
+
+void Welford::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Welford::merge(const Welford& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double Welford::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Welford::stddev() const noexcept { return std::sqrt(variance()); }
+
+double max_cdf_deviation(const std::vector<double>& sorted_sample,
+                         const std::vector<double>& ref_cdf) {
+  assert(sorted_sample.size() == ref_cdf.size());
+  const auto n = static_cast<double>(sorted_sample.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < sorted_sample.size(); ++i) {
+    const double empirical = static_cast<double>(i + 1) / n;
+    worst = std::max(worst, std::abs(empirical - ref_cdf[i]));
+  }
+  return worst;
+}
+
+}  // namespace dprank

@@ -1,0 +1,69 @@
+#pragma once
+
+// Statistical summaries used throughout the evaluation:
+// percentile tables (Table 2's error distribution), running means
+// (message/traffic averages), and histogram-style degree summaries.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dprank {
+
+/// Order-statistics summary of a sample. Percentiles use the
+/// nearest-rank definition on the sorted sample, matching the paper's
+/// "up to P% of pages had relative error less than X" reading.
+class Summary {
+ public:
+  Summary() = default;
+  explicit Summary(std::vector<double> sample);
+
+  [[nodiscard]] std::size_t count() const { return sorted_.size(); }
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+
+  /// Value v such that at least `pct` percent of the sample is <= v.
+  /// pct in (0, 100]. Requires a non-empty sample.
+  [[nodiscard]] double percentile(double pct) const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double total() const { return total_; }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations (for stddev)
+  double total_ = 0.0;
+};
+
+/// Welford's online mean/variance accumulator, for streams too large to
+/// keep in memory (e.g. per-message statistics on the 5000k graph).
+class Welford {
+ public:
+  void add(double x) noexcept;
+  void merge(const Welford& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Kolmogorov-Smirnov-style max CDF deviation between an empirical sample
+/// and a reference CDF evaluated at the sample points. Used by the graph
+/// generator tests to check the power-law degree distribution.
+[[nodiscard]] double max_cdf_deviation(const std::vector<double>& sorted_sample,
+                                       const std::vector<double>& ref_cdf);
+
+}  // namespace dprank

@@ -1,0 +1,144 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dprank {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("TextTable: empty header");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() > header_.size()) {
+    throw std::invalid_argument("TextTable: row wider than header");
+  }
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == 'E' || c == ',' ||
+          c == '%')) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      const auto pad = width[c] - row[c].size();
+      // Right-align numeric-looking cells in non-first columns.
+      if (c > 0 && looks_numeric(row[c])) {
+        os << std::string(pad, ' ') << row[c];
+      } else {
+        os << row[c] << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c > 0 ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void TextTable::write_csv(const std::filesystem::path& path) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    throw std::runtime_error("TextTable::write_csv: cannot open " +
+                             path.string());
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_sig(double v, int digits) {
+  if (!std::isfinite(v)) return v > 0 ? "inf" : (v < 0 ? "-inf" : "nan");
+  std::ostringstream oss;
+  oss.precision(digits);
+  oss << v;
+  return oss.str();
+}
+
+std::string format_fixed(double v, int decimals) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(decimals);
+  oss << v;
+  return oss.str();
+}
+
+std::string format_count(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  int run = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (run == 3) {
+      out.push_back(',');
+      run = 0;
+    }
+    out.push_back(*it);
+    ++run;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dprank

@@ -1,0 +1,54 @@
+#pragma once
+
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary prints a paper-style table (Tables 1-4, 6 of the
+// paper) after its google-benchmark run; TextTable handles alignment,
+// headers and separators so those tables are readable in a terminal log.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dprank {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows throw std::invalid_argument.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with a header rule, 2-space column gaps, left-aligned first
+  /// column and right-aligned numeric columns.
+  void print(std::ostream& os) const;
+
+  /// Render to a string (used by tests).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Write as RFC-4180-ish CSV (quotes applied when a cell contains a
+  /// comma, quote or newline). Overwrites the file.
+  void write_csv(const std::filesystem::path& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant digits, trimming trailing
+/// zeros ("1.5", "0.0012", "3e+06" style for extremes).
+[[nodiscard]] std::string format_sig(double v, int digits = 3);
+
+/// Format with fixed decimals.
+[[nodiscard]] std::string format_fixed(double v, int decimals);
+
+/// Human-readable count with thousands separators (1234567 -> "1,234,567").
+[[nodiscard]] std::string format_count(std::uint64_t v);
+
+}  // namespace dprank

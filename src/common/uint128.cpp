@@ -1,0 +1,48 @@
+#include "common/uint128.hpp"
+
+#include <stdexcept>
+
+namespace dprank {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string U128::to_hex() const {
+  std::string out(32, '0');
+  std::uint64_t h = hi;
+  std::uint64_t l = lo;
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[h & 0xF];
+    out[static_cast<std::size_t>(i) + 16] = kHexDigits[l & 0xF];
+    h >>= 4;
+    l >>= 4;
+  }
+  return out;
+}
+
+U128 U128::from_hex(const std::string& s) {
+  std::size_t begin = 0;
+  if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) begin = 2;
+  if (begin == s.size() || s.size() - begin > 32) {
+    throw std::invalid_argument("U128::from_hex: bad length: " + s);
+  }
+  U128 v;
+  for (std::size_t i = begin; i < s.size(); ++i) {
+    const int d = hex_value(s[i]);
+    if (d < 0) {
+      throw std::invalid_argument("U128::from_hex: bad digit in: " + s);
+    }
+    v = (v << 4) | U128{0, static_cast<std::uint64_t>(d)};
+  }
+  return v;
+}
+
+}  // namespace dprank

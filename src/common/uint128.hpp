@@ -1,0 +1,117 @@
+#pragma once
+
+// Portable 128-bit unsigned integer for the DHT identifier space.
+//
+// DHT-based P2P systems (Chord, Pastry, CAN) address documents and peers
+// with 128-bit GUIDs. All ring arithmetic (distances, midpoints, powers of
+// two for finger tables) happens modulo 2^128, which U128 implements
+// explicitly so the code has no dependence on compiler __int128 extensions
+// in its public interface.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dprank {
+
+struct U128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  constexpr U128() = default;
+  constexpr U128(std::uint64_t high, std::uint64_t low) : hi(high), lo(low) {}
+  /// Implicit widening from 64-bit values, mirroring built-in integers.
+  constexpr U128(std::uint64_t low) : hi(0), lo(low) {}  // NOLINT(google-explicit-constructor)
+
+  friend constexpr bool operator==(const U128&, const U128&) = default;
+  friend constexpr auto operator<=>(const U128& a, const U128& b) {
+    if (auto c = a.hi <=> b.hi; c != 0) return c;
+    return a.lo <=> b.lo;
+  }
+
+  friend constexpr U128 operator+(U128 a, U128 b) {
+    U128 r;
+    r.lo = a.lo + b.lo;
+    r.hi = a.hi + b.hi + (r.lo < a.lo ? 1 : 0);
+    return r;
+  }
+
+  friend constexpr U128 operator-(U128 a, U128 b) {
+    U128 r;
+    r.lo = a.lo - b.lo;
+    r.hi = a.hi - b.hi - (a.lo < b.lo ? 1 : 0);
+    return r;
+  }
+
+  friend constexpr U128 operator^(U128 a, U128 b) {
+    return U128{a.hi ^ b.hi, a.lo ^ b.lo};
+  }
+  friend constexpr U128 operator&(U128 a, U128 b) {
+    return U128{a.hi & b.hi, a.lo & b.lo};
+  }
+  friend constexpr U128 operator|(U128 a, U128 b) {
+    return U128{a.hi | b.hi, a.lo | b.lo};
+  }
+
+  friend constexpr U128 operator<<(U128 a, int k) {
+    k &= 127;
+    if (k == 0) return a;
+    if (k >= 64) return U128{a.lo << (k - 64), 0};
+    return U128{(a.hi << k) | (a.lo >> (64 - k)), a.lo << k};
+  }
+
+  friend constexpr U128 operator>>(U128 a, int k) {
+    k &= 127;
+    if (k == 0) return a;
+    if (k >= 64) return U128{0, a.hi >> (k - 64)};
+    return U128{a.hi >> k, (a.lo >> k) | (a.hi << (64 - k))};
+  }
+
+  /// 2^k mod 2^128, k in [0, 127].
+  static constexpr U128 pow2(int k) { return U128{0, 1} << k; }
+
+  /// Maximum representable value (2^128 - 1).
+  static constexpr U128 max() {
+    return U128{~std::uint64_t{0}, ~std::uint64_t{0}};
+  }
+
+  [[nodiscard]] constexpr bool is_zero() const { return hi == 0 && lo == 0; }
+
+  /// Lowercase 32-digit hex rendering, zero padded.
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Parse a hex string (with or without 0x prefix). Throws
+  /// std::invalid_argument on malformed input.
+  static U128 from_hex(const std::string& s);
+};
+
+/// Ring distance travelled clockwise from `from` to `to` (mod 2^128).
+constexpr U128 ring_distance(U128 from, U128 to) { return to - from; }
+
+/// True if id lies in the half-open clockwise interval (from, to].
+/// The interval wraps modulo 2^128; when from == to the interval is the
+/// full ring (Chord convention: a single-node ring owns every key).
+constexpr bool in_interval_oc(U128 id, U128 from, U128 to) {
+  if (from == to) return true;
+  return ring_distance(from, id) != U128{0, 0} &&
+         ring_distance(from, id) <= ring_distance(from, to);
+}
+
+/// True if id lies in the open clockwise interval (from, to). When
+/// from == to the interval is the whole ring minus the endpoint.
+constexpr bool in_interval_oo(U128 id, U128 from, U128 to) {
+  const U128 d_id = ring_distance(from, id);
+  if (from == to) return !d_id.is_zero();
+  const U128 d_to = ring_distance(from, to);
+  return !d_id.is_zero() && d_id < d_to;
+}
+
+}  // namespace dprank
+
+template <>
+struct std::hash<dprank::U128> {
+  std::size_t operator()(const dprank::U128& v) const noexcept {
+    // hi and lo are already uniformly distributed for GUIDs; fold them.
+    return static_cast<std::size_t>(v.hi ^ (v.lo * 0x9E3779B97F4A7C15ULL));
+  }
+};

@@ -1,0 +1,44 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dprank {
+
+PowerLawSampler::PowerLawSampler(double alpha, std::uint64_t k_min,
+                                 std::uint64_t k_max)
+    : alpha_(alpha), k_min_(k_min), k_max_(k_max) {
+  if (k_min == 0 || k_min > k_max) {
+    throw std::invalid_argument("PowerLawSampler: bad support");
+  }
+  const std::uint64_t n = k_max - k_min + 1;
+  cdf_.resize(n);
+  double acc = 0.0;
+  double weighted = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto k = static_cast<double>(k_min + i);
+    const double w = std::pow(k, -alpha);
+    acc += w;
+    weighted += k * w;
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  mean_ = weighted / acc;
+}
+
+std::uint64_t PowerLawSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<std::uint64_t>(
+      std::distance(cdf_.begin(), it == cdf_.end() ? it - 1 : it));
+  return k_min_ + idx;
+}
+
+double PowerLawSampler::cdf(std::uint64_t k) const {
+  if (k < k_min_) return 0.0;
+  if (k >= k_max_) return 1.0;
+  return cdf_[k - k_min_];
+}
+
+}  // namespace dprank

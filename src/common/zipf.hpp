@@ -1,0 +1,68 @@
+#pragma once
+
+// Discrete power-law samplers.
+//
+// Two uses in the reproduction:
+//  * graph synthesis (§4.1): Broder et al. found web in/out-degrees follow
+//    P(degree = k) ∝ k^-α with α_in = 2.1, α_out = 2.4;
+//  * corpus synthesis (§4.9): term frequencies in text follow Zipf's law.
+//
+// Both need "number of nodes with degree k proportional to k^-α" over a
+// bounded support, so a single table-based sampler covers them. The table
+// (inverse-CDF with binary search) is exact and cache-friendly for the
+// supports used here (degree caps of a few thousand, 1880-term vocabulary).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+
+/// Samples integers k in [k_min, k_max] with P(k) ∝ k^-alpha.
+class PowerLawSampler {
+ public:
+  PowerLawSampler(double alpha, std::uint64_t k_min, std::uint64_t k_max);
+
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+  /// Analytic mean of the distribution (exact over the table).
+  [[nodiscard]] double mean() const { return mean_; }
+
+  /// CDF value P(K <= k); k outside support clamps.
+  [[nodiscard]] double cdf(std::uint64_t k) const;
+
+  [[nodiscard]] std::uint64_t k_min() const { return k_min_; }
+  [[nodiscard]] std::uint64_t k_max() const { return k_max_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::uint64_t k_min_;
+  std::uint64_t k_max_;
+  std::vector<double> cdf_;  // cdf_[i] = P(K <= k_min + i)
+  double mean_ = 0.0;
+};
+
+/// Zipf-distributed ranks: P(rank = r) ∝ r^-s over r in [1, n].
+/// Convenience wrapper over PowerLawSampler returning 0-based ranks,
+/// the shape the corpus generator wants for vocabulary indices.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s)
+      : sampler_(s, 1, n) {}
+
+  /// 0-based rank in [0, n).
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const {
+    return sampler_.sample(rng) - 1;
+  }
+
+  [[nodiscard]] double expected_frequency(std::uint64_t rank0) const {
+    return sampler_.cdf(rank0 + 1) - (rank0 == 0 ? 0.0 : sampler_.cdf(rank0));
+  }
+
+ private:
+  PowerLawSampler sampler_;
+};
+
+}  // namespace dprank

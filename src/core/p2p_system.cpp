@@ -1,0 +1,207 @@
+#include "core/p2p_system.hpp"
+
+#include <stdexcept>
+
+#include "net/message.hpp"
+#include "pagerank/distributed_engine.hpp"
+#include "pagerank/incremental.hpp"
+
+namespace dprank {
+
+P2PSystem::P2PSystem(const Digraph& initial_graph, const Corpus& corpus,
+                     P2PSystemConfig config)
+    : config_(config),
+      graph_(initial_graph),
+      ring_(config.num_peers),
+      placement_(Placement::random(initial_graph.num_nodes(),
+                                   config.num_peers, config.seed)),
+      live_(initial_graph.num_nodes(), true),
+      ranks_(initial_graph.num_nodes(), 0.0),
+      index_(corpus, ring_),
+      rng_(config.seed ^ 0x5157E0ULL) {
+  if (corpus.num_docs() != initial_graph.num_nodes()) {
+    throw std::invalid_argument(
+        "P2PSystem: corpus and link graph must cover the same documents");
+  }
+  terms_.reserve(corpus.num_docs());
+  for (NodeId d = 0; d < corpus.num_docs(); ++d) {
+    terms_.push_back(corpus.terms_of(d));
+  }
+}
+
+std::uint64_t P2PSystem::converge() {
+  const Digraph snapshot = graph_.freeze();
+  DistributedPagerank engine(snapshot, placement_, config_.pagerank);
+  const auto run = engine.run();
+  if (!run.converged) {
+    throw std::runtime_error("P2PSystem::converge: engine hit pass cap");
+  }
+  ranks_ = engine.ranks();
+  for (NodeId d = 0; d < graph_.num_nodes(); ++d) {
+    if (!live_[d]) ranks_[d] = 0.0;
+  }
+  meter_.merge(engine.traffic());
+
+  std::vector<PeerId> owners(graph_.num_nodes());
+  for (NodeId d = 0; d < graph_.num_nodes(); ++d) {
+    owners[d] = placement_.peer_of(d);
+  }
+  index_.publish_ranks(ranks_, owners, &meter_);
+  converged_ = true;
+  return run.passes;
+}
+
+NodeId P2PSystem::add_document(const std::vector<TermId>& doc_terms,
+                               const std::vector<NodeId>& out_links) {
+  if (!converged_) {
+    throw std::logic_error("P2PSystem::add_document before converge()");
+  }
+  for (const NodeId v : out_links) {
+    if (v >= graph_.num_nodes() || !live_[v]) {
+      throw std::invalid_argument(
+          "P2PSystem::add_document: out-link to missing document");
+    }
+  }
+  const NodeId id = graph_.add_document(out_links);
+  placement_.add_document(
+      id, static_cast<PeerId>(rng_.bounded(config_.num_peers)));
+  terms_.push_back(doc_terms);
+  live_.push_back(true);
+  ranks_.push_back(config_.pagerank.initial_rank);
+
+  // §3.1: seed with the initial constant, send updates to out-links,
+  // then reconverge the new document itself (no in-links => rank 1-d).
+  const std::vector<double> before = ranks_;
+  const Digraph snapshot = graph_.freeze();
+  IncrementalPagerank engine(snapshot, ranks_, config_.pagerank,
+                             &placement_);
+  auto stats = engine.seed_and_propagate(id);
+  std::vector<NodeId> touched = engine.last_touched();
+  const double true_rank = 1.0 - config_.pagerank.damping;
+  const double correction = true_rank - ranks_[id];
+  ranks_[id] = true_rank;
+  if (snapshot.out_degree(id) > 0 && correction != 0.0) {
+    const double fwd = config_.pagerank.damping * correction /
+                       static_cast<double>(snapshot.out_degree(id));
+    for (const NodeId w : snapshot.out_neighbors(id)) {
+      const auto more = engine.inject(w, fwd);
+      stats.cross_peer_messages += more.cross_peer_messages;
+      touched.insert(touched.end(), engine.last_touched().begin(),
+                     engine.last_touched().end());
+    }
+  }
+  meter_.record_messages(stats.cross_peer_messages,
+                         PagerankUpdate::kWireBytes);
+
+  index_.publish_one(id, doc_terms, ranks_[id], placement_.peer_of(id),
+                     &meter_);
+  refresh_index(touched, before);
+  return id;
+}
+
+void P2PSystem::remove_document(NodeId doc) {
+  if (!converged_) {
+    throw std::logic_error("P2PSystem::remove_document before converge()");
+  }
+  if (doc >= graph_.num_nodes() || !live_[doc]) {
+    throw std::invalid_argument("P2PSystem::remove_document: not live");
+  }
+  const std::vector<double> before = ranks_;
+  const Digraph snapshot = graph_.freeze();
+  IncrementalPagerank engine(snapshot, ranks_, config_.pagerank,
+                             &placement_);
+  const auto stats = engine.propagate_delete(doc);
+  meter_.record_messages(stats.cross_peer_messages,
+                         PagerankUpdate::kWireBytes);
+  const std::vector<NodeId> touched = engine.last_touched();
+
+  graph_.isolate_node(doc);
+  ranks_[doc] = 0.0;
+  live_[doc] = false;
+  index_.remove_document(doc, terms_[doc], placement_.peer_of(doc),
+                         &meter_);
+  terms_[doc].clear();
+  refresh_index(touched, before);
+}
+
+QueryOutcome P2PSystem::search(const std::vector<TermId>& query_terms,
+                               const SearchPolicy& policy) const {
+  const SearchEngine engine(index_);
+  return engine.run_query(query_terms, policy);
+}
+
+SearchSession P2PSystem::begin_search(std::vector<TermId> query_terms,
+                                      SearchPolicy policy) const {
+  return SearchSession(SearchEngine(index_), std::move(query_terms), policy);
+}
+
+std::vector<std::string> P2PSystem::validate() const {
+  std::vector<std::string> issues;
+  auto complain = [&](std::string msg) { issues.push_back(std::move(msg)); };
+
+  const NodeId n = graph_.num_nodes();
+  if (placement_.num_docs() != n || live_.size() != n ||
+      ranks_.size() != n || terms_.size() != n) {
+    complain("container sizes disagree with the graph");
+    return issues;  // everything below would index out of bounds
+  }
+
+  const double floor_rank = 1.0 - config_.pagerank.damping;
+  for (NodeId d = 0; d < n; ++d) {
+    if (live_[d]) {
+      if (converged_ && ranks_[d] < floor_rank * 0.5) {
+        complain("live doc " + std::to_string(d) + " has rank " +
+                 std::to_string(ranks_[d]) + " below the teleport floor");
+      }
+    } else {
+      if (ranks_[d] != 0.0) {
+        complain("dead doc " + std::to_string(d) + " has nonzero rank");
+      }
+      if (!graph_.is_isolated(d)) {
+        complain("dead doc " + std::to_string(d) + " still has links");
+      }
+      if (!terms_[d].empty()) {
+        complain("dead doc " + std::to_string(d) + " still has terms");
+      }
+    }
+  }
+
+  // Index <-> liveness/terms agreement.
+  std::vector<std::uint64_t> postings_per_doc(n, 0);
+  for (TermId t = 0; t < index_.num_terms(); ++t) {
+    for (const Posting& p : index_.postings(t)) {
+      if (p.doc >= n) {
+        complain("posting for unknown doc " + std::to_string(p.doc));
+        continue;
+      }
+      if (!live_[p.doc]) {
+        complain("dead doc " + std::to_string(p.doc) +
+                 " still posted under term " + std::to_string(t));
+      }
+      ++postings_per_doc[p.doc];
+    }
+  }
+  for (NodeId d = 0; d < n; ++d) {
+    if (live_[d] && postings_per_doc[d] != terms_[d].size()) {
+      complain("doc " + std::to_string(d) + " has " +
+               std::to_string(postings_per_doc[d]) + " postings but " +
+               std::to_string(terms_[d].size()) + " terms");
+    }
+  }
+  return issues;
+}
+
+void P2PSystem::refresh_index(const std::vector<NodeId>& touched,
+                              const std::vector<double>& before) {
+  for (const NodeId v : touched) {
+    if (v >= before.size()) continue;  // the new document: already published
+    if (!live_[v]) continue;
+    if (relative_change(before[v], ranks_[v]) >
+        config_.index_refresh_threshold) {
+      index_.publish_one(v, terms_[v], ranks_[v], placement_.peer_of(v),
+                         &meter_);
+    }
+  }
+}
+
+}  // namespace dprank

@@ -1,0 +1,129 @@
+#pragma once
+
+// P2PSystem — the assembled system of the paper, behind one facade.
+//
+// Owns the pieces a deployment would run together: the document link
+// graph, the peer overlay (Chord ring + placement), the pagerank state,
+// and the term-partitioned keyword index. Provides the full document
+// lifecycle the paper describes:
+//
+//   * converge()        — initial distributed pagerank (Fig. 1) and
+//                         publication of ranks into the index (§2.4.2);
+//   * add_document()    — §3.1 insert: place the document, seed its
+//                         rank, propagate increments (Fig. 2), add its
+//                         postings, refresh index entries of every
+//                         document the cascade moved;
+//   * remove_document() — §3.1 delete: negated-rank propagation, link
+//                         and posting removal, index refresh;
+//   * search()          — §2.4.3 incremental multi-word search over the
+//                         maintained index.
+//
+// All network traffic (pagerank updates, index updates, search
+// forwards) is tallied in one ledger, so "what does keeping ranks
+// continuously fresh cost?" is a single method call.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dht/ring.hpp"
+#include "graph/mutable_digraph.hpp"
+#include "net/traffic_meter.hpp"
+#include "p2p/placement.hpp"
+#include "pagerank/options.hpp"
+#include "search/corpus.hpp"
+#include "search/distributed_index.hpp"
+#include "search/incremental_search.hpp"
+
+namespace dprank {
+
+struct P2PSystemConfig {
+  PeerId num_peers = 50;
+  PagerankOptions pagerank;       // damping 0.85, epsilon 1e-3
+  std::uint64_t seed = 42;
+  /// Index entries are refreshed for documents whose rank moved by more
+  /// than this relative amount during an incremental cascade (refreshing
+  /// every touched posting on every insert would swamp the index).
+  double index_refresh_threshold = 1e-3;
+};
+
+class P2PSystem {
+ public:
+  /// Adopt an initial corpus and its link graph. Documents are placed
+  /// uniformly at random (the paper's setup); the index is built
+  /// immediately, ranks are zero until converge().
+  P2PSystem(const Digraph& initial_graph, const Corpus& corpus,
+            P2PSystemConfig config);
+
+  /// Run the initial distributed pagerank computation to convergence and
+  /// publish every rank into the index. Returns the number of passes.
+  std::uint64_t converge();
+
+  /// Insert a document with the given index terms and out-links
+  /// (§3.1 + §4.7). Returns its id. Requires converge() first.
+  NodeId add_document(const std::vector<TermId>& terms,
+                      const std::vector<NodeId>& out_links);
+
+  /// Delete a document (§3.1): negated-rank propagation, graph
+  /// isolation, posting removal. Requires converge() first.
+  void remove_document(NodeId doc);
+
+  /// Boolean multi-word search with pagerank-sorted incremental
+  /// forwarding (§2.4.3).
+  [[nodiscard]] QueryOutcome search(const std::vector<TermId>& terms,
+                                    const SearchPolicy& policy) const;
+
+  /// Paged search (§1: top hits first, "additional pages fetched
+  /// incrementally as required"). The session references this system's
+  /// index; keep the system alive while using it.
+  [[nodiscard]] SearchSession begin_search(std::vector<TermId> terms,
+                                           SearchPolicy policy) const;
+
+  [[nodiscard]] const std::vector<double>& ranks() const { return ranks_; }
+  [[nodiscard]] double rank_of(NodeId doc) const { return ranks_[doc]; }
+  [[nodiscard]] PeerId peer_of(NodeId doc) const {
+    return placement_.peer_of(doc);
+  }
+  [[nodiscard]] NodeId num_documents() const { return graph_.num_nodes(); }
+  [[nodiscard]] bool is_live(NodeId doc) const { return live_[doc]; }
+
+  /// One ledger for everything: pagerank updates, index updates, and
+  /// (via searches' QueryOutcome) search traffic.
+  [[nodiscard]] const TrafficMeter& traffic() const { return meter_; }
+
+  /// Terms a document is indexed under.
+  [[nodiscard]] const std::vector<TermId>& terms_of(NodeId doc) const {
+    return terms_[doc];
+  }
+
+  /// Cross-component consistency check; returns human-readable
+  /// violations (empty = healthy). Verifies that ranks, liveness, graph
+  /// state and index postings agree — the invariant set every mutation
+  /// must preserve. O(total postings); intended for tests, the CLI
+  /// doctor, and debugging sessions.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  [[nodiscard]] TermId vocabulary() const {
+    return static_cast<TermId>(index_.num_terms());
+  }
+
+ private:
+  /// Refresh index entries for documents the last cascade moved.
+  void refresh_index(const std::vector<NodeId>& touched,
+                     const std::vector<double>& before);
+
+  P2PSystemConfig config_;
+  MutableDigraph graph_;
+  ChordRing ring_;
+  Placement placement_;
+  std::vector<std::vector<TermId>> terms_;
+  std::vector<bool> live_;
+  std::vector<double> ranks_;
+  DistributedIndex index_;
+  TrafficMeter meter_;
+  Rng rng_;
+  bool converged_ = false;
+};
+
+}  // namespace dprank

@@ -1,0 +1,128 @@
+#include "dht/pastry.hpp"
+
+#include <stdexcept>
+
+namespace dprank {
+
+U128 circular_distance(Guid a, Guid b) {
+  const U128 d1 = a - b;
+  const U128 d2 = b - a;
+  return d1 < d2 ? d1 : d2;
+}
+
+PastryRing::PastryRing(PeerId num_peers) {
+  for (PeerId p = 0; p < num_peers; ++p) join(p, peer_guid(p));
+}
+
+void PastryRing::join(PeerId peer, Guid id) {
+  if (guid_of_peer_.contains(peer)) {
+    throw std::invalid_argument("PastryRing::join: peer already present");
+  }
+  const auto [it, inserted] = by_id_.emplace(id, peer);
+  if (!inserted) {
+    throw std::invalid_argument("PastryRing::join: GUID collision");
+  }
+  guid_of_peer_.emplace(peer, id);
+}
+
+void PastryRing::leave(PeerId peer) {
+  const auto it = guid_of_peer_.find(peer);
+  if (it == guid_of_peer_.end()) return;
+  by_id_.erase(it->second);
+  guid_of_peer_.erase(it);
+}
+
+bool PastryRing::contains(PeerId peer) const {
+  return guid_of_peer_.contains(peer);
+}
+
+Guid PastryRing::id_of(PeerId peer) const {
+  const auto it = guid_of_peer_.find(peer);
+  if (it == guid_of_peer_.end()) {
+    throw std::out_of_range("PastryRing::id_of: unknown peer");
+  }
+  return it->second;
+}
+
+PeerId PastryRing::owner_of_key(Guid key) const {
+  if (by_id_.empty()) {
+    throw std::logic_error("PastryRing::owner_of_key: empty ring");
+  }
+  // Candidates: the map neighbors of key (plus ring wraparound).
+  auto ge = by_id_.lower_bound(key);
+  const auto first = by_id_.begin();
+  const auto last = std::prev(by_id_.end());
+  const auto candidate_a = ge == by_id_.end() ? first : ge;
+  const auto candidate_b = ge == by_id_.begin() ? last : std::prev(ge);
+
+  const U128 da = circular_distance(candidate_a->first, key);
+  const U128 db = circular_distance(candidate_b->first, key);
+  if (da < db) return candidate_a->second;
+  if (db < da) return candidate_b->second;
+  // Tie: prefer the clockwise (>= key) side.
+  return candidate_a->second;
+}
+
+int PastryRing::digit(Guid id, int i) {
+  // Digit 0 is the most significant nibble of `hi`.
+  const int shift = 124 - i * kDigitBits;
+  const U128 shifted = id >> shift;
+  return static_cast<int>(shifted.lo & 0xF);
+}
+
+int PastryRing::shared_prefix_digits(Guid a, Guid b) {
+  for (int i = 0; i < kNumDigits; ++i) {
+    if (digit(a, i) != digit(b, i)) return i;
+  }
+  return kNumDigits;
+}
+
+PeerId PastryRing::best_with_longer_prefix(Guid key, int len) const {
+  // All ids sharing >= len+1 digits with key form a contiguous id range
+  // [prefix(key, len+1) || 0..., prefix(key, len+1) || f...].
+  const int keep_bits = (len + 1) * kDigitBits;
+  if (keep_bits > 128) return kInvalidPeer;
+  const U128 mask_low =
+      keep_bits == 128 ? U128{0, 0} : (U128::max() >> keep_bits);
+  const U128 lo = key & (U128::max() ^ mask_low);
+  const U128 hi = lo | mask_low;
+
+  const auto begin = by_id_.lower_bound(lo);
+  if (begin == by_id_.end() || begin->first > hi) return kInvalidPeer;
+  // A real routing table holds ONE (arbitrary) entry per cell, not the
+  // best-possible node; model that with the lowest id in the prefix
+  // range. Each such hop still extends the shared prefix by >= 1 digit,
+  // preserving Pastry's O(log_16 N) bound without overstating it.
+  return begin->second;
+}
+
+PastryRing::Route PastryRing::route(PeerId from, Guid key) const {
+  const PeerId target = owner_of_key(key);
+  Route r;
+  r.destination = target;
+  PeerId current = from;
+  while (current != target) {
+    const Guid cur_id = id_of(current);
+    const int len = shared_prefix_digits(cur_id, key);
+    PeerId next = best_with_longer_prefix(key, len);
+    if (next == kInvalidPeer || next == current) {
+      // Leaf-set fallback: the owner is numerically closest to the key,
+      // so jumping straight to it both terminates and mirrors what a
+      // real leaf set (which always contains the owner's neighborhood)
+      // does on the final hop.
+      next = target;
+    }
+    r.hops.push_back(next);
+    current = next;
+  }
+  return r;
+}
+
+std::vector<PeerId> PastryRing::peers() const {
+  std::vector<PeerId> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, peer] : by_id_) out.push_back(peer);
+  return out;
+}
+
+}  // namespace dprank

@@ -1,0 +1,78 @@
+#pragma once
+
+// Pastry-style DHT overlay (§2.1 names Pastry alongside CAN and Chord
+// as the class of systems the scheme targets).
+//
+// Pastry routes by identifier prefix: ids are strings of base-2^b
+// digits (b = 4 here, so 32 hex digits over the 128-bit space); each
+// hop forwards to a node sharing a strictly longer prefix with the key,
+// falling back to the leaf set (numerically closest nodes) when the
+// routing table has no such entry. A key is owned by the *numerically
+// closest* node — a different ownership rule from Chord's successor,
+// which is why the reproduction carries both: the pagerank layer is
+// overlay-agnostic, and the routing ablation can compare hop bills.
+//
+// As with ChordRing, the simulation derives routing state from global
+// membership; the hop sequences match a converged Pastry network with
+// fully populated routing tables.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/guid.hpp"
+#include "dht/ring.hpp"  // PeerId, kInvalidPeer
+
+namespace dprank {
+
+class PastryRing {
+ public:
+  static constexpr int kDigitBits = 4;                   // b = 4
+  static constexpr int kNumDigits = 128 / kDigitBits;    // 32 hex digits
+
+  PastryRing() = default;
+  explicit PastryRing(PeerId num_peers);
+
+  void join(PeerId peer, Guid id);
+  void leave(PeerId peer);
+  [[nodiscard]] bool contains(PeerId peer) const;
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+  [[nodiscard]] Guid id_of(PeerId peer) const;
+
+  /// The numerically closest live node to `key` (ties broken toward the
+  /// clockwise side, matching Pastry's deterministic tie rule).
+  [[nodiscard]] PeerId owner_of_key(Guid key) const;
+
+  /// Length of the common base-16 digit prefix of two ids, in digits.
+  [[nodiscard]] static int shared_prefix_digits(Guid a, Guid b);
+
+  /// Digit `i` (0 = most significant) of an id.
+  [[nodiscard]] static int digit(Guid id, int i);
+
+  struct Route {
+    PeerId destination = kInvalidPeer;
+    std::vector<PeerId> hops;  // excludes origin; empty if key is local
+    [[nodiscard]] std::size_t hop_count() const { return hops.size(); }
+  };
+
+  /// Prefix routing with leaf-set fallback. Each hop either increases
+  /// the shared prefix length or (fallback) strictly decreases numeric
+  /// distance to the key, so termination is guaranteed.
+  [[nodiscard]] Route route(PeerId from, Guid key) const;
+
+  [[nodiscard]] std::vector<PeerId> peers() const;
+
+ private:
+  /// Among peers whose id shares a prefix of >= `len+1` digits with
+  /// `key`, the numerically closest to key; kInvalidPeer if none.
+  [[nodiscard]] PeerId best_with_longer_prefix(Guid key, int len) const;
+
+  std::map<Guid, PeerId> by_id_;
+  std::map<PeerId, Guid> guid_of_peer_;
+};
+
+/// Minimum circular distance between two 128-bit ids (the metric Pastry
+/// ownership uses).
+[[nodiscard]] U128 circular_distance(Guid a, Guid b);
+
+}  // namespace dprank

@@ -1,0 +1,102 @@
+#include "dht/ring.hpp"
+
+#include <stdexcept>
+
+namespace dprank {
+
+ChordRing::ChordRing(PeerId num_peers) {
+  for (PeerId p = 0; p < num_peers; ++p) join(p, peer_guid(p));
+}
+
+void ChordRing::join(PeerId peer, Guid id) {
+  if (guid_of_peer_.contains(peer)) {
+    throw std::invalid_argument("ChordRing::join: peer already present");
+  }
+  const auto [it, inserted] = by_id_.emplace(id, peer);
+  if (!inserted) {
+    throw std::invalid_argument("ChordRing::join: GUID collision");
+  }
+  guid_of_peer_.emplace(peer, id);
+}
+
+void ChordRing::leave(PeerId peer) {
+  const auto it = guid_of_peer_.find(peer);
+  if (it == guid_of_peer_.end()) return;
+  by_id_.erase(it->second);
+  guid_of_peer_.erase(it);
+}
+
+bool ChordRing::contains(PeerId peer) const {
+  return guid_of_peer_.contains(peer);
+}
+
+Guid ChordRing::id_of(PeerId peer) const {
+  const auto it = guid_of_peer_.find(peer);
+  if (it == guid_of_peer_.end()) {
+    throw std::out_of_range("ChordRing::id_of: unknown peer");
+  }
+  return it->second;
+}
+
+PeerId ChordRing::successor_of_key(Guid key) const {
+  if (by_id_.empty()) {
+    throw std::logic_error("ChordRing::successor_of_key: empty ring");
+  }
+  const auto it = by_id_.lower_bound(key);
+  return it == by_id_.end() ? by_id_.begin()->second : it->second;
+}
+
+PeerId ChordRing::successor_peer(Guid id) const {
+  if (by_id_.empty()) {
+    throw std::logic_error("ChordRing::successor_peer: empty ring");
+  }
+  auto it = by_id_.upper_bound(id);
+  return it == by_id_.end() ? by_id_.begin()->second : it->second;
+}
+
+PeerId ChordRing::finger(PeerId peer, int k) const {
+  if (k < 0 || k > 127) {
+    throw std::out_of_range("ChordRing::finger: k outside [0,127]");
+  }
+  return successor_of_key(id_of(peer) + U128::pow2(k));
+}
+
+ChordRing::Route ChordRing::route(PeerId from, Guid key) const {
+  const PeerId target = successor_of_key(key);
+  Route r;
+  r.destination = target;
+  PeerId current = from;
+  // Forward to the closest preceding finger of `key` until the key falls
+  // in (current, successor(current)], then one final hop to the owner.
+  while (current != target) {
+    const Guid cur_id = id_of(current);
+    const PeerId succ = successor_peer(cur_id);
+    if (in_interval_oc(key, cur_id, id_of(succ))) {
+      r.hops.push_back(succ);
+      current = succ;
+      break;
+    }
+    // Closest preceding finger: largest finger in (current, key).
+    PeerId next = succ;  // fallback: always make progress via successor
+    for (int k = 127; k >= 0; --k) {
+      const PeerId f = finger(current, k);
+      if (f == current) continue;
+      if (in_interval_oo(id_of(f), cur_id, key)) {
+        next = f;
+        break;
+      }
+    }
+    r.hops.push_back(next);
+    current = next;
+  }
+  return r;
+}
+
+std::vector<PeerId> ChordRing::peers_in_ring_order() const {
+  std::vector<PeerId> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, peer] : by_id_) out.push_back(peer);
+  return out;
+}
+
+}  // namespace dprank

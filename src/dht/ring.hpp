@@ -1,0 +1,79 @@
+#pragma once
+
+// Chord-style DHT overlay (§2.1, §2.4.2, §3.2).
+//
+// The paper targets DHT systems (CAN, Pastry, Chord) where GUIDs are
+// pointers to documents and lookups resolve in O(log N) overlay hops.
+// ChordRing implements the identifier-space machinery of Chord over
+// 128-bit GUIDs:
+//   * each peer owns the arc of keys in (predecessor, self];
+//   * finger k of a peer is the successor of (peer_id + 2^k);
+//   * greedy routing forwards to the closest preceding finger.
+//
+// The simulation holds global membership (as the paper's simulator did),
+// so finger tables are derived from the sorted ring instead of gossiping —
+// the *routing behaviour* (hop sequences, hop counts) matches a converged
+// Chord network exactly, which is what the traffic accounting needs.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/guid.hpp"
+
+namespace dprank {
+
+using PeerId = std::uint32_t;
+inline constexpr PeerId kInvalidPeer = ~PeerId{0};
+
+class ChordRing {
+ public:
+  ChordRing() = default;
+
+  /// Construct with peers 0..num_peers-1, ids from peer_guid().
+  explicit ChordRing(PeerId num_peers);
+
+  /// Add a peer with an explicit GUID. Throws std::invalid_argument on a
+  /// GUID collision (128-bit collisions do not occur from peer_guid()).
+  void join(PeerId peer, Guid id);
+
+  /// Remove a peer; its arc is absorbed by its successor, exactly as keys
+  /// fail over in Chord. No-op if absent.
+  void leave(PeerId peer);
+
+  [[nodiscard]] bool contains(PeerId peer) const;
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+  [[nodiscard]] Guid id_of(PeerId peer) const;
+
+  /// The peer whose arc contains `key`: the first peer id clockwise at or
+  /// after key. Requires a non-empty ring.
+  [[nodiscard]] PeerId successor_of_key(Guid key) const;
+
+  /// The next live peer clockwise strictly after `id`.
+  [[nodiscard]] PeerId successor_peer(Guid id) const;
+
+  /// Finger k of `peer`: successor of (id_of(peer) + 2^k), k in [0,127].
+  [[nodiscard]] PeerId finger(PeerId peer, int k) const;
+
+  struct Route {
+    PeerId destination = kInvalidPeer;
+    std::vector<PeerId> hops;  // intermediate + final peer (excludes origin);
+                               // empty when the key is local to the origin
+    [[nodiscard]] std::size_t hop_count() const { return hops.size(); }
+  };
+
+  /// Greedy Chord lookup of `key` starting at `from`. The returned route
+  /// ends at successor_of_key(key); zero hops when `from` already owns the
+  /// key. Hop count is O(log N) w.h.p.
+  [[nodiscard]] Route route(PeerId from, Guid key) const;
+
+  /// All live peers, ascending id order around the ring.
+  [[nodiscard]] std::vector<PeerId> peers_in_ring_order() const;
+
+ private:
+  std::map<Guid, PeerId> by_id_;         // the ring, sorted by GUID
+  std::map<PeerId, Guid> guid_of_peer_;  // reverse index
+};
+
+}  // namespace dprank

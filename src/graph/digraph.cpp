@@ -1,0 +1,63 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dprank {
+
+Digraph Digraph::from_edges(NodeId num_nodes, std::vector<Edge> edges) {
+  for (const auto& [src, dst] : edges) {
+    if (src >= num_nodes || dst >= num_nodes) {
+      throw std::out_of_range("Digraph::from_edges: endpoint out of range");
+    }
+  }
+  // Drop self-loops, sort by (src, dst), and deduplicate.
+  std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Digraph g;
+  const EdgeId m = edges.size();
+  g.out_offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  g.out_targets_.resize(m);
+  for (const auto& e : edges) ++g.out_offsets_[e.src + 1];
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    g.out_offsets_[u + 1] += g.out_offsets_[u];
+  }
+  for (EdgeId i = 0; i < m; ++i) g.out_targets_[i] = edges[i].dst;
+
+  // In-CSR with the cross index, via counting sort over destinations.
+  g.in_offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  g.in_sources_.resize(m);
+  g.in_to_out_.resize(m);
+  for (const auto& e : edges) ++g.in_offsets_[e.dst + 1];
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  std::vector<EdgeId> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    const NodeId v = edges[e].dst;
+    const EdgeId pos = cursor[v]++;
+    g.in_sources_[pos] = edges[e].src;
+    g.in_to_out_[pos] = e;  // edges are already in out-CSR (edge id) order
+  }
+  return g;
+}
+
+bool Digraph::has_edge(NodeId u, NodeId v) const {
+  const auto nbrs = out_neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Digraph::edge_list() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const NodeId v : out_neighbors(u)) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+}  // namespace dprank

@@ -1,0 +1,101 @@
+#pragma once
+
+// Compressed sparse row (CSR) directed graph.
+//
+// Documents in the P2P system are nodes; hyperlink-style references are
+// directed edges (§2.1). The pagerank engines need, per document:
+//   * its out-links (to address update messages),
+//   * its in-links (to recompute its rank from stored contributions),
+//   * a mapping from each in-link back to the sender's out-edge slot,
+//     so a "pagerank update message" for edge u->v is modelled as a write
+//     to one contribution cell owned by the edge (see
+//     pagerank/distributed_engine.hpp).
+//
+// Both adjacency directions are stored in CSR form; `in_to_out_edge()`
+// provides the cross index. Node ids are 32-bit (the paper's largest graph
+// is 5 million nodes), edge ids 64-bit.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dprank {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+struct Edge {
+  NodeId src;
+  NodeId dst;
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Build from an edge list. Self-loops and duplicate edges are dropped
+  /// (hyperlink multiplicity does not change the random-surfer model the
+  /// paper uses). Edge endpoints must be < num_nodes.
+  static Digraph from_edges(NodeId num_nodes, std::vector<Edge> edges);
+
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(out_offsets_.empty() ? 0
+                                                    : out_offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeId num_edges() const { return out_targets_.size(); }
+
+  [[nodiscard]] std::span<const NodeId> out_neighbors(NodeId u) const {
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
+  [[nodiscard]] std::span<const NodeId> in_neighbors(NodeId v) const {
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::uint32_t out_degree(NodeId u) const {
+    return static_cast<std::uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+  [[nodiscard]] std::uint32_t in_degree(NodeId v) const {
+    return static_cast<std::uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// Out-edge ids for node u occupy [out_edge_begin(u), out_edge_end(u));
+  /// edge id e corresponds to target out_target(e).
+  [[nodiscard]] EdgeId out_edge_begin(NodeId u) const {
+    return out_offsets_[u];
+  }
+  [[nodiscard]] EdgeId out_edge_end(NodeId u) const {
+    return out_offsets_[u + 1];
+  }
+  [[nodiscard]] NodeId out_target(EdgeId e) const { return out_targets_[e]; }
+
+  /// For position p in [in_offsets_[v], in_offsets_[v+1]) of v's in-list,
+  /// the out-edge id at the sender that feeds it. Aligned with
+  /// in_neighbors(v): in_neighbors(v)[i] sent the contribution stored at
+  /// out-edge in_to_out_edge(v)[i].
+  [[nodiscard]] std::span<const EdgeId> in_to_out_edge(NodeId v) const {
+    return {in_to_out_.data() + in_offsets_[v],
+            in_to_out_.data() + in_offsets_[v + 1]};
+  }
+
+  /// True if u has an edge to v (binary search over sorted out-list).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// All edges, in out-CSR order (edge id order).
+  [[nodiscard]] std::vector<Edge> edge_list() const;
+
+ private:
+  // Out-CSR: out_offsets_[u]..out_offsets_[u+1] indexes out_targets_.
+  std::vector<EdgeId> out_offsets_;
+  std::vector<NodeId> out_targets_;
+  // In-CSR: in_offsets_[v]..in_offsets_[v+1] indexes in_sources_ and
+  // in_to_out_ in lockstep.
+  std::vector<EdgeId> in_offsets_;
+  std::vector<NodeId> in_sources_;
+  std::vector<EdgeId> in_to_out_;
+};
+
+}  // namespace dprank

@@ -1,0 +1,103 @@
+#include "graph/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/zipf.hpp"
+
+namespace dprank {
+
+Digraph generate_web_graph(const WebGraphParams& params) {
+  const std::uint64_t n = params.num_nodes;
+  if (n < 2) throw std::invalid_argument("generate_web_graph: need >= 2 nodes");
+  std::uint32_t cap = params.max_degree;
+  if (cap == 0) {
+    cap = static_cast<std::uint32_t>(std::min<std::uint64_t>(n - 1, 1000));
+  }
+  cap = static_cast<std::uint32_t>(std::min<std::uint64_t>(cap, n - 1));
+  if (params.min_degree == 0 || params.min_degree > cap) {
+    throw std::invalid_argument("generate_web_graph: bad degree bounds");
+  }
+
+  Rng rng(params.seed);
+  const PowerLawSampler out_deg(params.out_exponent, params.min_degree, cap);
+  const PowerLawSampler in_deg(params.in_exponent, params.min_degree, cap);
+
+  // 1. Degrees.
+  std::vector<std::uint32_t> dout(n);
+  std::vector<std::uint32_t> din(n);
+  std::uint64_t total_out = 0;
+  std::uint64_t total_in = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    dout[i] = static_cast<std::uint32_t>(out_deg.sample(rng));
+    if (params.dangling_fraction > 0.0 &&
+        rng.chance(params.dangling_fraction)) {
+      dout[i] = 0;
+    }
+    din[i] = static_cast<std::uint32_t>(in_deg.sample(rng));
+    total_out += dout[i];
+    total_in += din[i];
+  }
+  if (total_out == 0) {
+    throw std::invalid_argument(
+        "generate_web_graph: dangling_fraction left no out-links");
+  }
+
+  // 2. In-stub pool: node v appears din[v] times, shuffled.
+  std::vector<NodeId> pool;
+  pool.reserve(total_in);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (std::uint32_t k = 0; k < din[v]; ++k) {
+      pool.push_back(static_cast<NodeId>(v));
+    }
+  }
+  rng.shuffle(pool);
+
+  // 3. Wire out-stubs to pool entries, skipping self-loops/duplicates.
+  std::vector<Edge> edges;
+  edges.reserve(total_out);
+  std::size_t cursor = 0;
+  auto next_candidate = [&]() -> NodeId {
+    if (cursor >= pool.size()) {
+      rng.shuffle(pool);
+      cursor = 0;
+    }
+    return pool[cursor++];
+  };
+  std::vector<NodeId> chosen;  // per-node scratch (out-degrees are small)
+  for (std::uint64_t u = 0; u < n; ++u) {
+    chosen.clear();
+    // A node wanting k distinct targets retries a bounded number of times;
+    // on a pathological pool (tiny graphs) it settles for fewer links.
+    const std::uint32_t want = dout[u];
+    std::uint32_t attempts = 0;
+    const std::uint32_t max_attempts = want * 8 + 16;
+    while (chosen.size() < want && attempts < max_attempts) {
+      ++attempts;
+      const NodeId v = next_candidate();
+      if (v == static_cast<NodeId>(u)) continue;
+      if (std::find(chosen.begin(), chosen.end(), v) != chosen.end()) continue;
+      chosen.push_back(v);
+    }
+    for (const NodeId v : chosen) edges.push_back({static_cast<NodeId>(u), v});
+  }
+
+  return Digraph::from_edges(static_cast<NodeId>(n), std::move(edges));
+}
+
+Digraph paper_graph(std::uint64_t num_nodes, std::uint64_t seed) {
+  WebGraphParams params;
+  params.num_nodes = num_nodes;
+  params.seed = seed;
+  return generate_web_graph(params);
+}
+
+Digraph figure2_graph() {
+  // G=0, H=1, I=2, J=3, K=4, L=5. G links to H, I, J (so each update
+  // carries 1/3 of G's rank); H links to K and L (forwarding 1/6).
+  return Digraph::from_edges(
+      6, {{0, 1}, {0, 2}, {0, 3}, {1, 4}, {1, 5}});
+}
+
+}  // namespace dprank

@@ -1,0 +1,58 @@
+#pragma once
+
+// Synthetic web-like link graphs (§4.1).
+//
+// The paper follows Broder et al.'s measurement of the web graph: the
+// number of nodes with degree i is proportional to 1/i^alpha, with
+// alpha_in = 2.1 and alpha_out = 2.4. Graphs of 10k, 100k, 500k and 5M
+// nodes are synthesized from this model, "each node representing a
+// document"; only the link structure is used.
+//
+// Generation is a directed configuration model:
+//  1. draw an out-degree for every node from PowerLaw(2.4) and an
+//     in-degree weight from PowerLaw(2.1);
+//  2. materialize an "in-stub" pool where node v appears once per unit of
+//     in-degree weight, shuffled;
+//  3. wire each out-stub to the next pool entry, skipping self-loops and
+//     duplicate edges.
+// The result has exact power-law out-degrees and multinomially-sampled
+// power-law in-degrees, matching how the paper's own synthesis is
+// described.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/digraph.hpp"
+
+namespace dprank {
+
+struct WebGraphParams {
+  std::uint64_t num_nodes = 10'000;
+  double in_exponent = 2.1;   // Broder et al. in-degree power law
+  double out_exponent = 2.4;  // Broder et al. out-degree power law
+  std::uint32_t min_degree = 1;
+  /// Degree cap; 0 means min(num_nodes - 1, 1000). A finite cap keeps the
+  /// distribution's tail physical (a page with more links than pages
+  /// cannot exist) and bounds generator memory.
+  std::uint32_t max_degree = 0;
+  std::uint64_t seed = 42;
+  /// Fraction of nodes whose out-degree is forced to zero, modelling
+  /// dangling documents (pages with no out-links). Broder et al. report a
+  /// large "OUT" component; the paper does not model dangling pages
+  /// explicitly, so the default is 0.
+  double dangling_fraction = 0.0;
+};
+
+/// Generate a web-like graph. Deterministic for a given parameter set.
+[[nodiscard]] Digraph generate_web_graph(const WebGraphParams& params);
+
+/// Convenience: the paper's standard graph at `num_nodes` with seed.
+[[nodiscard]] Digraph paper_graph(std::uint64_t num_nodes,
+                                  std::uint64_t seed = 42);
+
+/// The 6-node graph of Figure 2 (G,H,I,J,K,L with G->{H,I,J}, H->{K,L},
+/// I->{}, J->{}, K->{}, L->{}); node 0 = G, 1 = H, 2 = I, 3 = J, 4 = K,
+/// 5 = L. Used by tests and the incremental-update example.
+[[nodiscard]] Digraph figure2_graph();
+
+}  // namespace dprank

@@ -1,0 +1,64 @@
+#include "graph/graph_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace dprank {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x44505247'52415048ULL;  // "DPRGRAPH"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("graph_io: truncated file");
+  return v;
+}
+}  // namespace
+
+void save_graph(const Digraph& g, const std::filesystem::path& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("save_graph: cannot open " + path.string());
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(g.num_nodes()));
+  write_pod(os, g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NodeId v : g.out_neighbors(u)) {
+      write_pod(os, u);
+      write_pod(os, v);
+    }
+  }
+  if (!os) throw std::runtime_error("save_graph: write failed");
+}
+
+Digraph load_graph(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_graph: cannot open " + path.string());
+  if (read_pod<std::uint64_t>(is) != kMagic) {
+    throw std::runtime_error("load_graph: bad magic in " + path.string());
+  }
+  if (read_pod<std::uint32_t>(is) != kVersion) {
+    throw std::runtime_error("load_graph: unsupported version");
+  }
+  const auto n = read_pod<std::uint64_t>(is);
+  const auto m = read_pod<std::uint64_t>(is);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const auto src = read_pod<NodeId>(is);
+    const auto dst = read_pod<NodeId>(is);
+    edges.push_back({src, dst});
+  }
+  return Digraph::from_edges(static_cast<NodeId>(n), std::move(edges));
+}
+
+}  // namespace dprank

@@ -1,0 +1,78 @@
+#include "graph/graph_stats.hpp"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace dprank {
+
+DegreeStats compute_degree_stats(const Digraph& g) {
+  DegreeStats s;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto dout = g.out_degree(u);
+    const auto din = g.in_degree(u);
+    s.out_degree.add(dout);
+    s.in_degree.add(din);
+    if (dout == 0) ++s.dangling_nodes;
+    if (din == 0) ++s.sourceless_nodes;
+  }
+  return s;
+}
+
+std::vector<double> degree_histogram(const Digraph& g, bool out_direction,
+                                     std::uint32_t max_k) {
+  std::vector<double> hist(static_cast<std::size_t>(max_k) + 1, 0.0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const std::uint32_t k =
+        out_direction ? g.out_degree(u) : g.in_degree(u);
+    if (k <= max_k) hist[k] += 1.0;
+  }
+  const auto n = static_cast<double>(g.num_nodes());
+  for (auto& h : hist) h /= n;
+  return hist;
+}
+
+double fit_power_law_slope(const std::vector<double>& histogram,
+                           std::uint32_t k_lo, std::uint32_t k_hi) {
+  if (k_lo == 0 || k_hi >= histogram.size() || k_lo >= k_hi) {
+    throw std::invalid_argument("fit_power_law_slope: bad range");
+  }
+  // Simple OLS on (log k, log p_k) over nonzero bins.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (std::uint32_t k = k_lo; k <= k_hi; ++k) {
+    if (histogram[k] <= 0.0) continue;
+    const double x = std::log(static_cast<double>(k));
+    const double y = std::log(histogram[k]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) throw std::invalid_argument("fit_power_law_slope: too few bins");
+  const double dn = n;
+  return (dn * sxy - sx * sy) / (dn * sxx - sx * sx);
+}
+
+std::uint64_t forward_reachable_count(const Digraph& g, NodeId start,
+                                      std::uint64_t limit) {
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::deque<NodeId> frontier{start};
+  seen[start] = true;
+  std::uint64_t count = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const NodeId v : g.out_neighbors(u)) {
+      if (seen[v]) continue;
+      seen[v] = true;
+      ++count;
+      if (limit != 0 && count >= limit) return count;
+      frontier.push_back(v);
+    }
+  }
+  return count;
+}
+
+}  // namespace dprank

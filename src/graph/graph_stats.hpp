@@ -1,0 +1,43 @@
+#pragma once
+
+// Degree-distribution and reachability diagnostics for generated graphs.
+//
+// Used by the generator's tests (does the synthetic graph actually follow
+// the Broder power law?) and by Table 4's analysis (node coverage of an
+// insert is bounded by forward reachability).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "graph/digraph.hpp"
+
+namespace dprank {
+
+struct DegreeStats {
+  Welford out_degree;
+  Welford in_degree;
+  std::uint64_t dangling_nodes = 0;   // out-degree 0
+  std::uint64_t sourceless_nodes = 0; // in-degree 0
+};
+
+[[nodiscard]] DegreeStats compute_degree_stats(const Digraph& g);
+
+/// Empirical P(degree = k) for k in [0, max_k], out- or in-degree.
+[[nodiscard]] std::vector<double> degree_histogram(const Digraph& g,
+                                                   bool out_direction,
+                                                   std::uint32_t max_k);
+
+/// Least-squares slope of log(count) vs log(k) over k with nonzero count
+/// in [k_lo, k_hi]; for a power law P(k) ∝ k^-alpha this estimates -alpha.
+[[nodiscard]] double fit_power_law_slope(const std::vector<double>& histogram,
+                                         std::uint32_t k_lo,
+                                         std::uint32_t k_hi);
+
+/// Number of nodes forward-reachable from `start` (including start),
+/// truncated at `limit` nodes to bound work on big graphs (0 = no limit).
+[[nodiscard]] std::uint64_t forward_reachable_count(const Digraph& g,
+                                                    NodeId start,
+                                                    std::uint64_t limit = 0);
+
+}  // namespace dprank

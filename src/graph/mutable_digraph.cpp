@@ -1,0 +1,73 @@
+#include "graph/mutable_digraph.hpp"
+
+#include <algorithm>
+
+namespace dprank {
+
+MutableDigraph::MutableDigraph(const Digraph& g)
+    : out_(g.num_nodes()), in_(g.num_nodes()), num_edges_(g.num_edges()) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.out_neighbors(u);
+    out_[u].assign(nbrs.begin(), nbrs.end());
+    const auto srcs = g.in_neighbors(u);
+    in_[u].assign(srcs.begin(), srcs.end());
+  }
+}
+
+MutableDigraph::MutableDigraph(NodeId num_nodes)
+    : out_(num_nodes), in_(num_nodes) {}
+
+NodeId MutableDigraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+NodeId MutableDigraph::add_document(const std::vector<NodeId>& out_links) {
+  const NodeId id = add_node();
+  for (const NodeId v : out_links) add_edge(id, v);
+  return id;
+}
+
+bool MutableDigraph::has_edge(NodeId u, NodeId v) const {
+  const auto& nbrs = out_[u];
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+bool MutableDigraph::add_edge(NodeId u, NodeId v) {
+  if (u == v || has_edge(u, v)) return false;
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  ++num_edges_;
+  return true;
+}
+
+bool MutableDigraph::remove_edge(NodeId u, NodeId v) {
+  auto& nbrs = out_[u];
+  const auto it = std::find(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end()) return false;
+  nbrs.erase(it);
+  auto& srcs = in_[v];
+  srcs.erase(std::find(srcs.begin(), srcs.end(), u));
+  --num_edges_;
+  return true;
+}
+
+void MutableDigraph::isolate_node(NodeId v) {
+  // Copy the lists: remove_edge mutates them while we iterate.
+  const std::vector<NodeId> outs = out_[v];
+  for (const NodeId w : outs) remove_edge(v, w);
+  const std::vector<NodeId> ins = in_[v];
+  for (const NodeId u : ins) remove_edge(u, v);
+}
+
+Digraph MutableDigraph::freeze() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const NodeId v : out_[u]) edges.push_back({u, v});
+  }
+  return Digraph::from_edges(num_nodes(), std::move(edges));
+}
+
+}  // namespace dprank

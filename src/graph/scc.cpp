@@ -1,0 +1,144 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace dprank {
+
+std::vector<std::uint64_t> SccResult::component_sizes() const {
+  std::vector<std::uint64_t> sizes(num_components, 0);
+  for (const auto c : component) ++sizes[c];
+  return sizes;
+}
+
+std::uint32_t SccResult::largest_component() const {
+  if (num_components == 0) {
+    throw std::logic_error("SccResult::largest_component: empty graph");
+  }
+  const auto sizes = component_sizes();
+  return static_cast<std::uint32_t>(std::distance(
+      sizes.begin(), std::max_element(sizes.begin(), sizes.end())));
+}
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const NodeId n = g.num_nodes();
+  SccResult result;
+  result.component.assign(n, 0);
+
+  constexpr std::uint32_t kUnvisited = ~std::uint32_t{0};
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::uint32_t next_index = 0;
+
+  // Explicit DFS frames: (node, next out-neighbor position).
+  struct Frame {
+    NodeId node;
+    std::uint32_t child;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      auto& frame = dfs.back();
+      const NodeId u = frame.node;
+      const auto nbrs = g.out_neighbors(u);
+      if (frame.child < nbrs.size()) {
+        const NodeId v = nbrs[frame.child++];
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          dfs.push_back({v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          lowlink[dfs.back().node] =
+              std::min(lowlink[dfs.back().node], lowlink[u]);
+        }
+        if (lowlink[u] == index[u]) {
+          // u is an SCC root; pop its component.
+          for (;;) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component[w] = result.num_components;
+            if (w == u) break;
+          }
+          ++result.num_components;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Mark all nodes reachable from `seeds` following out-edges (forward)
+/// or in-edges (backward).
+void flood(const Digraph& g, const std::vector<NodeId>& seeds, bool forward,
+           std::vector<bool>& reached) {
+  std::deque<NodeId> frontier(seeds.begin(), seeds.end());
+  for (const NodeId s : seeds) reached[s] = true;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const auto nbrs = forward ? g.out_neighbors(u) : g.in_neighbors(u);
+    for (const NodeId v : nbrs) {
+      if (reached[v]) continue;
+      reached[v] = true;
+      frontier.push_back(v);
+    }
+  }
+}
+
+}  // namespace
+
+BowtieStats bowtie_decomposition(const Digraph& g) {
+  const NodeId n = g.num_nodes();
+  BowtieStats stats;
+  stats.region.assign(n, BowtieRegion::kOther);
+  if (n == 0) return stats;
+
+  const auto scc = strongly_connected_components(g);
+  const auto core_id = scc.largest_component();
+  std::vector<NodeId> core_nodes;
+  for (NodeId v = 0; v < n; ++v) {
+    if (scc.component[v] == core_id) core_nodes.push_back(v);
+  }
+
+  std::vector<bool> fwd(n, false);
+  std::vector<bool> bwd(n, false);
+  flood(g, core_nodes, /*forward=*/true, fwd);
+  flood(g, core_nodes, /*forward=*/false, bwd);
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (scc.component[v] == core_id) {
+      stats.region[v] = BowtieRegion::kCore;
+      ++stats.core;
+    } else if (bwd[v]) {
+      stats.region[v] = BowtieRegion::kIn;
+      ++stats.in;
+    } else if (fwd[v]) {
+      stats.region[v] = BowtieRegion::kOut;
+      ++stats.out;
+    } else {
+      ++stats.other;
+    }
+  }
+  return stats;
+}
+
+}  // namespace dprank

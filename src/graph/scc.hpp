@@ -1,0 +1,50 @@
+#pragma once
+
+// Strongly connected components and Broder bow-tie decomposition.
+//
+// The paper's graph model comes from Broder et al.'s web measurement,
+// whose headline structural result is the bow-tie: a giant strongly
+// connected CORE, an IN set that reaches it, an OUT set it reaches, and
+// disconnected TENDRILS/OTHER. These diagnostics let tests confirm the
+// synthesized graphs have web-like macro-structure, and they bound
+// incremental-update reach (an insert's coverage cannot exceed the
+// forward-reachable set).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dprank {
+
+struct SccResult {
+  /// Component id per node; components are numbered in reverse
+  /// topological order (an edge u->v implies comp[u] >= comp[v]).
+  std::vector<std::uint32_t> component;
+  std::uint32_t num_components = 0;
+
+  [[nodiscard]] std::vector<std::uint64_t> component_sizes() const;
+  [[nodiscard]] std::uint32_t largest_component() const;
+};
+
+/// Iterative Tarjan SCC (explicit stack; safe on web-scale graphs).
+[[nodiscard]] SccResult strongly_connected_components(const Digraph& g);
+
+enum class BowtieRegion : std::uint8_t {
+  kCore,      // the largest SCC
+  kIn,        // reaches the core, not in it
+  kOut,       // reachable from the core, not in it
+  kOther,     // everything else (tendrils, tubes, islands)
+};
+
+struct BowtieStats {
+  std::vector<BowtieRegion> region;
+  std::uint64_t core = 0;
+  std::uint64_t in = 0;
+  std::uint64_t out = 0;
+  std::uint64_t other = 0;
+};
+
+[[nodiscard]] BowtieStats bowtie_decomposition(const Digraph& g);
+
+}  // namespace dprank

@@ -1,0 +1,52 @@
+#include "net/ip_cache.hpp"
+
+#include <algorithm>
+
+namespace dprank {
+
+std::uint64_t IpCache::send_hops(PeerId src, Guid key, const ChordRing& ring) {
+  const auto route = ring.route(src, key);
+  if (route.hop_count() == 0) return 0;  // key is local to src
+  if (!enabled_) return route.hop_count();
+
+  auto& known = cache_[src];
+  if (known.contains(route.destination)) {
+    ++hits_;
+    return 1;
+  }
+  ++misses_;
+  known.insert(route.destination);
+  return route.hop_count();
+}
+
+std::uint64_t IpCache::send_hops_to_peer(PeerId src, PeerId holder, Guid key,
+                                         const ChordRing& ring) {
+  if (src == holder) return 0;
+  if (enabled_) {
+    auto& known = cache_[src];
+    if (known.contains(holder)) {
+      ++hits_;
+      return 1;
+    }
+    ++misses_;
+    known.insert(holder);
+  }
+  const auto route = ring.route(src, key);
+  // Route to the directory entry, then one hop to the holder (free when
+  // the directory owner already is the holder).
+  const auto to_directory = route.hop_count();
+  return to_directory + (route.destination == holder ? 0 : 1);
+}
+
+void IpCache::invalidate_peer(PeerId peer) {
+  cache_.erase(peer);  // addresses the departed peer had learned
+  for (auto& [src, known] : cache_) known.erase(peer);
+}
+
+std::uint64_t IpCache::entries() const {
+  std::uint64_t total = 0;
+  for (const auto& [src, known] : cache_) total += known.size();
+  return total;
+}
+
+}  // namespace dprank

@@ -1,0 +1,65 @@
+#pragma once
+
+// IP-address caching (§3.2).
+//
+// On DHT systems without anonymity guarantees, the first pagerank update
+// for a document is routed through the overlay (O(log N) hops) to discover
+// the holder's address; the address is then cached at the source and
+// subsequent updates go direct (1 hop). "Storage requirement ... scales
+// linearly with the sum of the outlinks in all documents in a peer."
+//
+// IpCache models the per-peer cache and reports the hop cost of each send;
+// the Freenet mode (anonymity honored, no caching, every message routed)
+// is the `disabled` configuration used by the caching ablation bench.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dht/ring.hpp"
+
+namespace dprank {
+
+class IpCache {
+ public:
+  /// `enabled=false` models Freenet-style anonymity: no caching, every
+  /// message individually routed through intermediate nodes.
+  explicit IpCache(bool enabled = true) : enabled_(enabled) {}
+
+  /// Hop cost for `src` sending to the owner of `key` over `ring`,
+  /// updating the cache. A cache hit is 1 hop (direct); a miss costs the
+  /// overlay route (plus nothing extra — the lookup message *is* the
+  /// update message, per §3.2) and installs the destination's address.
+  /// Use when the key's successor *is* the destination (e.g. index
+  /// partitions).
+  [[nodiscard]] std::uint64_t send_hops(PeerId src, Guid key,
+                                        const ChordRing& ring);
+
+  /// Hop cost for `src` sending to document-holder `holder`, where the
+  /// document's GUID `key` names a *directory* entry on the ring (the
+  /// paper's storage model: documents sit on arbitrary peers, the DHT
+  /// resolves GUID -> location). A miss routes to the directory owner
+  /// and takes one more hop to the holder; the holder's address is then
+  /// cached, so later sends are direct.
+  [[nodiscard]] std::uint64_t send_hops_to_peer(PeerId src, PeerId holder,
+                                                Guid key,
+                                                const ChordRing& ring);
+
+  /// Invalidate all cached addresses of `peer` (it left the network and
+  /// may return at a different address).
+  void invalidate_peer(PeerId peer);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] std::uint64_t entries() const;
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  bool enabled_;
+  // cache_[src] = set of peers whose address src knows.
+  std::unordered_map<PeerId, std::unordered_set<PeerId>> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dprank

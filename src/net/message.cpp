@@ -1,0 +1,18 @@
+#include "net/message.hpp"
+
+namespace dprank {
+
+std::uint64_t wire_bytes(const Message& m) {
+  return std::visit(
+      [](const auto& msg) -> std::uint64_t {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, HitsForward>) {
+          return msg.wire_bytes();
+        } else {
+          return T::kWireBytes;
+        }
+      },
+      m);
+}
+
+}  // namespace dprank

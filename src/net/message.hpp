@@ -1,0 +1,51 @@
+#pragma once
+
+// Message vocabulary of the distributed pagerank system.
+//
+// §4.6.1 fixes the wire size of a pagerank update at 24 bytes: a 128-bit
+// GUID naming the destination document plus a 64-bit rank value. The other
+// message kinds support the index integration (§2.4.2) and the incremental
+// search protocol (§2.4.3).
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/guid.hpp"
+
+namespace dprank {
+
+/// Pagerank update for one document (Fig. 1 step 2/4). In static mode
+/// `value` is the sender's new contribution R(j)/N(j); in incremental mode
+/// it is a signed increment (negative for deletions, §3.1).
+struct PagerankUpdate {
+  Guid doc;
+  double value = 0.0;
+  /// Wire size per §4.6.1: 128-bit GUID + 64-bit rank.
+  static constexpr std::uint32_t kWireBytes = 24;
+};
+
+/// Index update: a document's converged rank is recorded next to its
+/// posting entries (§2.4.2).
+struct IndexRankUpdate {
+  Guid doc;
+  double rank = 0.0;
+  static constexpr std::uint32_t kWireBytes = 24;
+};
+
+/// A chunk of document hits forwarded between index peers during a
+/// multi-word query (§2.4.3). Traffic cost is one document id per hit —
+/// the unit Table 6 counts.
+struct HitsForward {
+  std::uint32_t query = 0;
+  std::vector<Guid> hits;
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    return hits.size() * 16 + 8;
+  }
+};
+
+using Message = std::variant<PagerankUpdate, IndexRankUpdate, HitsForward>;
+
+[[nodiscard]] std::uint64_t wire_bytes(const Message& m);
+
+}  // namespace dprank

@@ -1,0 +1,34 @@
+#include "net/outbox.hpp"
+
+#include <algorithm>
+
+namespace dprank {
+
+void Outbox::store(std::uint32_t dest_peer, std::uint64_t slot, Message msg) {
+  auto& slots = pending_[dest_peer];
+  const auto [it, inserted] = slots.insert_or_assign(slot, std::move(msg));
+  if (inserted) {
+    ++total_pending_;
+    peak_pending_ = std::max(peak_pending_, total_pending_);
+  }
+}
+
+std::vector<std::pair<std::uint64_t, Message>> Outbox::drain(
+    std::uint32_t dest_peer) {
+  std::vector<std::pair<std::uint64_t, Message>> out;
+  const auto it = pending_.find(dest_peer);
+  if (it == pending_.end()) return out;
+  out.reserve(it->second.size());
+  for (auto& [slot, msg] : it->second) out.emplace_back(slot, std::move(msg));
+  total_pending_ -= it->second.size();
+  pending_.erase(it);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+bool Outbox::has_pending(std::uint32_t dest_peer) const {
+  return pending_.contains(dest_peer);
+}
+
+}  // namespace dprank

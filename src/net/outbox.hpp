@@ -1,0 +1,48 @@
+#pragma once
+
+// Store-and-resend outbox (§3.1, peer leaves and joins).
+//
+// "When a peer is detected as unavailable, update messages are stored at
+// the sender and periodically resent until delivered successfully. In the
+// worst case, the amount of state saved scales linearly with the sum of
+// outlinks in all documents in a peer."
+//
+// Pagerank updates are idempotent-by-latest: a newer update for the same
+// (destination document, sender document) pair supersedes an older one, so
+// the outbox keys pending messages by a 64-bit slot (the engines use the
+// sender's out-edge id) and keeps only the freshest value — exactly the
+// linear-in-outlinks bound the paper states.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace dprank {
+
+class Outbox {
+ public:
+  /// Queue (or overwrite) the pending message for `slot` addressed to
+  /// `dest_peer`.
+  void store(std::uint32_t dest_peer, std::uint64_t slot, Message msg);
+
+  /// Remove and return all pending messages for `dest_peer` (it came back
+  /// online). Returned in slot order for determinism.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, Message>> drain(
+      std::uint32_t dest_peer);
+
+  [[nodiscard]] bool has_pending(std::uint32_t dest_peer) const;
+  [[nodiscard]] std::uint64_t pending_count() const { return total_pending_; }
+  [[nodiscard]] std::uint64_t peak_pending() const { return peak_pending_; }
+
+ private:
+  // dest peer -> (slot -> freshest message)
+  std::unordered_map<std::uint32_t,
+                     std::unordered_map<std::uint64_t, Message>>
+      pending_;
+  std::uint64_t total_pending_ = 0;
+  std::uint64_t peak_pending_ = 0;
+};
+
+}  // namespace dprank

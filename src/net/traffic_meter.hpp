@@ -1,0 +1,73 @@
+#pragma once
+
+// Network traffic accounting.
+//
+// Table 3 reports total and per-node pagerank update messages; §3.2's
+// caching ablation needs overlay hop counts; Table 6 counts document ids
+// transferred. TrafficMeter is the single ledger all layers report into
+// so every bench reads consistent numbers.
+
+#include <cstdint>
+
+namespace dprank {
+
+class TrafficMeter {
+ public:
+  /// One application-level message from src to dst costing `hops` overlay
+  /// transmissions (1 when the IP address is known/cached, O(log N) when
+  /// DHT-routed) and `bytes` on the wire per transmission.
+  void record_message(std::uint64_t bytes, std::uint64_t hops = 1) noexcept {
+    messages_ += 1;
+    hop_transmissions_ += hops;
+    bytes_ += bytes * hops;
+  }
+
+  /// `count` direct (1-hop) messages of `bytes_each` in one call.
+  void record_messages(std::uint64_t count, std::uint64_t bytes_each) noexcept {
+    messages_ += count;
+    hop_transmissions_ += count;
+    bytes_ += count * bytes_each;
+  }
+
+  /// A message delivered without the network (both documents on the same
+  /// peer — Fig. 1 step b updates those "without need for network update
+  /// messages").
+  void record_local_update() noexcept { local_updates_ += 1; }
+
+  /// A delivery retry after the destination peer was unavailable (§3.1:
+  /// updates "are stored at the sender and periodically resent until
+  /// delivered successfully"). Counts wire traffic but not a new message.
+  void record_resend(std::uint64_t bytes) noexcept {
+    resends_ += 1;
+    bytes_ += bytes;
+  }
+
+  void merge(const TrafficMeter& other) noexcept {
+    messages_ += other.messages_;
+    local_updates_ += other.local_updates_;
+    resends_ += other.resends_;
+    hop_transmissions_ += other.hop_transmissions_;
+    bytes_ += other.bytes_;
+  }
+
+  void reset() noexcept { *this = TrafficMeter{}; }
+
+  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+  [[nodiscard]] std::uint64_t local_updates() const noexcept {
+    return local_updates_;
+  }
+  [[nodiscard]] std::uint64_t resends() const noexcept { return resends_; }
+  [[nodiscard]] std::uint64_t hop_transmissions() const noexcept {
+    return hop_transmissions_;
+  }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+
+ private:
+  std::uint64_t messages_ = 0;
+  std::uint64_t local_updates_ = 0;
+  std::uint64_t resends_ = 0;
+  std::uint64_t hop_transmissions_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace dprank

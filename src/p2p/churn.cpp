@@ -1,0 +1,88 @@
+#include "p2p/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dprank {
+
+ChurnSchedule::ChurnSchedule(PeerId num_peers, double availability,
+                             std::uint64_t seed, ChurnModel model,
+                             double mean_online_passes)
+    : num_peers_(num_peers),
+      availability_(availability),
+      model_(model),
+      present_count_(static_cast<PeerId>(
+          std::floor(availability * static_cast<double>(num_peers)))),
+      rng_(seed ^ 0xC0FFEE12345ULL) {
+  if (num_peers == 0) throw std::invalid_argument("ChurnSchedule: 0 peers");
+  if (availability <= 0.0 || availability > 1.0) {
+    throw std::invalid_argument("ChurnSchedule: availability out of (0,1]");
+  }
+  if (mean_online_passes < 1.0) {
+    throw std::invalid_argument("ChurnSchedule: mean_online_passes < 1");
+  }
+  if (present_count_ == 0) present_count_ = 1;
+  mask_.assign(num_peers_, true);
+  if (availability_ >= 1.0) return;  // no churn in either model
+
+  if (model_ == ChurnModel::kResample) {
+    advance_to(0);
+  } else {
+    // Two-state Markov chain: leave with probability a per online pass,
+    // return with probability b per offline pass. Stationary
+    // availability b/(a+b) = f with mean online session 1/a.
+    leave_prob_ = 1.0 / mean_online_passes;
+    return_prob_ =
+        leave_prob_ * availability_ / (1.0 - availability_);
+    return_prob_ = std::min(return_prob_, 1.0);
+    // Initialize each peer from the stationary distribution.
+    for (PeerId p = 0; p < num_peers_; ++p) {
+      mask_[p] = rng_.chance(availability_);
+    }
+    if (std::none_of(mask_.begin(), mask_.end(), [](bool b) { return b; })) {
+      mask_[static_cast<std::size_t>(rng_.bounded(num_peers_))] = true;
+    }
+  }
+}
+
+const std::vector<bool>& ChurnSchedule::presence_for_pass(std::uint64_t pass) {
+  if (pass < current_pass_) {
+    throw std::logic_error("ChurnSchedule: passes must be nondecreasing");
+  }
+  if (availability_ >= 1.0) return mask_;  // no churn
+  while (current_pass_ < pass) {
+    ++current_pass_;
+    if (model_ == ChurnModel::kResample) {
+      advance_to(current_pass_);
+    } else {
+      advance_sessions();
+    }
+  }
+  return mask_;
+}
+
+void ChurnSchedule::advance_to(std::uint64_t pass) {
+  current_pass_ = pass;
+  std::fill(mask_.begin(), mask_.end(), false);
+  const auto chosen =
+      rng_.sample_without_replacement(num_peers_, present_count_);
+  for (const auto p : chosen) mask_[p] = true;
+}
+
+void ChurnSchedule::advance_sessions() {
+  bool any_online = false;
+  for (PeerId p = 0; p < num_peers_; ++p) {
+    if (mask_[p]) {
+      if (rng_.chance(leave_prob_)) mask_[p] = false;
+    } else {
+      if (rng_.chance(return_prob_)) mask_[p] = true;
+    }
+    any_online = any_online || mask_[p];
+  }
+  if (!any_online) {
+    mask_[static_cast<std::size_t>(rng_.bounded(num_peers_))] = true;
+  }
+}
+
+}  // namespace dprank

@@ -1,0 +1,129 @@
+#include "p2p/placement.hpp"
+
+#include <stdexcept>
+
+#include "common/guid.hpp"
+#include "common/rng.hpp"
+
+namespace dprank {
+
+Placement Placement::random(std::uint64_t num_docs, PeerId num_peers,
+                            std::uint64_t seed) {
+  if (num_peers == 0) {
+    throw std::invalid_argument("Placement::random: zero peers");
+  }
+  Rng rng(seed ^ 0x9142AC0FBA1E5ULL);
+  std::vector<PeerId> owner(num_docs);
+  for (auto& o : owner) {
+    o = static_cast<PeerId>(rng.bounded(num_peers));
+  }
+  return Placement(std::move(owner), num_peers);
+}
+
+Placement Placement::by_dht(std::uint64_t num_docs, const ChordRing& ring) {
+  if (ring.size() == 0) {
+    throw std::invalid_argument("Placement::by_dht: empty ring");
+  }
+  std::vector<PeerId> owner(num_docs);
+  PeerId max_peer = 0;
+  for (std::uint64_t d = 0; d < num_docs; ++d) {
+    owner[d] = ring.successor_of_key(document_guid(d));
+    max_peer = std::max(max_peer, owner[d]);
+  }
+  return Placement(std::move(owner), max_peer + 1);
+}
+
+Placement Placement::by_link_clustering(const Digraph& g, PeerId num_peers,
+                                        std::uint64_t seed) {
+  if (num_peers == 0) {
+    throw std::invalid_argument("Placement::by_link_clustering: zero peers");
+  }
+  const NodeId n = g.num_nodes();
+  const auto capacity = static_cast<std::uint64_t>(
+      (static_cast<std::uint64_t>(n) + num_peers - 1) / num_peers);
+  std::vector<PeerId> owner(n, kInvalidPeer);
+  Rng rng(seed ^ 0xC1A57E12ULL);
+
+  // Random visiting order for seeds keeps the partition unbiased by
+  // node numbering.
+  std::vector<NodeId> seeds(n);
+  for (NodeId v = 0; v < n; ++v) seeds[v] = v;
+  rng.shuffle(seeds);
+  std::size_t seed_cursor = 0;
+
+  std::vector<NodeId> frontier;
+  PeerId peer = 0;
+  std::uint64_t filled = 0;
+  std::uint64_t assigned_total = 0;
+  while (assigned_total < n) {
+    // Grow the current peer's region by BFS over the undirected link
+    // structure; restart from a fresh seed when the frontier dies.
+    if (frontier.empty()) {
+      while (seed_cursor < seeds.size() &&
+             owner[seeds[seed_cursor]] != kInvalidPeer) {
+        ++seed_cursor;
+      }
+      const NodeId s = seeds[seed_cursor];
+      owner[s] = peer;
+      ++filled;
+      ++assigned_total;
+      frontier.push_back(s);
+      if (filled >= capacity) {
+        ++peer;
+        filled = 0;
+        frontier.clear();
+        continue;
+      }
+    }
+    const NodeId u = frontier.back();
+    frontier.pop_back();
+    auto try_assign = [&](NodeId v) {
+      if (owner[v] != kInvalidPeer || filled >= capacity) return;
+      owner[v] = peer;
+      ++filled;
+      ++assigned_total;
+      frontier.push_back(v);
+    };
+    for (const NodeId v : g.out_neighbors(u)) try_assign(v);
+    for (const NodeId v : g.in_neighbors(u)) try_assign(v);
+    if (filled >= capacity) {
+      ++peer;
+      filled = 0;
+      frontier.clear();
+    }
+  }
+  // `peer` may not have reached num_peers - 1 (capacity rounding);
+  // that simply leaves trailing peers empty, as with random placement
+  // on small doc counts.
+  return Placement(std::move(owner), num_peers);
+}
+
+double Placement::cross_peer_edge_fraction(const Digraph& g) const {
+  if (g.num_edges() == 0) return 0.0;
+  std::uint64_t cross = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const PeerId pu = owner_[u];
+    for (const NodeId v : g.out_neighbors(u)) {
+      if (owner_[v] != pu) ++cross;
+    }
+  }
+  return static_cast<double>(cross) / static_cast<double>(g.num_edges());
+}
+
+std::vector<std::uint32_t> Placement::docs_per_peer() const {
+  std::vector<std::uint32_t> counts(num_peers_, 0);
+  for (const PeerId p : owner_) ++counts[p];
+  return counts;
+}
+
+void Placement::add_document(NodeId doc, PeerId peer) {
+  if (doc != owner_.size()) {
+    throw std::invalid_argument("Placement::add_document: non-contiguous id");
+  }
+  if (peer >= num_peers_) {
+    throw std::invalid_argument("Placement::add_document: bad peer");
+  }
+  owner_.push_back(peer);
+}
+
+}  // namespace dprank

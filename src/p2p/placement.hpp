@@ -1,0 +1,62 @@
+#pragma once
+
+// Document-to-peer placement (§4.2).
+//
+// "Each document in the graph is then randomly assigned to a peer" — the
+// paper's experiments use uniform random placement over 500 peers. The
+// DHT-native alternative (place each document at the successor of its
+// GUID) is provided for the future-work question the paper raises about
+// using structure-aware mapping; both are deterministic from the seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "dht/ring.hpp"
+#include "graph/digraph.hpp"
+
+namespace dprank {
+
+class Placement {
+ public:
+  /// Uniform random assignment of `num_docs` documents onto
+  /// `num_peers` peers (the paper's methodology).
+  static Placement random(std::uint64_t num_docs, PeerId num_peers,
+                          std::uint64_t seed);
+
+  /// Consistent-hash assignment: document d lives on
+  /// ring.successor_of_key(document_guid(d)).
+  static Placement by_dht(std::uint64_t num_docs, const ChordRing& ring);
+
+  /// Link-structure-aware assignment (the paper's §6 future-work
+  /// question: "whether the link structure in documents can be used for
+  /// mapping documents to peers, and whether this will alleviate
+  /// network overheads"). Balanced BFS clustering: peers receive
+  /// contiguous link-neighborhoods of ~num_nodes/num_peers documents,
+  /// which converts many cross-peer updates into free local ones.
+  static Placement by_link_clustering(const Digraph& g, PeerId num_peers,
+                                      std::uint64_t seed);
+
+  /// Fraction of graph edges whose endpoints live on different peers —
+  /// the knob link-aware placement turns down.
+  [[nodiscard]] double cross_peer_edge_fraction(const Digraph& g) const;
+
+  [[nodiscard]] PeerId peer_of(NodeId doc) const { return owner_[doc]; }
+  [[nodiscard]] std::uint64_t num_docs() const { return owner_.size(); }
+  [[nodiscard]] PeerId num_peers() const { return num_peers_; }
+
+  /// Documents hosted by each peer.
+  [[nodiscard]] std::vector<std::uint32_t> docs_per_peer() const;
+
+  /// Register a newly inserted document on `peer` (must be the next doc
+  /// id, i.e. num_docs() before the call).
+  void add_document(NodeId doc, PeerId peer);
+
+ private:
+  Placement(std::vector<PeerId> owner, PeerId num_peers)
+      : owner_(std::move(owner)), num_peers_(num_peers) {}
+
+  std::vector<PeerId> owner_;
+  PeerId num_peers_;
+};
+
+}  // namespace dprank

@@ -1,0 +1,114 @@
+#include "p2p/replication.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+
+ReplicaRegistry::ReplicaRegistry(std::uint64_t num_docs)
+    : staging_(num_docs) {
+  offsets_.assign(num_docs + 1, 0);
+}
+
+void ReplicaRegistry::add_replica(NodeId doc, PeerId peer) {
+  if (frozen_) {
+    throw std::logic_error("ReplicaRegistry::add_replica after freeze");
+  }
+  if (doc >= staging_.size()) {
+    throw std::out_of_range("ReplicaRegistry::add_replica: bad doc");
+  }
+  auto& peers = staging_[doc];
+  if (std::find(peers.begin(), peers.end(), peer) == peers.end()) {
+    peers.push_back(peer);
+  }
+}
+
+void ReplicaRegistry::freeze() {
+  offsets_.assign(staging_.size() + 1, 0);
+  for (std::size_t d = 0; d < staging_.size(); ++d) {
+    offsets_[d + 1] = offsets_[d] + staging_[d].size();
+  }
+  replica_peers_.clear();
+  replica_peers_.reserve(offsets_.back());
+  for (auto& peers : staging_) {
+    std::sort(peers.begin(), peers.end());
+    replica_peers_.insert(replica_peers_.end(), peers.begin(), peers.end());
+  }
+  staging_.clear();
+  staging_.shrink_to_fit();
+  frozen_ = true;
+}
+
+ReplicaRegistry ReplicaRegistry::uniform(const Placement& placement,
+                                         std::uint32_t replicas_per_doc,
+                                         std::uint64_t seed) {
+  if (replicas_per_doc >= placement.num_peers()) {
+    throw std::invalid_argument(
+        "ReplicaRegistry::uniform: more replicas than peers");
+  }
+  ReplicaRegistry reg(placement.num_docs());
+  Rng rng(seed ^ 0x2EB11CAULL);
+  for (NodeId d = 0; d < placement.num_docs(); ++d) {
+    const PeerId primary = placement.peer_of(d);
+    std::uint32_t placed = 0;
+    while (placed < replicas_per_doc) {
+      const auto peer =
+          static_cast<PeerId>(rng.bounded(placement.num_peers()));
+      if (peer == primary) continue;
+      const auto before = reg.staging_[d].size();
+      reg.add_replica(d, peer);
+      if (reg.staging_[d].size() > before) ++placed;
+    }
+  }
+  reg.freeze();
+  return reg;
+}
+
+ReplicaRegistry ReplicaRegistry::popularity(const Placement& placement,
+                                            const std::vector<double>& scores,
+                                            double hot_fraction,
+                                            std::uint32_t hot_replicas,
+                                            std::uint64_t seed) {
+  if (scores.size() != placement.num_docs()) {
+    throw std::invalid_argument("ReplicaRegistry::popularity: score size");
+  }
+  if (hot_fraction < 0.0 || hot_fraction > 1.0) {
+    throw std::invalid_argument("ReplicaRegistry::popularity: hot_fraction");
+  }
+  if (hot_replicas >= placement.num_peers()) {
+    throw std::invalid_argument("ReplicaRegistry::popularity: replica count");
+  }
+  std::vector<NodeId> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  const auto hot = static_cast<std::size_t>(
+      hot_fraction * static_cast<double>(scores.size()));
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(hot),
+                    order.end(), [&](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+
+  ReplicaRegistry reg(placement.num_docs());
+  Rng rng(seed ^ 0x90901ALL);
+  for (std::size_t i = 0; i < hot; ++i) {
+    const NodeId d = order[i];
+    const PeerId primary = placement.peer_of(d);
+    std::uint32_t placed = 0;
+    while (placed < hot_replicas) {
+      const auto peer =
+          static_cast<PeerId>(rng.bounded(placement.num_peers()));
+      if (peer == primary) continue;
+      const auto before = reg.staging_[d].size();
+      reg.add_replica(d, peer);
+      if (reg.staging_[d].size() > before) ++placed;
+    }
+  }
+  reg.freeze();
+  return reg;
+}
+
+}  // namespace dprank

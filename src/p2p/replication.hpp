@@ -1,0 +1,72 @@
+#pragma once
+
+// Document replication registry (§2.3).
+//
+// "A second issue is replication and document caching that some P2P
+// systems use to reduce retrieval time. On such systems, for the
+// distributed pagerank computation to work accurately, pointers need to
+// be maintained at document sources to point to cached copies, so that
+// all copies of the document can contain the correct computed pagerank."
+//
+// ReplicaRegistry tracks, per document, the peers holding extra copies
+// beyond the primary. The pagerank engine consults it when sending
+// updates: every replica must receive the same update message, so
+// replication multiplies the cross-peer message bill — the overhead the
+// replication ablation quantifies.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dht/ring.hpp"
+#include "graph/digraph.hpp"
+#include "p2p/placement.hpp"
+
+namespace dprank {
+
+class ReplicaRegistry {
+ public:
+  /// No replicas for any document.
+  explicit ReplicaRegistry(std::uint64_t num_docs);
+
+  /// Uniform replication: every document gets `replicas_per_doc` extra
+  /// copies on distinct peers other than its primary (requires
+  /// replicas_per_doc < num_peers). Deterministic from the seed.
+  static ReplicaRegistry uniform(const Placement& placement,
+                                 std::uint32_t replicas_per_doc,
+                                 std::uint64_t seed);
+
+  /// Popularity-biased replication (how real P2P caches behave): the
+  /// top `hot_fraction` of documents by `scores` get `hot_replicas`
+  /// copies, everything else none.
+  static ReplicaRegistry popularity(const Placement& placement,
+                                    const std::vector<double>& scores,
+                                    double hot_fraction,
+                                    std::uint32_t hot_replicas,
+                                    std::uint64_t seed);
+
+  void add_replica(NodeId doc, PeerId peer);
+
+  [[nodiscard]] std::span<const PeerId> replicas_of(NodeId doc) const {
+    return {replica_peers_.data() + offsets_[doc],
+            replica_peers_.data() + offsets_[doc + 1]};
+  }
+  [[nodiscard]] std::uint64_t total_replicas() const {
+    return replica_peers_.size();
+  }
+  [[nodiscard]] std::uint64_t num_docs() const { return offsets_.size() - 1; }
+
+  /// True if no document has replicas (engine fast path).
+  [[nodiscard]] bool empty() const { return replica_peers_.empty(); }
+
+ private:
+  // CSR layout; add_replica is only valid before freeze_, i.e. during
+  // construction via the factories (they build in bulk).
+  std::vector<std::uint64_t> offsets_;
+  std::vector<PeerId> replica_peers_;
+  std::vector<std::vector<PeerId>> staging_;
+  bool frozen_ = false;
+  void freeze();
+};
+
+}  // namespace dprank

@@ -1,0 +1,266 @@
+#include "pagerank/async_runtime.hpp"
+
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+
+namespace dprank {
+
+namespace {
+
+/// One pagerank update on the wire: the sender's out-edge id names both
+/// the destination document (out_target(edge)) and the contribution cell.
+struct WireUpdate {
+  EdgeId edge;
+  double value;
+};
+
+/// MPSC mailbox. Senders push batches; the owner drains everything in a
+/// single lock acquisition.
+class Mailbox {
+ public:
+  void push(std::vector<WireUpdate> batch) {
+    {
+      const std::lock_guard lock(mu_);
+      for (auto& u : batch) queue_.push_back(u);
+    }
+    cv_.notify_one();
+  }
+
+  void push_one(WireUpdate u) {
+    {
+      const std::lock_guard lock(mu_);
+      queue_.push_back(u);
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until there is mail or `stop` becomes true. Returns the
+  /// drained queue (empty only on stop).
+  std::vector<WireUpdate> drain_or_stop(const std::atomic<bool>& stop) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !queue_.empty() || stop.load(); });
+    std::vector<WireUpdate> out(queue_.begin(), queue_.end());
+    queue_.clear();
+    return out;
+  }
+
+  void notify() { cv_.notify_one(); }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<WireUpdate> queue_;
+};
+
+}  // namespace
+
+AsyncPagerankRuntime::AsyncPagerankRuntime(const Digraph& g,
+                                           const Placement& placement,
+                                           PagerankOptions options)
+    : graph_(g), placement_(placement), options_(options) {
+  if (placement.num_docs() != g.num_nodes()) {
+    throw std::invalid_argument(
+        "AsyncPagerankRuntime: placement does not cover the graph");
+  }
+}
+
+AsyncRunResult AsyncPagerankRuntime::run(std::uint64_t message_cap) {
+  return run_impl(message_cap, nullptr);
+}
+
+AsyncRunResult AsyncPagerankRuntime::run_with_churn(
+    const ChurnParams& churn, std::uint64_t message_cap) {
+  return run_impl(message_cap, &churn);
+}
+
+AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
+                                              const ChurnParams* churn) {
+  const NodeId n = graph_.num_nodes();
+  const PeerId num_peers = placement_.num_peers();
+
+  AsyncRunResult result;
+  result.ranks.assign(n, options_.initial_rank);
+  std::vector<double> contrib(graph_.num_edges(), 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto deg = graph_.out_degree(u);
+    if (deg == 0) continue;
+    const double c = options_.initial_rank / static_cast<double>(deg);
+    for (EdgeId e = graph_.out_edge_begin(u); e < graph_.out_edge_end(u); ++e) {
+      contrib[e] = c;
+    }
+  }
+
+  std::vector<Mailbox> mailbox(num_peers);
+  std::vector<std::vector<NodeId>> docs_of(num_peers);
+  for (NodeId v = 0; v < n; ++v) docs_of[placement_.peer_of(v)].push_back(v);
+
+  // Credit counter: one unit per queued wire update plus one startup unit
+  // per peer. Quiescence <=> counter reaches zero.
+  std::atomic<std::int64_t> inflight{static_cast<std::int64_t>(num_peers)};
+  std::atomic<bool> stop{false};
+  // Churn gates: a paused peer spins (without consuming credits) until
+  // resumed or stopped. deque<atomic> because atomics are immovable.
+  std::deque<std::atomic<bool>> paused(num_peers);
+  for (auto& p : paused) p.store(false);
+  std::atomic<std::uint64_t> cross_msgs{0};
+  std::atomic<std::uint64_t> local_updates{0};
+  std::atomic<std::uint64_t> recomputes{0};
+  std::atomic<bool> capped{false};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  auto release_credits = [&](std::int64_t k) {
+    if (inflight.fetch_sub(k) == k) {
+      const std::lock_guard lock(done_mu);
+      done_cv.notify_one();
+    }
+  };
+
+  const double d = options_.damping;
+  const double base = 1.0 - d;
+
+  auto worker = [&](PeerId me) {
+    std::vector<std::vector<WireUpdate>> outgoing(num_peers);
+    // `changed` collects documents needing recompute, deduplicated.
+    std::vector<NodeId> changed;
+    std::unordered_set<NodeId> changed_set;
+
+    auto recompute_and_send = [&](NodeId v) {
+      double acc = 0.0;
+      for (const EdgeId e : graph_.in_to_out_edge(v)) acc += contrib[e];
+      const double newrank = base + d * acc;
+      const double rel = relative_change(result.ranks[v], newrank);
+      result.ranks[v] = newrank;
+      recomputes.fetch_add(1, std::memory_order_relaxed);
+      if (rel <= options_.epsilon) return;
+      const auto deg = graph_.out_degree(v);
+      if (deg == 0) return;
+      const double c = newrank / static_cast<double>(deg);
+      for (EdgeId e = graph_.out_edge_begin(v); e < graph_.out_edge_end(v);
+           ++e) {
+        const PeerId pv = placement_.peer_of(graph_.out_target(e));
+        outgoing[pv].push_back({e, c});
+      }
+    };
+
+    auto flush_outgoing = [&]() {
+      for (PeerId p = 0; p < num_peers; ++p) {
+        if (outgoing[p].empty()) continue;
+        if (p == me) {
+          // Local deliveries: apply immediately, schedule recomputes.
+          local_updates.fetch_add(outgoing[p].size(),
+                                  std::memory_order_relaxed);
+          for (const auto& u : outgoing[p]) {
+            contrib[u.edge] = u.value;
+            const NodeId v = graph_.out_target(u.edge);
+            if (changed_set.insert(v).second) changed.push_back(v);
+          }
+        } else {
+          cross_msgs.fetch_add(outgoing[p].size(),
+                               std::memory_order_relaxed);
+          inflight.fetch_add(static_cast<std::int64_t>(outgoing[p].size()));
+          mailbox[p].push(std::move(outgoing[p]));
+        }
+        outgoing[p].clear();
+      }
+    };
+
+    // Startup: Fig. 1's "first pass" — every hosted document recomputes
+    // from the initial contributions and sends if it moved.
+    for (const NodeId v : docs_of[me]) recompute_and_send(v);
+    // Drain local cascades before releasing the startup credit.
+    for (;;) {
+      flush_outgoing();
+      if (changed.empty()) break;
+      std::vector<NodeId> work;
+      work.swap(changed);
+      changed_set.clear();
+      for (const NodeId v : work) recompute_and_send(v);
+    }
+    release_credits(1);
+
+    // Message loop.
+    while (!stop.load()) {
+      while (paused[me].load(std::memory_order_relaxed) && !stop.load()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      std::vector<WireUpdate> mail = mailbox[me].drain_or_stop(stop);
+      if (mail.empty()) continue;  // stop raised
+      if (message_cap != 0 &&
+          cross_msgs.load(std::memory_order_relaxed) > message_cap) {
+        capped.store(true);
+        release_credits(static_cast<std::int64_t>(mail.size()));
+        continue;
+      }
+      // Apply the whole batch, then recompute each touched document once
+      // (the §4.6.1 coalesced-transfer model).
+      for (const auto& u : mail) {
+        contrib[u.edge] = u.value;
+        const NodeId v = graph_.out_target(u.edge);
+        if (changed_set.insert(v).second) changed.push_back(v);
+      }
+      while (!changed.empty()) {
+        std::vector<NodeId> work;
+        work.swap(changed);
+        changed_set.clear();
+        for (const NodeId v : work) recompute_and_send(v);
+        flush_outgoing();
+      }
+      release_credits(static_cast<std::int64_t>(mail.size()));
+    }
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(num_peers);
+    for (PeerId p = 0; p < num_peers; ++p) threads.emplace_back(worker, p);
+
+    // Churn controller: pause/resume random peer subsets while the
+    // computation runs. All peers are guaranteed resumed when it exits.
+    std::jthread controller;
+    if (churn != nullptr && num_peers > 1) {
+      controller = std::jthread([&, params = *churn] {
+        Rng rng(params.seed ^ 0xA5B5C5ULL);
+        for (std::uint32_t cycle = 0;
+             cycle < params.cycles && inflight.load() != 0; ++cycle) {
+          const auto count = std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(
+                     params.pause_fraction * num_peers));
+          const auto victims =
+              rng.sample_without_replacement(num_peers, count);
+          for (const auto v : victims) paused[v].store(true);
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(params.pause_microseconds));
+          for (const auto v : victims) paused[v].store(false);
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(params.pause_microseconds));
+        }
+        for (auto& p : paused) p.store(false);
+      });
+    }
+
+    {
+      std::unique_lock lock(done_mu);
+      done_cv.wait(lock, [&] { return inflight.load() == 0; });
+    }
+    stop.store(true);
+    for (PeerId p = 0; p < num_peers; ++p) mailbox[p].notify();
+  }  // controller and worker jthreads join here
+
+  result.cross_peer_messages = cross_msgs.load();
+  result.local_updates = local_updates.load();
+  result.recomputes = recomputes.load();
+  result.converged = !capped.load();
+  return result;
+}
+
+}  // namespace dprank

@@ -1,0 +1,49 @@
+#pragma once
+
+// Centralized synchronous pagerank solver (§2.2).
+//
+// This is the conventional iterative solution R_{t+1} = c + d A R_t that
+// Google's crawler-based system computes on a central server, and the
+// reference R_c against which §4.4/Table 2 measure the distributed
+// scheme's quality. Jacobi iteration over the CSR graph; converges for
+// d < 1 because the iteration operator is a contraction.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "pagerank/options.hpp"
+
+namespace dprank {
+
+struct CentralizedResult {
+  std::vector<double> ranks;
+  std::uint64_t iterations = 0;
+  double final_max_rel_change = 0.0;
+  bool converged = false;
+};
+
+/// Iterate until the maximum relative change over all documents drops
+/// below `tolerance` (or max_iterations). `damping` as in Eq. 1.
+[[nodiscard]] CentralizedResult centralized_pagerank(
+    const Digraph& g, double damping = 0.85, double tolerance = 1e-12,
+    std::uint64_t max_iterations = 100'000, double initial_rank = 1.0);
+
+/// One synchronous Jacobi sweep: out = (1-d) + d * A^T in. Exposed for
+/// the sync-vs-async ablation and trajectory measurements.
+void pagerank_sweep(const Digraph& g, double damping,
+                    const std::vector<double>& in, std::vector<double>& out);
+
+/// Extrapolated power iteration, after Kamvar, Haveliwala, Manning &
+/// Golub's "Extrapolation methods for accelerating PageRank
+/// computations" (cited by the paper's §7, which conjectures the
+/// asynchronous iteration may beat such acceleration). Uses the A^d
+/// variant: the iteration error contracts with the *known* ratio d, so
+/// every `period` sweeps each component jumps to its geometric limit
+/// x + d/(1-d) * (x_m - x_{m-1}). Overshoots below the (1-d) rank floor
+/// are rejected.
+[[nodiscard]] CentralizedResult centralized_pagerank_extrapolated(
+    const Digraph& g, double damping = 0.85, double tolerance = 1e-12,
+    std::uint64_t max_iterations = 100'000, std::uint32_t period = 10);
+
+}  // namespace dprank

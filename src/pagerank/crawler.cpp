@@ -1,0 +1,16 @@
+#include "pagerank/crawler.hpp"
+
+namespace dprank {
+
+CrawlerTraffic centralized_crawler_traffic(const Digraph& g,
+                                           const CrawlerModelParams& params) {
+  CrawlerTraffic t;
+  t.naive_fetch_bytes =
+      static_cast<std::uint64_t>(g.num_nodes()) * params.avg_document_bytes;
+  t.link_upload_bytes = g.num_edges() * params.bytes_per_link_record;
+  t.rank_redistribution_bytes =
+      static_cast<std::uint64_t>(g.num_nodes()) * params.bytes_per_rank_record;
+  return t;
+}
+
+}  // namespace dprank

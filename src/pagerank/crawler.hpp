@@ -1,0 +1,49 @@
+#pragma once
+
+// Centralized crawler alternatives (§5).
+//
+// The paper contrasts the distributed scheme against two centralized
+// designs on a P2P store:
+//  1. a rudimentary crawler that fetches every file to a central server
+//     ("such a scheme is undesirable");
+//  2. an efficient crawler that ships only the link structure, computes
+//     ranks centrally, and redistributes them to the owning peers.
+// Both are implemented here as traffic models so the ablation bench can
+// put numbers next to the distributed engine's message bytes.
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+#include "p2p/placement.hpp"
+
+namespace dprank {
+
+struct CrawlerTraffic {
+  /// Scheme 1: every document's full contents crosses the network once.
+  std::uint64_t naive_fetch_bytes = 0;
+  /// Scheme 2 upstream: one (src GUID, dst GUID) record per link.
+  std::uint64_t link_upload_bytes = 0;
+  /// Scheme 2 downstream: one (GUID, rank) record per document.
+  std::uint64_t rank_redistribution_bytes = 0;
+
+  [[nodiscard]] std::uint64_t link_scheme_total() const {
+    return link_upload_bytes + rank_redistribution_bytes;
+  }
+};
+
+struct CrawlerModelParams {
+  /// Mean stored document size; the paper's corpus was 99 MB over ~11k
+  /// documents, i.e. ~9 KB per document.
+  std::uint64_t avg_document_bytes = 9 * 1024;
+  std::uint64_t bytes_per_link_record = 32;  // two 128-bit GUIDs
+  std::uint64_t bytes_per_rank_record = 24;  // GUID + 64-bit rank
+};
+
+/// Traffic for one full centralized recomputation. Documents and links
+/// already resident on the (hypothetical) server peer would not cross the
+/// network; with a dedicated external server, everything does, which is
+/// the model used here.
+[[nodiscard]] CrawlerTraffic centralized_crawler_traffic(
+    const Digraph& g, const CrawlerModelParams& params = {});
+
+}  // namespace dprank

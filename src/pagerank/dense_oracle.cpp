@@ -1,0 +1,79 @@
+#include "pagerank/dense_oracle.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dprank {
+
+std::vector<double> solve_dense(std::vector<double> m,
+                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  if (m.size() != n * n) {
+    throw std::invalid_argument("solve_dense: matrix/vector size mismatch");
+  }
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(m[col * n + col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double v = std::abs(m[row * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = row;
+      }
+    }
+    if (best < 1e-14) {
+      throw std::runtime_error("solve_dense: singular system");
+    }
+    if (pivot != col) {
+      for (std::size_t k = col; k < n; ++k) {
+        std::swap(m[col * n + k], m[pivot * n + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double diag = m[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = m[row * n + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) {
+        m[row * n + k] -= factor * m[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t k = row + 1; k < n; ++k) {
+      acc -= m[row * n + k] * x[k];
+    }
+    x[row] = acc / m[row * n + row];
+  }
+  return x;
+}
+
+std::vector<double> dense_pagerank_oracle(const Digraph& g, double damping,
+                                          NodeId max_nodes) {
+  const NodeId n = g.num_nodes();
+  if (n > max_nodes) {
+    throw std::invalid_argument(
+        "dense_pagerank_oracle: graph too large for O(n^3) solve");
+  }
+  if (n == 0) return {};
+  // M = I - d * A^T_w  (row v: 1 on the diagonal, -d / outdeg(u) for
+  // each in-link u -> v).
+  const std::size_t nn = n;
+  std::vector<double> m(nn * nn, 0.0);
+  for (std::size_t v = 0; v < nn; ++v) m[v * nn + v] = 1.0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : g.in_neighbors(v)) {
+      m[static_cast<std::size_t>(v) * nn + u] -=
+          damping / static_cast<double>(g.out_degree(u));
+    }
+  }
+  const std::vector<double> b(nn, 1.0 - damping);
+  return solve_dense(std::move(m), b);
+}
+
+}  // namespace dprank

@@ -1,0 +1,35 @@
+#pragma once
+
+// Dense linear-algebra oracle for pagerank (testing aid).
+//
+// Every engine in this library iterates toward the fixed point of
+//   R = (1 - d) * 1 + d * A^T_w R,
+// i.e. the solution of the linear system (I - d A^T_w) R = (1 - d) * 1,
+// where A_w is the out-degree-normalized link matrix (Eq. 2 of the
+// paper). For small graphs this system can be solved *directly* by
+// Gaussian elimination with partial pivoting — no iteration, no
+// epsilon, no shared code with the engines — giving an independent
+// ground truth the iterative solvers are tested against.
+//
+// O(n^3) time, O(n^2) memory: intended for graphs up to a few hundred
+// nodes inside the test suite.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dprank {
+
+/// Direct solve of the pagerank system. Throws std::invalid_argument for
+/// graphs larger than `max_nodes` (guard against accidental O(n^3) on a
+/// web-scale graph) and std::runtime_error if the system is singular
+/// (cannot happen for 0 < damping < 1).
+[[nodiscard]] std::vector<double> dense_pagerank_oracle(
+    const Digraph& g, double damping = 0.85, NodeId max_nodes = 2000);
+
+/// Solve a general dense system M x = b by Gaussian elimination with
+/// partial pivoting (row-major M of size n*n). Exposed for tests.
+[[nodiscard]] std::vector<double> solve_dense(std::vector<double> m,
+                                              std::vector<double> b);
+
+}  // namespace dprank

@@ -1,0 +1,260 @@
+#include "pagerank/distributed_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/guid.hpp"
+#include "net/message.hpp"
+
+namespace dprank {
+
+DistributedPagerank::DistributedPagerank(const Digraph& g,
+                                         const Placement& placement,
+                                         PagerankOptions options)
+    : graph_(g), placement_(placement), options_(options) {
+  if (placement.num_docs() != g.num_nodes()) {
+    throw std::invalid_argument(
+        "DistributedPagerank: placement does not cover the graph");
+  }
+  const NodeId n = g.num_nodes();
+  ranks_.assign(n, options_.initial_rank);
+  // "Available pagerank for in-links from the previous iteration" at
+  // pass 0 is the initial value: contribution of edge u->v starts at
+  // initial_rank / outdeg(u).
+  contrib_.resize(g.num_edges());
+  for (NodeId u = 0; u < n; ++u) {
+    const auto deg = g.out_degree(u);
+    if (deg == 0) continue;
+    const double c = options_.initial_rank / static_cast<double>(deg);
+    for (EdgeId e = g.out_edge_begin(u); e < g.out_edge_end(u); ++e) {
+      contrib_[e] = c;
+    }
+  }
+  pending_value_.assign(g.num_edges(), 0.0);
+  pending_.assign(g.num_edges(), false);
+  deferred_by_peer_.resize(placement.num_peers());
+  in_dirty_.assign(n, true);
+  dirty_.resize(n);
+  for (NodeId v = 0; v < n; ++v) dirty_[v] = v;  // first pass: everyone
+  next_dirty_.reserve(n);
+  peer_msgs_this_pass_.assign(placement.num_peers(), 0);
+}
+
+void DistributedPagerank::attach_overlay(const ChordRing& ring,
+                                         IpCache& cache) {
+  if (ran_) throw std::logic_error("attach_overlay after run");
+  if (ring.size() != placement_.num_peers()) {
+    throw std::invalid_argument(
+        "attach_overlay: ring size does not match placement peers");
+  }
+  ring_ = &ring;
+  ip_cache_ = &cache;
+}
+
+void DistributedPagerank::attach_replicas(const ReplicaRegistry& replicas) {
+  if (ran_) throw std::logic_error("attach_replicas after run");
+  if (replicas.num_docs() != placement_.num_docs()) {
+    throw std::invalid_argument(
+        "attach_replicas: registry does not cover the documents");
+  }
+  replicas_ = &replicas;
+}
+
+void DistributedPagerank::inject_faults(const FaultModel& faults) {
+  if (ran_) throw std::logic_error("inject_faults after run");
+  if (faults.drop_probability < 0.0 || faults.drop_probability >= 1.0 ||
+      faults.duplicate_probability < 0.0 ||
+      faults.duplicate_probability > 1.0) {
+    throw std::invalid_argument("inject_faults: probabilities out of range");
+  }
+  faults_ = faults;
+  faults_enabled_ = faults.drop_probability > 0.0 ||
+                    faults.duplicate_probability > 0.0;
+  fault_rng_ = Rng(faults.seed ^ 0xFA017ULL);
+}
+
+std::uint64_t DistributedPagerank::send_hops(PeerId src, PeerId holder,
+                                             NodeId target_doc) {
+  if (ring_ == nullptr) return 1;
+  return std::max<std::uint64_t>(
+      1, ip_cache_->send_hops_to_peer(src, holder, document_guid(target_doc),
+                                      *ring_));
+}
+
+void DistributedPagerank::mark_dirty(NodeId v) {
+  if (!in_dirty_[v]) {
+    in_dirty_[v] = true;
+    next_dirty_.push_back(v);
+  }
+}
+
+void DistributedPagerank::send_to_replicas(PeerId src, NodeId v,
+                                           const std::vector<bool>& presence,
+                                           PassStats& stats) {
+  for (const PeerId rp : replicas_->replicas_of(v)) {
+    if (rp == src) {
+      meter_.record_local_update();
+      ++stats.local_updates;
+    } else if (presence[rp]) {
+      // Replica addresses are pointers held at the source (§2.3):
+      // replica sends are always direct.
+      meter_.record_message(PagerankUpdate::kWireBytes);
+      ++replica_messages_;
+      ++stats.messages_sent;
+    } else {
+      ++replica_stale_;
+    }
+  }
+}
+
+void DistributedPagerank::deliver_deferred(const std::vector<bool>& presence,
+                                           PassStats& stats) {
+  for (PeerId p = 0; p < deferred_by_peer_.size(); ++p) {
+    if (!presence[p] || deferred_by_peer_[p].empty()) continue;
+    for (const auto& [e, src_peer] : deferred_by_peer_[p]) {
+      contrib_[e] = pending_value_[e];
+      pending_[e] = false;
+      --total_pending_;
+      const NodeId v = graph_.out_target(e);
+      meter_.record_message(PagerankUpdate::kWireBytes,
+                            send_hops(src_peer, p, v));
+      ++stats.messages_delivered_late;
+      // Delivered at pass start: the target recomputes this pass.
+      if (!in_dirty_[v]) {
+        in_dirty_[v] = true;
+        dirty_.push_back(v);
+      }
+      if (replicas_ != nullptr && !replicas_->empty()) {
+        send_to_replicas(src_peer, v, presence, stats);
+      }
+    }
+    deferred_by_peer_[p].clear();
+  }
+}
+
+DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
+                                              const PassObserver& observer) {
+  if (ran_) throw std::logic_error("DistributedPagerank::run: already ran");
+  ran_ = true;
+  if (churn != nullptr && churn->num_peers() != placement_.num_peers()) {
+    throw std::invalid_argument("DistributedPagerank::run: churn peer count");
+  }
+
+  const std::vector<bool> all_present(placement_.num_peers(), true);
+  const double d = options_.damping;
+  const double base = 1.0 - d;
+  std::vector<NodeId> senders;
+
+  DistributedRunResult result;
+  for (std::uint64_t pass = 0; pass < options_.max_passes; ++pass) {
+    PassStats stats;
+    stats.pass = pass;
+    const std::vector<bool>& presence =
+        churn != nullptr ? churn->presence_for_pass(pass) : all_present;
+
+    // Phase 0: outbox drains for peers that are present this pass.
+    if (total_pending_ != 0) deliver_deferred(presence, stats);
+
+    // Phase 1: recompute documents that received updates. Documents on
+    // absent peers stay dirty until their peer returns.
+    senders.clear();
+    for (const NodeId v : dirty_) {
+      if (!presence[placement_.peer_of(v)]) {
+        in_dirty_[v] = false;  // re-marked below for the next pass
+        mark_dirty(v);
+        continue;
+      }
+      in_dirty_[v] = false;
+      double acc = 0.0;
+      const auto slots = graph_.in_to_out_edge(v);
+      for (const EdgeId e : slots) acc += contrib_[e];
+      const double newrank = base + d * acc;
+      const double rel = relative_change(ranks_[v], newrank);
+      ranks_[v] = newrank;
+      ++stats.docs_recomputed;
+      stats.max_rel_change = std::max(stats.max_rel_change, rel);
+      if (rel > options_.epsilon && graph_.out_degree(v) != 0) {
+        senders.push_back(v);
+      }
+    }
+
+    // Phase 2: senders emit their new contribution on every out-link;
+    // visible next pass (or parked in the outbox for absent peers).
+    for (const NodeId u : senders) {
+      const PeerId pu = placement_.peer_of(u);
+      const double c = ranks_[u] / static_cast<double>(graph_.out_degree(u));
+      for (EdgeId e = graph_.out_edge_begin(u); e < graph_.out_edge_end(u);
+           ++e) {
+        const NodeId v = graph_.out_target(e);
+        const PeerId pv = placement_.peer_of(v);
+        if (pv == pu) {
+          contrib_[e] = c;
+          mark_dirty(v);
+          meter_.record_local_update();
+          ++stats.local_updates;
+        } else if (presence[pv]) {
+          // Fault injection applies to the direct (unacknowledged) path;
+          // the outbox path below models reliable store-and-resend.
+          if (faults_enabled_ &&
+              fault_rng_.chance(faults_.drop_probability)) {
+            // Sender paid for the message; the contribution cell keeps
+            // its stale value until a later update overwrites it.
+            meter_.record_message(PagerankUpdate::kWireBytes,
+                                  send_hops(pu, pv, v));
+            ++stats.messages_sent;
+            ++peer_msgs_this_pass_[pu];
+            ++dropped_;
+            continue;
+          }
+          contrib_[e] = c;
+          mark_dirty(v);
+          meter_.record_message(PagerankUpdate::kWireBytes,
+                                send_hops(pu, pv, v));
+          ++stats.messages_sent;
+          ++peer_msgs_this_pass_[pu];
+          if (faults_enabled_ &&
+              fault_rng_.chance(faults_.duplicate_probability)) {
+            // Idempotent overwrite: the duplicate only costs traffic.
+            meter_.record_message(PagerankUpdate::kWireBytes);
+            ++stats.messages_sent;
+            ++duplicated_;
+          }
+        } else {
+          pending_value_[e] = c;
+          if (!pending_[e]) {
+            pending_[e] = true;
+            deferred_by_peer_[pv].emplace_back(e, pu);
+            ++total_pending_;
+            outbox_peak_ = std::max(outbox_peak_, total_pending_);
+          }
+          ++stats.messages_deferred;
+        }
+        if (replicas_ != nullptr && !replicas_->empty() && presence[pv]) {
+          send_to_replicas(pu, v, presence, stats);
+        }
+      }
+    }
+
+    stats.max_peer_messages = 0;
+    for (const NodeId u : senders) {
+      const PeerId pu = placement_.peer_of(u);
+      stats.max_peer_messages =
+          std::max(stats.max_peer_messages, peer_msgs_this_pass_[pu]);
+      peer_msgs_this_pass_[pu] = 0;  // reset only touched entries
+    }
+
+    history_.push_back(stats);
+    result.passes = pass + 1;
+    if (observer) observer(pass, ranks_);
+
+    dirty_.swap(next_dirty_);
+    next_dirty_.clear();
+    if (dirty_.empty() && total_pending_ == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace dprank

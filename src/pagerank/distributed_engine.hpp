@@ -1,0 +1,184 @@
+#pragma once
+
+// Distributed pagerank engine — the paper's core contribution (§2.3,
+// Fig. 1), executed under the evaluation methodology of §4.2.
+//
+// Semantics:
+//  * Every document starts at `initial_rank`. A document's rank is
+//    R(v) = (1-d) + d * sum of the stored contributions of its in-links,
+//    where a contribution is the freshest value R(u)/outdeg(u) the link
+//    source has sent (chaotic iteration: each document recomputes from
+//    whatever values have arrived, with no global synchronization).
+//  * A pagerank update message for edge u->v is modelled as a write to a
+//    per-edge contribution cell (u's out-edge slot), the array-backed
+//    equivalent of the 24-byte GUID+rank message of §4.6.1.
+//  * A pass (§4.2): all present peers concurrently recompute the
+//    documents that received updates; documents whose relative change
+//    exceeds epsilon send updates to their out-links. Messages sent in
+//    pass t are visible in pass t+1 ("pagerank messages are sent and
+//    received instantaneously and all peers start their next iteration
+//    concurrently").
+//  * Same-peer updates are applied locally without network messages
+//    (Fig. 1 step b); cross-peer updates are counted in the traffic
+//    meter.
+//  * Churn (§3.1, §4.3): documents on absent peers neither compute nor
+//    receive. Updates addressed to an absent peer wait in the sender's
+//    per-edge outbox (newest value wins) and are delivered on the first
+//    pass the destination peer is present. Messages are counted once, at
+//    delivery.
+//  * Convergence: no document has a pending recompute and no update is
+//    waiting in any outbox — the paper's "error in all the documents is
+//    less than the error threshold" criterion.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/digraph.hpp"
+#include "net/ip_cache.hpp"
+#include "net/traffic_meter.hpp"
+#include "p2p/churn.hpp"
+#include "p2p/placement.hpp"
+#include "p2p/replication.hpp"
+#include "pagerank/options.hpp"
+
+namespace dprank {
+
+struct PassStats {
+  std::uint64_t pass = 0;
+  std::uint64_t docs_recomputed = 0;
+  std::uint64_t messages_sent = 0;      // cross-peer, delivered immediately
+  std::uint64_t messages_deferred = 0;  // parked in an outbox this pass
+  std::uint64_t messages_delivered_late = 0;  // outbox drains this pass
+  std::uint64_t local_updates = 0;
+  std::uint64_t max_peer_messages = 0;  // busiest sender, for Eq. 4
+  double max_rel_change = 0.0;
+};
+
+/// Network fault injection (extension): UDP-style delivery where update
+/// messages can be silently dropped or duplicated. The protocol's
+/// newest-value-wins contribution cells make duplicates harmless; a
+/// dropped update leaves a *stale contribution* (bounded error) unless a
+/// later update for the same link overwrites it — the degradation the
+/// fault ablation measures.
+struct FaultModel {
+  double drop_probability = 0.0;       // message vanishes in transit
+  double duplicate_probability = 0.0;  // message delivered twice
+  std::uint64_t seed = 42;
+};
+
+struct DistributedRunResult {
+  std::uint64_t passes = 0;
+  bool converged = false;
+};
+
+class DistributedPagerank {
+ public:
+  /// The placement must cover exactly g.num_nodes() documents. The engine
+  /// keeps references: graph and placement must outlive it (temporaries
+  /// are rejected at compile time).
+  DistributedPagerank(const Digraph& g, const Placement& placement,
+                      PagerankOptions options);
+  DistributedPagerank(Digraph&&, const Placement&, PagerankOptions) = delete;
+  DistributedPagerank(const Digraph&, Placement&&, PagerankOptions) = delete;
+  DistributedPagerank(Digraph&&, Placement&&, PagerankOptions) = delete;
+
+  /// Observer invoked after every pass with (pass index, current ranks);
+  /// used to measure convergence trajectories (§4.3).
+  using PassObserver =
+      std::function<void(std::uint64_t, const std::vector<double>&)>;
+
+  /// Meter overlay hop costs (§3.2): every cross-peer update consults
+  /// `cache` over `ring` — an enabled cache models IP caching (first
+  /// message routed, then direct), a disabled one models Freenet-style
+  /// per-message routing. Both must outlive the engine. Call before
+  /// run(); without this, every message is billed one hop.
+  void attach_overlay(const ChordRing& ring, IpCache& cache);
+
+  /// Deliver every update to each cached copy of the destination
+  /// document as well (§2.3: "all copies of the document can contain
+  /// the correct computed pagerank"). Replica addresses are pointers
+  /// held at the source, so replica sends cost one hop. Replicas on
+  /// absent peers are skipped and counted stale. Must outlive the
+  /// engine; call before run().
+  void attach_replicas(const ReplicaRegistry& replicas);
+
+  /// Inject message drops/duplicates (see FaultModel). Call before
+  /// run(). Dropped messages still count as sent (the sender paid for
+  /// them); duplicates add an extra counted delivery.
+  void inject_faults(const FaultModel& faults);
+
+  /// Run to convergence. `churn == nullptr` means all peers always
+  /// present. Can be called once per engine instance.
+  DistributedRunResult run(ChurnSchedule* churn = nullptr,
+                           const PassObserver& observer = nullptr);
+
+  [[nodiscard]] const std::vector<double>& ranks() const { return ranks_; }
+  [[nodiscard]] const TrafficMeter& traffic() const { return meter_; }
+  [[nodiscard]] const std::vector<PassStats>& pass_history() const {
+    return history_;
+  }
+  [[nodiscard]] std::uint64_t outbox_peak() const { return outbox_peak_; }
+  [[nodiscard]] const PagerankOptions& options() const { return options_; }
+  [[nodiscard]] std::uint64_t replica_messages() const {
+    return replica_messages_;
+  }
+  [[nodiscard]] std::uint64_t replica_stale_skips() const {
+    return replica_stale_;
+  }
+  [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
+  [[nodiscard]] std::uint64_t duplicated_messages() const {
+    return duplicated_;
+  }
+
+ private:
+  void deliver_deferred(const std::vector<bool>& presence,
+                        PassStats& stats);
+  void mark_dirty(NodeId v);
+  /// Overlay hop bill for one update from peer `src` to the document
+  /// `target_doc` held by `holder`; 1 when no overlay is attached.
+  [[nodiscard]] std::uint64_t send_hops(PeerId src, PeerId holder,
+                                        NodeId target_doc);
+  /// Fan an update for document v out to its cached copies (§2.3).
+  void send_to_replicas(PeerId src, NodeId v,
+                        const std::vector<bool>& presence,
+                        PassStats& stats);
+
+  const Digraph& graph_;
+  const Placement& placement_;
+  PagerankOptions options_;
+
+  const ChordRing* ring_ = nullptr;
+  IpCache* ip_cache_ = nullptr;
+  const ReplicaRegistry* replicas_ = nullptr;
+  std::uint64_t replica_messages_ = 0;
+  std::uint64_t replica_stale_ = 0;
+
+  FaultModel faults_;
+  bool faults_enabled_ = false;
+  Rng fault_rng_{0};
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+
+  std::vector<double> ranks_;
+  std::vector<double> contrib_;        // per out-edge, delivered value
+  std::vector<double> pending_value_;  // per out-edge, undelivered value
+  std::vector<bool> pending_;          // per out-edge outbox flag
+  // (edge, sender peer) pairs parked for an absent destination peer
+  std::vector<std::vector<std::pair<EdgeId, PeerId>>> deferred_by_peer_;
+  std::uint64_t total_pending_ = 0;
+  std::uint64_t outbox_peak_ = 0;
+
+  std::vector<bool> in_dirty_;
+  std::vector<NodeId> dirty_;       // docs to recompute this pass
+  std::vector<NodeId> next_dirty_;  // docs to recompute next pass
+
+  std::vector<std::uint64_t> peer_msgs_this_pass_;
+
+  TrafficMeter meter_;
+  std::vector<PassStats> history_;
+  bool ran_ = false;
+};
+
+}  // namespace dprank

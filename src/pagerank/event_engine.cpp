@@ -1,0 +1,209 @@
+#include "pagerank/event_engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dprank {
+
+namespace {
+
+struct WireUpdate {
+  EdgeId edge;
+  double value;
+};
+
+/// A wakeup token: "peer dst should look at its inbox at `time`".
+/// Updates themselves wait in per-peer inboxes tagged with their arrival
+/// times, so one wakeup can drain every batch that has arrived by then —
+/// the batching real nodes do when their inbox fills while they work.
+struct Wakeup {
+  double time = 0.0;
+  std::uint64_t seq = 0;  // FIFO tie-break for determinism
+  PeerId dst = 0;
+};
+
+struct WakeupLater {
+  bool operator()(const Wakeup& a, const Wakeup& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct InboxEntry {
+  double arrival = 0.0;
+  std::vector<WireUpdate> updates;
+};
+
+}  // namespace
+
+EventDrivenPagerank::EventDrivenPagerank(const Digraph& g,
+                                         const Placement& placement,
+                                         PagerankOptions options,
+                                         EventNetParams net)
+    : graph_(g), placement_(placement), options_(options), net_(net) {
+  if (placement.num_docs() != g.num_nodes()) {
+    throw std::invalid_argument(
+        "EventDrivenPagerank: placement does not cover the graph");
+  }
+}
+
+EventRunResult EventDrivenPagerank::run(std::uint64_t event_cap) {
+  const NodeId n = graph_.num_nodes();
+  const PeerId num_peers = placement_.num_peers();
+  const double d = options_.damping;
+  const double base = 1.0 - d;
+
+  EventRunResult result;
+  result.ranks.assign(n, options_.initial_rank);
+  std::vector<double> contrib(graph_.num_edges(), 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto deg = graph_.out_degree(u);
+    if (deg == 0) continue;
+    const double c = options_.initial_rank / static_cast<double>(deg);
+    for (EdgeId e = graph_.out_edge_begin(u); e < graph_.out_edge_end(u);
+         ++e) {
+      contrib[e] = c;
+    }
+  }
+
+  std::vector<std::vector<NodeId>> docs_of(num_peers);
+  for (NodeId v = 0; v < n; ++v) docs_of[placement_.peer_of(v)].push_back(v);
+
+  std::vector<double> cpu_free(num_peers, 0.0);
+  std::vector<double> uplink_free(num_peers, 0.0);
+  std::vector<double> next_drain(num_peers, 0.0);  // batching gate
+  std::vector<std::deque<InboxEntry>> inbox(num_peers);
+  std::priority_queue<Wakeup, std::vector<Wakeup>, WakeupLater> queue;
+  std::uint64_t seq = 0;
+
+  // Scratch reused across events.
+  std::vector<std::vector<WireUpdate>> outgoing(num_peers);
+  std::vector<PeerId> touched_peers;
+  std::vector<NodeId> changed;
+  std::unordered_set<NodeId> changed_set;
+
+  auto mark_changed = [&](NodeId v) {
+    if (changed_set.insert(v).second) changed.push_back(v);
+  };
+
+  // Run the local recompute cascade at `peer` from the pre-seeded
+  // `changed` set: same-peer forwards are applied and reprocessed
+  // immediately; cross-peer forwards accumulate in `outgoing`.
+  // Returns the number of document recomputes performed.
+  auto run_local_cascade = [&](PeerId peer) -> std::uint64_t {
+    std::uint64_t recomputed = 0;
+    std::vector<NodeId> work;
+    while (!changed.empty()) {
+      work.clear();
+      work.swap(changed);
+      changed_set.clear();
+      for (const NodeId v : work) {
+        double acc = 0.0;
+        for (const EdgeId e : graph_.in_to_out_edge(v)) acc += contrib[e];
+        const double newrank = base + d * acc;
+        const double rel = relative_change(result.ranks[v], newrank);
+        result.ranks[v] = newrank;
+        ++recomputed;
+        if (rel <= options_.epsilon) continue;
+        const auto deg = graph_.out_degree(v);
+        if (deg == 0) continue;
+        const double c = newrank / static_cast<double>(deg);
+        for (EdgeId e = graph_.out_edge_begin(v);
+             e < graph_.out_edge_end(v); ++e) {
+          const NodeId w = graph_.out_target(e);
+          const PeerId pw = placement_.peer_of(w);
+          if (pw == peer) {
+            contrib[e] = c;
+            mark_changed(w);
+          } else {
+            if (outgoing[pw].empty()) touched_peers.push_back(pw);
+            outgoing[pw].push_back({e, c});
+          }
+        }
+      }
+    }
+    return recomputed;
+  };
+
+  // Serialize this peer's pending batches onto its uplink, starting no
+  // earlier than `ready`; deposit them in destination inboxes and
+  // schedule wakeups honoring each destination's batching gate.
+  auto dispatch = [&](PeerId src, double ready) {
+    for (const PeerId q : touched_peers) {
+      auto& batch = outgoing[q];
+      const double bytes =
+          static_cast<double>(batch.size()) * net_.message_bytes;
+      const double depart = std::max(ready, uplink_free[src]) +
+                            bytes / net_.bandwidth_bytes_per_sec;
+      uplink_free[src] = depart;
+      result.messages += batch.size();
+      ++result.transfers;
+      const double arrival = depart + net_.latency_sec;
+      inbox[q].push_back({arrival, std::move(batch)});
+      queue.push({std::max(arrival, next_drain[q]), seq++, q});
+      batch.clear();
+    }
+    touched_peers.clear();
+  };
+
+  // t = 0: every peer recomputes its documents from the initial
+  // contributions (Fig. 1's first pass) and ships the resulting batches.
+  for (PeerId p = 0; p < num_peers; ++p) {
+    for (const NodeId v : docs_of[p]) mark_changed(v);
+    const auto recomputed = run_local_cascade(p);
+    result.recomputes += recomputed;
+    const double end =
+        static_cast<double>(recomputed) * net_.compute_seconds_per_doc;
+    cpu_free[p] = end;
+    result.completion_seconds = std::max(result.completion_seconds, end);
+    dispatch(p, end);
+  }
+
+  result.converged = true;
+  while (!queue.empty()) {
+    if (event_cap != 0 && result.events >= event_cap) {
+      result.converged = false;
+      break;
+    }
+    const Wakeup ev = queue.top();
+    queue.pop();
+    const PeerId p = ev.dst;
+    // Drain every inbox batch that has arrived by the time the CPU
+    // actually starts (mail piles up while the peer works or while the
+    // batching gate holds).
+    const double start = std::max({ev.time, cpu_free[p], next_drain[p]});
+    bool any = false;
+    while (!inbox[p].empty() && inbox[p].front().arrival <= start) {
+      for (const auto& u : inbox[p].front().updates) {
+        contrib[u.edge] = u.value;
+        mark_changed(graph_.out_target(u.edge));
+      }
+      inbox[p].pop_front();
+      any = true;
+    }
+    if (!any) {
+      // Stale wakeup (a previous wakeup already drained these batches).
+      // Reschedule if gated mail remains.
+      if (!inbox[p].empty()) {
+        queue.push(
+            {std::max(inbox[p].front().arrival, next_drain[p]), seq++, p});
+      }
+      continue;
+    }
+    ++result.events;
+    const auto recomputed = run_local_cascade(p);
+    result.recomputes += recomputed;
+    const double end =
+        start + static_cast<double>(recomputed) * net_.compute_seconds_per_doc;
+    cpu_free[p] = end;
+    next_drain[p] = end + net_.min_batch_interval_sec;
+    result.completion_seconds = std::max(result.completion_seconds, end);
+    dispatch(p, end);
+  }
+  return result;
+}
+
+}  // namespace dprank

@@ -1,0 +1,192 @@
+#include "pagerank/incremental.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dprank {
+
+namespace {
+// Safety valve against non-terminating cascades. Unreachable for
+// damping < 1 (increments decay geometrically), but a damping-1 graph
+// with a cycle of out-degree-1 documents would otherwise loop forever.
+constexpr std::uint32_t kMaxCascadeDepth = 1'000'000;
+}  // namespace
+
+IncrementalPagerank::IncrementalPagerank(const Digraph& g,
+                                         std::vector<double>& ranks,
+                                         PagerankOptions options,
+                                         const Placement* placement)
+    : graph_(g), ranks_(ranks), options_(options), placement_(placement) {
+  if (ranks.size() != g.num_nodes()) {
+    throw std::invalid_argument("IncrementalPagerank: rank vector size");
+  }
+  covered_epoch_.assign(g.num_nodes(), 0);
+}
+
+PropagationStats IncrementalPagerank::run_cascade(
+    std::vector<WorkItem> queue, bool restore) {
+  ++epoch_;
+  undo_log_.clear();
+  last_touched_.clear();
+  PropagationStats stats;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const WorkItem item = queue[head++];
+    deliver(item, stats, queue, restore);
+  }
+  if (restore) {
+    // Undo in reverse order; the first-touch log restores the
+    // pre-cascade value of every mutated document.
+    for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+      ranks_[it->first] = it->second;
+    }
+    last_touched_.clear();  // nothing actually changed
+  }
+  return stats;
+}
+
+void IncrementalPagerank::deliver(const WorkItem& item,
+                                  PropagationStats& stats,
+                                  std::vector<WorkItem>& queue,
+                                  bool restore) {
+  const NodeId v = item.node;
+  if (restore && covered_epoch_[v] != epoch_) {
+    undo_log_.emplace_back(v, ranks_[v]);
+  }
+  if (covered_epoch_[v] != epoch_) {
+    covered_epoch_[v] = epoch_;
+    ++stats.nodes_covered;
+    last_touched_.push_back(v);
+  }
+  ++stats.updates_delivered;
+  stats.path_length = std::max(stats.path_length, item.depth);
+
+  const double newrank = ranks_[v] + item.delta;
+  const double rel = relative_change(ranks_[v], newrank);
+  ranks_[v] = newrank;
+  if (rel <= options_.epsilon) return;  // increment no longer significant
+  const auto deg = graph_.out_degree(v);
+  if (deg == 0 || item.depth >= kMaxCascadeDepth) return;
+
+  const double fwd =
+      options_.damping * item.delta / static_cast<double>(deg);
+  const PeerId pv =
+      placement_ != nullptr ? placement_->peer_of(v) : kInvalidPeer;
+  for (const NodeId w : graph_.out_neighbors(v)) {
+    if (placement_ != nullptr && placement_->peer_of(w) != pv) {
+      ++stats.cross_peer_messages;
+    }
+    queue.push_back({w, fwd, item.depth + 1});
+  }
+}
+
+PropagationStats IncrementalPagerank::seed_and_propagate(NodeId node) {
+  if (node >= graph_.num_nodes()) {
+    throw std::out_of_range("seed_and_propagate: bad node");
+  }
+  ranks_[node] = options_.initial_rank;
+  std::uint64_t cross = 0;
+  auto items = make_seed_items(node, options_.initial_rank, cross);
+  auto stats = run_cascade(std::move(items), false);
+  stats.cross_peer_messages += cross;
+  return stats;
+}
+
+PropagationStats IncrementalPagerank::probe_insert(NodeId node) {
+  if (node >= graph_.num_nodes()) {
+    throw std::out_of_range("probe_insert: bad node");
+  }
+  const double old = ranks_[node];
+  ranks_[node] = options_.initial_rank;
+  std::uint64_t cross = 0;
+  auto items = make_seed_items(node, options_.initial_rank, cross);
+  auto stats = run_cascade(std::move(items), true);
+  stats.cross_peer_messages += cross;
+  ranks_[node] = old;
+  return stats;
+}
+
+PropagationStats IncrementalPagerank::propagate_delete(NodeId node) {
+  if (node >= graph_.num_nodes()) {
+    throw std::out_of_range("propagate_delete: bad node");
+  }
+  std::uint64_t cross = 0;
+  auto items = make_seed_items(node, -ranks_[node], cross);
+  auto stats = run_cascade(std::move(items), false);
+  stats.cross_peer_messages += cross;
+  return stats;
+}
+
+PropagationStats IncrementalPagerank::inject(NodeId node, double delta) {
+  if (node >= graph_.num_nodes()) {
+    throw std::out_of_range("inject: bad node");
+  }
+  return run_cascade({{node, delta, 0}}, false);
+}
+
+std::vector<IncrementalPagerank::WorkItem>
+IncrementalPagerank::make_seed_items(NodeId node, double rank_value,
+                                     std::uint64_t& cross_out) {
+  std::vector<WorkItem> items;
+  const auto deg = graph_.out_degree(node);
+  if (deg == 0) return items;
+  // A document with rank R contributes R/outdeg on each out-link; the
+  // damped effect on each target's rank is d * R / outdeg (Fig. 2 shows
+  // the d = 1 case: 1/3 then 1/6).
+  const double delta =
+      options_.damping * rank_value / static_cast<double>(deg);
+  items.reserve(deg);
+  const PeerId pn =
+      placement_ != nullptr ? placement_->peer_of(node) : kInvalidPeer;
+  for (const NodeId w : graph_.out_neighbors(node)) {
+    if (placement_ != nullptr && placement_->peer_of(w) != pn) ++cross_out;
+    items.push_back({w, delta, 1});
+  }
+  return items;
+}
+
+PropagationStats insert_document(MutableDigraph& g,
+                                 std::vector<double>& ranks,
+                                 const std::vector<NodeId>& out_links,
+                                 const PagerankOptions& options,
+                                 NodeId* new_id_out) {
+  const NodeId id = g.add_document(out_links);
+  ranks.push_back(options.initial_rank);
+  if (new_id_out != nullptr) *new_id_out = id;
+  const Digraph snapshot = g.freeze();
+  IncrementalPagerank engine(snapshot, ranks, options);
+  // §3.1: seed with the initial constant and send updates to out-links...
+  PropagationStats stats = engine.seed_and_propagate(id);
+  // ...then "the system eventually reconverges": the new document has no
+  // in-links yet, so its own recompute settles at (1-d); the correction
+  // relative to the seed propagates like any other update.
+  const double true_rank = 1.0 - options.damping;
+  const double correction = true_rank - ranks[id];
+  ranks[id] = true_rank;
+  if (snapshot.out_degree(id) > 0 && correction != 0.0) {
+    const double fwd = options.damping * correction /
+                       static_cast<double>(snapshot.out_degree(id));
+    for (const NodeId w : snapshot.out_neighbors(id)) {
+      const auto more = engine.inject(w, fwd);
+      stats.updates_delivered += more.updates_delivered;
+      stats.cross_peer_messages += more.cross_peer_messages;
+      stats.nodes_covered += more.nodes_covered;  // upper bound; may recount
+      stats.path_length = std::max(stats.path_length,
+                                   more.path_length + 1);
+    }
+  }
+  return stats;
+}
+
+PropagationStats delete_document(MutableDigraph& g,
+                                 std::vector<double>& ranks, NodeId node,
+                                 const PagerankOptions& options) {
+  const Digraph snapshot = g.freeze();
+  IncrementalPagerank engine(snapshot, ranks, options);
+  auto stats = engine.propagate_delete(node);
+  g.isolate_node(node);
+  ranks[node] = 0.0;
+  return stats;
+}
+
+}  // namespace dprank

@@ -1,0 +1,118 @@
+#pragma once
+
+// Incremental pagerank updates on document insert/delete (§3.1, §4.7,
+// Fig. 2).
+//
+// After initial convergence, a new document is "immediately integrated":
+// its rank is seeded with the initial constant (1.0) and each out-link
+// receives an increment rank/outdeg. A receiving document adds the
+// increment to its rank and, if the change is still significant relative
+// to its rank (> epsilon), forwards d * increment / outdeg to its own
+// out-links — the geometric decay pictured in Figure 2 (G sends 1/3, H
+// forwards 1/6). A deletion sends the document's rank negated (§3.1,
+// §4.7) and the system reconverges.
+//
+// Table 4 measures, per insert, the longest propagation path and the set
+// of documents reached ("node coverage ... an upper bound on the number
+// of messages a document insert can generate").
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/mutable_digraph.hpp"
+#include "p2p/placement.hpp"
+#include "pagerank/options.hpp"
+
+namespace dprank {
+
+struct PropagationStats {
+  std::uint64_t updates_delivered = 0;   // total update messages
+  std::uint64_t cross_peer_messages = 0; // subset crossing peers (needs placement)
+  std::uint64_t nodes_covered = 0;       // distinct documents updated
+  std::uint32_t path_length = 0;         // longest chain of forwards
+};
+
+/// Increment propagator over a converged rank vector. Operates on a CSR
+/// graph for the Table 4 sweeps; `probe` mode restores ranks afterwards
+/// so thousands of independent inserts can be measured cheaply.
+class IncrementalPagerank {
+ public:
+  /// `placement` may be nullptr; cross_peer_messages is then zero and all
+  /// updates count as deliveries only.
+  IncrementalPagerank(const Digraph& g, std::vector<double>& ranks,
+                      PagerankOptions options,
+                      const Placement* placement = nullptr);
+  IncrementalPagerank(Digraph&&, std::vector<double>&, PagerankOptions,
+                      const Placement*) = delete;
+
+  /// Paper's Table 4 experiment: re-seed an existing document with the
+  /// initial rank and propagate increments from it. Mutates ranks.
+  PropagationStats seed_and_propagate(NodeId node);
+
+  /// Same, but restores all touched ranks before returning (measurement
+  /// probe; the rank vector is unchanged afterwards).
+  PropagationStats probe_insert(NodeId node);
+
+  /// Document deletion (§3.1): propagate the node's rank negated to its
+  /// out-links. Does not modify the graph; pair with
+  /// MutableDigraph::isolate_node for a full delete. Mutates ranks.
+  PropagationStats propagate_delete(NodeId node);
+
+  /// Raw increment injection: deliver `delta` to `node` at depth 0 and
+  /// run the cascade. Mutates ranks.
+  PropagationStats inject(NodeId node, double delta);
+
+  /// Distinct documents whose rank the most recent cascade changed
+  /// (valid until the next cascade; empty after probe_insert, which
+  /// restores every touched rank). Consumers use this to refresh
+  /// dependent state, e.g. index entries (§2.4.2).
+  [[nodiscard]] const std::vector<NodeId>& last_touched() const {
+    return last_touched_;
+  }
+
+ private:
+  struct WorkItem {
+    NodeId node;
+    double delta;
+    std::uint32_t depth;
+  };
+
+  PropagationStats run_cascade(std::vector<WorkItem> initial, bool restore);
+  void deliver(const WorkItem& item, PropagationStats& stats,
+               std::vector<WorkItem>& queue, bool restore);
+  /// Initial deltas from `node` to its out-links at depth 1, as if the
+  /// node's rank just became `rank_value`. Cross-peer seed messages are
+  /// tallied into `cross_out` when a placement is attached.
+  std::vector<WorkItem> make_seed_items(NodeId node, double rank_value,
+                                        std::uint64_t& cross_out);
+
+  const Digraph& graph_;
+  std::vector<double>& ranks_;
+  PagerankOptions options_;
+  const Placement* placement_;
+
+  // probe bookkeeping: first-touch undo log + covered markers
+  std::vector<std::pair<NodeId, double>> undo_log_;
+  std::vector<std::uint32_t> covered_epoch_;
+  std::uint32_t epoch_ = 0;
+  std::vector<NodeId> last_touched_;
+};
+
+/// Full document insertion against a mutable graph: adds the node with
+/// its out-links, seeds it, and returns the propagation stats measured on
+/// a CSR snapshot. Convenience used by examples/tests; the Table 4 bench
+/// uses IncrementalPagerank directly.
+PropagationStats insert_document(MutableDigraph& g,
+                                 std::vector<double>& ranks,
+                                 const std::vector<NodeId>& out_links,
+                                 const PagerankOptions& options,
+                                 NodeId* new_id_out = nullptr);
+
+/// Full document deletion: propagates the negated rank, then isolates the
+/// node in the graph and zeroes its rank.
+PropagationStats delete_document(MutableDigraph& g,
+                                 std::vector<double>& ranks, NodeId node,
+                                 const PagerankOptions& options);
+
+}  // namespace dprank

@@ -1,0 +1,44 @@
+#pragma once
+
+// Shared pagerank parameters.
+//
+// The reproduction uses the unnormalized Google form of Eq. 1:
+//     R(i) = (1 - d) + d * sum_{j in in(i)} R(j) / outdeg(j)
+// so ranks sum to ~N and a freshly inserted document is seeded with the
+// paper's "initial pagerank value (1.0 in our case)" (§4.7). Dangling
+// documents simply emit no contributions — the paper does not model
+// dangling-mass redistribution, and using the identical operator in the
+// distributed and centralized solvers makes Table 2's quality comparison
+// exact.
+
+#include <cstdint>
+
+namespace dprank {
+
+struct PagerankOptions {
+  /// Damping factor d of Eq. 1. Google's standard 0.85. The Figure 2
+  /// illustration corresponds to d = 1 (increments 1/3 and 1/6 with no
+  /// damping); tests reproduce that with damping = 1.0.
+  double damping = 0.85;
+
+  /// Error threshold epsilon of Fig. 1: a document whose relative rank
+  /// change |old-new|/new exceeds epsilon propagates updates.
+  double epsilon = 1e-3;
+
+  /// Initial rank assigned to every document (and to inserted ones).
+  double initial_rank = 1.0;
+
+  /// Safety valve for the pass loop.
+  std::uint64_t max_passes = 1'000'000;
+};
+
+/// Relative change |oldv - newv| / |newv| with a guard for newv == 0
+/// (falls back to the absolute change, which then compares directly
+/// against epsilon).
+[[nodiscard]] inline double relative_change(double oldv, double newv) {
+  const double diff = oldv > newv ? oldv - newv : newv - oldv;
+  const double denom = newv > 0 ? newv : (newv < 0 ? -newv : 0.0);
+  return denom > 0 ? diff / denom : diff;
+}
+
+}  // namespace dprank

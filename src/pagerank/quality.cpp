@@ -1,0 +1,117 @@
+#include "pagerank/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+
+std::vector<double> relative_errors(const std::vector<double>& distributed,
+                                    const std::vector<double>& reference) {
+  if (distributed.size() != reference.size()) {
+    throw std::invalid_argument("relative_errors: size mismatch");
+  }
+  std::vector<double> errs(distributed.size());
+  for (std::size_t i = 0; i < distributed.size(); ++i) {
+    const double diff = std::abs(distributed[i] - reference[i]);
+    errs[i] = reference[i] != 0.0 ? diff / std::abs(reference[i]) : diff;
+  }
+  return errs;
+}
+
+QualityReport summarize_quality(const std::vector<double>& distributed,
+                                const std::vector<double>& reference) {
+  const auto errs = relative_errors(distributed, reference);
+  std::size_t within = 0;
+  for (const double e : errs) {
+    if (e < 0.01) ++within;
+  }
+  const Summary s(errs);
+  QualityReport r;
+  r.p50 = s.percentile(50);
+  r.p75 = s.percentile(75);
+  r.p90 = s.percentile(90);
+  r.p99 = s.percentile(99);
+  r.p99_9 = s.percentile(99.9);
+  r.max = s.max();
+  r.avg = s.mean();
+  r.fraction_within_1pct =
+      errs.empty() ? 1.0
+                   : static_cast<double>(within) /
+                         static_cast<double>(errs.size());
+  return r;
+}
+
+namespace {
+
+/// Indices of the k largest values (ties by smaller index first).
+std::vector<std::size_t> top_k_indices(const std::vector<double>& values,
+                                       std::size_t k) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t keep = std::min(k, order.size());
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(keep),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      if (values[a] != values[b]) return values[a] > values[b];
+                      return a < b;
+                    });
+  order.resize(keep);
+  return order;
+}
+
+}  // namespace
+
+double top_k_overlap(const std::vector<double>& distributed,
+                     const std::vector<double>& reference, std::size_t k) {
+  if (distributed.size() != reference.size()) {
+    throw std::invalid_argument("top_k_overlap: size mismatch");
+  }
+  if (distributed.empty() || k == 0) return 1.0;
+  const auto a = top_k_indices(distributed, k);
+  const auto b = top_k_indices(reference, k);
+  const std::unordered_set<std::size_t> bset(b.begin(), b.end());
+  std::size_t hits = 0;
+  for (const auto i : a) {
+    if (bset.contains(i)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(a.size());
+}
+
+double kendall_tau_sampled(const std::vector<double>& distributed,
+                           const std::vector<double>& reference,
+                           std::uint64_t samples, std::uint64_t seed) {
+  if (distributed.size() != reference.size()) {
+    throw std::invalid_argument("kendall_tau_sampled: size mismatch");
+  }
+  const std::size_t n = distributed.size();
+  if (n < 2) return 1.0;
+  Rng rng(seed ^ 0x7A07AULL);
+  std::int64_t concordant = 0;
+  std::int64_t discordant = 0;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const auto i = static_cast<std::size_t>(rng.bounded(n));
+    auto j = static_cast<std::size_t>(rng.bounded(n - 1));
+    if (j >= i) ++j;
+    const double da = distributed[i] - distributed[j];
+    const double db = reference[i] - reference[j];
+    const double prod = da * db;
+    if (prod > 0) {
+      ++concordant;
+    } else if (prod < 0) {
+      ++discordant;
+    }
+    // ties in either ranking contribute to neither count (tau-a on the
+    // untied sample)
+  }
+  const auto total = concordant + discordant;
+  if (total == 0) return 1.0;
+  return static_cast<double>(concordant - discordant) /
+         static_cast<double>(total);
+}
+
+}  // namespace dprank

@@ -1,0 +1,61 @@
+#pragma once
+
+// Pagerank quality measurement (§4.4, Table 2).
+//
+// Quality is the relative error |R_d - R_c| / R_c of the distributed
+// result against the conventional synchronous solver, summarized at the
+// percentiles the paper tabulates (50, 75, 90, 99, 99.9, max, avg).
+
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace dprank {
+
+struct QualityReport {
+  // The paper's Table 2 rows.
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p99_9 = 0.0;
+  double max = 0.0;
+  double avg = 0.0;
+  /// Fraction of documents with relative error below 0.01 (the §4.3
+  /// "99% of the nodes converged to within 1%" claim).
+  double fraction_within_1pct = 0.0;
+};
+
+/// Per-document relative errors; reference entries equal to zero are
+/// compared by absolute error (they do not occur for d < 1, where every
+/// rank is >= 1-d).
+[[nodiscard]] std::vector<double> relative_errors(
+    const std::vector<double>& distributed,
+    const std::vector<double>& reference);
+
+[[nodiscard]] QualityReport summarize_quality(
+    const std::vector<double>& distributed,
+    const std::vector<double>& reference);
+
+// ---- Ordering quality -------------------------------------------------
+//
+// Search relevance depends on the *ordering* pageranks induce, not on
+// their absolute values (§2.4: hits are sorted by pagerank and the top
+// x% forwarded). These metrics quantify how faithfully the distributed
+// ranks preserve the reference ordering.
+
+/// |top-k(distributed) ∩ top-k(reference)| / k. Ties broken by index.
+/// k is clamped to the vector size.
+[[nodiscard]] double top_k_overlap(const std::vector<double>& distributed,
+                                   const std::vector<double>& reference,
+                                   std::size_t k);
+
+/// Kendall rank-correlation tau-a estimated over `samples` random pairs
+/// (exact all-pairs is O(n^2)); 1 = identical ordering, -1 = reversed.
+/// Deterministic for a given seed.
+[[nodiscard]] double kendall_tau_sampled(
+    const std::vector<double>& distributed,
+    const std::vector<double>& reference, std::uint64_t samples = 200'000,
+    std::uint64_t seed = 42);
+
+}  // namespace dprank

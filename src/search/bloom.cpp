@@ -1,0 +1,56 @@
+#include "search/bloom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+
+BloomFilter::BloomFilter(std::uint64_t expected_items, double bits_per_item) {
+  const std::uint64_t min_bits = 64;
+  const auto bits = std::max<std::uint64_t>(
+      min_bits, static_cast<std::uint64_t>(
+                    std::ceil(static_cast<double>(std::max<std::uint64_t>(
+                                  expected_items, 1)) *
+                              bits_per_item)));
+  bits_.assign((bits + 63) / 64, 0);
+  k_ = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(bits_per_item * 0.6931)));
+}
+
+std::pair<std::uint64_t, std::uint64_t> BloomFilter::hash_pair(
+    std::uint64_t item) const {
+  const std::uint64_t h1 = mix64(item);
+  const std::uint64_t h2 = mix64(h1 ^ 0x5851F42D4C957F2DULL) | 1;
+  return {h1, h2};
+}
+
+void BloomFilter::insert(std::uint64_t item) {
+  const auto [h1, h2] = hash_pair(item);
+  const std::uint64_t m = bit_count();
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % m;
+    bits_[bit / 64] |= (1ULL << (bit % 64));
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::possibly_contains(std::uint64_t item) const {
+  const auto [h1, h2] = hash_pair(item);
+  const std::uint64_t m = bit_count();
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % m;
+    if ((bits_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::expected_fpr() const {
+  const double m = static_cast<double>(bit_count());
+  const double n = static_cast<double>(inserted_);
+  const double k = static_cast<double>(k_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+}  // namespace dprank

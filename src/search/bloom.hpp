@@ -1,0 +1,45 @@
+#pragma once
+
+// Bloom filter (§2.4.2).
+//
+// "To avoid this excessive traffic Bloom filter based solutions have been
+// proposed" [Reynolds & Vahdat]; the paper notes incremental search "can
+// be coupled with a Bloom filter based method to provide further
+// reduction in traffic". Standard Bloom filter over document ids with
+// double hashing; the search bench uses it both standalone (the cited
+// baseline) and composed with incremental search.
+
+#include <cstdint>
+#include <vector>
+
+namespace dprank {
+
+class BloomFilter {
+ public:
+  /// Filter sized for `expected_items` at `bits_per_item` (k hash
+  /// functions chosen as bits_per_item * ln 2, the optimum).
+  BloomFilter(std::uint64_t expected_items, double bits_per_item = 8.0);
+
+  void insert(std::uint64_t item);
+  [[nodiscard]] bool possibly_contains(std::uint64_t item) const;
+
+  [[nodiscard]] std::uint64_t bit_count() const {
+    return bits_.size() * 64;
+  }
+  [[nodiscard]] std::uint64_t byte_count() const { return bits_.size() * 8; }
+  [[nodiscard]] std::uint32_t hash_count() const { return k_; }
+  [[nodiscard]] std::uint64_t inserted() const { return inserted_; }
+
+  /// Expected false-positive rate for the current fill.
+  [[nodiscard]] double expected_fpr() const;
+
+ private:
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> hash_pair(
+      std::uint64_t item) const;
+
+  std::vector<std::uint64_t> bits_;
+  std::uint32_t k_ = 1;
+  std::uint64_t inserted_ = 0;
+};
+
+}  // namespace dprank

@@ -1,0 +1,75 @@
+#include "search/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+
+namespace dprank {
+
+Corpus Corpus::synthesize(const CorpusParams& params) {
+  if (params.vocabulary == 0 || params.num_docs == 0) {
+    throw std::invalid_argument("Corpus::synthesize: empty corpus");
+  }
+  if (params.min_terms == 0 || params.min_terms > params.max_terms ||
+      params.max_terms > params.vocabulary) {
+    throw std::invalid_argument("Corpus::synthesize: bad term bounds");
+  }
+  Rng rng(params.seed ^ 0xC0B0C0B0ULL);
+  const ZipfSampler zipf(params.vocabulary, params.zipf_exponent);
+
+  Corpus c;
+  c.vocabulary_ = params.vocabulary;
+  c.docs_.resize(params.num_docs);
+  c.df_.assign(params.vocabulary, 0);
+
+  // Document lengths: geometric-ish spread around the mean via a
+  // log-uniform draw in [min, max] biased toward the mean.
+  const double log_lo = std::log(static_cast<double>(params.min_terms));
+  const double log_hi = std::log(static_cast<double>(params.max_terms));
+  const double log_mean = std::log(static_cast<double>(params.mean_terms));
+
+  std::unordered_set<TermId> seen;
+  for (auto& doc : c.docs_) {
+    // Triangular draw in log space peaked at the mean document length.
+    const double u = rng.uniform();
+    const double v = rng.uniform();
+    const double lo_mix = log_lo + (log_mean - log_lo) * u;
+    const double hi_mix = log_mean + (log_hi - log_mean) * u;
+    const double log_len = v < 0.5 ? lo_mix : hi_mix;
+    const auto len = static_cast<std::uint32_t>(std::lround(
+        std::exp(std::clamp(log_len, log_lo, log_hi))));
+
+    seen.clear();
+    // Sample Zipf term occurrences until `len` *distinct* terms appear or
+    // the draw budget runs out (very common terms repeat a lot).
+    const std::uint64_t budget = static_cast<std::uint64_t>(len) * 12 + 64;
+    for (std::uint64_t draw = 0;
+         draw < budget && seen.size() < len; ++draw) {
+      seen.insert(static_cast<TermId>(zipf.sample(rng)));
+    }
+    doc.assign(seen.begin(), seen.end());
+    std::sort(doc.begin(), doc.end());
+    for (const TermId t : doc) ++c.df_[t];
+  }
+  return c;
+}
+
+std::vector<TermId> Corpus::top_terms(std::uint32_t k) const {
+  std::vector<TermId> terms(vocabulary_);
+  std::iota(terms.begin(), terms.end(), 0);
+  const std::uint32_t keep = std::min<std::uint32_t>(k, vocabulary_);
+  std::partial_sort(terms.begin(), terms.begin() + keep, terms.end(),
+                    [&](TermId a, TermId b) {
+                      if (df_[a] != df_[b]) return df_[a] > df_[b];
+                      return a < b;
+                    });
+  terms.resize(keep);
+  return terms;
+}
+
+}  // namespace dprank

@@ -1,0 +1,63 @@
+#pragma once
+
+// Synthetic document corpus (§4.9 substitute).
+//
+// The paper crawled ~11,000 news pages (99 MB), removed stopwords and
+// thresholded to 1880 terms. That crawl is unavailable, so we synthesize
+// a corpus with the same observable structure: 11k documents over an
+// 1880-term vocabulary whose term occurrences follow Zipf's law, giving
+// posting lists whose sizes span "appears in nearly every document"
+// (top terms) down to a handful — the property incremental search traffic
+// actually depends on. Document ids coincide with link-graph node ids so
+// the pageranks computed by the distributed engine apply directly.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dprank {
+
+using TermId = std::uint32_t;
+
+struct CorpusParams {
+  std::uint32_t num_docs = 11'000;
+  TermId vocabulary = 1880;     // the paper's corpus dimensionality
+  double zipf_exponent = 1.0;   // classic Zipf for term frequencies
+  std::uint32_t mean_terms = 150;  // distinct indexed terms per document
+  std::uint32_t min_terms = 10;
+  std::uint32_t max_terms = 800;
+  std::uint64_t seed = 42;
+};
+
+class Corpus {
+ public:
+  static Corpus synthesize(const CorpusParams& params);
+
+  [[nodiscard]] std::uint32_t num_docs() const {
+    return static_cast<std::uint32_t>(docs_.size());
+  }
+  [[nodiscard]] TermId vocabulary() const { return vocabulary_; }
+
+  /// Distinct terms of a document, ascending TermId order.
+  [[nodiscard]] const std::vector<TermId>& terms_of(NodeId doc) const {
+    return docs_[doc];
+  }
+
+  /// Document frequency of a term (number of documents containing it).
+  [[nodiscard]] std::uint32_t doc_frequency(TermId term) const {
+    return df_[term];
+  }
+
+  /// The `k` most frequent terms, descending document frequency — the
+  /// pool the paper draws its synthetic queries from ("randomly combining
+  /// the top 100 most frequent terms").
+  [[nodiscard]] std::vector<TermId> top_terms(std::uint32_t k) const;
+
+ private:
+  std::vector<std::vector<TermId>> docs_;
+  std::vector<std::uint32_t> df_;
+  TermId vocabulary_ = 0;
+};
+
+}  // namespace dprank

@@ -1,0 +1,108 @@
+#include "search/distributed_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/message.hpp"
+
+namespace dprank {
+
+DistributedIndex::DistributedIndex(const Corpus& corpus,
+                                   const ChordRing& ring) {
+  const TermId vocab = corpus.vocabulary();
+  postings_.resize(vocab);
+  term_peer_.resize(vocab);
+  sorted_.assign(vocab, false);
+  for (TermId t = 0; t < vocab; ++t) {
+    term_peer_[t] = ring.successor_of_key(term_guid("term:" + std::to_string(t)));
+    postings_[t].reserve(corpus.doc_frequency(t));
+  }
+  for (NodeId d = 0; d < corpus.num_docs(); ++d) {
+    for (const TermId t : corpus.terms_of(d)) {
+      postings_[t].push_back({d, 0.0});
+      ++total_postings_;
+    }
+  }
+}
+
+void DistributedIndex::publish_ranks(const std::vector<double>& ranks,
+                                     const std::vector<PeerId>& doc_owner,
+                                     TrafficMeter* meter) {
+  for (TermId t = 0; t < postings_.size(); ++t) {
+    for (Posting& p : postings_[t]) {
+      if (p.doc >= ranks.size()) {
+        throw std::out_of_range("publish_ranks: rank vector too small");
+      }
+      p.rank = ranks[p.doc];
+      if (meter != nullptr) {
+        if (doc_owner[p.doc] == term_peer_[t]) {
+          meter->record_local_update();
+        } else {
+          meter->record_message(IndexRankUpdate::kWireBytes);
+        }
+      }
+    }
+    sorted_[t] = false;
+  }
+}
+
+void DistributedIndex::publish_one(NodeId doc,
+                                   const std::vector<TermId>& terms,
+                                   double rank, PeerId doc_owner,
+                                   TrafficMeter* meter) {
+  for (const TermId t : terms) {
+    auto& plist = postings_[t];
+    const auto it = std::find_if(plist.begin(), plist.end(),
+                                 [&](const Posting& p) { return p.doc == doc; });
+    if (it == plist.end()) {
+      plist.push_back({doc, rank});
+      ++total_postings_;
+    } else {
+      it->rank = rank;
+    }
+    sorted_[t] = false;
+    if (meter != nullptr) {
+      if (doc_owner == term_peer_[t]) {
+        meter->record_local_update();
+      } else {
+        meter->record_message(IndexRankUpdate::kWireBytes);
+      }
+    }
+  }
+}
+
+void DistributedIndex::remove_document(NodeId doc,
+                                       const std::vector<TermId>& terms,
+                                       PeerId doc_owner,
+                                       TrafficMeter* meter) {
+  for (const TermId t : terms) {
+    auto& plist = postings_[t];
+    const auto it = std::find_if(plist.begin(), plist.end(),
+                                 [&](const Posting& p) { return p.doc == doc; });
+    if (it == plist.end()) continue;
+    plist.erase(it);
+    --total_postings_;
+    if (meter != nullptr) {
+      if (doc_owner == term_peer_[t]) {
+        meter->record_local_update();
+      } else {
+        meter->record_message(IndexRankUpdate::kWireBytes);
+      }
+    }
+  }
+}
+
+const std::vector<Posting>& DistributedIndex::postings(TermId term) const {
+  if (!sorted_[term]) {
+    auto& plist = postings_[term];
+    std::sort(plist.begin(), plist.end(),
+              [](const Posting& a, const Posting& b) {
+                if (a.rank != b.rank) return a.rank > b.rank;
+                return a.doc < b.doc;
+              });
+    sorted_[term] = true;
+  }
+  return postings_[term];
+}
+
+}  // namespace dprank

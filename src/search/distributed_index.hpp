@@ -1,0 +1,78 @@
+#pragma once
+
+// Distributed inverted index with pagerank integration (§2.4.2).
+//
+// "Keyword search on DHT based systems is typically implemented by using
+// a distributed index, with the index entry for each keyword pointing to
+// all documents containing that particular keyword. We propose adding an
+// extra entry in the index to store the pageranks for documents. When
+// the pagerank has been computed for a node, an index update message is
+// sent, and the pagerank is noted in the index."
+//
+// Terms are partitioned across peers by hashing the term GUID onto the
+// DHT ring; each posting carries the document id and its recorded
+// pagerank so index peers can sort hits without contacting the owners.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/guid.hpp"
+#include "dht/ring.hpp"
+#include "net/traffic_meter.hpp"
+#include "search/corpus.hpp"
+
+namespace dprank {
+
+struct Posting {
+  NodeId doc = 0;
+  double rank = 0.0;
+};
+
+class DistributedIndex {
+ public:
+  /// Build the index for `corpus`, partitioning terms over `ring`.
+  /// Initial pageranks are zero until publish_ranks() runs.
+  DistributedIndex(const Corpus& corpus, const ChordRing& ring);
+
+  /// Record converged pageranks in the index. Each (document, term)
+  /// posting on a different peer than the document's owner costs one
+  /// index update message (§2.4.2), tallied into `meter` when provided.
+  /// `doc_owner(doc)` names the peer holding the document.
+  void publish_ranks(const std::vector<double>& ranks,
+                     const std::vector<PeerId>& doc_owner,
+                     TrafficMeter* meter = nullptr);
+
+  /// Update one document's recorded rank across all its terms (used
+  /// after incremental updates).
+  void publish_one(NodeId doc, const std::vector<TermId>& terms,
+                   double rank, PeerId doc_owner,
+                   TrafficMeter* meter = nullptr);
+
+  /// Remove a deleted document's postings (§3.1's delete path at the
+  /// index). One deletion notice per term whose partition lives on a
+  /// different peer than the document's owner.
+  void remove_document(NodeId doc, const std::vector<TermId>& terms,
+                       PeerId doc_owner, TrafficMeter* meter = nullptr);
+
+  [[nodiscard]] PeerId peer_of_term(TermId term) const {
+    return term_peer_[term];
+  }
+
+  /// Postings for a term, sorted by descending pagerank (ties by doc id).
+  /// Sorting happens lazily after rank publications.
+  [[nodiscard]] const std::vector<Posting>& postings(TermId term) const;
+
+  [[nodiscard]] std::uint64_t total_postings() const {
+    return total_postings_;
+  }
+  [[nodiscard]] std::size_t num_terms() const { return postings_.size(); }
+
+ private:
+  // Lazily re-sorted by rank on read; mutable pair implements the cache.
+  mutable std::vector<std::vector<Posting>> postings_;  // by term
+  std::vector<PeerId> term_peer_;
+  mutable std::vector<bool> sorted_;
+  std::uint64_t total_postings_ = 0;
+};
+
+}  // namespace dprank

@@ -1,0 +1,193 @@
+#include "search/fasd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dprank {
+
+FasdIndex::FasdIndex(const Corpus& corpus) {
+  const auto n = static_cast<double>(corpus.num_docs());
+  idf_.resize(corpus.vocabulary());
+  for (TermId t = 0; t < corpus.vocabulary(); ++t) {
+    const auto df = corpus.doc_frequency(t);
+    idf_[t] = df == 0 ? 0.0 : std::log(n / static_cast<double>(df));
+  }
+  keys_.resize(corpus.num_docs());
+  for (NodeId d = 0; d < corpus.num_docs(); ++d) {
+    auto& key = keys_[d];
+    double norm2 = 0.0;
+    for (const TermId t : corpus.terms_of(d)) {
+      const double w = idf_[t];
+      if (w <= 0.0) continue;
+      key.terms.push_back(t);
+      key.weights.push_back(w);
+      norm2 += w * w;
+    }
+    if (norm2 > 0.0) {
+      const double inv = 1.0 / std::sqrt(norm2);
+      for (auto& w : key.weights) w *= inv;
+    }
+  }
+}
+
+MetadataKey FasdIndex::make_query(const std::vector<TermId>& terms) const {
+  MetadataKey key;
+  std::vector<TermId> sorted = terms;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  double norm2 = 0.0;
+  for (const TermId t : sorted) {
+    if (t >= idf_.size()) {
+      throw std::out_of_range("FasdIndex::make_query: unknown term");
+    }
+    const double w = idf_[t] > 0.0 ? idf_[t] : 1e-6;
+    key.terms.push_back(t);
+    key.weights.push_back(w);
+    norm2 += w * w;
+  }
+  if (norm2 > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (auto& w : key.weights) w *= inv;
+  }
+  return key;
+}
+
+double closeness(const MetadataKey& a, const MetadataKey& b) {
+  double dot = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.terms.size() && j < b.terms.size()) {
+    if (a.terms[i] < b.terms[j]) {
+      ++i;
+    } else if (a.terms[i] > b.terms[j]) {
+      ++j;
+    } else {
+      dot += a.weights[i] * b.weights[j];
+      ++i;
+      ++j;
+    }
+  }
+  return dot;
+}
+
+FasdSearch::FasdSearch(const FasdIndex& index,
+                       const std::vector<double>& ranks, double alpha)
+    : index_(index), alpha_(alpha) {
+  if (ranks.size() != index.num_docs()) {
+    throw std::invalid_argument("FasdSearch: rank vector size mismatch");
+  }
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("FasdSearch: alpha outside [0,1]");
+  }
+  const auto [lo, hi] = std::minmax_element(ranks.begin(), ranks.end());
+  const double span = ranks.empty() || *hi == *lo ? 1.0 : *hi - *lo;
+  const double base = ranks.empty() ? 0.0 : *lo;
+  rank_norm_.resize(ranks.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    rank_norm_[i] = (ranks[i] - base) / span;
+  }
+}
+
+FasdScored FasdSearch::score_doc(const MetadataKey& query, NodeId doc) const {
+  FasdScored s;
+  s.doc = doc;
+  s.close = closeness(query, index_.key_of(doc));
+  s.rank = rank_norm_[doc];
+  s.score = alpha_ * s.close + (1.0 - alpha_) * s.rank;
+  return s;
+}
+
+std::vector<FasdScored> FasdSearch::exhaustive_top_k(
+    const MetadataKey& query, std::uint32_t k) const {
+  std::vector<FasdScored> all;
+  all.reserve(index_.num_docs());
+  for (NodeId d = 0; d < index_.num_docs(); ++d) {
+    all.push_back(score_doc(query, d));
+  }
+  const auto keep = std::min<std::size_t>(k, all.size());
+  std::partial_sort(all.begin(),
+                    all.begin() + static_cast<std::ptrdiff_t>(keep),
+                    all.end(), [](const FasdScored& a, const FasdScored& b) {
+                      return a.score > b.score;
+                    });
+  all.resize(keep);
+  return all;
+}
+
+FasdSearch::ForwardResult FasdSearch::forwarding_search(
+    const MetadataKey& query, const Placement& placement, PeerId origin,
+    std::uint32_t ttl, std::uint32_t k, std::uint32_t fanout) const {
+  if (placement.num_docs() != index_.num_docs()) {
+    throw std::invalid_argument("forwarding_search: placement mismatch");
+  }
+  const PeerId num_peers = placement.num_peers();
+  // Per-peer document lists.
+  std::vector<std::vector<NodeId>> docs_of(num_peers);
+  for (NodeId d = 0; d < index_.num_docs(); ++d) {
+    docs_of[placement.peer_of(d)].push_back(d);
+  }
+
+  ForwardResult out;
+  std::unordered_set<PeerId> visited;
+  std::vector<FasdScored> found;
+
+  auto visit_peer = [&](PeerId p) {
+    visited.insert(p);
+    out.path.push_back(p);
+    for (const NodeId d : docs_of[p]) found.push_back(score_doc(query, d));
+  };
+
+  auto best_local_score = [&](PeerId p) {
+    double best = -1.0;
+    for (const NodeId d : docs_of[p]) {
+      best = std::max(best, score_doc(query, d).score);
+    }
+    return best;
+  };
+
+  PeerId current = origin;
+  visit_peer(current);
+  for (std::uint32_t hop = 0; hop + 1 < ttl; ++hop) {
+    // Candidate neighbors: ring-adjacent peer ids (FASD/Freenet peers
+    // know a handful of neighbors, not the whole network).
+    PeerId best_peer = kInvalidPeer;
+    double best_score = -1.0;
+    for (std::uint32_t f = 1; f <= fanout; ++f) {
+      for (const PeerId cand :
+           {static_cast<PeerId>((current + f) % num_peers),
+            static_cast<PeerId>((current + num_peers - f) % num_peers)}) {
+        if (visited.contains(cand)) continue;
+        const double s = best_local_score(cand);
+        if (s > best_score) {
+          best_score = s;
+          best_peer = cand;
+        }
+      }
+    }
+    if (best_peer == kInvalidPeer) break;  // neighborhood exhausted
+    current = best_peer;
+    visit_peer(current);
+  }
+
+  const auto keep = std::min<std::size_t>(k, found.size());
+  std::partial_sort(found.begin(),
+                    found.begin() + static_cast<std::ptrdiff_t>(keep),
+                    found.end(), [](const FasdScored& a, const FasdScored& b) {
+                      return a.score > b.score;
+                    });
+  found.resize(keep);
+  out.results = std::move(found);
+
+  // Score-mass recall against the exhaustive top-k.
+  const auto exact = exhaustive_top_k(query, k);
+  double exact_mass = 0.0;
+  for (const auto& s : exact) exact_mass += s.score;
+  double got_mass = 0.0;
+  for (const auto& s : out.results) got_mass += s.score;
+  out.recall_score = exact_mass > 0.0 ? got_mass / exact_mass : 1.0;
+  return out;
+}
+
+}  // namespace dprank

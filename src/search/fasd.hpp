@@ -1,0 +1,107 @@
+#pragma once
+
+// FASD-style metadata-key search with pagerank integration (§2.4.1).
+//
+// In FASD (Kronfol) every document carries a metadata key — a weighted
+// term vector — and queries are vectors too; matching documents are
+// "close" to the query vector. The paper's modification: "results are
+// forwarded based on a linear combination of document closeness and
+// pagerank."
+//
+// This module implements:
+//  * idf-weighted sparse metadata keys derived from a Corpus,
+//  * cosine closeness between keys,
+//  * the combined score alpha * closeness + (1 - alpha) * rank_norm,
+//  * a Freenet-style greedy forwarding search over peers: the query
+//    hops to whichever neighbor peer holds the best-scoring document,
+//    collecting results until the TTL expires — anonymity-preserving
+//    (no global index), at the price of approximate results.
+
+#include <cstdint>
+#include <vector>
+
+#include "dht/ring.hpp"  // PeerId
+#include "p2p/placement.hpp"
+#include "search/corpus.hpp"
+
+namespace dprank {
+
+/// Sparse idf-weighted term vector, L2-normalized. Terms ascend.
+struct MetadataKey {
+  std::vector<TermId> terms;
+  std::vector<double> weights;
+
+  [[nodiscard]] bool empty() const { return terms.empty(); }
+};
+
+class FasdIndex {
+ public:
+  /// Build metadata keys for every corpus document. Weight of term t is
+  /// idf(t) = log(num_docs / df(t)); vectors are L2-normalized.
+  explicit FasdIndex(const Corpus& corpus);
+
+  [[nodiscard]] const MetadataKey& key_of(NodeId doc) const {
+    return keys_[doc];
+  }
+  [[nodiscard]] std::uint32_t num_docs() const {
+    return static_cast<std::uint32_t>(keys_.size());
+  }
+
+  /// Build a query key from raw terms with the same idf weighting.
+  [[nodiscard]] MetadataKey make_query(const std::vector<TermId>& terms) const;
+
+ private:
+  std::vector<MetadataKey> keys_;
+  std::vector<double> idf_;
+};
+
+/// Cosine similarity of two sparse keys (both normalized, so this is a
+/// plain sparse dot product). Empty keys score 0.
+[[nodiscard]] double closeness(const MetadataKey& a, const MetadataKey& b);
+
+struct FasdScored {
+  NodeId doc = 0;
+  double score = 0.0;
+  double close = 0.0;
+  double rank = 0.0;
+};
+
+class FasdSearch {
+ public:
+  /// `alpha` weighs closeness against (min-max normalized) pagerank in
+  /// the combined score.
+  FasdSearch(const FasdIndex& index, const std::vector<double>& ranks,
+             double alpha = 0.7);
+  FasdSearch(FasdIndex&&, const std::vector<double>&, double) = delete;
+
+  /// Exhaustive best-k by combined score (the quality ceiling the
+  /// forwarding search is measured against).
+  [[nodiscard]] std::vector<FasdScored> exhaustive_top_k(
+      const MetadataKey& query, std::uint32_t k) const;
+
+  struct ForwardResult {
+    std::vector<FasdScored> results;  // best k found along the walk
+    std::vector<PeerId> path;         // peers visited, in order
+    /// Fraction of the exhaustive top-k score mass recovered.
+    double recall_score = 0.0;
+  };
+
+  /// Freenet/FASD-style greedy forwarding: starting at `origin`, hop to
+  /// the unvisited peer (among `fanout` candidate neighbors per step,
+  /// chosen by id adjacency on the ring) whose best local document
+  /// scores highest, for at most `ttl` hops. No peer learns more than
+  /// its neighbors' best scores.
+  [[nodiscard]] ForwardResult forwarding_search(
+      const MetadataKey& query, const Placement& placement, PeerId origin,
+      std::uint32_t ttl, std::uint32_t k, std::uint32_t fanout = 3) const;
+
+ private:
+  [[nodiscard]] FasdScored score_doc(const MetadataKey& query,
+                                     NodeId doc) const;
+
+  const FasdIndex& index_;
+  std::vector<double> rank_norm_;  // min-max normalized pageranks
+  double alpha_;
+};
+
+}  // namespace dprank

@@ -1,0 +1,125 @@
+#include "search/incremental_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "search/bloom.hpp"
+
+namespace dprank {
+
+namespace {
+
+/// Top-x% selection with the paper's min-20 escape hatch. Input is
+/// already rank-sorted.
+std::vector<Posting> apply_top_fraction(const std::vector<Posting>& hits,
+                                        const SearchPolicy& policy) {
+  if (policy.forward_fraction >= 1.0) return hits;
+  const auto want = static_cast<std::size_t>(
+      std::ceil(policy.forward_fraction * static_cast<double>(hits.size())));
+  if (want < policy.min_forward) return hits;  // forward everything
+  std::vector<Posting> out(hits.begin(),
+                           hits.begin() + static_cast<std::ptrdiff_t>(want));
+  return out;
+}
+
+/// Intersect `incoming` with `local`, preserving local's rank order.
+std::vector<Posting> intersect(const std::vector<Posting>& incoming,
+                               const std::vector<Posting>& local) {
+  std::unordered_set<NodeId> ids;
+  ids.reserve(incoming.size() * 2);
+  for (const Posting& p : incoming) ids.insert(p.doc);
+  std::vector<Posting> out;
+  for (const Posting& p : local) {
+    if (ids.contains(p.doc)) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryOutcome SearchEngine::run_query(const std::vector<TermId>& terms,
+                                     const SearchPolicy& policy) const {
+  if (terms.empty()) {
+    throw std::invalid_argument("SearchEngine::run_query: no terms");
+  }
+  QueryOutcome out;
+  std::vector<Posting> current = index_.postings(terms[0]);
+  PeerId holder = index_.peer_of_term(terms[0]);
+
+  for (std::size_t i = 1; i < terms.size(); ++i) {
+    const PeerId next_peer = index_.peer_of_term(terms[i]);
+    const bool free_hop =
+        policy.free_same_peer_hops && next_peer == holder;
+    const std::vector<Posting> forwarded =
+        apply_top_fraction(current, policy);
+    out.forwarded_per_hop.push_back(
+        static_cast<std::uint32_t>(forwarded.size()));
+
+    if (policy.bloom_prefilter) {
+      // Coordinator keeps the working set; it ships a Bloom filter of the
+      // (filtered) set, the term peer replies with matching candidate
+      // ids, and exact intersection locally removes false positives.
+      BloomFilter filter(forwarded.size(), policy.bloom_bits_per_item);
+      for (const Posting& p : forwarded) filter.insert(p.doc);
+      std::vector<Posting> candidates;
+      for (const Posting& p : index_.postings(terms[i])) {
+        if (filter.possibly_contains(p.doc)) candidates.push_back(p);
+      }
+      if (!free_hop) {
+        const std::uint64_t filter_ids =
+            (filter.byte_count() + policy.bytes_per_doc_id - 1) /
+            policy.bytes_per_doc_id;
+        out.ids_transferred += filter_ids + candidates.size();
+        out.wire_bytes += filter.byte_count() +
+                          candidates.size() * policy.bytes_per_doc_id;
+      }
+      current = intersect(candidates, forwarded);
+      // holder unchanged: the coordinator retains the working set.
+    } else {
+      if (!free_hop) {
+        out.ids_transferred += forwarded.size();
+        out.wire_bytes += forwarded.size() * policy.bytes_per_doc_id;
+      }
+      current = intersect(forwarded, index_.postings(terms[i]));
+      holder = next_peer;
+    }
+  }
+
+  // Final transfer of the surviving hits back to the querying user.
+  out.ids_transferred += current.size();
+  out.wire_bytes += current.size() * policy.bytes_per_doc_id;
+  out.hits.reserve(current.size());
+  for (const Posting& p : current) out.hits.push_back(p.doc);
+  return out;
+}
+
+SearchSession::SearchSession(SearchEngine engine, std::vector<TermId> terms,
+                             SearchPolicy initial_policy)
+    : engine_(engine), terms_(std::move(terms)), policy_(initial_policy) {
+  if (terms_.empty()) {
+    throw std::invalid_argument("SearchSession: no terms");
+  }
+  policy_.forward_fraction =
+      std::clamp(policy_.forward_fraction, 1e-6, 1.0);
+}
+
+std::vector<NodeId> SearchSession::fetch_more() {
+  if (exhausted_) return {};
+  const auto outcome = engine_.run_query(terms_, policy_);
+  total_ids_ += outcome.ids_transferred;
+  ++fetches_;
+  if (policy_.forward_fraction >= 1.0) exhausted_ = true;
+  policy_.forward_fraction = std::min(1.0, policy_.forward_fraction * 2.0);
+
+  std::unordered_set<NodeId> seen(delivered_.begin(), delivered_.end());
+  std::vector<NodeId> fresh;
+  for (const NodeId d : outcome.hits) {
+    if (!seen.contains(d)) fresh.push_back(d);
+  }
+  delivered_.insert(delivered_.end(), fresh.begin(), fresh.end());
+  return fresh;
+}
+
+}  // namespace dprank

@@ -1,0 +1,32 @@
+#include "search/query_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+
+std::vector<std::vector<TermId>> generate_queries(
+    const Corpus& corpus, const QueryWorkloadParams& params) {
+  if (params.terms_per_query == 0 ||
+      params.terms_per_query > params.term_pool) {
+    throw std::invalid_argument("generate_queries: bad terms_per_query");
+  }
+  const std::vector<TermId> pool = corpus.top_terms(params.term_pool);
+  Rng rng(params.seed ^ 0x5EA4C4ULL ^
+          (static_cast<std::uint64_t>(params.terms_per_query) << 32));
+  std::vector<std::vector<TermId>> queries;
+  queries.reserve(params.num_queries);
+  for (std::uint32_t q = 0; q < params.num_queries; ++q) {
+    const auto picks = rng.sample_without_replacement(
+        pool.size(), params.terms_per_query);
+    std::vector<TermId> query;
+    query.reserve(picks.size());
+    for (const auto idx : picks) query.push_back(pool[idx]);
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace dprank

@@ -1,0 +1,94 @@
+#include "sim/experiment.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "graph/generator.hpp"
+#include "graph/graph_io.hpp"
+#include "pagerank/centralized.hpp"
+
+namespace dprank {
+
+std::shared_ptr<const Digraph> cached_paper_graph(std::uint64_t num_docs,
+                                                  std::uint64_t seed) {
+  static std::mutex mu;
+  static std::map<std::pair<std::uint64_t, std::uint64_t>,
+                  std::weak_ptr<const Digraph>>
+      cache;
+  const std::lock_guard lock(mu);
+  const auto key = std::make_pair(num_docs, seed);
+  if (auto existing = cache[key].lock()) return existing;
+
+  std::shared_ptr<const Digraph> graph;
+  const char* dir = std::getenv("DPRANK_CACHE_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    std::filesystem::create_directories(dir);
+    const auto path = std::filesystem::path(dir) /
+                      ("web_" + std::to_string(num_docs) + "_s" +
+                       std::to_string(seed) + ".dpg");
+    graph = std::make_shared<const Digraph>(
+        load_or_build(path, [&] { return paper_graph(num_docs, seed); }));
+  } else {
+    graph = std::make_shared<const Digraph>(paper_graph(num_docs, seed));
+  }
+  cache[key] = graph;
+  return graph;
+}
+
+StandardExperiment::StandardExperiment(const ExperimentConfig& config)
+    : config_(config),
+      graph_(cached_paper_graph(config.num_docs, config.seed)),
+      placement_(std::make_shared<const Placement>(Placement::random(
+          config.num_docs, config.num_peers, config.seed))) {}
+
+PagerankOptions StandardExperiment::pagerank_options() const {
+  PagerankOptions opts;
+  opts.damping = config_.damping;
+  opts.epsilon = config_.epsilon;
+  return opts;
+}
+
+StandardExperiment::DistributedOutcome StandardExperiment::run_distributed(
+    const DistributedPagerank::PassObserver& observer) const {
+  DistributedPagerank engine(*graph_, *placement_, pagerank_options());
+  DistributedOutcome out;
+  if (config_.availability < 1.0) {
+    ChurnSchedule churn(config_.num_peers, config_.availability,
+                        config_.seed);
+    out.run = engine.run(&churn, observer);
+  } else {
+    out.run = engine.run(nullptr, observer);
+  }
+  out.ranks = engine.ranks();
+  out.messages = engine.traffic().messages();
+  out.local_updates = engine.traffic().local_updates();
+  out.history = engine.pass_history();
+  return out;
+}
+
+const std::vector<double>& StandardExperiment::reference_ranks() const {
+  if (reference_.empty()) {
+    // Shared across experiment instances: Table 2/4 sweeps construct one
+    // StandardExperiment per threshold over the same graph, and the
+    // reference solve is the expensive part at 500k+ nodes.
+    static std::mutex mu;
+    static std::map<std::tuple<std::uint64_t, std::uint64_t, double>,
+                    std::shared_ptr<const std::vector<double>>>
+        cache;
+    const std::lock_guard lock(mu);
+    const auto key =
+        std::make_tuple(config_.num_docs, config_.seed, config_.damping);
+    auto& entry = cache[key];
+    if (entry == nullptr) {
+      entry = std::make_shared<const std::vector<double>>(
+          centralized_pagerank(*graph_, config_.damping, 1e-12).ranks);
+    }
+    reference_ = *entry;
+  }
+  return reference_;
+}
+
+}  // namespace dprank

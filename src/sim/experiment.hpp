@@ -1,0 +1,73 @@
+#pragma once
+
+// Shared experiment assembly for benches, examples and integration tests.
+//
+// The paper's standard setup (§4.2): a power-law graph of N documents
+// randomly placed on 500 peers, damping 0.85, convergence threshold
+// epsilon. StandardExperiment bundles the pieces; run_distributed() and
+// reference_ranks() wrap the two solvers with consistent parameters.
+// Generated graphs are cached on disk (they are the expensive part of
+// a bench run at 500k+ nodes).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dht/ring.hpp"
+#include "graph/digraph.hpp"
+#include "p2p/churn.hpp"
+#include "p2p/placement.hpp"
+#include "pagerank/distributed_engine.hpp"
+#include "pagerank/options.hpp"
+
+namespace dprank {
+
+struct ExperimentConfig {
+  std::uint64_t num_docs = 10'000;
+  PeerId num_peers = 500;  // the paper's §4.3-4.7 peer count
+  double damping = 0.85;
+  double epsilon = 1e-3;
+  double availability = 1.0;  // Table 1's 100/75/50% columns
+  std::uint64_t seed = 42;
+};
+
+class StandardExperiment {
+ public:
+  explicit StandardExperiment(const ExperimentConfig& config);
+
+  [[nodiscard]] const Digraph& graph() const { return *graph_; }
+  [[nodiscard]] const Placement& placement() const { return *placement_; }
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] PagerankOptions pagerank_options() const;
+
+  struct DistributedOutcome {
+    DistributedRunResult run;
+    std::vector<double> ranks;
+    std::uint64_t messages = 0;
+    std::uint64_t local_updates = 0;
+    std::vector<PassStats> history;
+  };
+
+  /// Run the distributed engine (fresh instance) honoring the configured
+  /// availability; optional per-pass observer.
+  [[nodiscard]] DistributedOutcome run_distributed(
+      const DistributedPagerank::PassObserver& observer = nullptr) const;
+
+  /// Centralized reference R_c at tight tolerance (cached per instance).
+  [[nodiscard]] const std::vector<double>& reference_ranks() const;
+
+ private:
+  ExperimentConfig config_;
+  std::shared_ptr<const Digraph> graph_;
+  std::shared_ptr<const Placement> placement_;
+  mutable std::vector<double> reference_;  // lazily computed
+};
+
+/// Process-wide cache of generated graphs keyed by (nodes, seed): bench
+/// binaries sweep 7 thresholds over the same graph and should not pay
+/// generation 7 times. Also persists to the directory named by
+/// DPRANK_CACHE_DIR (unset = no disk cache).
+[[nodiscard]] std::shared_ptr<const Digraph> cached_paper_graph(
+    std::uint64_t num_docs, std::uint64_t seed);
+
+}  // namespace dprank

@@ -1,0 +1,63 @@
+#include "sim/time_model.hpp"
+
+#include <algorithm>
+
+namespace dprank {
+
+NetworkParams modem_network() {
+  return NetworkParams{.bandwidth_bytes_per_sec = 32.0 * 1024};
+}
+
+NetworkParams broadband_network() {
+  return NetworkParams{.bandwidth_bytes_per_sec = 200.0 * 1024};
+}
+
+NetworkParams t3_network() {
+  return NetworkParams{.bandwidth_bytes_per_sec = 5.6e6};
+}
+
+TimeEstimate estimate_serialized(const std::vector<PassStats>& history,
+                                 const NetworkParams& net) {
+  TimeEstimate t;
+  for (const auto& p : history) {
+    const double msgs = static_cast<double>(p.messages_sent) +
+                        static_cast<double>(p.messages_delivered_late);
+    t.comm_seconds += msgs * net.message_bytes / net.bandwidth_bytes_per_sec;
+    t.compute_seconds += static_cast<double>(p.docs_recomputed) *
+                         net.compute_seconds_per_doc;
+  }
+  return t;
+}
+
+TimeEstimate estimate_parallel(const std::vector<PassStats>& history,
+                               const Placement& placement,
+                               const NetworkParams& net) {
+  // Heaviest peer's compute share: documents are placed near-uniformly,
+  // so the busiest peer hosts ~max over peers of hosted docs.
+  const auto per_peer = placement.docs_per_peer();
+  const double max_docs = static_cast<double>(
+      *std::max_element(per_peer.begin(), per_peer.end()));
+  TimeEstimate t;
+  for (const auto& p : history) {
+    if (p.docs_recomputed == 0 && p.messages_sent == 0) continue;
+    t.comm_seconds += static_cast<double>(p.max_peer_messages) *
+                      net.message_bytes / net.bandwidth_bytes_per_sec;
+    t.compute_seconds += max_docs * net.compute_seconds_per_doc;
+  }
+  return t;
+}
+
+TimeEstimate extrapolate_internet_scale(double avg_messages_per_node,
+                                        double avg_passes,
+                                        double num_documents,
+                                        const NetworkParams& net,
+                                        double num_servers) {
+  TimeEstimate t;
+  t.comm_seconds = avg_messages_per_node * num_documents * net.message_bytes /
+                   net.bandwidth_bytes_per_sec;
+  t.compute_seconds = avg_passes * (num_documents / num_servers) *
+                      net.compute_seconds_per_doc;
+  return t;
+}
+
+}  // namespace dprank

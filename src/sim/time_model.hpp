@@ -1,0 +1,74 @@
+#pragma once
+
+// Execution-time estimation (§4.6, Eq. 4).
+//
+// Per §4.6.1 the paper assumes homogeneous peers, coalesced per-peer
+// transfers, *serialized* sends, IP caching (messages go direct), and
+// constant computational work per pass. Table 3's hour figures are
+// reproduced by the fully-serialized reading of Eq. 4 — total message
+// bytes over one bandwidth — e.g. 533.2M messages x 24 B / 32 KB/s
+// = 108.5 h against the paper's 106.6 h (epsilon = 1e-5, 5000k nodes).
+// estimate_serialized() implements that model; estimate_parallel() is the
+// concurrent-peers variant (pass time = busiest peer) provided as the
+// more realistic ablation.
+//
+// Compute time is calibrated from the paper's "computation required per
+// pass for the 5000k node graph [is] of the order of a minute or less" on
+// P3/P4-class machines: 60 s / 5M documents = 12 us per document-recompute.
+
+#include <cstdint>
+#include <vector>
+
+#include "p2p/placement.hpp"
+#include "pagerank/distributed_engine.hpp"
+
+namespace dprank {
+
+struct NetworkParams {
+  /// Average sustained transfer rate between peers, bytes/second.
+  double bandwidth_bytes_per_sec = 32.0 * 1024;
+  /// Pagerank update wire size (§4.6.1: 128-bit GUID + 64-bit value).
+  double message_bytes = 24.0;
+  /// Per-document recompute cost (calibrated above).
+  double compute_seconds_per_doc = 12e-6;
+};
+
+/// The paper's conservative peer-to-peer rate (§4.6.1).
+[[nodiscard]] NetworkParams modem_network();    // 32 KB/s
+[[nodiscard]] NetworkParams broadband_network();  // 200 KB/s
+/// Web-server backbone rate (§4.6.2): "at least a T3 line (about 5.6
+/// megabytes per second)".
+[[nodiscard]] NetworkParams t3_network();
+
+struct TimeEstimate {
+  double comm_seconds = 0.0;
+  double compute_seconds = 0.0;
+  [[nodiscard]] double total_seconds() const {
+    return comm_seconds + compute_seconds;
+  }
+  [[nodiscard]] double total_hours() const { return total_seconds() / 3600.0; }
+  [[nodiscard]] double total_days() const {
+    return total_seconds() / 86400.0;
+  }
+};
+
+/// Paper model: all delivered cross-peer messages share one serialized
+/// pipe; compute adds docs-recomputed x per-doc cost.
+[[nodiscard]] TimeEstimate estimate_serialized(
+    const std::vector<PassStats>& history, const NetworkParams& net);
+
+/// Concurrent-peers model: each pass costs the busiest sender's
+/// serialized transfer plus the heaviest peer's compute share.
+[[nodiscard]] TimeEstimate estimate_parallel(
+    const std::vector<PassStats>& history, const Placement& placement,
+    const NetworkParams& net);
+
+/// §4.6.2 extrapolation: scale measured per-node message counts to a
+/// corpus of `num_documents` hosted by `num_servers` web servers
+/// exchanging updates at `net` rates. Communication uses the paper's
+/// serialized model; compute is parallel across servers.
+[[nodiscard]] TimeEstimate extrapolate_internet_scale(
+    double avg_messages_per_node, double avg_passes, double num_documents,
+    const NetworkParams& net, double num_servers = 100'000.0);
+
+}  // namespace dprank

@@ -1,0 +1,141 @@
+#include "pagerank/async_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "pagerank/centralized.hpp"
+#include "pagerank/distributed_engine.hpp"
+#include "pagerank/quality.hpp"
+
+namespace dprank {
+namespace {
+
+PagerankOptions opts(double eps) {
+  PagerankOptions o;
+  o.epsilon = eps;
+  return o;
+}
+
+TEST(AsyncRuntime, ValidatesPlacement) {
+  const Digraph g = figure2_graph();
+  const auto p = Placement::random(5, 2, 1);
+  EXPECT_THROW(AsyncPagerankRuntime(g, p, opts(1e-3)), std::invalid_argument);
+}
+
+TEST(AsyncRuntime, SinglePeerMatchesCentralized) {
+  const Digraph g = paper_graph(500, 3);
+  const auto p = Placement::random(500, 1, 3);
+  AsyncPagerankRuntime rt(g, p, opts(1e-9));
+  const auto result = rt.run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.cross_peer_messages, 0u);  // nothing leaves the peer
+  const auto ref = centralized_pagerank(g, 0.85, 1e-13).ranks;
+  EXPECT_LT(summarize_quality(result.ranks, ref).max, 1e-6);
+}
+
+TEST(AsyncRuntime, MultiPeerConvergesToReference) {
+  // The chaotic iteration with real threads must land on the same fixed
+  // point as the synchronous solver (Chazan & Miranker).
+  const Digraph g = paper_graph(2000, 4);
+  const auto p = Placement::random(2000, 8, 4);
+  AsyncPagerankRuntime rt(g, p, opts(1e-8));
+  const auto result = rt.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.cross_peer_messages, 0u);
+  const auto ref = centralized_pagerank(g, 0.85, 1e-13).ranks;
+  EXPECT_LT(summarize_quality(result.ranks, ref).max, 1e-4);
+}
+
+TEST(AsyncRuntime, AgreesWithPassBasedEngine) {
+  // Two implementations of the same protocol: results must agree within
+  // the epsilon-scale tolerance even though message orderings differ.
+  const Digraph g = paper_graph(1500, 5);
+  const auto p = Placement::random(1500, 6, 5);
+
+  AsyncPagerankRuntime rt(g, p, opts(1e-7));
+  const auto async_result = rt.run();
+  ASSERT_TRUE(async_result.converged);
+
+  DistributedPagerank sync_engine(g, p, opts(1e-7));
+  ASSERT_TRUE(sync_engine.run().converged);
+
+  const auto q = summarize_quality(async_result.ranks, sync_engine.ranks());
+  EXPECT_LT(q.max, 1e-3);
+}
+
+TEST(AsyncRuntime, RepeatedRunsConvergeToSameFixedPoint) {
+  // Thread interleavings vary between runs; the fixed point may not.
+  const Digraph g = paper_graph(800, 6);
+  const auto p = Placement::random(800, 4, 6);
+  AsyncPagerankRuntime a(g, p, opts(1e-8));
+  AsyncPagerankRuntime b(g, p, opts(1e-8));
+  const auto ra = a.run();
+  const auto rb = b.run();
+  ASSERT_TRUE(ra.converged);
+  ASSERT_TRUE(rb.converged);
+  EXPECT_LT(summarize_quality(ra.ranks, rb.ranks).max, 1e-4);
+}
+
+TEST(AsyncRuntime, EveryDocumentRecomputesAtLeastOnce) {
+  const Digraph g = paper_graph(600, 7);
+  const auto p = Placement::random(600, 3, 7);
+  AsyncPagerankRuntime rt(g, p, opts(1e-4));
+  const auto result = rt.run();
+  EXPECT_GE(result.recomputes, 600u);  // the startup pass alone
+}
+
+TEST(AsyncRuntime, MessageCapAborts) {
+  const Digraph g = paper_graph(2000, 8);
+  const auto p = Placement::random(2000, 8, 8);
+  AsyncPagerankRuntime rt(g, p, opts(1e-12));
+  const auto result = rt.run(/*message_cap=*/100);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(AsyncRuntime, EmptyGraphTerminates) {
+  const Digraph g = Digraph::from_edges(10, {});
+  const auto p = Placement::random(10, 4, 9);
+  AsyncPagerankRuntime rt(g, p, opts(1e-3));
+  const auto result = rt.run();
+  EXPECT_TRUE(result.converged);
+  for (const double r : result.ranks) EXPECT_NEAR(r, 0.15, 1e-12);
+}
+
+TEST(AsyncRuntime, ChurnedRunStillReachesFixedPoint) {
+  // Pause/resume injection: peers freeze mid-computation while their
+  // mailboxes fill; the credit-counted termination must still detect
+  // true quiescence and the fixed point must be unchanged.
+  const Digraph g = paper_graph(1500, 11);
+  const auto p = Placement::random(1500, 8, 11);
+  AsyncPagerankRuntime rt(g, p, opts(1e-8));
+  AsyncPagerankRuntime::ChurnParams churn;
+  churn.cycles = 20;
+  churn.pause_fraction = 0.5;
+  churn.pause_microseconds = 300;
+  const auto result = rt.run_with_churn(churn);
+  ASSERT_TRUE(result.converged);
+  const auto ref = centralized_pagerank(g, 0.85, 1e-13).ranks;
+  EXPECT_LT(summarize_quality(result.ranks, ref).max, 1e-4);
+}
+
+TEST(AsyncRuntime, ChurnWithSinglePeerIsNoOp) {
+  const Digraph g = paper_graph(400, 12);
+  const auto p = Placement::random(400, 1, 12);
+  AsyncPagerankRuntime rt(g, p, opts(1e-8));
+  const auto result = rt.run_with_churn({.cycles = 5});
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(AsyncRuntime, ManyPeersSmallGraph) {
+  // More peers than documents per peer; exercises empty-peer startup.
+  const Digraph g = figure2_graph();
+  const auto p = Placement::random(6, 12, 10);
+  AsyncPagerankRuntime rt(g, p, opts(1e-9));
+  const auto result = rt.run();
+  ASSERT_TRUE(result.converged);
+  const auto ref = centralized_pagerank(g, 0.85, 1e-13).ranks;
+  EXPECT_LT(summarize_quality(result.ranks, ref).max, 1e-6);
+}
+
+}  // namespace
+}  // namespace dprank

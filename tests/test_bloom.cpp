@@ -1,0 +1,75 @@
+#include "search/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+namespace {
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilter f(1000);
+  for (std::uint64_t i = 0; i < 1000; ++i) f.insert(i * 7919);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(f.possibly_contains(i * 7919));
+  }
+}
+
+TEST(Bloom, FalsePositiveRateNearTheory) {
+  BloomFilter f(5000, 8.0);
+  for (std::uint64_t i = 0; i < 5000; ++i) f.insert(i);
+  // Probe disjoint keys.
+  int fp = 0;
+  constexpr int kProbes = 20'000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (f.possibly_contains(1'000'000ULL + static_cast<std::uint64_t>(i))) {
+      ++fp;
+    }
+  }
+  const double measured = static_cast<double>(fp) / kProbes;
+  // 8 bits/item, optimal k: theory ~2.1%; allow generous slack.
+  EXPECT_LT(measured, 0.05);
+  EXPECT_NEAR(measured, f.expected_fpr(), 0.02);
+}
+
+TEST(Bloom, MoreBitsFewerFalsePositives) {
+  auto measure = [](double bits_per_item) {
+    BloomFilter f(2000, bits_per_item);
+    for (std::uint64_t i = 0; i < 2000; ++i) f.insert(i);
+    int fp = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      if (f.possibly_contains(5'000'000ULL + static_cast<std::uint64_t>(i))) {
+        ++fp;
+      }
+    }
+    return fp;
+  };
+  EXPECT_LT(measure(12.0), measure(4.0));
+}
+
+TEST(Bloom, EmptyFilterRejectsEverything) {
+  const BloomFilter f(100);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(f.possibly_contains(rng()));
+  }
+  EXPECT_DOUBLE_EQ(f.expected_fpr(), 0.0);
+}
+
+TEST(Bloom, ZeroExpectedItemsStillWorks) {
+  BloomFilter f(0);
+  f.insert(42);
+  EXPECT_TRUE(f.possibly_contains(42));
+  EXPECT_GE(f.bit_count(), 64u);
+}
+
+TEST(Bloom, SizingFollowsBitsPerItem) {
+  const BloomFilter f(1000, 10.0);
+  EXPECT_GE(f.bit_count(), 10'000u);
+  EXPECT_LT(f.bit_count(), 10'000u + 64);
+  EXPECT_EQ(f.byte_count(), f.bit_count() / 8);
+  EXPECT_EQ(f.hash_count(), 7u);  // round(10 * ln 2)
+}
+
+}  // namespace
+}  // namespace dprank

@@ -1,0 +1,173 @@
+#include "dht/can.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+namespace {
+
+TEST(TorusDistance, WrapsAroundSeam) {
+  EXPECT_NEAR(torus_distance({0.05, 0.5}, {0.95, 0.5}), 0.1, 1e-12);
+  EXPECT_NEAR(torus_distance({0.0, 0.0}, {0.5, 0.5}),
+              std::sqrt(0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(torus_distance({0.3, 0.7}, {0.3, 0.7}), 0.0);
+}
+
+TEST(CanSpace, SinglePeerOwnsEverything) {
+  const CanSpace can(1);
+  EXPECT_EQ(can.num_zones(), 1u);
+  EXPECT_EQ(can.num_peers(), 1u);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(can.owner_of_key(Guid{rng(), rng()}), 0u);
+  }
+}
+
+TEST(CanSpace, ZonesAlwaysTileTheTorus) {
+  for (const PeerId n : {2u, 5u, 16u, 64u, 200u}) {
+    const CanSpace can(n);
+    EXPECT_NEAR(can.total_volume(), 1.0, 1e-9) << n << " peers";
+    EXPECT_EQ(can.num_peers(), n);
+    EXPECT_EQ(can.num_zones(), n);  // joins only split: one zone each
+  }
+}
+
+TEST(CanSpace, EveryPointHasExactlyOneZone) {
+  const CanSpace can(64);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const CanSpace::Point p{rng.uniform(), rng.uniform()};
+    int covering = 0;
+    for (const auto& z : can.zones()) {
+      if (z.contains(p)) ++covering;
+    }
+    ASSERT_EQ(covering, 1);
+  }
+}
+
+TEST(CanSpace, JoinRejectsDuplicate) {
+  CanSpace can(4);
+  EXPECT_THROW(can.join(2), std::invalid_argument);
+}
+
+TEST(CanSpace, LeaveHandsZonesToNeighbor) {
+  CanSpace can(16);
+  const auto volume_before = can.total_volume();
+  can.leave(7);
+  EXPECT_FALSE(can.contains(7));
+  EXPECT_EQ(can.num_peers(), 15u);
+  EXPECT_NEAR(can.total_volume(), volume_before, 1e-12);
+  // Zones persist (takeover, not merge): still 16 zones, 15 owners.
+  EXPECT_EQ(can.num_zones(), 16u);
+}
+
+TEST(CanSpace, LeaveIsIdempotentAndGuarded) {
+  CanSpace can(2);
+  can.leave(1);
+  can.leave(1);  // no-op
+  EXPECT_EQ(can.num_peers(), 1u);
+  EXPECT_THROW(can.leave(0), std::logic_error);  // cannot empty the space
+}
+
+TEST(CanSpace, OwnerMatchesZoneLookup) {
+  const CanSpace can(100);
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const Guid key{rng(), rng()};
+    const auto p = CanSpace::key_to_point(key);
+    EXPECT_EQ(can.owner_of_key(key), can.owner_of_point(p));
+  }
+}
+
+TEST(CanSpace, RouteReachesOwner) {
+  const CanSpace can(64);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const auto from = static_cast<PeerId>(rng.bounded(64));
+    const Guid key{rng(), rng()};
+    const auto route = can.route(from, key);
+    EXPECT_EQ(route.destination, can.owner_of_key(key));
+    if (route.destination == from) {
+      // Key owned by the origin: either zero hops, or (rare, multi-zone
+      // owners aside) none at all since joins keep one zone per peer.
+      EXPECT_EQ(route.hop_count(), 0u);
+    } else {
+      ASSERT_FALSE(route.hops.empty());
+      EXPECT_EQ(route.hops.back(), route.destination);
+    }
+  }
+}
+
+TEST(CanSpace, HopsScaleAsSquareRoot) {
+  // d = 2: average route length grows ~ (1/2) * sqrt(n) for CAN.
+  Rng rng(11);
+  double avg64 = 0;
+  double avg256 = 0;
+  const CanSpace can64(64);
+  const CanSpace can256(256);
+  constexpr int kLookups = 300;
+  for (int i = 0; i < kLookups; ++i) {
+    avg64 += static_cast<double>(
+        can64.route(static_cast<PeerId>(rng.bounded(64)), Guid{rng(), rng()})
+            .hop_count());
+    avg256 += static_cast<double>(
+        can256
+            .route(static_cast<PeerId>(rng.bounded(256)), Guid{rng(), rng()})
+            .hop_count());
+  }
+  avg64 /= kLookups;
+  avg256 /= kLookups;
+  EXPECT_LT(avg64, 2.0 * std::sqrt(64.0));
+  EXPECT_LT(avg256, 2.0 * std::sqrt(256.0));
+  // Quadrupling n should roughly double the hop count (sqrt scaling),
+  // certainly not leave it flat or quadruple it.
+  EXPECT_GT(avg256, avg64 * 1.3);
+  EXPECT_LT(avg256, avg64 * 3.5);
+}
+
+TEST(CanSpace, RoutingSurvivesChurn) {
+  CanSpace can(64);
+  Rng rng(13);
+  for (PeerId p = 1; p < 64; p += 4) can.leave(p);
+  EXPECT_NEAR(can.total_volume(), 1.0, 1e-9);
+  for (int i = 0; i < 150; ++i) {
+    // Route from a live peer.
+    PeerId from = static_cast<PeerId>(rng.bounded(64));
+    while (!can.contains(from)) from = static_cast<PeerId>(rng.bounded(64));
+    const Guid key{rng(), rng()};
+    const auto route = can.route(from, key);
+    EXPECT_EQ(route.destination, can.owner_of_key(key));
+  }
+}
+
+TEST(CanSpace, NeighborsAreSymmetric) {
+  const CanSpace can(32);
+  for (std::size_t z = 0; z < can.num_zones(); ++z) {
+    for (const std::size_t nb : can.neighbors_of_zone(z)) {
+      const auto back = can.neighbors_of_zone(nb);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), z) != back.end())
+          << "zones " << z << " and " << nb;
+    }
+  }
+}
+
+TEST(CanSpace, ThreeOverlaysAgreeOnOwnershipSemantics) {
+  // The pagerank layer is overlay-agnostic: all three DHTs resolve every
+  // key to exactly one live peer. (The owners differ — each overlay has
+  // its own ownership rule — but resolution must be total and unique.)
+  const CanSpace can(32);
+  const ChordRing chord(32);
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const Guid key{rng(), rng()};
+    EXPECT_LT(can.owner_of_key(key), 32u);
+    EXPECT_LT(chord.successor_of_key(key), 32u);
+  }
+}
+
+}  // namespace
+}  // namespace dprank

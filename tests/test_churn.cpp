@@ -1,0 +1,174 @@
+#include "p2p/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/generator.hpp"
+#include "pagerank/distributed_engine.hpp"
+
+namespace dprank {
+namespace {
+
+std::uint32_t count_present(const std::vector<bool>& mask) {
+  return static_cast<std::uint32_t>(
+      std::count(mask.begin(), mask.end(), true));
+}
+
+TEST(Churn, FullAvailabilityKeepsEveryoneOnline) {
+  ChurnSchedule churn(500, 1.0, 42);
+  for (std::uint64_t pass = 0; pass < 5; ++pass) {
+    const auto& mask = churn.presence_for_pass(pass);
+    EXPECT_EQ(count_present(mask), 500u);
+  }
+}
+
+TEST(Churn, ExactFractionPresent) {
+  // Table 1's 75% and 50% columns: exactly floor(f*P) present per pass.
+  for (const double f : {0.75, 0.5, 0.25}) {
+    ChurnSchedule churn(500, f, 7);
+    for (std::uint64_t pass = 0; pass < 10; ++pass) {
+      const auto& mask = churn.presence_for_pass(pass);
+      EXPECT_EQ(count_present(mask),
+                static_cast<std::uint32_t>(500 * f));
+    }
+  }
+}
+
+TEST(Churn, PeersRotateBetweenPasses) {
+  ChurnSchedule churn(100, 0.5, 9);
+  const auto first = churn.presence_for_pass(0);
+  const auto second = churn.presence_for_pass(1);
+  EXPECT_NE(first, second);  // random resample each pass
+}
+
+TEST(Churn, EveryPeerEventuallyPresent) {
+  // With per-pass uniform resampling at 50%, every peer must show up
+  // within a few dozen passes (miss probability 0.5^40 ~ 1e-12).
+  ChurnSchedule churn(50, 0.5, 11);
+  std::vector<bool> ever(50, false);
+  for (std::uint64_t pass = 0; pass < 40; ++pass) {
+    const auto& mask = churn.presence_for_pass(pass);
+    for (std::size_t p = 0; p < 50; ++p) {
+      if (mask[p]) ever[p] = true;
+    }
+  }
+  EXPECT_EQ(count_present(ever), 50u);
+}
+
+TEST(Churn, DeterministicFromSeed) {
+  ChurnSchedule a(64, 0.75, 123);
+  ChurnSchedule b(64, 0.75, 123);
+  for (std::uint64_t pass = 0; pass < 20; ++pass) {
+    EXPECT_EQ(a.presence_for_pass(pass), b.presence_for_pass(pass));
+  }
+}
+
+TEST(Churn, PassesMustBeNondecreasing) {
+  ChurnSchedule churn(10, 0.5, 1);
+  (void)churn.presence_for_pass(5);
+  EXPECT_THROW(churn.presence_for_pass(4), std::logic_error);
+  // Re-requesting the current pass is allowed.
+  EXPECT_NO_THROW(churn.presence_for_pass(5));
+}
+
+TEST(Churn, ValidatesParameters) {
+  EXPECT_THROW(ChurnSchedule(0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(ChurnSchedule(10, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(ChurnSchedule(10, 1.5, 1), std::invalid_argument);
+}
+
+TEST(Churn, TinyFractionKeepsAtLeastOnePeer) {
+  ChurnSchedule churn(10, 0.01, 3);
+  EXPECT_EQ(churn.present_per_pass(), 1u);
+  const auto& mask = churn.presence_for_pass(0);
+  EXPECT_EQ(count_present(mask), 1u);
+}
+
+TEST(SessionChurn, StationaryAvailabilityNearTarget) {
+  ChurnSchedule churn(200, 0.6, 7, ChurnModel::kSessions, 10.0);
+  double total = 0;
+  constexpr int kPasses = 500;
+  for (std::uint64_t pass = 0; pass < kPasses; ++pass) {
+    total += count_present(churn.presence_for_pass(pass));
+  }
+  const double avg_avail = total / (kPasses * 200.0);
+  EXPECT_NEAR(avg_avail, 0.6, 0.05);
+}
+
+TEST(SessionChurn, SessionsPersistAcrossPasses) {
+  // Unlike per-pass resampling, a session model keeps most peers in
+  // their current state between consecutive passes: the symmetric
+  // difference of consecutive masks must be far below the resample
+  // model's expectation.
+  ChurnSchedule sessions(100, 0.5, 9, ChurnModel::kSessions, 20.0);
+  ChurnSchedule resample(100, 0.5, 9, ChurnModel::kResample);
+  auto flips = [](const std::vector<bool>& a, const std::vector<bool>& b) {
+    int f = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) ++f;
+    }
+    return f;
+  };
+  int session_flips = 0;
+  int resample_flips = 0;
+  std::vector<bool> prev_s = sessions.presence_for_pass(0);
+  std::vector<bool> prev_r = resample.presence_for_pass(0);
+  for (std::uint64_t pass = 1; pass <= 50; ++pass) {
+    const std::vector<bool> cur_s = sessions.presence_for_pass(pass);
+    const std::vector<bool> cur_r = resample.presence_for_pass(pass);
+    session_flips += flips(prev_s, cur_s);
+    resample_flips += flips(prev_r, cur_r);
+    prev_s = cur_s;
+    prev_r = cur_r;
+  }
+  EXPECT_LT(session_flips * 3, resample_flips);
+}
+
+TEST(SessionChurn, MeanOnlineSessionLengthRoughlyHonored) {
+  ChurnSchedule churn(300, 0.5, 11, ChurnModel::kSessions, 8.0);
+  // Track session lengths for peers over many passes.
+  std::vector<int> run_length(300, 0);
+  double total_len = 0;
+  int sessions_ended = 0;
+  std::vector<bool> prev = churn.presence_for_pass(0);
+  for (std::uint64_t pass = 1; pass < 600; ++pass) {
+    const std::vector<bool> cur = churn.presence_for_pass(pass);
+    for (std::size_t p = 0; p < 300; ++p) {
+      if (prev[p]) ++run_length[p];
+      if (prev[p] && !cur[p]) {
+        total_len += run_length[p];
+        ++sessions_ended;
+        run_length[p] = 0;
+      }
+      if (!prev[p]) run_length[p] = 0;
+    }
+    prev = cur;
+  }
+  ASSERT_GT(sessions_ended, 100);
+  EXPECT_NEAR(total_len / sessions_ended, 8.0, 2.0);
+}
+
+TEST(SessionChurn, EngineStillConvergesUnderSessionChurn) {
+  // The outbox must survive multi-pass absences, not just one-pass
+  // blips.
+  const Digraph g = paper_graph(2000, 21);
+  const auto p = Placement::random(2000, 50, 21);
+  PagerankOptions opts;
+  opts.epsilon = 1e-4;
+  ChurnSchedule churn(50, 0.5, 33, ChurnModel::kSessions, 15.0);
+  DistributedPagerank engine(g, p, opts);
+  const auto run = engine.run(&churn);
+  EXPECT_TRUE(run.converged);
+  EXPECT_GT(engine.outbox_peak(), 0u);
+}
+
+TEST(SessionChurn, ValidatesMeanSessionLength)
+{
+  EXPECT_THROW(ChurnSchedule(10, 0.5, 1, ChurnModel::kSessions, 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dprank

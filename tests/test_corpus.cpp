@@ -1,0 +1,98 @@
+#include "search/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dprank {
+namespace {
+
+CorpusParams small_params() {
+  CorpusParams p;
+  p.num_docs = 2000;
+  p.vocabulary = 500;
+  p.mean_terms = 60;
+  p.min_terms = 5;
+  p.max_terms = 300;
+  p.seed = 42;
+  return p;
+}
+
+TEST(Corpus, ValidatesParams) {
+  CorpusParams p = small_params();
+  p.num_docs = 0;
+  EXPECT_THROW(Corpus::synthesize(p), std::invalid_argument);
+  p = small_params();
+  p.min_terms = 0;
+  EXPECT_THROW(Corpus::synthesize(p), std::invalid_argument);
+  p = small_params();
+  p.max_terms = p.vocabulary + 1;
+  EXPECT_THROW(Corpus::synthesize(p), std::invalid_argument);
+}
+
+TEST(Corpus, Deterministic) {
+  const Corpus a = Corpus::synthesize(small_params());
+  const Corpus b = Corpus::synthesize(small_params());
+  ASSERT_EQ(a.num_docs(), b.num_docs());
+  for (NodeId d = 0; d < a.num_docs(); ++d) {
+    ASSERT_EQ(a.terms_of(d), b.terms_of(d));
+  }
+}
+
+TEST(Corpus, DocumentsHaveSortedDistinctTerms) {
+  const Corpus c = Corpus::synthesize(small_params());
+  for (NodeId d = 0; d < c.num_docs(); ++d) {
+    const auto& terms = c.terms_of(d);
+    ASSERT_FALSE(terms.empty());
+    for (std::size_t i = 1; i < terms.size(); ++i) {
+      ASSERT_LT(terms[i - 1], terms[i]);
+    }
+    ASSERT_LT(terms.back(), c.vocabulary());
+  }
+}
+
+TEST(Corpus, DocumentFrequenciesConsistent) {
+  const Corpus c = Corpus::synthesize(small_params());
+  std::vector<std::uint32_t> df(c.vocabulary(), 0);
+  for (NodeId d = 0; d < c.num_docs(); ++d) {
+    for (const TermId t : c.terms_of(d)) ++df[t];
+  }
+  for (TermId t = 0; t < c.vocabulary(); ++t) {
+    ASSERT_EQ(c.doc_frequency(t), df[t]) << "term " << t;
+  }
+}
+
+TEST(Corpus, ZipfHeadDominates) {
+  // Low TermIds are the frequent Zipf ranks: the most frequent term
+  // should appear in the vast majority of documents, the tail in few.
+  const Corpus c = Corpus::synthesize(small_params());
+  EXPECT_GT(c.doc_frequency(0), c.num_docs() / 2);
+  EXPECT_LT(c.doc_frequency(c.vocabulary() - 1), c.num_docs() / 4);
+}
+
+TEST(Corpus, TopTermsSortedByFrequency) {
+  const Corpus c = Corpus::synthesize(small_params());
+  const auto top = c.top_terms(100);
+  ASSERT_EQ(top.size(), 100u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    ASSERT_GE(c.doc_frequency(top[i - 1]), c.doc_frequency(top[i]));
+  }
+  // Requesting more than the vocabulary clamps.
+  EXPECT_EQ(c.top_terms(10'000).size(), c.vocabulary());
+}
+
+TEST(Corpus, PaperScaleCorpusShape) {
+  // Defaults match §4.9: ~11k documents, 1880 dimensions.
+  const Corpus c = Corpus::synthesize(CorpusParams{});
+  EXPECT_EQ(c.num_docs(), 11'000u);
+  EXPECT_EQ(c.vocabulary(), 1880u);
+  // Top-100 terms must all have healthy posting lists (the queries are
+  // built from them).
+  for (const TermId t : c.top_terms(100)) {
+    EXPECT_GT(c.doc_frequency(t), 200u);
+  }
+}
+
+}  // namespace
+}  // namespace dprank

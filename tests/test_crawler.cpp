@@ -1,0 +1,55 @@
+#include "pagerank/crawler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "pagerank/distributed_engine.hpp"
+
+namespace dprank {
+namespace {
+
+TEST(Crawler, TrafficScalesWithCorpus) {
+  const Digraph g = paper_graph(1000, 3);
+  const auto t = centralized_crawler_traffic(g);
+  EXPECT_EQ(t.naive_fetch_bytes, 1000ull * 9 * 1024);
+  EXPECT_EQ(t.link_upload_bytes, g.num_edges() * 32);
+  EXPECT_EQ(t.rank_redistribution_bytes, 1000ull * 24);
+  EXPECT_EQ(t.link_scheme_total(),
+            t.link_upload_bytes + t.rank_redistribution_bytes);
+}
+
+TEST(Crawler, NaiveFetchDwarfsLinkScheme) {
+  // §5: fetching all files is "undesirable"; shipping link structure is
+  // orders of magnitude cheaper.
+  const Digraph g = paper_graph(5000, 4);
+  const auto t = centralized_crawler_traffic(g);
+  EXPECT_GT(t.naive_fetch_bytes, 50 * t.link_scheme_total());
+}
+
+TEST(Crawler, CustomModelParams) {
+  const Digraph g = figure2_graph();
+  CrawlerModelParams params;
+  params.avg_document_bytes = 100;
+  params.bytes_per_link_record = 10;
+  params.bytes_per_rank_record = 5;
+  const auto t = centralized_crawler_traffic(g, params);
+  EXPECT_EQ(t.naive_fetch_bytes, 600u);
+  EXPECT_EQ(t.link_upload_bytes, 50u);
+  EXPECT_EQ(t.rank_redistribution_bytes, 30u);
+}
+
+TEST(Crawler, DistributedBeatsNaiveCrawlerOnBytes) {
+  // The distributed scheme's pagerank messages cost far less than
+  // shipping every document to a server.
+  const Digraph g = paper_graph(3000, 5);
+  const auto placement = Placement::random(3000, 100, 5);
+  PagerankOptions o;
+  o.epsilon = 1e-3;
+  DistributedPagerank engine(g, placement, o);
+  ASSERT_TRUE(engine.run().converged);
+  const auto crawler = centralized_crawler_traffic(g);
+  EXPECT_LT(engine.traffic().bytes(), crawler.naive_fetch_bytes);
+}
+
+}  // namespace
+}  // namespace dprank

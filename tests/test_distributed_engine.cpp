@@ -1,0 +1,230 @@
+#include "pagerank/distributed_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generator.hpp"
+#include "pagerank/centralized.hpp"
+#include "pagerank/quality.hpp"
+
+namespace dprank {
+namespace {
+
+PagerankOptions opts(double epsilon) {
+  PagerankOptions o;
+  o.epsilon = epsilon;
+  return o;
+}
+
+TEST(DistributedEngine, ValidatesPlacementSize) {
+  const Digraph g = figure2_graph();
+  const auto p = Placement::random(5, 2, 1);  // 5 != 6 nodes
+  EXPECT_THROW(DistributedPagerank(g, p, opts(1e-3)), std::invalid_argument);
+}
+
+TEST(DistributedEngine, RunsOnlyOnce) {
+  const Digraph g = figure2_graph();
+  const auto p = Placement::random(6, 2, 1);
+  DistributedPagerank engine(g, p, opts(1e-3));
+  (void)engine.run();
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+TEST(DistributedEngine, ConvergesToCentralizedOnSmallGraph) {
+  const Digraph g = paper_graph(2000, 10);
+  const auto p = Placement::random(2000, 50, 10);
+  DistributedPagerank engine(g, p, opts(1e-8));
+  const auto run = engine.run();
+  EXPECT_TRUE(run.converged);
+
+  const auto ref = centralized_pagerank(g, 0.85, 1e-13).ranks;
+  const auto q = summarize_quality(engine.ranks(), ref);
+  // With a tight threshold the distributed result is essentially exact.
+  EXPECT_LT(q.max, 1e-5);
+}
+
+TEST(DistributedEngine, QualityTracksThreshold) {
+  // Table 2's central claim: looser epsilon -> larger relative error,
+  // but even epsilon = 0.2 keeps most documents accurate.
+  const Digraph g = paper_graph(5000, 11);
+  const auto p = Placement::random(5000, 100, 11);
+  const auto ref = centralized_pagerank(g, 0.85, 1e-13).ranks;
+
+  double prev_avg = -1.0;
+  for (const double eps : {0.2, 1e-2, 1e-4, 1e-6}) {
+    DistributedPagerank engine(g, p, opts(eps));
+    ASSERT_TRUE(engine.run().converged);
+    const auto q = summarize_quality(engine.ranks(), ref);
+    if (prev_avg >= 0) {
+      EXPECT_LE(q.avg, prev_avg * 1.5 + 1e-12)
+          << "avg error should not grow as epsilon tightens";
+    }
+    prev_avg = q.avg;
+  }
+  // The tightest run must be very accurate.
+  EXPECT_LT(prev_avg, 1e-5);
+}
+
+TEST(DistributedEngine, SingleNodeGraphConvergesImmediately) {
+  const Digraph g = Digraph::from_edges(1, {});
+  const auto p = Placement::random(1, 1, 1);
+  DistributedPagerank engine(g, p, opts(1e-3));
+  const auto run = engine.run();
+  EXPECT_TRUE(run.converged);
+  EXPECT_NEAR(engine.ranks()[0], 0.15, 1e-12);
+  EXPECT_EQ(engine.traffic().messages(), 0u);
+}
+
+TEST(DistributedEngine, SamePeerUpdatesAreFree) {
+  // All documents on one peer: zero network messages, only local updates.
+  const Digraph g = paper_graph(500, 12);
+  const auto p = Placement::random(500, 1, 12);
+  DistributedPagerank engine(g, p, opts(1e-6));
+  ASSERT_TRUE(engine.run().converged);
+  EXPECT_EQ(engine.traffic().messages(), 0u);
+  EXPECT_GT(engine.traffic().local_updates(), 0u);
+}
+
+TEST(DistributedEngine, MessageCountsScaleWithThreshold) {
+  // Table 3: lower epsilon => more messages, roughly logarithmically.
+  const Digraph g = paper_graph(3000, 13);
+  const auto p = Placement::random(3000, 100, 13);
+  std::uint64_t prev = 0;
+  for (const double eps : {0.2, 1e-2, 1e-4}) {
+    DistributedPagerank engine(g, p, opts(eps));
+    ASSERT_TRUE(engine.run().converged);
+    const auto msgs = engine.traffic().messages();
+    EXPECT_GT(msgs, prev);
+    prev = msgs;
+  }
+}
+
+TEST(DistributedEngine, PassHistoryIsConsistent) {
+  const Digraph g = paper_graph(1000, 14);
+  const auto p = Placement::random(1000, 20, 14);
+  DistributedPagerank engine(g, p, opts(1e-4));
+  const auto run = engine.run();
+  const auto& history = engine.pass_history();
+  ASSERT_EQ(history.size(), run.passes);
+  // First pass recomputes every document.
+  EXPECT_EQ(history.front().docs_recomputed, 1000u);
+  // Messages in the ledger match the per-pass tallies.
+  std::uint64_t sum = 0;
+  for (const auto& s : history) {
+    sum += s.messages_sent + s.messages_delivered_late;
+    EXPECT_LE(s.max_peer_messages, s.messages_sent);
+  }
+  EXPECT_EQ(sum, engine.traffic().messages());
+  // Final pass is quiet (that is why it converged).
+  EXPECT_EQ(history.back().messages_sent, 0u);
+}
+
+TEST(DistributedEngine, ObserverSeesEveryPass) {
+  const Digraph g = paper_graph(500, 15);
+  const auto p = Placement::random(500, 10, 15);
+  DistributedPagerank engine(g, p, opts(1e-3));
+  std::uint64_t calls = 0;
+  std::uint64_t last_pass = 0;
+  const auto run = engine.run(nullptr, [&](std::uint64_t pass,
+                                           const std::vector<double>& ranks) {
+    EXPECT_EQ(ranks.size(), 500u);
+    last_pass = pass;
+    ++calls;
+  });
+  EXPECT_EQ(calls, run.passes);
+  EXPECT_EQ(last_pass + 1, run.passes);
+}
+
+TEST(DistributedEngine, ChurnStillConverges) {
+  // §4.3 dynamic effects: the algorithm converges with only half the
+  // peers present, at a slower rate.
+  const Digraph g = paper_graph(2000, 16);
+  const auto p = Placement::random(2000, 50, 16);
+
+  DistributedPagerank full(g, p, opts(1e-4));
+  const auto run_full = full.run();
+  ASSERT_TRUE(run_full.converged);
+
+  ChurnSchedule churn(50, 0.5, 99);
+  DistributedPagerank half(g, p, opts(1e-4));
+  const auto run_half = half.run(&churn);
+  ASSERT_TRUE(run_half.converged);
+
+  EXPECT_GT(run_half.passes, run_full.passes);
+
+  // And the answer still matches the centralized reference closely.
+  const auto ref = centralized_pagerank(g, 0.85, 1e-13).ranks;
+  const auto q = summarize_quality(half.ranks(), ref);
+  EXPECT_LT(q.avg, 0.01);
+}
+
+TEST(DistributedEngine, ChurnUsesOutboxAndDeliversLate) {
+  const Digraph g = paper_graph(2000, 17);
+  const auto p = Placement::random(2000, 50, 17);
+  ChurnSchedule churn(50, 0.5, 7);
+  DistributedPagerank engine(g, p, opts(1e-4));
+  ASSERT_TRUE(engine.run(&churn).converged);
+  EXPECT_GT(engine.outbox_peak(), 0u);
+  std::uint64_t late = 0;
+  for (const auto& s : engine.pass_history()) {
+    late += s.messages_delivered_late;
+  }
+  EXPECT_GT(late, 0u);
+  // Convergence requires every parked message to have been delivered.
+  // (outbox drained == engine reported converged, asserted above.)
+}
+
+TEST(DistributedEngine, ChurnPeerCountMustMatch) {
+  const Digraph g = figure2_graph();
+  const auto p = Placement::random(6, 3, 1);
+  ChurnSchedule churn(5, 0.5, 1);  // 5 != 3 peers
+  DistributedPagerank engine(g, p, opts(1e-3));
+  EXPECT_THROW(engine.run(&churn), std::invalid_argument);
+}
+
+TEST(DistributedEngine, ConvergenceRateGrowsSlowlyWithSize) {
+  // Table 1: 500x more nodes costs only ~60% more passes. Check the mild
+  // growth on a 10x spread.
+  const auto p1 = Placement::random(1000, 50, 18);
+  const auto p2 = Placement::random(10'000, 50, 18);
+  const Digraph g_small = paper_graph(1000, 18);
+  const Digraph g_large = paper_graph(10'000, 18);
+  DistributedPagerank small(g_small, p1, opts(1e-3));
+  DistributedPagerank large(g_large, p2, opts(1e-3));
+  const auto run_small = small.run();
+  const auto run_large = large.run();
+  ASSERT_TRUE(run_small.converged);
+  ASSERT_TRUE(run_large.converged);
+  EXPECT_LT(run_large.passes, run_small.passes * 3);
+}
+
+// Property sweep: for every (seed, epsilon) combination the engine
+// converges and respects the per-document stopping rule against the
+// centralized reference.
+class EngineSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(EngineSweep, ConvergesAndTracksReference) {
+  const auto [seed, eps] = GetParam();
+  const Digraph g = paper_graph(1500, seed);
+  const auto p = Placement::random(1500, 30, seed);
+  DistributedPagerank engine(g, p, opts(eps));
+  const auto run = engine.run();
+  ASSERT_TRUE(run.converged);
+  ASSERT_GT(run.passes, 0u);
+
+  const auto ref = centralized_pagerank(g, 0.85, 1e-13).ranks;
+  const auto q = summarize_quality(engine.ranks(), ref);
+  // Loose but universal bound: median error stays within ~20x epsilon
+  // (the paper's Table 2 shows it is usually far better).
+  EXPECT_LT(q.p50, eps * 20 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThresholds, EngineSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(1e-2, 1e-3, 1e-5)));
+
+}  // namespace
+}  // namespace dprank

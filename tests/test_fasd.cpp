@@ -1,0 +1,155 @@
+#include "search/fasd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+namespace {
+
+CorpusParams tiny_params() {
+  CorpusParams p;
+  p.num_docs = 800;
+  p.vocabulary = 120;
+  p.mean_terms = 20;
+  p.min_terms = 4;
+  p.max_terms = 60;
+  p.seed = 31;
+  return p;
+}
+
+class FasdTest : public ::testing::Test {
+ protected:
+  FasdTest() : corpus_(Corpus::synthesize(tiny_params())), index_(corpus_) {
+    Rng rng(8);
+    ranks_.resize(corpus_.num_docs());
+    for (auto& r : ranks_) r = rng.uniform(0.15, 20.0);
+  }
+  Corpus corpus_;
+  FasdIndex index_;
+  std::vector<double> ranks_;
+};
+
+TEST_F(FasdTest, KeysAreNormalized) {
+  for (NodeId d = 0; d < corpus_.num_docs(); ++d) {
+    const auto& key = index_.key_of(d);
+    double norm2 = 0.0;
+    for (const double w : key.weights) norm2 += w * w;
+    if (!key.empty()) {
+      EXPECT_NEAR(norm2, 1.0, 1e-9) << "doc " << d;
+    }
+  }
+}
+
+TEST_F(FasdTest, SelfClosenessIsOne) {
+  for (NodeId d = 0; d < 50; ++d) {
+    const auto& key = index_.key_of(d);
+    if (key.empty()) continue;
+    EXPECT_NEAR(closeness(key, key), 1.0, 1e-9);
+  }
+}
+
+TEST_F(FasdTest, DisjointKeysScoreZero) {
+  MetadataKey a;
+  a.terms = {1, 3, 5};
+  a.weights = {0.5, 0.5, 0.5};
+  MetadataKey b;
+  b.terms = {0, 2, 4};
+  b.weights = {0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(closeness(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(closeness(a, MetadataKey{}), 0.0);
+}
+
+TEST_F(FasdTest, QueryKeyUsesIdfWeights) {
+  // Rare terms carry more weight than common ones.
+  const auto q = index_.make_query({0, corpus_.vocabulary() - 1});
+  ASSERT_EQ(q.terms.size(), 2u);
+  // Term 0 is the Zipf head (very common, low idf); the tail term is
+  // rare (high idf).
+  EXPECT_LT(q.weights[0], q.weights[1]);
+  EXPECT_THROW(index_.make_query({corpus_.vocabulary()}),
+               std::out_of_range);
+}
+
+TEST_F(FasdTest, ExhaustiveTopKIsSortedAndCorrectSize) {
+  FasdSearch search(index_, ranks_, 0.7);
+  const auto q = index_.make_query({5, 10, 20});
+  const auto top = search.exhaustive_top_k(q, 25);
+  ASSERT_EQ(top.size(), 25u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+  // Combined score honors the formula.
+  for (const auto& s : top) {
+    EXPECT_NEAR(s.score, 0.7 * s.close + 0.3 * s.rank, 1e-12);
+  }
+}
+
+TEST_F(FasdTest, AlphaOneIsPureCloseness) {
+  FasdSearch by_text(index_, ranks_, 1.0);
+  const auto q = index_.make_query({7, 9});
+  const auto top = by_text.exhaustive_top_k(q, 5);
+  for (const auto& s : top) EXPECT_DOUBLE_EQ(s.score, s.close);
+}
+
+TEST_F(FasdTest, AlphaZeroIsPurePagerank) {
+  FasdSearch by_rank(index_, ranks_, 0.0);
+  const auto q = index_.make_query({7, 9});
+  const auto top = by_rank.exhaustive_top_k(q, 3);
+  // The single best document must be the max-rank document.
+  const auto max_rank_doc = static_cast<NodeId>(std::distance(
+      ranks_.begin(), std::max_element(ranks_.begin(), ranks_.end())));
+  EXPECT_EQ(top[0].doc, max_rank_doc);
+}
+
+TEST_F(FasdTest, AlphaValidation) {
+  EXPECT_THROW(FasdSearch(index_, ranks_, -0.1), std::invalid_argument);
+  EXPECT_THROW(FasdSearch(index_, ranks_, 1.1), std::invalid_argument);
+  std::vector<double> wrong(10, 1.0);
+  EXPECT_THROW(FasdSearch(index_, wrong, 0.5), std::invalid_argument);
+}
+
+TEST_F(FasdTest, ForwardingSearchVisitsAtMostTtlPeers) {
+  FasdSearch search(index_, ranks_, 0.7);
+  const auto placement = Placement::random(corpus_.num_docs(), 20, 3);
+  const auto q = index_.make_query({2, 4, 8});
+  const auto result = search.forwarding_search(q, placement, 0, 6, 10);
+  EXPECT_LE(result.path.size(), 6u);
+  EXPECT_EQ(result.path.front(), 0u);
+  // No peer visited twice.
+  std::set<PeerId> distinct(result.path.begin(), result.path.end());
+  EXPECT_EQ(distinct.size(), result.path.size());
+}
+
+TEST_F(FasdTest, LongerWalksImproveRecall) {
+  FasdSearch search(index_, ranks_, 0.7);
+  const auto placement = Placement::random(corpus_.num_docs(), 20, 3);
+  const auto q = index_.make_query({1, 6});
+  const auto short_walk = search.forwarding_search(q, placement, 5, 2, 10);
+  const auto long_walk = search.forwarding_search(q, placement, 5, 15, 10);
+  EXPECT_GE(long_walk.recall_score, short_walk.recall_score);
+  EXPECT_GT(long_walk.recall_score, 0.3);
+  EXPECT_LE(long_walk.recall_score, 1.0 + 1e-12);
+}
+
+TEST_F(FasdTest, FullCoverageWalkMatchesExhaustive) {
+  // TTL >= num_peers visits everyone: results must equal the
+  // exhaustive top-k exactly.
+  FasdSearch search(index_, ranks_, 0.7);
+  const auto placement = Placement::random(corpus_.num_docs(), 10, 3);
+  const auto q = index_.make_query({3, 5});
+  const auto walk = search.forwarding_search(q, placement, 0, 10, 8);
+  const auto exact = search.exhaustive_top_k(q, 8);
+  ASSERT_EQ(walk.results.size(), exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(walk.results[i].doc, exact[i].doc);
+  }
+  EXPECT_NEAR(walk.recall_score, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dprank

@@ -1,0 +1,149 @@
+#include "graph/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/graph_stats.hpp"
+
+namespace dprank {
+namespace {
+
+TEST(Generator, Deterministic) {
+  const Digraph a = paper_graph(2000, 42);
+  const Digraph b = paper_graph(2000, 42);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    const auto na = a.out_neighbors(u);
+    const auto nb = b.out_neighbors(u);
+    ASSERT_EQ(std::vector<NodeId>(na.begin(), na.end()),
+              std::vector<NodeId>(nb.begin(), nb.end()));
+  }
+}
+
+TEST(Generator, SeedChangesGraph) {
+  const Digraph a = paper_graph(2000, 1);
+  const Digraph b = paper_graph(2000, 2);
+  bool differs = a.num_edges() != b.num_edges();
+  for (NodeId u = 0; !differs && u < a.num_nodes(); ++u) {
+    const auto na = a.out_neighbors(u);
+    const auto nb = b.out_neighbors(u);
+    differs = std::vector<NodeId>(na.begin(), na.end()) !=
+              std::vector<NodeId>(nb.begin(), nb.end());
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, RejectsBadParams) {
+  WebGraphParams p;
+  p.num_nodes = 1;
+  EXPECT_THROW(generate_web_graph(p), std::invalid_argument);
+  p.num_nodes = 100;
+  p.min_degree = 0;
+  EXPECT_THROW(generate_web_graph(p), std::invalid_argument);
+  p.min_degree = 50;
+  p.max_degree = 10;
+  EXPECT_THROW(generate_web_graph(p), std::invalid_argument);
+}
+
+TEST(Generator, NoSelfLoopsOrDuplicates) {
+  const Digraph g = paper_graph(5000, 3);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.out_neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      ASSERT_NE(nbrs[i], u);
+      if (i > 0) ASSERT_LT(nbrs[i - 1], nbrs[i]);  // sorted, distinct
+    }
+  }
+}
+
+TEST(Generator, DegreesRespectCap) {
+  WebGraphParams p;
+  p.num_nodes = 3000;
+  p.max_degree = 50;
+  p.seed = 9;
+  const Digraph g = generate_web_graph(p);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_LE(g.out_degree(u), 50u);
+  }
+}
+
+TEST(Generator, OutDegreePowerLawSlope) {
+  // Broder out-exponent 2.4: fitted log-log slope of the degree
+  // histogram should be near -2.4.
+  const Digraph g = paper_graph(60'000, 5);
+  const auto hist = degree_histogram(g, /*out_direction=*/true, 60);
+  const double slope = fit_power_law_slope(hist, 1, 20);
+  EXPECT_NEAR(slope, -2.4, 0.35);
+}
+
+TEST(Generator, InDegreePowerLawSlope) {
+  // In-exponent 2.1. In-degrees are multinomially sampled from the stub
+  // pool, flattening the head slightly; fit over the tail.
+  const Digraph g = paper_graph(60'000, 5);
+  const auto hist = degree_histogram(g, /*out_direction=*/false, 80);
+  const double slope = fit_power_law_slope(hist, 2, 40);
+  EXPECT_NEAR(slope, -2.1, 0.45);
+}
+
+TEST(Generator, SparseLikeTheWeb) {
+  const Digraph g = paper_graph(20'000, 8);
+  const double avg_deg = static_cast<double>(g.num_edges()) /
+                         static_cast<double>(g.num_nodes());
+  // Broder-model means: out-degree ~2.2-2.6 with cap 1000.
+  EXPECT_GT(avg_deg, 1.5);
+  EXPECT_LT(avg_deg, 4.0);
+}
+
+TEST(Generator, DanglingFractionRespected) {
+  WebGraphParams p;
+  p.num_nodes = 10'000;
+  p.dangling_fraction = 0.2;
+  p.seed = 4;
+  const Digraph g = generate_web_graph(p);
+  const auto stats = compute_degree_stats(g);
+  const double frac = static_cast<double>(stats.dangling_nodes) /
+                      static_cast<double>(g.num_nodes());
+  EXPECT_NEAR(frac, 0.2, 0.02);
+}
+
+TEST(Generator, AllDanglingRejected) {
+  WebGraphParams p;
+  p.num_nodes = 100;
+  p.dangling_fraction = 1.0;
+  EXPECT_THROW(generate_web_graph(p), std::invalid_argument);
+}
+
+TEST(Figure2Graph, MatchesThePaper) {
+  const Digraph g = figure2_graph();
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.out_degree(0), 3u);  // G links H, I, J
+  EXPECT_EQ(g.out_degree(1), 2u);  // H links K, L
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 4));
+  EXPECT_TRUE(g.has_edge(1, 5));
+  EXPECT_EQ(g.out_degree(4), 0u);
+  EXPECT_EQ(g.out_degree(5), 0u);
+}
+
+TEST(GraphStats, ReachabilityOnChain) {
+  // 0 -> 1 -> 2 -> 3; node 3 reaches only itself.
+  const Digraph g = Digraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(forward_reachable_count(g, 0), 4u);
+  EXPECT_EQ(forward_reachable_count(g, 2), 2u);
+  EXPECT_EQ(forward_reachable_count(g, 3), 1u);
+  EXPECT_EQ(forward_reachable_count(g, 0, 2), 2u);  // limit truncates
+}
+
+TEST(GraphStats, DegreeStats) {
+  const Digraph g = figure2_graph();
+  const auto stats = compute_degree_stats(g);
+  EXPECT_EQ(stats.dangling_nodes, 4u);    // I, J, K, L
+  EXPECT_EQ(stats.sourceless_nodes, 1u);  // G
+  EXPECT_DOUBLE_EQ(stats.out_degree.mean(), 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(stats.in_degree.mean(), 5.0 / 6.0);
+}
+
+}  // namespace
+}  // namespace dprank

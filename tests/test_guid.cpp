@@ -1,0 +1,73 @@
+#include "common/guid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+namespace dprank {
+namespace {
+
+TEST(Guid, BytesHashDeterministic) {
+  EXPECT_EQ(guid_from_bytes("hello"), guid_from_bytes("hello"));
+  EXPECT_NE(guid_from_bytes("hello"), guid_from_bytes("hellp"));
+  EXPECT_NE(guid_from_bytes("hello"), guid_from_bytes("hello "));
+}
+
+TEST(Guid, SeedChangesHash) {
+  EXPECT_NE(guid_from_bytes("x", 1), guid_from_bytes("x", 2));
+}
+
+TEST(Guid, EmptyStringHasStableGuid) {
+  EXPECT_EQ(guid_from_bytes(""), guid_from_bytes(""));
+  EXPECT_NE(guid_from_bytes(""), guid_from_bytes("a"));
+}
+
+TEST(Guid, LengthExtensionDiffers) {
+  // Same prefix blocks, different lengths must hash differently.
+  const std::string a(8, 'q');
+  const std::string b(16, 'q');
+  EXPECT_NE(guid_from_bytes(a), guid_from_bytes(b));
+}
+
+TEST(Guid, DocumentAndPeerStreamsDisjoint) {
+  std::unordered_set<Guid> guids;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(guids.insert(document_guid(i)).second) << i;
+  }
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(guids.insert(peer_guid(i)).second)
+        << "peer guid collided with a document guid at " << i;
+  }
+}
+
+TEST(Guid, SameIndexDifferentKind) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_NE(document_guid(i), peer_guid(i));
+  }
+}
+
+TEST(Guid, TermGuidsDistinct) {
+  std::unordered_set<Guid> guids;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(guids.insert(term_guid("term:" + std::to_string(i))).second);
+  }
+}
+
+TEST(Guid, RingDistributionRoughlyUniform) {
+  // Bucket the top 4 bits of 64k document GUIDs; each of 16 buckets
+  // should hold about 1/16th.
+  std::vector<int> buckets(16, 0);
+  constexpr int kN = 65'536;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ++buckets[document_guid(i).hi >> 60];
+  }
+  const double expected = kN / 16.0;
+  for (const int b : buckets) {
+    EXPECT_GT(b, expected * 0.9);
+    EXPECT_LT(b, expected * 1.1);
+  }
+}
+
+}  // namespace
+}  // namespace dprank

@@ -1,0 +1,220 @@
+#include "pagerank/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generator.hpp"
+#include "pagerank/centralized.hpp"
+#include "pagerank/quality.hpp"
+
+namespace dprank {
+namespace {
+
+PagerankOptions opts(double eps, double d = 0.85) {
+  PagerankOptions o;
+  o.epsilon = eps;
+  o.damping = d;
+  return o;
+}
+
+TEST(Incremental, Figure2ExactIncrements) {
+  // The paper's Figure 2 with d = 1: G (rank 1, 3 outlinks) sends 1/3 to
+  // H, I, J; H (2 outlinks) forwards 1/6 to K and L.
+  const Digraph g = figure2_graph();
+  std::vector<double> ranks(6, 0.0);
+  IncrementalPagerank engine(g, ranks, opts(1e-9, /*d=*/1.0));
+  const auto stats = engine.seed_and_propagate(0);
+
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);        // G seeded
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0 / 3.0);  // H
+  EXPECT_DOUBLE_EQ(ranks[2], 1.0 / 3.0);  // I
+  EXPECT_DOUBLE_EQ(ranks[3], 1.0 / 3.0);  // J
+  EXPECT_DOUBLE_EQ(ranks[4], 1.0 / 6.0);  // K
+  EXPECT_DOUBLE_EQ(ranks[5], 1.0 / 6.0);  // L
+
+  EXPECT_EQ(stats.nodes_covered, 5u);
+  EXPECT_EQ(stats.updates_delivered, 5u);
+  EXPECT_EQ(stats.path_length, 2u);  // G -> H -> {K, L}
+}
+
+TEST(Incremental, Figure2WithDamping) {
+  const Digraph g = figure2_graph();
+  std::vector<double> ranks(6, 0.0);
+  IncrementalPagerank engine(g, ranks, opts(1e-9, 0.85));
+  (void)engine.seed_and_propagate(0);
+  EXPECT_DOUBLE_EQ(ranks[1], 0.85 / 3.0);
+  EXPECT_DOUBLE_EQ(ranks[4], 0.85 * (0.85 / 3.0) / 2.0);
+}
+
+TEST(Incremental, ThresholdStopsPropagation) {
+  // With a large epsilon the H -> K/L forwards are suppressed.
+  const Digraph g = figure2_graph();
+  std::vector<double> ranks(6, 1.0);  // relative change 1/3 on H et al.
+  IncrementalPagerank engine(g, ranks, opts(/*eps=*/0.5, 1.0));
+  const auto stats = engine.seed_and_propagate(0);
+  EXPECT_EQ(stats.path_length, 1u);      // only G's direct outlinks
+  EXPECT_EQ(stats.nodes_covered, 3u);    // H, I, J
+  EXPECT_DOUBLE_EQ(ranks[4], 1.0);       // K untouched
+}
+
+TEST(Incremental, ProbeRestoresRanks) {
+  const Digraph g = paper_graph(2000, 5);
+  std::vector<double> ranks = centralized_pagerank(g, 0.85).ranks;
+  const auto before = ranks;
+  IncrementalPagerank engine(g, ranks, opts(1e-4));
+  const auto stats = engine.probe_insert(123);
+  EXPECT_GT(stats.updates_delivered, 0u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_DOUBLE_EQ(ranks[v], before[v]) << "node " << v;
+  }
+}
+
+TEST(Incremental, ProbesAreIndependent) {
+  const Digraph g = paper_graph(2000, 6);
+  std::vector<double> ranks = centralized_pagerank(g, 0.85).ranks;
+  IncrementalPagerank engine(g, ranks, opts(1e-4));
+  const auto first = engine.probe_insert(7);
+  (void)engine.probe_insert(1234);
+  const auto again = engine.probe_insert(7);
+  EXPECT_EQ(first.updates_delivered, again.updates_delivered);
+  EXPECT_EQ(first.nodes_covered, again.nodes_covered);
+  EXPECT_EQ(first.path_length, again.path_length);
+}
+
+TEST(Incremental, CoverageGrowsAsEpsilonShrinks) {
+  // Table 4: node coverage grows roughly linearly in 1/epsilon.
+  const Digraph g = paper_graph(10'000, 7);
+  std::vector<double> ranks = centralized_pagerank(g, 0.85).ranks;
+  IncrementalPagerank engine(g, ranks, opts(1e-1));
+  std::uint64_t prev_coverage = 0;
+  std::uint32_t prev_path = 0;
+  for (const double eps : {1e-1, 1e-2, 1e-3}) {
+    IncrementalPagerank probe(g, ranks, opts(eps));
+    // Average a few source nodes to damp variance.
+    std::uint64_t coverage = 0;
+    std::uint32_t path = 0;
+    for (const NodeId src : {11u, 222u, 3333u}) {
+      const auto s = probe.probe_insert(src);
+      coverage += s.nodes_covered;
+      path = std::max(path, s.path_length);
+    }
+    EXPECT_GE(coverage, prev_coverage);
+    EXPECT_GE(path, prev_path);
+    prev_coverage = coverage;
+    prev_path = path;
+  }
+  EXPECT_GT(prev_coverage, 3u);
+}
+
+TEST(Incremental, InsertThenExactRecomputeAgree) {
+  // After inserting a real document, the incrementally updated ranks
+  // must match a from-scratch centralized solve on the new graph, within
+  // the propagation tolerance.
+  const Digraph base = paper_graph(1000, 8);
+  MutableDigraph g(base);
+  std::vector<double> ranks = centralized_pagerank(base, 0.85, 1e-13).ranks;
+
+  NodeId new_id = 0;
+  const auto stats = insert_document(g, ranks, {5, 17, 400}, opts(1e-7),
+                                     &new_id);
+  EXPECT_EQ(new_id, 1000u);
+  EXPECT_GT(stats.updates_delivered, 0u);
+
+  const auto exact = centralized_pagerank(g.freeze(), 0.85, 1e-13).ranks;
+  const auto q = summarize_quality(ranks, exact);
+  EXPECT_LT(q.max, 1e-4);
+}
+
+TEST(Incremental, DeleteThenExactRecomputeAgree) {
+  const Digraph base = paper_graph(1000, 9);
+  MutableDigraph g(base);
+  std::vector<double> ranks = centralized_pagerank(base, 0.85, 1e-13).ranks;
+
+  // Pick a document with out-links but no in-links: the paper's delete
+  // protocol propagates the negated rank along out-links; a victim with
+  // in-links would also change its sources' out-degrees, a second-order
+  // effect the protocol (and this test) does not model.
+  NodeId victim = base.num_nodes();
+  for (NodeId v = 0; v < base.num_nodes(); ++v) {
+    if (base.out_degree(v) > 0 && base.in_degree(v) == 0) {
+      victim = v;
+      break;
+    }
+  }
+  if (victim == base.num_nodes()) {
+    GTEST_SKIP() << "no in-degree-0 document in this graph seed";
+  }
+  const auto stats = delete_document(g, ranks, victim, opts(1e-7));
+  EXPECT_GT(stats.updates_delivered, 0u);
+  EXPECT_TRUE(g.is_isolated(victim));
+  EXPECT_DOUBLE_EQ(ranks[victim], 0.0);
+
+  auto exact = centralized_pagerank(g.freeze(), 0.85, 1e-13).ranks;
+  exact[victim] = 0.0;  // deleted doc carries no rank in either view
+  const auto q = summarize_quality(ranks, exact);
+  EXPECT_LT(q.max, 1e-4);
+}
+
+TEST(Incremental, InsertThenDeleteIsNoOp) {
+  // Inserting a document and immediately deleting it must return every
+  // other rank to its original value (within tolerance).
+  const Digraph base = paper_graph(1000, 10);
+  MutableDigraph g(base);
+  std::vector<double> ranks = centralized_pagerank(base, 0.85, 1e-13).ranks;
+  const auto before = ranks;
+
+  NodeId id = 0;
+  (void)insert_document(g, ranks, {3, 50, 700}, opts(1e-9), &id);
+  (void)delete_document(g, ranks, id, opts(1e-9));
+
+  // Truncation residue per cascade is bounded relative to each node's
+  // rank (the stopping rule is relative), so compare relatively.
+  for (NodeId v = 0; v < base.num_nodes(); ++v) {
+    ASSERT_NEAR(ranks[v], before[v], 1e-4 * std::max(1.0, before[v]))
+        << "node " << v;
+  }
+}
+
+TEST(Incremental, CrossPeerMessagesCounted) {
+  const Digraph g = paper_graph(2000, 11);
+  std::vector<double> ranks = centralized_pagerank(g, 0.85).ranks;
+  const auto placement = Placement::random(2000, 50, 11);
+  IncrementalPagerank engine(g, ranks, opts(1e-3), &placement);
+  const auto stats = engine.probe_insert(42);
+  EXPECT_LE(stats.cross_peer_messages, stats.updates_delivered);
+  // With 50 peers, ~98% of links cross peers.
+  if (stats.updates_delivered > 20) {
+    EXPECT_GT(stats.cross_peer_messages, stats.updates_delivered / 2);
+  }
+}
+
+TEST(Incremental, ValidatesNodeIds) {
+  const Digraph g = figure2_graph();
+  std::vector<double> ranks(6, 1.0);
+  IncrementalPagerank engine(g, ranks, opts(1e-3));
+  EXPECT_THROW(engine.seed_and_propagate(6), std::out_of_range);
+  EXPECT_THROW(engine.probe_insert(100), std::out_of_range);
+  EXPECT_THROW(engine.propagate_delete(6), std::out_of_range);
+  EXPECT_THROW(engine.inject(6, 0.1), std::out_of_range);
+}
+
+TEST(Incremental, RankVectorSizeValidated) {
+  const Digraph g = figure2_graph();
+  std::vector<double> wrong(5, 1.0);
+  EXPECT_THROW(IncrementalPagerank(g, wrong, opts(1e-3)),
+               std::invalid_argument);
+}
+
+TEST(Incremental, DanglingSeedSendsNothing) {
+  const Digraph g = figure2_graph();
+  std::vector<double> ranks(6, 0.5);
+  IncrementalPagerank engine(g, ranks, opts(1e-6));
+  const auto stats = engine.seed_and_propagate(4);  // K has no outlinks
+  EXPECT_EQ(stats.updates_delivered, 0u);
+  EXPECT_EQ(stats.nodes_covered, 0u);
+  EXPECT_DOUBLE_EQ(ranks[4], 1.0);  // still seeded
+}
+
+}  // namespace
+}  // namespace dprank

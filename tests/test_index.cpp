@@ -1,0 +1,139 @@
+#include "search/distributed_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+namespace {
+
+CorpusParams tiny_params() {
+  CorpusParams p;
+  p.num_docs = 500;
+  p.vocabulary = 80;
+  p.mean_terms = 15;
+  p.min_terms = 3;
+  p.max_terms = 40;
+  p.seed = 5;
+  return p;
+}
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest()
+      : corpus_(Corpus::synthesize(tiny_params())),
+        ring_(8),
+        index_(corpus_, ring_) {}
+
+  Corpus corpus_;
+  ChordRing ring_;
+  DistributedIndex index_;
+};
+
+TEST_F(IndexTest, PostingsMatchCorpus) {
+  EXPECT_EQ(index_.total_postings(),
+            [&] {
+              std::uint64_t total = 0;
+              for (NodeId d = 0; d < corpus_.num_docs(); ++d) {
+                total += corpus_.terms_of(d).size();
+              }
+              return total;
+            }());
+  for (TermId t = 0; t < corpus_.vocabulary(); ++t) {
+    EXPECT_EQ(index_.postings(t).size(), corpus_.doc_frequency(t));
+  }
+}
+
+TEST_F(IndexTest, EveryPostingIsGenuine) {
+  for (TermId t = 0; t < corpus_.vocabulary(); ++t) {
+    for (const Posting& p : index_.postings(t)) {
+      const auto& terms = corpus_.terms_of(p.doc);
+      ASSERT_TRUE(std::binary_search(terms.begin(), terms.end(), t))
+          << "doc " << p.doc << " does not contain term " << t;
+    }
+  }
+}
+
+TEST_F(IndexTest, TermsPartitionedByRing) {
+  for (TermId t = 0; t < corpus_.vocabulary(); ++t) {
+    EXPECT_EQ(index_.peer_of_term(t),
+              ring_.successor_of_key(
+                  term_guid("term:" + std::to_string(t))));
+  }
+}
+
+TEST_F(IndexTest, PublishRanksSortsPostings) {
+  Rng rng(9);
+  std::vector<double> ranks(corpus_.num_docs());
+  for (auto& r : ranks) r = rng.uniform(0.1, 10.0);
+  const std::vector<PeerId> owner(corpus_.num_docs(), 0);
+  index_.publish_ranks(ranks, owner);
+
+  for (TermId t = 0; t < corpus_.vocabulary(); ++t) {
+    const auto& plist = index_.postings(t);
+    for (std::size_t i = 1; i < plist.size(); ++i) {
+      ASSERT_GE(plist[i - 1].rank, plist[i].rank);
+    }
+    for (const Posting& p : plist) {
+      ASSERT_DOUBLE_EQ(p.rank, ranks[p.doc]);
+    }
+  }
+}
+
+TEST_F(IndexTest, PublishCountsIndexUpdateMessages) {
+  std::vector<double> ranks(corpus_.num_docs(), 1.0);
+  // All docs on peer 0: postings on other peers cost a message each.
+  const std::vector<PeerId> owner(corpus_.num_docs(), 0);
+  TrafficMeter meter;
+  index_.publish_ranks(ranks, owner, &meter);
+  EXPECT_EQ(meter.messages() + meter.local_updates(),
+            index_.total_postings());
+  EXPECT_GT(meter.messages(), 0u);
+}
+
+TEST_F(IndexTest, PublishOneUpdatesSingleDocument) {
+  std::vector<double> ranks(corpus_.num_docs(), 1.0);
+  const std::vector<PeerId> owner(corpus_.num_docs(), 0);
+  index_.publish_ranks(ranks, owner);
+
+  const NodeId doc = 42;
+  const auto& terms = corpus_.terms_of(doc);
+  ASSERT_FALSE(terms.empty());
+  index_.publish_one(doc, terms, 99.0, 0);
+  for (const TermId t : terms) {
+    const auto& plist = index_.postings(t);
+    const auto it = std::find_if(plist.begin(), plist.end(),
+                                 [&](const Posting& p) { return p.doc == doc; });
+    ASSERT_NE(it, plist.end());
+    EXPECT_DOUBLE_EQ(it->rank, 99.0);
+    // Re-sorted: the updated doc now leads its lists.
+    EXPECT_EQ(plist.front().doc, doc);
+  }
+}
+
+TEST_F(IndexTest, PublishOneInsertsNewDocument) {
+  // A freshly inserted document gets postings added on the fly
+  // (§2.4.2's index update path for new documents).
+  const NodeId new_doc = corpus_.num_docs();  // beyond the corpus
+  const std::vector<TermId> terms{0, 5, 10};
+  const auto before = index_.total_postings();
+  index_.publish_one(new_doc, terms, 2.5, 3);
+  EXPECT_EQ(index_.total_postings(), before + 3);
+  for (const TermId t : terms) {
+    const auto& plist = index_.postings(t);
+    EXPECT_TRUE(std::any_of(plist.begin(), plist.end(), [&](const Posting& p) {
+      return p.doc == new_doc && p.rank == 2.5;
+    }));
+  }
+}
+
+TEST_F(IndexTest, PublishRanksValidatesSize) {
+  std::vector<double> too_small(10, 1.0);
+  const std::vector<PeerId> owner(corpus_.num_docs(), 0);
+  EXPECT_THROW(index_.publish_ranks(too_small, owner), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dprank

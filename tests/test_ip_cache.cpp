@@ -1,0 +1,110 @@
+#include "net/ip_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+namespace {
+
+TEST(IpCache, FirstSendRoutesThenCaches) {
+  ChordRing ring(64);
+  IpCache cache(true);
+  Rng rng(3);
+  const Guid key{rng(), rng()};
+  const PeerId src = 0;
+  const PeerId owner = ring.successor_of_key(key);
+  ASSERT_NE(owner, src) << "test assumes a remote key; reseed if flaky";
+
+  const auto first = cache.send_hops(src, key, ring);
+  EXPECT_GE(first, 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  const auto second = cache.send_hops(src, key, ring);
+  EXPECT_EQ(second, 1u);  // direct: address cached
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(IpCache, CacheIsPerSourcePeer) {
+  ChordRing ring(64);
+  IpCache cache(true);
+  Rng rng(5);
+  const Guid key{rng(), rng()};
+  (void)cache.send_hops(0, key, ring);
+  // A different source has not learned the address.
+  (void)cache.send_hops(1, key, ring);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(IpCache, SameDestinationDifferentKeysHits) {
+  // Caching is per destination peer: any key owned by an already-known
+  // peer goes direct.
+  ChordRing ring(4);  // few peers => many keys per peer
+  IpCache cache(true);
+  Rng rng(7);
+  std::uint64_t direct = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Guid key{rng(), rng()};
+    if (ring.successor_of_key(key) == 0) continue;  // local to src 0
+    const auto hops = cache.send_hops(0, key, ring);
+    if (hops == 1 && cache.hits() > 0) ++direct;
+  }
+  // After at most 3 misses (3 remote peers) everything is direct.
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_GT(direct, 100u);
+}
+
+TEST(IpCache, DisabledModelsFreenetRouting) {
+  ChordRing ring(64);
+  IpCache cache(false);  // anonymity honored: no caching
+  Rng rng(9);
+  const Guid key{rng(), rng()};
+  const auto first = cache.send_hops(0, key, ring);
+  const auto second = cache.send_hops(0, key, ring);
+  EXPECT_EQ(first, second);  // every message individually routed
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(IpCache, LocalKeyIsFree) {
+  ChordRing ring(8);
+  IpCache cache(true);
+  // A key owned by the sender costs no hops.
+  const PeerId src = 3;
+  const Guid own_key = ring.id_of(src);
+  EXPECT_EQ(cache.send_hops(src, own_key, ring), 0u);
+}
+
+TEST(IpCache, InvalidatePeerForgetsAddresses) {
+  ChordRing ring(16);
+  IpCache cache(true);
+  Rng rng(11);
+  // Find a key owned by a peer other than the sender (peer 0).
+  Guid key{rng(), rng()};
+  while (ring.successor_of_key(key) == 0u) key = Guid{rng(), rng()};
+  const PeerId owner = ring.successor_of_key(key);
+  ASSERT_NE(owner, 0u);
+  (void)cache.send_hops(0, key, ring);
+  EXPECT_EQ(cache.entries(), 1u);
+  cache.invalidate_peer(owner);
+  EXPECT_EQ(cache.entries(), 0u);
+  (void)cache.send_hops(0, key, ring);
+  EXPECT_EQ(cache.misses(), 2u);  // must re-route
+}
+
+TEST(IpCache, InvalidateAlsoDropsDepartedPeersOwnCache) {
+  ChordRing ring(16);
+  IpCache cache(true);
+  Rng rng(13);
+  // Peer 2 learns some addresses.
+  for (int i = 0; i < 20; ++i) {
+    (void)cache.send_hops(2, Guid{rng(), rng()}, ring);
+  }
+  ASSERT_GT(cache.entries(), 0u);
+  cache.invalidate_peer(2);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+}  // namespace
+}  // namespace dprank

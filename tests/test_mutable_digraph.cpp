@@ -1,0 +1,98 @@
+#include "graph/mutable_digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+
+namespace dprank {
+namespace {
+
+TEST(MutableDigraph, StartsEmpty) {
+  MutableDigraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(MutableDigraph, AddNodesAndEdges) {
+  MutableDigraph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.add_edge(1, 2));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(2), 1u);
+}
+
+TEST(MutableDigraph, RejectsSelfLoopsAndDuplicates) {
+  MutableDigraph g(2);
+  EXPECT_FALSE(g.add_edge(0, 0));
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(MutableDigraph, RemoveEdge) {
+  MutableDigraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));  // already gone
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.in_degree(1), 0u);
+}
+
+TEST(MutableDigraph, AddDocumentOnlyHasOutlinks) {
+  MutableDigraph g(3);
+  g.add_edge(0, 1);
+  const NodeId id = g.add_document({0, 2});
+  EXPECT_EQ(id, 3u);
+  EXPECT_EQ(g.out_degree(id), 2u);
+  EXPECT_EQ(g.in_degree(id), 0u);  // a new document cannot have in-links
+  EXPECT_TRUE(g.has_edge(id, 0));
+  EXPECT_TRUE(g.has_edge(id, 2));
+}
+
+TEST(MutableDigraph, IsolateNodeRemovesBothDirections) {
+  MutableDigraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 1);
+  g.isolate_node(1);
+  EXPECT_TRUE(g.is_isolated(1));
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.out_degree(0), 0u);
+  EXPECT_EQ(g.in_degree(2), 0u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+  // Node ids remain stable after isolation.
+  EXPECT_EQ(g.num_nodes(), 4u);
+}
+
+TEST(MutableDigraph, RoundTripWithCsr) {
+  const Digraph original = paper_graph(1000, 21);
+  const MutableDigraph mutable_copy(original);
+  EXPECT_EQ(mutable_copy.num_nodes(), original.num_nodes());
+  EXPECT_EQ(mutable_copy.num_edges(), original.num_edges());
+  const Digraph frozen = mutable_copy.freeze();
+  ASSERT_EQ(frozen.num_edges(), original.num_edges());
+  for (NodeId u = 0; u < original.num_nodes(); ++u) {
+    const auto a = original.out_neighbors(u);
+    const auto b = frozen.out_neighbors(u);
+    ASSERT_EQ(std::vector<NodeId>(a.begin(), a.end()),
+              std::vector<NodeId>(b.begin(), b.end()));
+  }
+}
+
+TEST(MutableDigraph, InsertDeleteCycleRestoresShape) {
+  const Digraph base = paper_graph(500, 13);
+  MutableDigraph g(base);
+  const EdgeId edges_before = g.num_edges();
+  const NodeId id = g.add_document({1, 2, 3});
+  EXPECT_EQ(g.num_edges(), edges_before + 3);
+  g.isolate_node(id);
+  EXPECT_EQ(g.num_edges(), edges_before);
+  EXPECT_TRUE(g.is_isolated(id));
+}
+
+}  // namespace
+}  // namespace dprank

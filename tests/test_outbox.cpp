@@ -1,0 +1,123 @@
+#include "net/outbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/traffic_meter.hpp"
+
+namespace dprank {
+namespace {
+
+PagerankUpdate update(double v) { return {document_guid(1), v}; }
+
+TEST(Outbox, StoreAndDrain) {
+  Outbox box;
+  box.store(3, /*slot=*/10, update(0.5));
+  box.store(3, /*slot=*/11, update(0.7));
+  EXPECT_TRUE(box.has_pending(3));
+  EXPECT_EQ(box.pending_count(), 2u);
+
+  const auto msgs = box.drain(3);
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].first, 10u);
+  EXPECT_EQ(msgs[1].first, 11u);
+  EXPECT_FALSE(box.has_pending(3));
+  EXPECT_EQ(box.pending_count(), 0u);
+}
+
+TEST(Outbox, NewestValueWins) {
+  // "Update messages are stored at the sender and periodically resent
+  // until delivered" — only the freshest value per link matters.
+  Outbox box;
+  box.store(1, 5, update(0.1));
+  box.store(1, 5, update(0.2));
+  box.store(1, 5, update(0.3));
+  EXPECT_EQ(box.pending_count(), 1u);
+  const auto msgs = box.drain(1);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::get<PagerankUpdate>(msgs[0].second).value, 0.3);
+}
+
+TEST(Outbox, DrainEmptyPeer) {
+  Outbox box;
+  EXPECT_TRUE(box.drain(7).empty());
+  EXPECT_FALSE(box.has_pending(7));
+}
+
+TEST(Outbox, SeparatePeersSeparateQueues) {
+  Outbox box;
+  box.store(1, 0, update(1.0));
+  box.store(2, 0, update(2.0));
+  EXPECT_EQ(box.pending_count(), 2u);
+  const auto one = box.drain(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::get<PagerankUpdate>(one[0].second).value, 1.0);
+  EXPECT_TRUE(box.has_pending(2));
+}
+
+TEST(Outbox, DrainReturnsSlotOrder) {
+  Outbox box;
+  box.store(4, 30, update(0.3));
+  box.store(4, 10, update(0.1));
+  box.store(4, 20, update(0.2));
+  const auto msgs = box.drain(4);
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[0].first, 10u);
+  EXPECT_EQ(msgs[1].first, 20u);
+  EXPECT_EQ(msgs[2].first, 30u);
+}
+
+TEST(Outbox, PeakTracksHighWaterMark) {
+  Outbox box;
+  for (std::uint64_t s = 0; s < 50; ++s) box.store(0, s, update(1.0));
+  (void)box.drain(0);
+  for (std::uint64_t s = 0; s < 10; ++s) box.store(0, s, update(1.0));
+  EXPECT_EQ(box.pending_count(), 10u);
+  EXPECT_EQ(box.peak_pending(), 50u);
+}
+
+TEST(TrafficMeter, CountsMessagesAndBytes) {
+  TrafficMeter m;
+  m.record_message(24);
+  m.record_message(24, /*hops=*/4);  // DHT-routed: 4 transmissions
+  EXPECT_EQ(m.messages(), 2u);
+  EXPECT_EQ(m.hop_transmissions(), 5u);
+  EXPECT_EQ(m.bytes(), 24u + 4 * 24u);
+}
+
+TEST(TrafficMeter, LocalUpdatesAndResendsSeparate) {
+  TrafficMeter m;
+  m.record_local_update();
+  m.record_resend(24);
+  EXPECT_EQ(m.messages(), 0u);
+  EXPECT_EQ(m.local_updates(), 1u);
+  EXPECT_EQ(m.resends(), 1u);
+  EXPECT_EQ(m.bytes(), 24u);
+}
+
+TEST(TrafficMeter, MergeAndReset) {
+  TrafficMeter a;
+  TrafficMeter b;
+  a.record_message(10);
+  b.record_message(20, 2);
+  b.record_local_update();
+  a.merge(b);
+  EXPECT_EQ(a.messages(), 2u);
+  EXPECT_EQ(a.bytes(), 10u + 40u);
+  EXPECT_EQ(a.local_updates(), 1u);
+  a.reset();
+  EXPECT_EQ(a.messages(), 0u);
+  EXPECT_EQ(a.bytes(), 0u);
+}
+
+TEST(Message, WireBytesMatchPaper) {
+  // §4.6.1: "A message size of 24 bytes per message is used (128 bits for
+  // GUID, 64 bits for pagerank value)."
+  EXPECT_EQ(wire_bytes(Message{PagerankUpdate{document_guid(0), 1.0}}), 24u);
+  EXPECT_EQ(wire_bytes(Message{IndexRankUpdate{document_guid(0), 1.0}}), 24u);
+  HitsForward hits;
+  hits.hits = {document_guid(1), document_guid(2)};
+  EXPECT_EQ(wire_bytes(Message{hits}), 2 * 16u + 8u);
+}
+
+}  // namespace
+}  // namespace dprank

@@ -1,0 +1,176 @@
+#include "dht/pastry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+namespace {
+
+PeerId brute_force_owner(const PastryRing& ring, Guid key) {
+  PeerId best = kInvalidPeer;
+  U128 best_dist = U128::max();
+  for (const PeerId p : ring.peers()) {
+    const U128 dist = circular_distance(ring.id_of(p), key);
+    if (best == kInvalidPeer || dist < best_dist ||
+        (dist == best_dist &&
+         ring_distance(key, ring.id_of(p)) <
+             ring_distance(key, ring.id_of(best)))) {
+      best = p;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+TEST(CircularDistance, SymmetricAndMinimal) {
+  EXPECT_EQ(circular_distance(Guid{0, 10}, Guid{0, 3}), (U128{0, 7}));
+  EXPECT_EQ(circular_distance(Guid{0, 3}, Guid{0, 10}), (U128{0, 7}));
+  // Antipodal-ish wraparound: distance never exceeds 2^127.
+  const U128 d =
+      circular_distance(Guid{0, 0}, Guid{~0ULL, ~0ULL});  // = 1 via wrap
+  EXPECT_EQ(d, (U128{0, 1}));
+}
+
+TEST(Pastry, DigitsExtractCorrectly) {
+  const Guid id{0xABCDEF0123456789ULL, 0x1122334455667788ULL};
+  EXPECT_EQ(PastryRing::digit(id, 0), 0xA);
+  EXPECT_EQ(PastryRing::digit(id, 1), 0xB);
+  EXPECT_EQ(PastryRing::digit(id, 15), 0x9);
+  EXPECT_EQ(PastryRing::digit(id, 16), 0x1);
+  EXPECT_EQ(PastryRing::digit(id, 31), 0x8);
+}
+
+TEST(Pastry, SharedPrefix) {
+  const Guid a{0xABC0000000000000ULL, 0};
+  const Guid b{0xABD0000000000000ULL, 0};
+  EXPECT_EQ(PastryRing::shared_prefix_digits(a, b), 2);
+  EXPECT_EQ(PastryRing::shared_prefix_digits(a, a), 32);
+  const Guid c{0x1BC0000000000000ULL, 0};
+  EXPECT_EQ(PastryRing::shared_prefix_digits(a, c), 0);
+}
+
+TEST(Pastry, EmptyRingThrows) {
+  const PastryRing ring;
+  EXPECT_THROW(ring.owner_of_key(Guid{1, 1}), std::logic_error);
+}
+
+TEST(Pastry, JoinLeaveMembership) {
+  PastryRing ring(8);
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_THROW(ring.join(3, Guid{1, 1}), std::invalid_argument);
+  ring.leave(3);
+  EXPECT_FALSE(ring.contains(3));
+  ring.leave(3);  // idempotent
+  EXPECT_EQ(ring.size(), 7u);
+}
+
+TEST(Pastry, OwnershipMatchesBruteForce) {
+  PastryRing ring(64);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Guid key{rng(), rng()};
+    EXPECT_EQ(ring.owner_of_key(key), brute_force_owner(ring, key));
+  }
+}
+
+TEST(Pastry, OwnerOfOwnIdIsSelf) {
+  PastryRing ring(32);
+  for (const PeerId p : ring.peers()) {
+    EXPECT_EQ(ring.owner_of_key(ring.id_of(p)), p);
+  }
+}
+
+TEST(Pastry, RouteReachesOwner) {
+  PastryRing ring(100);
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const auto from = static_cast<PeerId>(rng.bounded(100));
+    const Guid key{rng(), rng()};
+    const auto route = ring.route(from, key);
+    EXPECT_EQ(route.destination, ring.owner_of_key(key));
+    if (route.destination == from) {
+      EXPECT_EQ(route.hop_count(), 0u);
+    } else {
+      ASSERT_FALSE(route.hops.empty());
+      EXPECT_EQ(route.hops.back(), route.destination);
+    }
+  }
+}
+
+TEST(Pastry, HopsAreLogBase16) {
+  PastryRing ring(256);
+  Rng rng(9);
+  double total = 0;
+  std::size_t worst = 0;
+  constexpr int kLookups = 500;
+  for (int i = 0; i < kLookups; ++i) {
+    const auto from = static_cast<PeerId>(rng.bounded(256));
+    const auto route = ring.route(from, Guid{rng(), rng()});
+    total += static_cast<double>(route.hop_count());
+    worst = std::max(worst, route.hop_count());
+  }
+  // Pastry: ~log_16(N) = 2 digits for 256 nodes; allow slack for the
+  // leaf-set final hop.
+  EXPECT_LT(total / kLookups, 4.0);
+  EXPECT_LE(worst, 8u);
+}
+
+TEST(Pastry, PrefixImprovesAlongRoute) {
+  PastryRing ring(128);
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const auto from = static_cast<PeerId>(rng.bounded(128));
+    const Guid key{rng(), rng()};
+    const auto route = ring.route(from, key);
+    int prev = PastryRing::shared_prefix_digits(ring.id_of(from), key);
+    bool used_leafset = false;
+    for (const PeerId hop : route.hops) {
+      const int len = PastryRing::shared_prefix_digits(ring.id_of(hop), key);
+      if (len <= prev) {
+        // Only the leaf-set fallback hop may fail to extend the prefix,
+        // and it must be the final hop (straight to the owner).
+        EXPECT_FALSE(used_leafset);
+        used_leafset = true;
+        EXPECT_EQ(hop, route.destination);
+      }
+      prev = len;
+    }
+  }
+}
+
+TEST(Pastry, RoutingSurvivesChurn) {
+  PastryRing ring(64);
+  Rng rng(13);
+  for (PeerId p = 0; p < 64; p += 3) ring.leave(p);
+  const auto live = ring.peers();
+  for (int i = 0; i < 200; ++i) {
+    const PeerId from = live[rng.bounded(live.size())];
+    const Guid key{rng(), rng()};
+    const auto route = ring.route(from, key);
+    EXPECT_EQ(route.destination, brute_force_owner(ring, key));
+  }
+}
+
+TEST(Pastry, OwnershipDiffersFromChordSometimes) {
+  // Pastry owns by numeric closeness, Chord by successor: the two rules
+  // must disagree on a noticeable fraction of keys (those closer to
+  // their predecessor).
+  PastryRing pastry(64);
+  ChordRing chord(64);
+  Rng rng(15);
+  int differ = 0;
+  constexpr int kKeys = 1000;
+  for (int i = 0; i < kKeys; ++i) {
+    const Guid key{rng(), rng()};
+    if (pastry.owner_of_key(key) != chord.successor_of_key(key)) ++differ;
+  }
+  EXPECT_GT(differ, kKeys / 4);  // expect ~half
+  EXPECT_LT(differ, 3 * kKeys / 4);
+}
+
+}  // namespace
+}  // namespace dprank

@@ -1,0 +1,129 @@
+#include "p2p/placement.hpp"
+
+#include "graph/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace dprank {
+namespace {
+
+TEST(Placement, RandomCoversAllDocsWithValidPeers) {
+  const auto p = Placement::random(10'000, 500, 42);
+  EXPECT_EQ(p.num_docs(), 10'000u);
+  EXPECT_EQ(p.num_peers(), 500u);
+  for (NodeId d = 0; d < 10'000; ++d) {
+    ASSERT_LT(p.peer_of(d), 500u);
+  }
+}
+
+TEST(Placement, RandomIsDeterministic) {
+  const auto a = Placement::random(1000, 50, 7);
+  const auto b = Placement::random(1000, 50, 7);
+  for (NodeId d = 0; d < 1000; ++d) {
+    ASSERT_EQ(a.peer_of(d), b.peer_of(d));
+  }
+}
+
+TEST(Placement, SeedChangesAssignment) {
+  const auto a = Placement::random(1000, 50, 1);
+  const auto b = Placement::random(1000, 50, 2);
+  int diff = 0;
+  for (NodeId d = 0; d < 1000; ++d) {
+    if (a.peer_of(d) != b.peer_of(d)) ++diff;
+  }
+  EXPECT_GT(diff, 900);  // ~98% expected to differ
+}
+
+TEST(Placement, RandomIsApproximatelyBalanced) {
+  const auto p = Placement::random(50'000, 500, 3);
+  const auto counts = p.docs_per_peer();
+  ASSERT_EQ(counts.size(), 500u);
+  const auto total = std::accumulate(counts.begin(), counts.end(), 0u);
+  EXPECT_EQ(total, 50'000u);
+  for (const auto c : counts) {
+    EXPECT_GT(c, 50u);   // mean 100, generous band
+    EXPECT_LT(c, 160u);
+  }
+}
+
+TEST(Placement, ZeroPeersRejected) {
+  EXPECT_THROW(Placement::random(10, 0, 1), std::invalid_argument);
+}
+
+TEST(Placement, ByDhtMatchesRingOwnership) {
+  ChordRing ring(32);
+  const auto p = Placement::by_dht(2000, ring);
+  for (NodeId d = 0; d < 2000; ++d) {
+    ASSERT_EQ(p.peer_of(d), ring.successor_of_key(document_guid(d)));
+  }
+}
+
+TEST(Placement, ByDhtEmptyRingRejected) {
+  const ChordRing ring;
+  EXPECT_THROW(Placement::by_dht(10, ring), std::invalid_argument);
+}
+
+TEST(Placement, AddDocumentExtends) {
+  auto p = Placement::random(100, 10, 5);
+  p.add_document(100, 7);
+  EXPECT_EQ(p.num_docs(), 101u);
+  EXPECT_EQ(p.peer_of(100), 7u);
+}
+
+TEST(Placement, AddDocumentValidates) {
+  auto p = Placement::random(100, 10, 5);
+  EXPECT_THROW(p.add_document(50, 3), std::invalid_argument);   // not next id
+  EXPECT_THROW(p.add_document(100, 10), std::invalid_argument);  // bad peer
+}
+
+TEST(Placement, LinkClusteringCoversAllDocs) {
+  const Digraph g = paper_graph(5000, 9);
+  const auto p = Placement::by_link_clustering(g, 50, 9);
+  EXPECT_EQ(p.num_docs(), 5000u);
+  for (NodeId d = 0; d < 5000; ++d) {
+    ASSERT_LT(p.peer_of(d), 50u);
+  }
+}
+
+TEST(Placement, LinkClusteringRespectsCapacity) {
+  const Digraph g = paper_graph(5000, 10);
+  const auto p = Placement::by_link_clustering(g, 50, 10);
+  const auto counts = p.docs_per_peer();
+  for (const auto c : counts) {
+    EXPECT_LE(c, 100u);  // ceil(5000/50)
+  }
+}
+
+TEST(Placement, LinkClusteringIsDeterministic) {
+  const Digraph g = paper_graph(2000, 11);
+  const auto a = Placement::by_link_clustering(g, 20, 11);
+  const auto b = Placement::by_link_clustering(g, 20, 11);
+  for (NodeId d = 0; d < 2000; ++d) {
+    ASSERT_EQ(a.peer_of(d), b.peer_of(d));
+  }
+}
+
+TEST(Placement, LinkClusteringCutsCrossPeerEdges) {
+  // The paper's future-work hypothesis: link-aware mapping alleviates
+  // network overheads. BFS clustering must beat random placement on
+  // cross-peer edge fraction by a clear margin.
+  const Digraph g = paper_graph(10'000, 12);
+  const auto random_p = Placement::random(10'000, 50, 12);
+  const auto clustered = Placement::by_link_clustering(g, 50, 12);
+  const double random_cut = random_p.cross_peer_edge_fraction(g);
+  const double clustered_cut = clustered.cross_peer_edge_fraction(g);
+  EXPECT_GT(random_cut, 0.9);  // 50 peers: ~98% of edges cross
+  EXPECT_LT(clustered_cut, random_cut * 0.8);
+}
+
+TEST(Placement, LinkClusteringValidates) {
+  const Digraph g = paper_graph(100, 1);
+  EXPECT_THROW(Placement::by_link_clustering(g, 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dprank

@@ -1,0 +1,202 @@
+// Cross-cutting property sweeps (parameterized): invariants that must
+// hold at every point of the configuration space the benches explore,
+// not just the paper's headline settings.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "graph/generator.hpp"
+#include "graph/graph_stats.hpp"
+#include "pagerank/centralized.hpp"
+#include "pagerank/distributed_engine.hpp"
+#include "pagerank/incremental.hpp"
+#include "pagerank/quality.hpp"
+#include "search/corpus.hpp"
+#include "search/distributed_index.hpp"
+#include "search/incremental_search.hpp"
+
+namespace dprank {
+namespace {
+
+// ---- Engine invariants over (peers, epsilon, availability) ----------
+
+class EngineInvariants
+    : public ::testing::TestWithParam<
+          std::tuple<PeerId, double, double>> {};
+
+TEST_P(EngineInvariants, HoldEverywhere) {
+  const auto [peers, eps, availability] = GetParam();
+  const Digraph g = paper_graph(2500, 19);
+  const auto placement = Placement::random(2500, peers, 19);
+  PagerankOptions opts;
+  opts.epsilon = eps;
+  DistributedPagerank engine(g, placement, opts);
+  DistributedRunResult run;
+  if (availability < 1.0) {
+    ChurnSchedule churn(peers, availability, 19);
+    run = engine.run(&churn);
+  } else {
+    run = engine.run();
+  }
+
+  // 1. Convergence is unconditional for d < 1.
+  ASSERT_TRUE(run.converged);
+
+  // 2. Every rank is bounded below by the teleport mass (1 - d).
+  for (const double r : engine.ranks()) {
+    ASSERT_GE(r, 0.15 - 1e-12);
+  }
+
+  // 3. The per-pass tallies reconcile exactly with the global ledger.
+  std::uint64_t msgs = 0;
+  std::uint64_t local = 0;
+  for (const auto& s : engine.pass_history()) {
+    msgs += s.messages_sent + s.messages_delivered_late;
+    local += s.local_updates;
+  }
+  EXPECT_EQ(msgs, engine.traffic().messages());
+  EXPECT_EQ(local, engine.traffic().local_updates());
+
+  // 4. Quality is bounded by the threshold's regime (loose universal
+  // bound; Table 2 shows much better typical numbers).
+  const auto ref = centralized_pagerank(g, 0.85, 1e-12).ranks;
+  const auto q = summarize_quality(engine.ranks(), ref);
+  EXPECT_LT(q.p50, eps * 30 + 1e-9);
+
+  // 5. Ordering survives: the top documents agree with the reference.
+  EXPECT_GT(top_k_overlap(engine.ranks(), ref, 20), 0.65);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineInvariants,
+    ::testing::Combine(::testing::Values<PeerId>(1, 10, 100),
+                       ::testing::Values(1e-2, 1e-4),
+                       ::testing::Values(1.0, 0.5)));
+
+// ---- Search invariants over forward fractions ------------------------
+
+class SearchFractionSweep : public ::testing::TestWithParam<double> {
+ protected:
+  static const DistributedIndex& index() {
+    static const ChordRing ring(30);
+    static const DistributedIndex idx = [] {
+      CorpusParams cp;
+      cp.num_docs = 2500;
+      cp.vocabulary = 300;
+      cp.mean_terms = 40;
+      cp.min_terms = 5;
+      cp.max_terms = 150;
+      cp.seed = 23;
+      const Corpus corpus = Corpus::synthesize(cp);
+      DistributedIndex built(corpus, ring);
+      Rng rng(23);
+      std::vector<double> ranks(cp.num_docs);
+      for (auto& r : ranks) r = rng.uniform(0.15, 30.0);
+      built.publish_ranks(ranks, std::vector<PeerId>(cp.num_docs, 0));
+      return built;
+    }();
+    return idx;
+  }
+};
+
+TEST_P(SearchFractionSweep, FilteredResultsAreBoundedByBaseline) {
+  const double fraction = GetParam();
+  const SearchEngine engine(index());
+  SearchPolicy policy;
+  policy.forward_fraction = fraction;
+  policy.min_forward = 0;
+  for (const std::vector<TermId> q :
+       {std::vector<TermId>{0, 1}, std::vector<TermId>{2, 3, 4},
+        std::vector<TermId>{1, 5, 9}}) {
+    const auto filtered = engine.run_query(q, policy);
+    const auto baseline = engine.run_query(q, kForwardEverything);
+    // Filtered hits are a subset of baseline hits...
+    const std::set<NodeId> base_set(baseline.hits.begin(),
+                                    baseline.hits.end());
+    for (const NodeId d : filtered.hits) {
+      ASSERT_TRUE(base_set.contains(d));
+    }
+    // ...and traffic never exceeds the baseline's.
+    EXPECT_LE(filtered.ids_transferred, baseline.ids_transferred);
+    EXPECT_LE(filtered.hits.size(), baseline.hits.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SearchFractionSweep,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.25, 0.5,
+                                           0.9));
+
+// ---- Generator invariants over exponents and sizes -------------------
+
+class GeneratorSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(GeneratorSweep, ProducesValidPowerLawGraphs) {
+  const auto [exponent, nodes] = GetParam();
+  WebGraphParams params;
+  params.num_nodes = nodes;
+  params.out_exponent = exponent;
+  params.in_exponent = exponent - 0.3;
+  params.seed = 29;
+  const Digraph g = generate_web_graph(params);
+  EXPECT_EQ(g.num_nodes(), nodes);
+  EXPECT_GT(g.num_edges(), nodes / 2);
+
+  // No self loops, sorted adjacency (CSR contract).
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.out_neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      ASSERT_NE(nbrs[i], u);
+      if (i > 0) ASSERT_LT(nbrs[i - 1], nbrs[i]);
+    }
+  }
+
+  // Heavier exponents produce sparser graphs; check the fitted slope is
+  // in the right neighbourhood.
+  const auto hist = degree_histogram(g, true, 40);
+  const double slope = fit_power_law_slope(hist, 1, 12);
+  EXPECT_NEAR(slope, -exponent, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeneratorSweep,
+    ::testing::Combine(::testing::Values(2.0, 2.4, 2.8),
+                       ::testing::Values<std::uint64_t>(5'000, 30'000)));
+
+// ---- Incremental cascade invariants over thresholds ------------------
+
+class CascadeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CascadeSweep, CoverageBoundedByReachability) {
+  const double eps = GetParam();
+  const Digraph g = paper_graph(4000, 31);
+  std::vector<double> ranks = centralized_pagerank(g, 0.85, 1e-10).ranks;
+  PagerankOptions opts;
+  opts.epsilon = eps;
+  IncrementalPagerank engine(g, ranks, opts);
+  Rng rng(31);
+  for (int i = 0; i < 10; ++i) {
+    const auto node = static_cast<NodeId>(rng.bounded(g.num_nodes()));
+    const auto stats = engine.probe_insert(node);
+    // Coverage can never exceed the forward-reachable set (minus the
+    // seed itself, which receives no message).
+    const auto reachable = forward_reachable_count(g, node);
+    EXPECT_LE(stats.nodes_covered, reachable - 1 + g.out_degree(node));
+    // Messages dominate coverage (a doc may hear more than once).
+    EXPECT_GE(stats.updates_delivered, stats.nodes_covered);
+    // Path length is bounded by the pure-chain decay horizon
+    // log(eps) / log(d).
+    const double horizon =
+        std::log(eps) / std::log(0.85) + 2;  // slack for rank skew
+    EXPECT_LE(stats.path_length, static_cast<std::uint32_t>(horizon * 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, CascadeSweep,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4));
+
+}  // namespace
+}  // namespace dprank

@@ -1,0 +1,113 @@
+#include "pagerank/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+namespace {
+
+TEST(Quality, RelativeErrorsBasic) {
+  const auto errs = relative_errors({1.1, 2.0, 0.9}, {1.0, 2.0, 1.0});
+  ASSERT_EQ(errs.size(), 3u);
+  EXPECT_NEAR(errs[0], 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(errs[1], 0.0);
+  EXPECT_NEAR(errs[2], 0.1, 1e-12);
+}
+
+TEST(Quality, ZeroReferenceFallsBackToAbsolute) {
+  const auto errs = relative_errors({0.25}, {0.0});
+  EXPECT_DOUBLE_EQ(errs[0], 0.25);
+}
+
+TEST(Quality, NegativeReferenceUsesMagnitude) {
+  const auto errs = relative_errors({-1.1}, {-1.0});
+  EXPECT_NEAR(errs[0], 0.1, 1e-12);
+}
+
+TEST(Quality, SizeMismatchThrows) {
+  EXPECT_THROW(relative_errors({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Quality, SummaryPercentiles) {
+  // 1000 docs: 990 exact, 10 with 5% error.
+  std::vector<double> ref(1000, 1.0);
+  std::vector<double> dist(1000, 1.0);
+  for (int i = 0; i < 10; ++i) dist[i] = 1.05;
+  const auto q = summarize_quality(dist, ref);
+  EXPECT_DOUBLE_EQ(q.p50, 0.0);
+  EXPECT_DOUBLE_EQ(q.p99, 0.0);
+  EXPECT_NEAR(q.p99_9, 0.05, 1e-12);
+  EXPECT_NEAR(q.max, 0.05, 1e-12);
+  EXPECT_NEAR(q.avg, 0.0005, 1e-12);
+  EXPECT_DOUBLE_EQ(q.fraction_within_1pct, 0.99);
+}
+
+TEST(Quality, PerfectMatch) {
+  const std::vector<double> r{1.0, 2.0, 3.0};
+  const auto q = summarize_quality(r, r);
+  EXPECT_DOUBLE_EQ(q.max, 0.0);
+  EXPECT_DOUBLE_EQ(q.avg, 0.0);
+  EXPECT_DOUBLE_EQ(q.fraction_within_1pct, 1.0);
+}
+
+TEST(Ordering, TopKOverlapIdentical) {
+  const std::vector<double> r{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(top_k_overlap(r, r, 3), 1.0);
+  EXPECT_DOUBLE_EQ(top_k_overlap(r, r, 100), 1.0);  // clamps
+  EXPECT_DOUBLE_EQ(top_k_overlap(r, r, 0), 1.0);
+}
+
+TEST(Ordering, TopKOverlapDisjoint) {
+  const std::vector<double> a{9, 8, 1, 1, 1, 1};
+  const std::vector<double> b{1, 1, 1, 1, 8, 9};
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 2), 0.0);
+}
+
+TEST(Ordering, TopKOverlapPartial) {
+  const std::vector<double> a{10, 9, 8, 1, 1};
+  const std::vector<double> b{10, 1, 8, 9, 1};
+  // top-3 of a = {0,1,2}; top-3 of b = {0,3,2}; overlap 2/3.
+  EXPECT_NEAR(top_k_overlap(a, b, 3), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Ordering, TopKOverlapValidates) {
+  EXPECT_THROW(top_k_overlap({1.0}, {1.0, 2.0}, 1), std::invalid_argument);
+}
+
+TEST(Ordering, KendallTauExtremes) {
+  std::vector<double> asc(200);
+  std::vector<double> desc(200);
+  for (int i = 0; i < 200; ++i) {
+    asc[static_cast<std::size_t>(i)] = i;
+    desc[static_cast<std::size_t>(i)] = 200 - i;
+  }
+  EXPECT_NEAR(kendall_tau_sampled(asc, asc, 50'000), 1.0, 1e-12);
+  EXPECT_NEAR(kendall_tau_sampled(asc, desc, 50'000), -1.0, 1e-12);
+}
+
+TEST(Ordering, KendallTauNearZeroForIndependentOrders) {
+  // Pseudo-random ranks vs index order: tau should be near 0.
+  std::vector<double> index_order(1000);
+  std::vector<double> scrambled(1000);
+  std::uint64_t s = 99;
+  for (int i = 0; i < 1000; ++i) {
+    index_order[static_cast<std::size_t>(i)] = i;
+    scrambled[static_cast<std::size_t>(i)] =
+        static_cast<double>(splitmix64(s));
+  }
+  EXPECT_NEAR(kendall_tau_sampled(index_order, scrambled, 200'000), 0.0,
+              0.05);
+}
+
+TEST(Ordering, KendallTauTinyInputs) {
+  EXPECT_DOUBLE_EQ(kendall_tau_sampled({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(kendall_tau_sampled({1.0}, {2.0}), 1.0);
+  // All ties -> no informative pairs -> 1.0 by convention.
+  EXPECT_DOUBLE_EQ(kendall_tau_sampled({1.0, 1.0}, {2.0, 2.0}, 100), 1.0);
+}
+
+}  // namespace
+}  // namespace dprank

@@ -1,0 +1,183 @@
+#include "p2p/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generator.hpp"
+#include "pagerank/centralized.hpp"
+#include "pagerank/distributed_engine.hpp"
+#include "pagerank/quality.hpp"
+
+namespace dprank {
+namespace {
+
+PagerankOptions opts(double eps) {
+  PagerankOptions o;
+  o.epsilon = eps;
+  return o;
+}
+
+TEST(ReplicaRegistry, EmptyByDefault) {
+  const ReplicaRegistry reg(100);
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.total_replicas(), 0u);
+  EXPECT_EQ(reg.num_docs(), 100u);
+}
+
+TEST(ReplicaRegistry, UniformPlacesExactCounts) {
+  const auto placement = Placement::random(500, 20, 3);
+  const auto reg = ReplicaRegistry::uniform(placement, 2, 3);
+  EXPECT_EQ(reg.total_replicas(), 500u * 2);
+  for (NodeId d = 0; d < 500; ++d) {
+    const auto reps = reg.replicas_of(d);
+    ASSERT_EQ(reps.size(), 2u);
+    std::set<PeerId> distinct(reps.begin(), reps.end());
+    EXPECT_EQ(distinct.size(), 2u);
+    for (const PeerId p : reps) {
+      EXPECT_NE(p, placement.peer_of(d));  // never on the primary
+      EXPECT_LT(p, 20u);
+    }
+  }
+}
+
+TEST(ReplicaRegistry, UniformRejectsTooManyReplicas) {
+  const auto placement = Placement::random(10, 3, 1);
+  EXPECT_THROW(ReplicaRegistry::uniform(placement, 3, 1),
+               std::invalid_argument);
+}
+
+TEST(ReplicaRegistry, PopularityReplicatesOnlyHotDocs) {
+  const auto placement = Placement::random(1000, 20, 5);
+  std::vector<double> scores(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    scores[i] = static_cast<double>(i);  // doc 999 hottest
+  }
+  const auto reg =
+      ReplicaRegistry::popularity(placement, scores, 0.1, 3, 5);
+  EXPECT_EQ(reg.total_replicas(), 100u * 3);
+  EXPECT_EQ(reg.replicas_of(999).size(), 3u);  // hot
+  EXPECT_EQ(reg.replicas_of(0).size(), 0u);    // cold
+}
+
+TEST(ReplicaRegistry, PopularityValidates) {
+  const auto placement = Placement::random(10, 5, 1);
+  const std::vector<double> scores(10, 1.0);
+  EXPECT_THROW(
+      ReplicaRegistry::popularity(placement, {1.0}, 0.5, 1, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ReplicaRegistry::popularity(placement, scores, 1.5, 1, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ReplicaRegistry::popularity(placement, scores, 0.5, 5, 1),
+      std::invalid_argument);
+}
+
+TEST(EngineReplication, ReplicationMultipliesMessages) {
+  const Digraph g = paper_graph(2000, 7);
+  const auto placement = Placement::random(2000, 50, 7);
+
+  DistributedPagerank plain(g, placement, opts(1e-3));
+  ASSERT_TRUE(plain.run().converged);
+
+  const auto reg = ReplicaRegistry::uniform(placement, 2, 7);
+  DistributedPagerank replicated(g, placement, opts(1e-3));
+  replicated.attach_replicas(reg);
+  ASSERT_TRUE(replicated.run().converged);
+
+  EXPECT_GT(replicated.replica_messages(), 0u);
+  // Two replicas per document: every cross-peer update fans out to ~2
+  // additional destinations, tripling traffic give or take the replicas
+  // that land on the sender's own peer.
+  const double ratio =
+      static_cast<double>(replicated.traffic().messages()) /
+      static_cast<double>(plain.traffic().messages());
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 3.2);
+  // The ranks themselves are unchanged — replication is pure fan-out.
+  EXPECT_LT(summarize_quality(replicated.ranks(), plain.ranks()).max, 1e-12);
+}
+
+TEST(EngineReplication, StaleSkipsUnderChurn) {
+  const Digraph g = paper_graph(1000, 8);
+  const auto placement = Placement::random(1000, 20, 8);
+  const auto reg = ReplicaRegistry::uniform(placement, 1, 8);
+  ChurnSchedule churn(20, 0.5, 8);
+  DistributedPagerank engine(g, placement, opts(1e-3));
+  engine.attach_replicas(reg);
+  ASSERT_TRUE(engine.run(&churn).converged);
+  EXPECT_GT(engine.replica_stale_skips(), 0u);
+}
+
+TEST(EngineReplication, AttachValidates) {
+  const Digraph g = figure2_graph();
+  const auto placement = Placement::random(6, 3, 1);
+  const ReplicaRegistry wrong(5);
+  DistributedPagerank engine(g, placement, opts(1e-3));
+  EXPECT_THROW(engine.attach_replicas(wrong), std::invalid_argument);
+}
+
+TEST(EngineOverlay, HopMeteringWithCacheApproachesOneHop) {
+  const Digraph g = paper_graph(2000, 9);
+  const auto placement = Placement::random(2000, 50, 9);
+  const ChordRing ring(50);
+
+  IpCache cache(true);
+  DistributedPagerank cached(g, placement, opts(1e-3));
+  cached.attach_overlay(ring, cache);
+  ASSERT_TRUE(cached.run().converged);
+
+  IpCache no_cache(false);
+  DistributedPagerank routed(g, placement, opts(1e-3));
+  routed.attach_overlay(ring, no_cache);
+  ASSERT_TRUE(routed.run().converged);
+
+  // Same protocol, same messages; only the hop bill differs.
+  EXPECT_EQ(cached.traffic().messages(), routed.traffic().messages());
+  EXPECT_LT(cached.traffic().hop_transmissions(),
+            routed.traffic().hop_transmissions());
+  // With caching, amortized hops/message approaches 1; without, it
+  // stays near the overlay's routing cost (> 2 for 50 peers).
+  const double cached_ratio =
+      static_cast<double>(cached.traffic().hop_transmissions()) /
+      static_cast<double>(cached.traffic().messages());
+  const double routed_ratio =
+      static_cast<double>(routed.traffic().hop_transmissions()) /
+      static_cast<double>(routed.traffic().messages());
+  EXPECT_LT(cached_ratio, 2.0);
+  EXPECT_GT(routed_ratio, 2.0);
+}
+
+TEST(EngineOverlay, NoOverlayBillsOneHopPerMessage) {
+  const Digraph g = paper_graph(1000, 10);
+  const auto placement = Placement::random(1000, 20, 10);
+  DistributedPagerank engine(g, placement, opts(1e-3));
+  ASSERT_TRUE(engine.run().converged);
+  EXPECT_EQ(engine.traffic().hop_transmissions(),
+            engine.traffic().messages());
+}
+
+TEST(EngineOverlay, AttachValidatesRingSize) {
+  const Digraph g = figure2_graph();
+  const auto placement = Placement::random(6, 3, 1);
+  const ChordRing ring(5);  // 5 != 3 peers
+  IpCache cache(true);
+  DistributedPagerank engine(g, placement, opts(1e-3));
+  EXPECT_THROW(engine.attach_overlay(ring, cache), std::invalid_argument);
+}
+
+TEST(EngineOverlay, AttachAfterRunRejected) {
+  const Digraph g = figure2_graph();
+  const auto placement = Placement::random(6, 3, 1);
+  const ChordRing ring(3);
+  IpCache cache(true);
+  const ReplicaRegistry reg(6);
+  DistributedPagerank engine(g, placement, opts(1e-3));
+  (void)engine.run();
+  EXPECT_THROW(engine.attach_overlay(ring, cache), std::logic_error);
+  EXPECT_THROW(engine.attach_replicas(reg), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dprank

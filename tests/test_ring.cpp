@@ -1,0 +1,203 @@
+#include "dht/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+namespace {
+
+/// Brute-force owner: the live peer with the smallest clockwise distance
+/// at-or-after the key.
+PeerId brute_force_owner(const ChordRing& ring, Guid key) {
+  PeerId best = kInvalidPeer;
+  U128 best_dist = U128::max();
+  for (const PeerId p : ring.peers_in_ring_order()) {
+    const U128 dist = ring_distance(key, ring.id_of(p));
+    if (best == kInvalidPeer || dist < best_dist) {
+      best = p;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+TEST(ChordRing, EmptyRingThrows) {
+  const ChordRing ring;
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_THROW(ring.successor_of_key(Guid{1, 2}), std::logic_error);
+}
+
+TEST(ChordRing, SinglePeerOwnsEverything) {
+  ChordRing ring(1);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.successor_of_key(Guid{rng(), rng()}), 0u);
+  }
+  // Local keys route in zero hops.
+  const auto r = ring.route(0, Guid{123, 456});
+  EXPECT_EQ(r.destination, 0u);
+  EXPECT_EQ(r.hop_count(), 0u);
+}
+
+TEST(ChordRing, JoinRejectsDuplicates) {
+  ChordRing ring(4);
+  EXPECT_THROW(ring.join(2, Guid{9, 9}), std::invalid_argument);
+  EXPECT_THROW(ring.join(99, ring.id_of(1)), std::invalid_argument);
+}
+
+TEST(ChordRing, LeaveIsIdempotent) {
+  ChordRing ring(4);
+  ring.leave(2);
+  EXPECT_FALSE(ring.contains(2));
+  ring.leave(2);  // no-op
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_THROW(ring.id_of(2), std::out_of_range);
+}
+
+TEST(ChordRing, SuccessorMatchesBruteForce) {
+  ChordRing ring(64);
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const Guid key{rng(), rng()};
+    EXPECT_EQ(ring.successor_of_key(key), brute_force_owner(ring, key));
+  }
+}
+
+TEST(ChordRing, SuccessorOfPeerIdIsThatPeer) {
+  ChordRing ring(32);
+  for (const PeerId p : ring.peers_in_ring_order()) {
+    EXPECT_EQ(ring.successor_of_key(ring.id_of(p)), p);
+  }
+}
+
+TEST(ChordRing, SuccessorPeerSkipsSelf) {
+  ChordRing ring(16);
+  const auto order = ring.peers_in_ring_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const PeerId next = order[(i + 1) % order.size()];
+    EXPECT_EQ(ring.successor_peer(ring.id_of(order[i])), next);
+  }
+}
+
+TEST(ChordRing, FingerZeroIsSuccessorIsh) {
+  // finger(p, 0) = successor of id+1, i.e. the next peer (or p itself if
+  // the gap to its successor is > 1, which never happens on dense rings
+  // of random 128-bit ids... so just check it's a live peer).
+  ChordRing ring(32);
+  for (const PeerId p : ring.peers_in_ring_order()) {
+    EXPECT_TRUE(ring.contains(ring.finger(p, 0)));
+  }
+  EXPECT_THROW(ring.finger(0, -1), std::out_of_range);
+  EXPECT_THROW(ring.finger(0, 128), std::out_of_range);
+}
+
+TEST(ChordRing, FingerHalfwayAcross) {
+  // finger(p, 127) is the owner of the antipode; it must match
+  // successor_of_key directly.
+  ChordRing ring(64);
+  for (const PeerId p : ring.peers_in_ring_order()) {
+    const Guid antipode = ring.id_of(p) + U128::pow2(127);
+    EXPECT_EQ(ring.finger(p, 127), ring.successor_of_key(antipode));
+  }
+}
+
+TEST(ChordRing, RouteReachesCorrectOwner) {
+  ChordRing ring(100);
+  Rng rng(23);
+  for (int i = 0; i < 300; ++i) {
+    const auto from = static_cast<PeerId>(rng.bounded(100));
+    const Guid key{rng(), rng()};
+    const auto route = ring.route(from, key);
+    EXPECT_EQ(route.destination, ring.successor_of_key(key));
+    if (route.destination == from) {
+      EXPECT_EQ(route.hop_count(), 0u);
+    } else {
+      ASSERT_FALSE(route.hops.empty());
+      EXPECT_EQ(route.hops.back(), route.destination);
+    }
+  }
+}
+
+TEST(ChordRing, RouteHopsAreLogarithmic) {
+  ChordRing ring(256);
+  Rng rng(29);
+  double total_hops = 0;
+  std::size_t max_hops = 0;
+  constexpr int kLookups = 500;
+  for (int i = 0; i < kLookups; ++i) {
+    const auto from = static_cast<PeerId>(rng.bounded(256));
+    const auto route = ring.route(from, Guid{rng(), rng()});
+    total_hops += static_cast<double>(route.hop_count());
+    max_hops = std::max(max_hops, route.hop_count());
+  }
+  // Chord: ~0.5 log2(N) average, log2(N) w.h.p. worst case.
+  EXPECT_LT(total_hops / kLookups, std::log2(256.0) + 1);
+  EXPECT_LE(max_hops, 2 * 8 + 2);
+}
+
+TEST(ChordRing, RouteMonotoneProgress) {
+  // Every intermediate hop strictly reduces the clockwise distance to
+  // the key. (The final hop lands on the key's successor, i.e. just
+  // *past* the key, so it is excluded from the monotonicity check.)
+  ChordRing ring(128);
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    const auto from = static_cast<PeerId>(rng.bounded(128));
+    const Guid key{rng(), rng()};
+    const auto route = ring.route(from, key);
+    U128 prev_dist = ring_distance(ring.id_of(from), key);
+    for (std::size_t h = 0; h + 1 < route.hops.size(); ++h) {
+      const U128 dist = ring_distance(ring.id_of(route.hops[h]), key);
+      EXPECT_LT(dist, prev_dist);
+      prev_dist = dist;
+    }
+    if (!route.hops.empty()) {
+      // The final peer owns the key: the key lies in (predecessor, id].
+      EXPECT_EQ(route.hops.back(), ring.successor_of_key(key));
+    }
+  }
+}
+
+TEST(ChordRing, KeysFailOverOnLeave) {
+  ChordRing ring(16);
+  Rng rng(41);
+  const Guid key{rng(), rng()};
+  const PeerId owner = ring.successor_of_key(key);
+  const PeerId heir = ring.successor_peer(ring.id_of(owner));
+  ring.leave(owner);
+  EXPECT_EQ(ring.successor_of_key(key), heir);
+}
+
+TEST(ChordRing, RejoinRestoresOwnership) {
+  ChordRing ring(16);
+  const Guid key = ring.id_of(5) - U128{0, 1};
+  ASSERT_EQ(ring.successor_of_key(key), 5u);
+  const Guid id5 = ring.id_of(5);
+  ring.leave(5);
+  EXPECT_NE(ring.successor_of_key(key), 5u);
+  ring.join(5, id5);
+  EXPECT_EQ(ring.successor_of_key(key), 5u);
+}
+
+TEST(ChordRing, RoutingAfterChurn) {
+  ChordRing ring(64);
+  Rng rng(47);
+  // Drop a third of the peers, then verify routing still lands on the
+  // brute-force owner from arbitrary origins.
+  for (PeerId p = 0; p < 64; p += 3) ring.leave(p);
+  const auto live = ring.peers_in_ring_order();
+  for (int i = 0; i < 200; ++i) {
+    const PeerId from = live[rng.bounded(live.size())];
+    const Guid key{rng(), rng()};
+    const auto route = ring.route(from, key);
+    EXPECT_EQ(route.destination, brute_force_owner(ring, key));
+  }
+}
+
+}  // namespace
+}  // namespace dprank

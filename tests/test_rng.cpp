@@ -1,0 +1,197 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace dprank {
+namespace {
+
+TEST(SplitMix, DeterministicSequence) {
+  std::uint64_t s1 = 123;
+  std::uint64_t s2 = 123;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix, Mix64IsStateless) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  // The all-zero state is a fixed point of xoshiro; seeding through
+  // SplitMix64 must avoid it.
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 32; ++i) values.insert(r());
+  EXPECT_GT(values.size(), 30u);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng r(99);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(r.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+  Rng r(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedIsApproximatelyUniform) {
+  Rng r(31337);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[r.bounded(kBuckets)];
+  // Chi-squared with 9 dof; 99.9% critical value ~27.9.
+  double chi2 = 0;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(17);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(18);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-0.5));
+    EXPECT_TRUE(r.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng r(20);
+  int hits = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 50'000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(77);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(3);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  r.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleEmptyAndSingle) {
+  Rng r(4);
+  std::vector<int> empty;
+  r.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  r.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng r(8);
+  for (std::uint64_t n : {10ULL, 100ULL, 1000ULL}) {
+    for (std::uint64_t k : {1ULL, 5ULL, 9ULL}) {
+      const auto sample = r.sample_without_replacement(n, k);
+      ASSERT_EQ(sample.size(), k);
+      std::set<std::uint64_t> distinct(sample.begin(), sample.end());
+      EXPECT_EQ(distinct.size(), k);
+      for (const auto x : sample) EXPECT_LT(x, n);
+    }
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng r(9);
+  const auto sample = r.sample_without_replacement(20, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  std::set<std::uint64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 20u);
+}
+
+TEST(Rng, SampleWithoutReplacementKGreaterThanN) {
+  Rng r(10);
+  const auto sample = r.sample_without_replacement(5, 100);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(Rng, SampleCoversRangeUniformly) {
+  // Every index should be sampled with roughly equal frequency.
+  Rng r(11);
+  constexpr std::uint64_t n = 50;
+  std::vector<int> counts(n, 0);
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (const auto x : r.sample_without_replacement(n, 10)) ++counts[x];
+  }
+  // Expected 400 hits per index.
+  for (const int c : counts) {
+    EXPECT_GT(c, 280);
+    EXPECT_LT(c, 520);
+  }
+}
+
+}  // namespace
+}  // namespace dprank

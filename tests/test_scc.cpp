@@ -1,0 +1,112 @@
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generator.hpp"
+
+namespace dprank {
+namespace {
+
+TEST(Scc, EmptyGraph) {
+  const Digraph g = Digraph::from_edges(0, {});
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 0u);
+  EXPECT_THROW(scc.largest_component(), std::logic_error);
+}
+
+TEST(Scc, IsolatedNodesAreSingletons) {
+  const Digraph g = Digraph::from_edges(4, {});
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 4u);
+  const std::set<std::uint32_t> distinct(scc.component.begin(),
+                                         scc.component.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(Scc, CycleIsOneComponent) {
+  const Digraph g = Digraph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 1u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+}
+
+TEST(Scc, ChainIsAllSingletons) {
+  const Digraph g = Digraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 4u);
+}
+
+TEST(Scc, EdgeRespectsReverseTopologicalNumbering) {
+  // Components are numbered so an edge u->v implies comp[u] >= comp[v].
+  const Digraph g = Digraph::from_edges(
+      6, {{0, 1}, {1, 0},          // component A
+          {2, 3}, {3, 2},          // component B
+          {1, 2},                  // A -> B
+          {4, 5}, {5, 4}, {3, 4}}  // B -> C
+  );
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 3u);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NodeId v : g.out_neighbors(u)) {
+      EXPECT_GE(scc.component[u], scc.component[v]);
+    }
+  }
+}
+
+TEST(Scc, TwoCyclesJoinedByBridge) {
+  const Digraph g = Digraph::from_edges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}});
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  const auto sizes = scc.component_sizes();
+  EXPECT_EQ(sizes[0] + sizes[1], 6u);
+  EXPECT_EQ(sizes[0], 3u);
+}
+
+TEST(Scc, SelfContainedOnDeepChain) {
+  // A 50k-node chain would blow a recursive Tarjan's stack; the
+  // iterative version must handle it.
+  std::vector<Edge> edges;
+  const NodeId n = 50'000;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  const Digraph g = Digraph::from_edges(n, std::move(edges));
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, n);
+}
+
+TEST(Bowtie, HandComposedRegions) {
+  // in: 0 -> core {1,2} -> out: 3; island: 4.
+  const Digraph g = Digraph::from_edges(
+      5, {{0, 1}, {1, 2}, {2, 1}, {2, 3}});
+  const auto bt = bowtie_decomposition(g);
+  EXPECT_EQ(bt.core, 2u);
+  EXPECT_EQ(bt.in, 1u);
+  EXPECT_EQ(bt.out, 1u);
+  EXPECT_EQ(bt.other, 1u);
+  EXPECT_EQ(bt.region[0], BowtieRegion::kIn);
+  EXPECT_EQ(bt.region[1], BowtieRegion::kCore);
+  EXPECT_EQ(bt.region[2], BowtieRegion::kCore);
+  EXPECT_EQ(bt.region[3], BowtieRegion::kOut);
+  EXPECT_EQ(bt.region[4], BowtieRegion::kOther);
+}
+
+TEST(Bowtie, RegionsPartitionTheGraph) {
+  const Digraph g = paper_graph(20'000, 3);
+  const auto bt = bowtie_decomposition(g);
+  EXPECT_EQ(bt.core + bt.in + bt.out + bt.other,
+            static_cast<std::uint64_t>(g.num_nodes()));
+  // Web-like macro-structure: a non-trivial core exists.
+  EXPECT_GT(bt.core, 100u);
+}
+
+TEST(Bowtie, EmptyGraph) {
+  const Digraph g = Digraph::from_edges(0, {});
+  const auto bt = bowtie_decomposition(g);
+  EXPECT_EQ(bt.core + bt.in + bt.out + bt.other, 0u);
+}
+
+}  // namespace
+}  // namespace dprank

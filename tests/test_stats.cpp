@@ -1,0 +1,139 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+namespace {
+
+TEST(Summary, PercentileNearestRank) {
+  const Summary s({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5);
+  EXPECT_DOUBLE_EQ(s.percentile(90), 9);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10);
+  EXPECT_DOUBLE_EQ(s.percentile(10), 1);
+  EXPECT_DOUBLE_EQ(s.percentile(0.1), 1);  // clamps to first rank
+}
+
+TEST(Summary, UnsortedInputIsSorted) {
+  const Summary s({5, 1, 4, 2, 3});
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 5);
+  EXPECT_DOUBLE_EQ(s.percentile(60), 3);
+}
+
+TEST(Summary, MeanAndTotal) {
+  const Summary s({2, 4, 6});
+  EXPECT_DOUBLE_EQ(s.mean(), 4);
+  EXPECT_DOUBLE_EQ(s.total(), 12);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Summary, StddevMatchesKnown) {
+  const Summary s({2, 4, 4, 4, 5, 5, 7, 9});
+  // Sample stddev of this classic set is ~2.138.
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+}
+
+TEST(Summary, SingleElement) {
+  const Summary s({42.0});
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, EmptyThrows) {
+  const Summary s{};
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.max(), std::logic_error);
+}
+
+TEST(Summary, PercentileRangeValidation) {
+  const Summary s({1.0, 2.0});
+  EXPECT_THROW(s.percentile(0), std::invalid_argument);
+  EXPECT_THROW(s.percentile(-5), std::invalid_argument);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+TEST(Welford, MatchesBatchStatistics) {
+  Rng rng(6);
+  std::vector<double> sample;
+  Welford w;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-10, 10);
+    sample.push_back(x);
+    w.add(x);
+  }
+  const Summary s(sample);
+  EXPECT_EQ(w.count(), 5000u);
+  EXPECT_NEAR(w.mean(), s.mean(), 1e-9);
+  EXPECT_NEAR(w.stddev(), s.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(w.min(), s.min());
+  EXPECT_DOUBLE_EQ(w.max(), s.max());
+}
+
+TEST(Welford, MergeEqualsSinglePass) {
+  Rng rng(13);
+  Welford whole;
+  Welford a;
+  Welford b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0, 1);
+    whole.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Welford, MergeWithEmpty) {
+  Welford a;
+  a.add(1);
+  a.add(3);
+  Welford empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  Welford target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(Welford, VarianceOfConstant) {
+  Welford w;
+  for (int i = 0; i < 10; ++i) w.add(7.5);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+}
+
+TEST(MaxCdfDeviation, PerfectMatchIsSmall) {
+  // Sample CDF values at i/n exactly: deviation bounded by 1/n.
+  const int n = 100;
+  std::vector<double> sample(n);
+  std::vector<double> cdf(n);
+  for (int i = 0; i < n; ++i) {
+    sample[i] = i;
+    cdf[i] = (i + 1.0) / n;
+  }
+  EXPECT_LT(max_cdf_deviation(sample, cdf), 1.0 / n + 1e-12);
+}
+
+TEST(MaxCdfDeviation, DetectsMismatch) {
+  std::vector<double> sample{1, 2, 3, 4};
+  std::vector<double> cdf{0.1, 0.2, 0.3, 0.4};  // empirical is .25..1.0
+  EXPECT_NEAR(max_cdf_deviation(sample, cdf), 0.6, 1e-12);
+}
+
+}  // namespace
+}  // namespace dprank

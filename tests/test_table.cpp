@@ -1,0 +1,86 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace dprank {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsWideRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"only-name"});
+  EXPECT_EQ(t.rows(), 1u);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("only-name"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"id", "count"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-id", "12345"});
+  const std::string out = t.to_string();
+  std::istringstream is(out);
+  std::string line1, rule, line3, line4;
+  std::getline(is, line1);
+  std::getline(is, rule);
+  std::getline(is, line3);
+  std::getline(is, line4);
+  EXPECT_EQ(line3.size(), line4.size());
+  // Numeric column is right-aligned: "1" ends where "12345" ends.
+  EXPECT_EQ(line3.back(), '1');
+  EXPECT_EQ(line4.back(), '5');
+}
+
+TEST(TextTable, HeaderRuleSpansTable) {
+  TextTable t({"aa", "bb"});
+  t.add_row({"1", "2"});
+  const std::string out = t.to_string();
+  std::istringstream is(out);
+  std::string header, rule;
+  std::getline(is, header);
+  std::getline(is, rule);
+  EXPECT_EQ(rule, std::string(header.size(), '-'));
+}
+
+TEST(Format, SignificantDigits) {
+  EXPECT_EQ(format_sig(1.5), "1.5");
+  EXPECT_EQ(format_sig(0.00123, 3), "0.00123");
+  EXPECT_EQ(format_sig(123456, 3), "1.23e+05");
+  EXPECT_EQ(format_sig(2.0, 3), "2");
+}
+
+TEST(Format, NonFinite) {
+  EXPECT_EQ(format_sig(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_sig(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_sig(std::nan("")), "nan");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 1), "2.0");
+  EXPECT_EQ(format_fixed(-0.5, 3), "-0.500");
+}
+
+TEST(Format, CountSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(1000000000ULL), "1,000,000,000");
+}
+
+}  // namespace
+}  // namespace dprank

@@ -1,0 +1,100 @@
+#include "sim/time_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dprank {
+namespace {
+
+std::vector<PassStats> synthetic_history(std::uint64_t passes,
+                                         std::uint64_t msgs_per_pass,
+                                         std::uint64_t docs_per_pass,
+                                         std::uint64_t max_peer_msgs) {
+  std::vector<PassStats> h(passes);
+  for (std::uint64_t p = 0; p < passes; ++p) {
+    h[p].pass = p;
+    h[p].messages_sent = msgs_per_pass;
+    h[p].docs_recomputed = docs_per_pass;
+    h[p].max_peer_messages = max_peer_msgs;
+  }
+  return h;
+}
+
+TEST(TimeModel, PresetBandwidths) {
+  EXPECT_DOUBLE_EQ(modem_network().bandwidth_bytes_per_sec, 32.0 * 1024);
+  EXPECT_DOUBLE_EQ(broadband_network().bandwidth_bytes_per_sec, 200.0 * 1024);
+  EXPECT_DOUBLE_EQ(t3_network().bandwidth_bytes_per_sec, 5.6e6);
+}
+
+TEST(TimeModel, SerializedCommDominatedByBytes) {
+  // 1M messages x 24 B at 32 KB/s = 732.4 s of pure transfer.
+  const auto h = synthetic_history(10, 100'000, 0, 0);
+  const auto t = estimate_serialized(h, modem_network());
+  EXPECT_NEAR(t.comm_seconds, 1e6 * 24 / (32.0 * 1024), 1e-6);
+  EXPECT_DOUBLE_EQ(t.compute_seconds, 0.0);
+}
+
+TEST(TimeModel, SerializedComputeScalesWithRecomputes) {
+  const auto h = synthetic_history(5, 0, 1000, 0);
+  const auto t = estimate_serialized(h, modem_network());
+  EXPECT_NEAR(t.compute_seconds, 5 * 1000 * 12e-6, 1e-12);
+}
+
+TEST(TimeModel, ReproducesPaperTable3Hours) {
+  // The paper's 5000k row at epsilon = 1e-5: 533.2M messages -> 106 h at
+  // 32 KB/s and 17.0 h at 200 KB/s. The serialized model must land in
+  // the same range (it is how those columns were computed).
+  const std::uint64_t total_msgs = 533'200'000;
+  const auto h = synthetic_history(1, total_msgs, 0, 0);
+  const auto slow = estimate_serialized(h, modem_network());
+  EXPECT_NEAR(slow.total_hours(), 106.0, 5.0);
+  const auto fast = estimate_serialized(h, broadband_network());
+  EXPECT_NEAR(fast.total_hours(), 17.0, 1.0);
+}
+
+TEST(TimeModel, ParallelModelIsFasterThanSerialized) {
+  const auto h = synthetic_history(20, 50'000, 10'000, 500);
+  const auto placement = Placement::random(10'000, 100, 1);
+  const auto par = estimate_parallel(h, placement, modem_network());
+  const auto ser = estimate_serialized(h, modem_network());
+  EXPECT_LT(par.total_seconds(), ser.total_seconds());
+  EXPECT_GT(par.total_seconds(), 0.0);
+}
+
+TEST(TimeModel, ParallelSkipsQuietPasses) {
+  auto h = synthetic_history(3, 0, 0, 0);
+  const auto placement = Placement::random(100, 10, 1);
+  const auto t = estimate_parallel(h, placement, modem_network());
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 0.0);
+}
+
+TEST(TimeModel, InternetScaleMatchesPaperOrder) {
+  // §4.6.2: 3B documents on T3-connected web servers; the paper reports
+  // ~14 days at epsilon 1e-3 (~80 msgs/node) and ~35 days at 1e-5. The
+  // comm-dominated estimate must land in the same order of magnitude.
+  const auto t = extrapolate_internet_scale(
+      /*avg_messages_per_node=*/80.0, /*avg_passes=*/120, 3e9,
+      t3_network());
+  EXPECT_GT(t.total_days(), 5.0);
+  EXPECT_LT(t.total_days(), 60.0);
+}
+
+TEST(TimeModel, InternetScaleComputeSharedAcrossServers) {
+  const auto few = extrapolate_internet_scale(80, 120, 3e9, t3_network(),
+                                              /*num_servers=*/1000);
+  const auto many = extrapolate_internet_scale(80, 120, 3e9, t3_network(),
+                                               /*num_servers=*/1'000'000);
+  EXPECT_GT(few.compute_seconds, many.compute_seconds);
+  EXPECT_DOUBLE_EQ(few.comm_seconds, many.comm_seconds);
+}
+
+TEST(TimeModel, UnitsConsistent) {
+  TimeEstimate t;
+  t.comm_seconds = 3600.0;
+  t.compute_seconds = 3600.0;
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 7200.0);
+  EXPECT_DOUBLE_EQ(t.total_hours(), 2.0);
+  EXPECT_NEAR(t.total_days(), 2.0 / 24.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dprank

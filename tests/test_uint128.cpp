@@ -1,0 +1,159 @@
+#include "common/uint128.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace dprank {
+namespace {
+
+TEST(U128, ComparisonOrdersHiThenLo) {
+  EXPECT_LT(U128(0, 5), U128(0, 6));
+  EXPECT_LT(U128(0, ~0ULL), U128(1, 0));
+  EXPECT_GT(U128(2, 0), U128(1, ~0ULL));
+  EXPECT_EQ(U128(3, 4), U128(3, 4));
+}
+
+TEST(U128, AdditionCarries) {
+  const U128 a(0, ~0ULL);
+  const U128 one(0, 1);
+  EXPECT_EQ(a + one, U128(1, 0));
+  EXPECT_EQ(U128::max() + one, U128(0, 0));  // wraps mod 2^128
+}
+
+TEST(U128, SubtractionBorrows) {
+  EXPECT_EQ(U128(1, 0) - U128(0, 1), U128(0, ~0ULL));
+  EXPECT_EQ(U128(0, 0) - U128(0, 1), U128::max());  // wraps
+  EXPECT_EQ(U128(5, 7) - U128(5, 7), U128(0, 0));
+}
+
+TEST(U128, AdditionSubtractionRoundTrip) {
+  Rng rng(2024);
+  for (int i = 0; i < 1000; ++i) {
+    const U128 a(rng(), rng());
+    const U128 b(rng(), rng());
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+TEST(U128, ShiftLeft) {
+  EXPECT_EQ(U128(0, 1) << 0, U128(0, 1));
+  EXPECT_EQ(U128(0, 1) << 1, U128(0, 2));
+  EXPECT_EQ(U128(0, 1) << 64, U128(1, 0));
+  EXPECT_EQ(U128(0, 1) << 127, U128(1ULL << 63, 0));
+  EXPECT_EQ(U128(0, 0xFF) << 60, U128(0xF, 0xF000000000000000ULL));
+}
+
+TEST(U128, ShiftRight) {
+  EXPECT_EQ(U128(1, 0) >> 64, U128(0, 1));
+  EXPECT_EQ(U128(1ULL << 63, 0) >> 127, U128(0, 1));
+  EXPECT_EQ(U128(0xF, 0xF000000000000000ULL) >> 60, U128(0, 0xFF));
+}
+
+TEST(U128, ShiftRoundTrip) {
+  Rng rng(7);
+  for (int k = 0; k < 128; ++k) {
+    const U128 v(0, rng() | 1);
+    const U128 shifted = v << k;
+    // Shifting back recovers the low bits that survived.
+    if (k == 0) EXPECT_EQ(shifted >> k, v);
+  }
+}
+
+TEST(U128, Pow2) {
+  EXPECT_EQ(U128::pow2(0), U128(0, 1));
+  EXPECT_EQ(U128::pow2(63), U128(0, 1ULL << 63));
+  EXPECT_EQ(U128::pow2(64), U128(1, 0));
+  EXPECT_EQ(U128::pow2(127), U128(1ULL << 63, 0));
+  // Powers of two sum correctly: 2^k + 2^k = 2^(k+1).
+  for (int k = 0; k < 127; ++k) {
+    EXPECT_EQ(U128::pow2(k) + U128::pow2(k), U128::pow2(k + 1));
+  }
+}
+
+TEST(U128, BitwiseOps) {
+  const U128 a(0xF0F0, 0x1234);
+  const U128 b(0x0FF0, 0x5678);
+  EXPECT_EQ(a & b, U128(0x00F0, 0x1230));
+  EXPECT_EQ(a | b, U128(0xFFF0, 0x567C));
+  EXPECT_EQ(a ^ a, U128(0, 0));
+}
+
+TEST(U128, HexRoundTrip) {
+  Rng rng(55);
+  for (int i = 0; i < 200; ++i) {
+    const U128 v(rng(), rng());
+    EXPECT_EQ(U128::from_hex(v.to_hex()), v);
+  }
+}
+
+TEST(U128, HexFormat) {
+  EXPECT_EQ(U128(0, 0).to_hex(), std::string(32, '0'));
+  EXPECT_EQ(U128(0, 0xABC).to_hex(),
+            "00000000000000000000000000000abc");
+  EXPECT_EQ(U128::from_hex("0xABC"), U128(0, 0xABC));
+  EXPECT_EQ(U128::from_hex("ff"), U128(0, 255));
+}
+
+TEST(U128, HexRejectsBadInput) {
+  EXPECT_THROW(U128::from_hex(""), std::invalid_argument);
+  EXPECT_THROW(U128::from_hex("0x"), std::invalid_argument);
+  EXPECT_THROW(U128::from_hex("xyz"), std::invalid_argument);
+  EXPECT_THROW(U128::from_hex(std::string(33, 'a')), std::invalid_argument);
+}
+
+TEST(U128, RingDistanceWraps) {
+  const U128 a(0, 10);
+  const U128 b(0, 3);
+  EXPECT_EQ(ring_distance(b, a), U128(0, 7));
+  // Going the other way wraps around the whole ring.
+  EXPECT_EQ(ring_distance(a, b), U128(0, 3) - U128(0, 10));
+  EXPECT_EQ(ring_distance(a, a), U128(0, 0));
+}
+
+TEST(U128, IntervalOpenClosed) {
+  const U128 a(0, 10);
+  const U128 b(0, 20);
+  EXPECT_TRUE(in_interval_oc(U128(0, 15), a, b));
+  EXPECT_TRUE(in_interval_oc(b, a, b));    // closed at right end
+  EXPECT_FALSE(in_interval_oc(a, a, b));   // open at left end
+  EXPECT_FALSE(in_interval_oc(U128(0, 25), a, b));
+  // Wrapping interval (20, 10]: contains 25 and 5 but not 15.
+  EXPECT_TRUE(in_interval_oc(U128(0, 25), b, a));
+  EXPECT_TRUE(in_interval_oc(U128(0, 5), b, a));
+  EXPECT_FALSE(in_interval_oc(U128(0, 15), b, a));
+}
+
+TEST(U128, IntervalOpenOpen) {
+  const U128 a(0, 10);
+  const U128 b(0, 20);
+  EXPECT_TRUE(in_interval_oo(U128(0, 15), a, b));
+  EXPECT_FALSE(in_interval_oo(b, a, b));
+  EXPECT_FALSE(in_interval_oo(a, a, b));
+}
+
+TEST(U128, FullRingConvention) {
+  // When from == to, (from, to] is the entire ring (Chord convention).
+  const U128 x(0, 42);
+  EXPECT_TRUE(in_interval_oc(U128(0, 7), x, x));
+  EXPECT_TRUE(in_interval_oc(U128(0, 41), x, x));
+  // A single-node ring owns every key, including its own id.
+  EXPECT_TRUE(in_interval_oc(x, x, x));
+  // The open-open variant excludes only the endpoint.
+  EXPECT_TRUE(in_interval_oo(U128(0, 7), x, x));
+  EXPECT_FALSE(in_interval_oo(x, x, x));
+}
+
+TEST(U128, HashSpreads) {
+  std::unordered_set<U128> set;
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) set.insert(U128(rng(), rng()));
+  EXPECT_EQ(set.size(), 10'000u);
+}
+
+}  // namespace
+}  // namespace dprank

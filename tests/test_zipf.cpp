@@ -1,0 +1,113 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace dprank {
+namespace {
+
+TEST(PowerLaw, RejectsBadSupport) {
+  EXPECT_THROW(PowerLawSampler(2.0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(PowerLawSampler(2.0, 5, 4), std::invalid_argument);
+}
+
+TEST(PowerLaw, SamplesWithinSupport) {
+  Rng rng(1);
+  const PowerLawSampler s(2.1, 1, 100);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto k = s.sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 100u);
+  }
+}
+
+TEST(PowerLaw, DegenerateSupportAlwaysReturnsK) {
+  Rng rng(2);
+  const PowerLawSampler s(2.4, 7, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.sample(rng), 7u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+}
+
+TEST(PowerLaw, CdfMonotoneAndNormalized) {
+  const PowerLawSampler s(2.1, 1, 1000);
+  double prev = 0.0;
+  for (std::uint64_t k = 1; k <= 1000; k += 13) {
+    const double c = s.cdf(k);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(s.cdf(1000), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf(5000), 1.0);  // clamps above support
+  EXPECT_DOUBLE_EQ(s.cdf(0), 0.0);     // clamps below support
+}
+
+TEST(PowerLaw, FrequenciesFollowExponent) {
+  // Empirical P(1)/P(2) should be 2^alpha.
+  Rng rng(3);
+  const double alpha = 2.4;
+  const PowerLawSampler s(alpha, 1, 1000);
+  std::vector<int> counts(11, 0);
+  constexpr int kDraws = 400'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto k = s.sample(rng);
+    if (k <= 10) ++counts[k];
+  }
+  const double ratio12 =
+      static_cast<double>(counts[1]) / static_cast<double>(counts[2]);
+  EXPECT_NEAR(ratio12, std::pow(2.0, alpha), 0.3);
+  const double ratio13 =
+      static_cast<double>(counts[1]) / static_cast<double>(counts[3]);
+  EXPECT_NEAR(ratio13, std::pow(3.0, alpha), 1.0);
+}
+
+TEST(PowerLaw, MeanMatchesEmpirical) {
+  Rng rng(4);
+  const PowerLawSampler s(2.1, 1, 500);
+  double sum = 0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(s.sample(rng));
+  }
+  EXPECT_NEAR(sum / kDraws, s.mean(), 0.05 * s.mean());
+}
+
+TEST(PowerLaw, BroderExponentsHaveSaneMeans) {
+  // In-degree 2.1 has a heavier tail (larger mean) than out-degree 2.4.
+  const PowerLawSampler in_deg(2.1, 1, 1000);
+  const PowerLawSampler out_deg(2.4, 1, 1000);
+  EXPECT_GT(in_deg.mean(), out_deg.mean());
+  EXPECT_GT(in_deg.mean(), 1.0);
+  EXPECT_LT(in_deg.mean(), 10.0);  // web-like graphs are sparse
+}
+
+TEST(Zipf, RanksAreZeroBased) {
+  Rng rng(5);
+  const ZipfSampler z(100, 1.0);
+  bool saw_zero = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto r = z.sample(rng);
+    ASSERT_LT(r, 100u);
+    if (r == 0) saw_zero = true;
+  }
+  EXPECT_TRUE(saw_zero);  // rank 0 is the most probable outcome
+}
+
+TEST(Zipf, ExpectedFrequencySumsToOne) {
+  const ZipfSampler z(50, 1.0);
+  double total = 0;
+  for (std::uint64_t r = 0; r < 50; ++r) total += z.expected_frequency(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, TopRankDominates) {
+  const ZipfSampler z(1880, 1.0);
+  EXPECT_GT(z.expected_frequency(0), z.expected_frequency(1));
+  EXPECT_GT(z.expected_frequency(1), z.expected_frequency(10));
+  EXPECT_GT(z.expected_frequency(10), z.expected_frequency(1000));
+}
+
+}  // namespace
+}  // namespace dprank

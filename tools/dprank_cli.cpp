@@ -1,0 +1,361 @@
+// dprank command-line interface.
+//
+// Subcommands:
+//   gen     --nodes N [--seed S] [--dangling F] --out FILE
+//           synthesize a web-like link graph and save it
+//   stats   --graph FILE
+//           degree statistics + Broder bow-tie decomposition
+//   rank    --graph FILE [--peers P] [--epsilon E] [--placement MODE]
+//           [--availability F] [--ranks-out FILE]
+//           run the distributed pagerank computation
+//   insert  --graph FILE [--epsilon E] [--count K] [--seed S]
+//           measure insert-propagation cost (Table 4's experiment)
+//   search  [--docs N] [--peers P] [--queries Q] [--terms T] [--top PCT]
+//           corpus + distributed index + incremental search
+//
+// Examples:
+//   dprank_cli gen --nodes 100000 --out web.dpg
+//   dprank_cli rank --graph web.dpg --peers 500 --epsilon 1e-3
+//   dprank_cli search --docs 11000 --terms 2 --top 10
+//   dprank_cli system --docs 5000 --ops 20   (lifecycle + doctor)
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "graph/generator.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/graph_stats.hpp"
+#include "graph/scc.hpp"
+#include "p2p/placement.hpp"
+#include "pagerank/centralized.hpp"
+#include "pagerank/distributed_engine.hpp"
+#include "pagerank/incremental.hpp"
+#include "pagerank/quality.hpp"
+#include "search/corpus.hpp"
+#include "search/distributed_index.hpp"
+#include "search/incremental_search.hpp"
+#include "core/p2p_system.hpp"
+#include "search/query_gen.hpp"
+#include "sim/experiment.hpp"
+
+namespace dprank::cli {
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("expected --flag, got: " + key);
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value for --" + key);
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw std::invalid_argument("missing required --" + key);
+    }
+    return it->second;
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_gen(const Args& args) {
+  WebGraphParams params;
+  params.num_nodes = args.get_u64("nodes", 10'000);
+  params.seed = args.get_u64("seed", 42);
+  params.dangling_fraction = args.get_double("dangling", 0.0);
+  const std::string out = args.require("out");
+  std::cout << "Generating " << params.num_nodes
+            << "-node web graph (seed " << params.seed << ")...\n";
+  const Digraph g = generate_web_graph(params);
+  save_graph(g, out);
+  std::cout << "Wrote " << g.num_edges() << " edges to " << out << "\n";
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const Digraph g = load_graph(args.require("graph"));
+  const auto deg = compute_degree_stats(g);
+  std::cout << "nodes:            " << format_count(g.num_nodes()) << "\n"
+            << "edges:            " << format_count(g.num_edges()) << "\n"
+            << "avg out-degree:   " << format_fixed(deg.out_degree.mean(), 2)
+            << " (max " << format_count(static_cast<std::uint64_t>(
+                               deg.out_degree.max()))
+            << ")\n"
+            << "avg in-degree:    " << format_fixed(deg.in_degree.mean(), 2)
+            << " (max " << format_count(static_cast<std::uint64_t>(
+                               deg.in_degree.max()))
+            << ")\n"
+            << "dangling nodes:   " << format_count(deg.dangling_nodes) << "\n"
+            << "sourceless nodes: " << format_count(deg.sourceless_nodes)
+            << "\n";
+  const auto bt = bowtie_decomposition(g);
+  std::cout << "bow-tie: core " << format_count(bt.core) << ", in "
+            << format_count(bt.in) << ", out " << format_count(bt.out)
+            << ", other " << format_count(bt.other) << "\n";
+  return 0;
+}
+
+int cmd_rank(const Args& args) {
+  const Digraph g = load_graph(args.require("graph"));
+  const auto peers =
+      static_cast<PeerId>(args.get_u64("peers", 500));
+  const double epsilon = args.get_double("epsilon", 1e-3);
+  const double availability = args.get_double("availability", 1.0);
+  const auto seed = args.get_u64("seed", 42);
+  const std::string placement_mode = args.get("placement", "random");
+
+  const Placement placement =
+      placement_mode == "cluster"
+          ? Placement::by_link_clustering(g, peers, seed)
+          : Placement::random(g.num_nodes(), peers, seed);
+
+  PagerankOptions options;
+  options.epsilon = epsilon;
+  DistributedPagerank engine(g, placement, options);
+  DistributedRunResult run;
+  if (availability < 1.0) {
+    ChurnSchedule churn(peers, availability, seed);
+    run = engine.run(&churn);
+  } else {
+    run = engine.run();
+  }
+
+  std::cout << "converged: " << (run.converged ? "yes" : "NO") << " in "
+            << run.passes << " passes\n"
+            << "messages:  " << format_count(engine.traffic().messages())
+            << " (" << format_count(engine.traffic().bytes()) << " bytes)\n"
+            << "local upd: " << format_count(engine.traffic().local_updates())
+            << "\n";
+
+  const std::string ranks_out = args.get("ranks-out", "");
+  if (!ranks_out.empty()) {
+    std::ofstream os(ranks_out);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      os << v << ' ' << engine.ranks()[v] << '\n';
+    }
+    std::cout << "wrote ranks to " << ranks_out << "\n";
+  }
+  return 0;
+}
+
+int cmd_insert(const Args& args) {
+  const Digraph g = load_graph(args.require("graph"));
+  const double epsilon = args.get_double("epsilon", 1e-3);
+  const auto count = args.get_u64("count", 100);
+  const auto seed = args.get_u64("seed", 42);
+
+  std::vector<double> ranks = centralized_pagerank(g, 0.85, 1e-10).ranks;
+  PagerankOptions options;
+  options.epsilon = epsilon;
+  IncrementalPagerank engine(g, ranks, options);
+  Rng rng(seed);
+  double path = 0;
+  double coverage = 0;
+  double messages = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto node = static_cast<NodeId>(rng.bounded(g.num_nodes()));
+    const auto stats = engine.probe_insert(node);
+    path += stats.path_length;
+    coverage += static_cast<double>(stats.nodes_covered);
+    messages += static_cast<double>(stats.updates_delivered);
+  }
+  const auto n = static_cast<double>(count);
+  std::cout << "inserts probed:    " << count << "\n"
+            << "avg path length:   " << format_fixed(path / n, 1) << "\n"
+            << "avg node coverage: " << format_fixed(coverage / n, 0) << "\n"
+            << "avg messages:      " << format_fixed(messages / n, 0)
+            << "\n";
+  return 0;
+}
+
+int cmd_search(const Args& args) {
+  CorpusParams cp;
+  cp.num_docs = static_cast<std::uint32_t>(args.get_u64("docs", 11'000));
+  cp.seed = args.get_u64("seed", 42);
+  const auto peers = static_cast<PeerId>(args.get_u64("peers", 50));
+  const auto num_queries =
+      static_cast<std::uint32_t>(args.get_u64("queries", 20));
+  const auto terms =
+      static_cast<std::uint32_t>(args.get_u64("terms", 2));
+  const double top_pct = args.get_double("top", 10.0);
+
+  const Corpus corpus = Corpus::synthesize(cp);
+  ExperimentConfig cfg;
+  cfg.num_docs = cp.num_docs;
+  cfg.num_peers = peers;
+  cfg.seed = cp.seed;
+  const StandardExperiment exp(cfg);
+  const auto outcome = exp.run_distributed();
+
+  ChordRing ring(peers);
+  DistributedIndex index(corpus, ring);
+  std::vector<PeerId> owner(cp.num_docs);
+  for (NodeId d = 0; d < cp.num_docs; ++d) {
+    owner[d] = exp.placement().peer_of(d);
+  }
+  index.publish_ranks(outcome.ranks, owner);
+
+  SearchEngine engine(index);
+  SearchPolicy policy;
+  policy.forward_fraction = top_pct / 100.0;
+  const auto queries = generate_queries(
+      corpus, {.term_pool = 100, .num_queries = num_queries,
+               .terms_per_query = terms, .seed = cp.seed});
+  double base_ids = 0;
+  double inc_ids = 0;
+  double hits = 0;
+  for (const auto& q : queries) {
+    base_ids += static_cast<double>(
+        engine.run_query(q, kForwardEverything).ids_transferred);
+    const auto out = engine.run_query(q, policy);
+    inc_ids += static_cast<double>(out.ids_transferred);
+    hits += static_cast<double>(out.hits.size());
+  }
+  std::cout << num_queries << " " << terms << "-term queries, top-"
+            << top_pct << "% forwarding:\n"
+            << "  traffic reduction: "
+            << format_fixed(base_ids / std::max(1.0, inc_ids), 1) << "x\n"
+            << "  avg hits returned: "
+            << format_fixed(hits / num_queries, 1) << "\n";
+  return 0;
+}
+
+int cmd_system(const Args& args) {
+  // Scripted full-system lifecycle: bootstrap, converge, N random
+  // inserts/deletes/searches, then the consistency doctor.
+  CorpusParams cp;
+  cp.num_docs = static_cast<std::uint32_t>(args.get_u64("docs", 5'000));
+  cp.vocabulary = static_cast<TermId>(args.get_u64("vocab", 500));
+  cp.mean_terms = 40;
+  cp.min_terms = 5;
+  cp.max_terms = 200;
+  cp.seed = args.get_u64("seed", 42);
+  const auto ops = args.get_u64("ops", 20);
+
+  const Corpus corpus = Corpus::synthesize(cp);
+  const Digraph graph = paper_graph(cp.num_docs, cp.seed);
+  P2PSystemConfig cfg;
+  cfg.num_peers = static_cast<PeerId>(args.get_u64("peers", 50));
+  cfg.pagerank.epsilon = args.get_double("epsilon", 1e-4);
+  cfg.seed = cp.seed;
+  P2PSystem system(graph, corpus, cfg);
+
+  std::cout << "converge: " << system.converge() << " passes, "
+            << format_count(system.traffic().messages()) << " messages\n";
+
+  Rng rng(cp.seed ^ 0x0B5ULL);
+  SearchPolicy top10;
+  top10.forward_fraction = 0.10;
+  std::vector<NodeId> inserted;
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    const auto kind = rng.bounded(3);
+    if (kind == 0) {
+      std::vector<TermId> terms;
+      for (int t = 0; t < 3; ++t) {
+        terms.push_back(static_cast<TermId>(rng.bounded(cp.vocabulary)));
+      }
+      std::vector<NodeId> links;
+      for (int l = 0; l < 3; ++l) {
+        NodeId v = static_cast<NodeId>(rng.bounded(system.num_documents()));
+        while (!system.is_live(v)) {
+          v = static_cast<NodeId>(rng.bounded(system.num_documents()));
+        }
+        links.push_back(v);
+      }
+      inserted.push_back(system.add_document(terms, links));
+      std::cout << "  insert doc-" << inserted.back() << "\n";
+    } else if (kind == 1 && !inserted.empty()) {
+      const NodeId victim = inserted.back();
+      inserted.pop_back();
+      if (system.is_live(victim)) {
+        system.remove_document(victim);
+        std::cout << "  delete doc-" << victim << "\n";
+      }
+    } else {
+      const std::vector<TermId> q{
+          static_cast<TermId>(rng.bounded(50)),
+          static_cast<TermId>(rng.bounded(50))};
+      const auto out = system.search(q, top10);
+      std::cout << "  search {t" << q[0] << ", t" << q[1] << "}: "
+                << out.hits.size() << " hits, " << out.ids_transferred
+                << " ids moved\n";
+    }
+  }
+
+  const auto issues = system.validate();
+  std::cout << "doctor: "
+            << (issues.empty() ? "all invariants hold"
+                               : std::to_string(issues.size()) +
+                                     " violations:")
+            << "\n";
+  for (const auto& issue : issues) std::cout << "  ! " << issue << "\n";
+  std::cout << "total traffic: "
+            << format_count(system.traffic().messages()) << " messages\n";
+  return issues.empty() ? 0 : 1;
+}
+
+int usage() {
+  std::cerr << "usage: dprank_cli <gen|stats|rank|insert|search|system> "
+               "[--flag value]\n"
+               "see the header of tools/dprank_cli.cpp for per-command "
+               "flags\n";
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  if (cmd == "gen") return cmd_gen(args);
+  if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "rank") return cmd_rank(args);
+  if (cmd == "insert") return cmd_insert(args);
+  if (cmd == "search") return cmd_search(args);
+  if (cmd == "system") return cmd_system(args);
+  return usage();
+}
+
+}  // namespace
+}  // namespace dprank::cli
+
+int main(int argc, char** argv) {
+  try {
+    return dprank::cli::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
