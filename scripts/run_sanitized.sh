@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build the tree with ASan+UBSan (-DDPRANK_SANITIZE=ON) and run the tier-1
+# ctest suite under the sanitizers. Any report aborts the run
+# (-fno-sanitize-recover=all), so a green exit means a clean pass.
+#
+# Usage: scripts/run_sanitized.sh [ctest args...]
+#   e.g. scripts/run_sanitized.sh -R 'faults|recovery'
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${DPRANK_SANITIZE_BUILD_DIR:-${repo_root}/build-sanitize}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDPRANK_SANITIZE=ON
+cmake --build "${build_dir}" -j "${jobs}"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+cd "${build_dir}"
+ctest --output-on-failure -j "${jobs}" "$@"

@@ -4,12 +4,43 @@
 
 namespace dprank {
 
+void Outbox::evict_oldest(Queue& q) {
+  while (!q.order.empty()) {
+    const auto [slot, gen] = q.order.front();
+    q.order.pop_front();
+    const auto it = q.slots.find(slot);
+    if (it == q.slots.end() || it->second.second != gen) continue;  // stale
+    q.slots.erase(it);
+    --total_pending_;
+    ++evicted_;
+    return;
+  }
+}
+
 void Outbox::store(std::uint32_t dest_peer, std::uint64_t slot, Message msg) {
-  auto& slots = pending_[dest_peer];
-  const auto [it, inserted] = slots.insert_or_assign(slot, std::move(msg));
+  auto& q = pending_[dest_peer];
+  const std::uint64_t gen = ++generation_;
+  const auto [it, inserted] =
+      q.slots.insert_or_assign(slot, std::make_pair(std::move(msg), gen));
+  q.order.emplace_back(slot, gen);
   if (inserted) {
     ++total_pending_;
+    if (per_dest_cap_ != 0 && q.slots.size() > per_dest_cap_) {
+      evict_oldest(q);
+    }
     peak_pending_ = std::max(peak_pending_, total_pending_);
+  }
+  // Bound the lazy-invalidated order deque: compact once it is dominated
+  // by stale overwrite entries.
+  if (q.order.size() > 4 * (q.slots.size() + 4)) {
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> live;
+    for (const auto& [s, g] : q.order) {
+      const auto sit = q.slots.find(s);
+      if (sit != q.slots.end() && sit->second.second == g) {
+        live.emplace_back(s, g);
+      }
+    }
+    q.order.swap(live);
   }
 }
 
@@ -18,17 +49,47 @@ std::vector<std::pair<std::uint64_t, Message>> Outbox::drain(
   std::vector<std::pair<std::uint64_t, Message>> out;
   const auto it = pending_.find(dest_peer);
   if (it == pending_.end()) return out;
-  out.reserve(it->second.size());
-  for (auto& [slot, msg] : it->second) out.emplace_back(slot, std::move(msg));
-  total_pending_ -= it->second.size();
+  out.reserve(it->second.slots.size());
+  for (auto& [slot, entry] : it->second.slots) {
+    out.emplace_back(slot, std::move(entry.first));
+  }
+  total_pending_ -= it->second.slots.size();
   pending_.erase(it);
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 
+void Outbox::schedule_retry(std::uint32_t dest_peer, std::uint64_t now_pass) {
+  const auto it = pending_.find(dest_peer);
+  if (it == pending_.end()) return;
+  auto& q = it->second;
+  std::uint64_t interval = retry_interval_;
+  for (std::uint32_t i = 0; i < q.attempts && interval < retry_backoff_cap_;
+       ++i) {
+    interval *= 2;
+  }
+  q.next_retry = now_pass + std::min(interval, retry_backoff_cap_);
+  ++q.attempts;
+}
+
+std::vector<std::uint32_t> Outbox::due_destinations(std::uint64_t pass) const {
+  std::vector<std::uint32_t> due;
+  for (const auto& [dest, q] : pending_) {
+    if (!q.slots.empty() && q.next_retry <= pass) due.push_back(dest);
+  }
+  std::sort(due.begin(), due.end());
+  return due;
+}
+
 bool Outbox::has_pending(std::uint32_t dest_peer) const {
-  return pending_.contains(dest_peer);
+  const auto it = pending_.find(dest_peer);
+  return it != pending_.end() && !it->second.slots.empty();
+}
+
+std::uint64_t Outbox::pending_for(std::uint32_t dest_peer) const {
+  const auto it = pending_.find(dest_peer);
+  return it == pending_.end() ? 0 : it->second.slots.size();
 }
 
 }  // namespace dprank

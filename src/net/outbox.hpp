@@ -12,8 +12,22 @@
 // the outbox keys pending messages by a 64-bit slot (the engines use the
 // sender's out-edge id) and keeps only the freshest value — exactly the
 // linear-in-outlinks bound the paper states.
+//
+// Robustness extensions beyond the paper:
+//   * an optional per-destination pending cap. Under session churn
+//     (ChurnModel::kSessions) a peer can stay offline for many passes
+//     while its neighbors keep re-ranking, so a capacity-bounded sender
+//     must shed state: when a destination's queue is full the
+//     least-recently-stored slot is evicted (its rank mass is the
+//     caller's to re-audit — see pagerank/mass_audit.hpp) and counted in
+//     evicted_count().
+//   * a per-destination retransmission schedule with exponential backoff
+//     ("periodically resent until delivered"): schedule_retry() arms the
+//     next resend pass, due_destinations() lists the queues whose timer
+//     expired, and a successful drain resets the backoff.
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -23,26 +37,68 @@ namespace dprank {
 
 class Outbox {
  public:
+  /// `per_dest_cap` == 0 means unbounded (the paper's model).
+  explicit Outbox(std::uint64_t per_dest_cap = 0,
+                  std::uint64_t retry_interval_passes = 1,
+                  std::uint64_t retry_backoff_cap_passes = 16)
+      : per_dest_cap_(per_dest_cap),
+        retry_interval_(retry_interval_passes < 1 ? 1
+                                                  : retry_interval_passes),
+        retry_backoff_cap_(retry_backoff_cap_passes < 1
+                               ? 1
+                               : retry_backoff_cap_passes) {}
+
   /// Queue (or overwrite) the pending message for `slot` addressed to
-  /// `dest_peer`.
+  /// `dest_peer`. May evict the destination's least-recently-stored slot
+  /// when the per-destination cap is reached.
   void store(std::uint32_t dest_peer, std::uint64_t slot, Message msg);
 
   /// Remove and return all pending messages for `dest_peer` (it came back
-  /// online). Returned in slot order for determinism.
+  /// online). Returned in slot order for determinism. Resets the
+  /// destination's retransmission backoff.
   [[nodiscard]] std::vector<std::pair<std::uint64_t, Message>> drain(
       std::uint32_t dest_peer);
 
+  /// Arm (or re-arm, with doubled backoff) the resend timer for
+  /// `dest_peer` as of `now_pass`. No-op for destinations with nothing
+  /// pending.
+  void schedule_retry(std::uint32_t dest_peer, std::uint64_t now_pass);
+
+  /// Destinations with pending messages whose resend timer has expired at
+  /// `pass`, in destination order. Does not reschedule — callers either
+  /// drain() (delivered) or schedule_retry() again (still unreachable).
+  [[nodiscard]] std::vector<std::uint32_t> due_destinations(
+      std::uint64_t pass) const;
+
   [[nodiscard]] bool has_pending(std::uint32_t dest_peer) const;
   [[nodiscard]] std::uint64_t pending_count() const { return total_pending_; }
+  [[nodiscard]] std::uint64_t pending_for(std::uint32_t dest_peer) const;
   [[nodiscard]] std::uint64_t peak_pending() const { return peak_pending_; }
+  [[nodiscard]] std::uint64_t evicted_count() const { return evicted_; }
+  [[nodiscard]] std::uint64_t per_dest_cap() const { return per_dest_cap_; }
 
  private:
-  // dest peer -> (slot -> freshest message)
-  std::unordered_map<std::uint32_t,
-                     std::unordered_map<std::uint64_t, Message>>
-      pending_;
+  struct Queue {
+    // slot -> (freshest message, generation of its newest store)
+    std::unordered_map<std::uint64_t, std::pair<Message, std::uint64_t>>
+        slots;
+    // store order with lazy invalidation: an entry is live only when its
+    // generation matches the slot's current one.
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> order;
+    std::uint64_t next_retry = 0;
+    std::uint32_t attempts = 0;
+  };
+
+  void evict_oldest(Queue& q);
+
+  std::unordered_map<std::uint32_t, Queue> pending_;
+  std::uint64_t per_dest_cap_;
+  std::uint64_t retry_interval_;
+  std::uint64_t retry_backoff_cap_;
+  std::uint64_t generation_ = 0;
   std::uint64_t total_pending_ = 0;
   std::uint64_t peak_pending_ = 0;
+  std::uint64_t evicted_ = 0;
 };
 
 }  // namespace dprank

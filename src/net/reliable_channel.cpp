@@ -1,0 +1,72 @@
+#include "net/reliable_channel.hpp"
+
+#include <algorithm>
+
+namespace dprank {
+
+std::uint64_t ReliableChannel::retry_interval(std::uint32_t attempt) const {
+  std::uint64_t interval = std::max<std::uint32_t>(1, config_.ack_timeout_passes);
+  const std::uint64_t cap =
+      std::max<std::uint32_t>(1, config_.retry_backoff_cap);
+  for (std::uint32_t i = 0; i < attempt && interval < cap; ++i) interval *= 2;
+  return std::min(interval, cap);
+}
+
+void ReliableChannel::track(const Pending& send, std::uint64_t pass) {
+  auto& entry = inflight_[send.slot];
+  if (entry.send.seq <= send.seq) entry.send = send;
+  entry.retry_at = pass + retry_interval(send.attempt);
+  peak_in_flight_ = std::max<std::uint64_t>(peak_in_flight_, inflight_.size());
+}
+
+void ReliableChannel::ack(std::uint64_t slot, std::uint32_t seq) {
+  const auto it = inflight_.find(slot);
+  if (it != inflight_.end() && it->second.send.seq <= seq) {
+    inflight_.erase(it);
+  }
+}
+
+std::vector<ReliableChannel::Pending> ReliableChannel::take_due(
+    std::uint64_t pass) {
+  std::vector<Pending> due;
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->second.retry_at <= pass) {
+      due.push_back(it->second.send);
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  retransmissions_ += due.size();
+  return due;
+}
+
+std::vector<ReliableChannel::Pending> ReliableChannel::forget_sender(
+    std::uint32_t src) {
+  std::vector<Pending> lost;
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->second.send.src == src) {
+      lost.push_back(it->second.send);
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return lost;
+}
+
+bool ReliableChannel::accept(std::uint64_t slot, std::uint32_t seq) {
+  auto& applied = applied_[slot];
+  if (seq > applied) {
+    applied = seq;
+    return true;
+  }
+  if (seq == applied) {
+    ++duplicates_suppressed_;
+  } else {
+    ++stale_rejected_;
+  }
+  return false;
+}
+
+}  // namespace dprank

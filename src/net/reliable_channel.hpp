@@ -1,0 +1,116 @@
+#pragma once
+
+// Sequence-numbered, acknowledged delivery (extension).
+//
+// The paper assumes reliable transport for direct sends and falls back to
+// the §3.1 store-and-resend Outbox only for peers known to be offline. On
+// lossy transport a dropped update silently leaves a stale contribution at
+// the receiver. ReliableChannel closes that gap with the classic ARQ
+// recipe, adapted to the pass simulator's time base:
+//
+//   * every logical flow is a 64-bit slot (the engines use the sender's
+//     out-edge id, the same key the Outbox uses);
+//   * each emission on a slot gets a monotonically increasing sequence
+//     number; receivers accept a value only if its sequence number is
+//     newer than the last one applied (stale reordered values are
+//     rejected, duplicates suppressed);
+//   * an unacked send is retransmitted after an exponentially backed-off
+//     number of passes until the ack arrives. Retransmissions always carry
+//     the *newest* emission for the slot — pagerank updates are
+//     idempotent-by-latest, so at most one in-flight record per slot is
+//     needed (the same linear-in-outlinks bound as the Outbox).
+//
+// The class is transport-agnostic bookkeeping: the engine decides what a
+// "send" is, asks the fault plan whether it survived, and reports the
+// outcome here.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace dprank {
+
+class ReliableChannel {
+ public:
+  struct Config {
+    std::uint32_t ack_timeout_passes = 1;  // passes before the first retry
+    std::uint32_t retry_backoff_cap = 16;  // max passes between retries
+  };
+
+  struct Pending {
+    std::uint64_t slot = 0;
+    std::uint32_t dest = 0;
+    std::uint32_t src = 0;
+    double value = 0.0;
+    std::uint32_t seq = 0;
+    std::uint32_t attempt = 0;  // retries already performed
+  };
+
+  ReliableChannel() = default;
+  explicit ReliableChannel(Config config) : config_(config) {}
+
+  /// Next sequence number for `slot` (first emission gets 1).
+  [[nodiscard]] std::uint32_t next_seq(std::uint64_t slot) {
+    return ++seq_[slot];
+  }
+
+  /// Record an unacked send awaiting retransmission. A newer emission for
+  /// the same slot supersedes the old record (newest-value-wins).
+  void track(const Pending& send, std::uint64_t pass);
+
+  /// The ack for `slot` covering sequence numbers <= `seq` arrived: clear
+  /// the in-flight record unless a newer emission is already pending.
+  void ack(std::uint64_t slot, std::uint32_t seq);
+
+  /// Remove and return every in-flight record due for retransmission at
+  /// `pass`, in slot order (deterministic). The caller re-sends each and
+  /// either re-track()s it (dropped again, attempt + 1) or ack()s it.
+  [[nodiscard]] std::vector<Pending> take_due(std::uint64_t pass);
+
+  /// Drop all in-flight records whose *sender* is `src` — a crashed peer
+  /// loses its retransmission state. Returns the records lost, in slot
+  /// order, so the caller can account the leaked rank mass.
+  std::vector<Pending> forget_sender(std::uint32_t src);
+
+  /// Receiver-side filter: true when `seq` is fresher than everything
+  /// already applied on `slot` (and records it as applied). Stale values
+  /// and duplicates return false and bump the respective counter.
+  [[nodiscard]] bool accept(std::uint64_t slot, std::uint32_t seq);
+
+  [[nodiscard]] std::uint64_t in_flight() const { return inflight_.size(); }
+  [[nodiscard]] bool idle() const { return inflight_.empty(); }
+  [[nodiscard]] std::uint64_t retransmissions() const {
+    return retransmissions_;
+  }
+  [[nodiscard]] std::uint64_t stale_rejected() const {
+    return stale_rejected_;
+  }
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+  [[nodiscard]] std::uint64_t peak_in_flight() const {
+    return peak_in_flight_;
+  }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct Inflight {
+    Pending send;
+    std::uint64_t retry_at = 0;
+  };
+
+  [[nodiscard]] std::uint64_t retry_interval(std::uint32_t attempt) const;
+
+  Config config_;
+  // Ordered maps keep retransmission and RNG-consumption order
+  // deterministic across runs.
+  std::map<std::uint64_t, Inflight> inflight_;
+  std::map<std::uint64_t, std::uint32_t> seq_;
+  std::map<std::uint64_t, std::uint32_t> applied_;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t stale_rejected_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t peak_in_flight_ = 0;
+};
+
+}  // namespace dprank

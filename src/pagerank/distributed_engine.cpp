@@ -60,17 +60,41 @@ void DistributedPagerank::attach_replicas(const ReplicaRegistry& replicas) {
   replicas_ = &replicas;
 }
 
+void DistributedPagerank::attach_fault_plan(FaultPlan& plan) {
+  if (ran_) throw std::logic_error("attach_fault_plan after run");
+  if (plan_ != nullptr) {
+    throw std::logic_error(
+        "attach_fault_plan: a fault plan (or inject_faults shim) is "
+        "already attached");
+  }
+  plan_ = &plan;
+}
+
+void DistributedPagerank::enable_mass_audit(double tolerance) {
+  if (ran_) throw std::logic_error("enable_mass_audit after run");
+  if (tolerance < 0.0) {
+    throw std::invalid_argument("enable_mass_audit: negative tolerance");
+  }
+  audit_enabled_ = true;
+  audit_tolerance_ = tolerance;
+}
+
 void DistributedPagerank::inject_faults(const FaultModel& faults) {
   if (ran_) throw std::logic_error("inject_faults after run");
+  if (plan_ != nullptr) {
+    throw std::logic_error("inject_faults: a fault plan is already attached");
+  }
   if (faults.drop_probability < 0.0 || faults.drop_probability >= 1.0 ||
       faults.duplicate_probability < 0.0 ||
       faults.duplicate_probability > 1.0) {
     throw std::invalid_argument("inject_faults: probabilities out of range");
   }
-  faults_ = faults;
-  faults_enabled_ = faults.drop_probability > 0.0 ||
-                    faults.duplicate_probability > 0.0;
-  fault_rng_ = Rng(faults.seed ^ 0xFA017ULL);
+  FaultPlanConfig config;
+  config.drop_probability = faults.drop_probability;
+  config.duplicate_probability = faults.duplicate_probability;
+  config.seed = faults.seed;
+  owned_plan_ = std::make_unique<FaultPlan>(config);
+  plan_ = owned_plan_.get();
 }
 
 std::uint64_t DistributedPagerank::send_hops(PeerId src, PeerId holder,
@@ -85,6 +109,13 @@ void DistributedPagerank::mark_dirty(NodeId v) {
   if (!in_dirty_[v]) {
     in_dirty_[v] = true;
     next_dirty_.push_back(v);
+  }
+}
+
+void DistributedPagerank::mark_dirty_now(NodeId v) {
+  if (!in_dirty_[v]) {
+    in_dirty_[v] = true;
+    dirty_.push_back(v);
   }
 }
 
@@ -107,28 +138,312 @@ void DistributedPagerank::send_to_replicas(PeerId src, NodeId v,
   }
 }
 
+void DistributedPagerank::park(EdgeId e, PeerId src, PeerId dest,
+                               double value, std::uint32_t seq,
+                               PassStats& stats) {
+  if (channel_ != nullptr) {
+    if (pending_[e] && pending_seq_[e] > seq) {
+      // A fresher emission is already parked for this edge.
+      ++stats.messages_deferred;
+      return;
+    }
+    pending_seq_[e] = seq;
+  }
+  pending_value_[e] = value;
+  if (!pending_[e]) {
+    pending_[e] = true;
+    deferred_by_peer_[dest].emplace_back(e, src);
+    ++total_pending_;
+    outbox_peak_ = std::max(outbox_peak_, total_pending_);
+  }
+  ++stats.messages_deferred;
+}
+
+bool DistributedPagerank::apply_update(EdgeId e, double value,
+                                       std::uint32_t seq, bool now) {
+  if (channel_ != nullptr && !channel_->accept(e, seq)) {
+    return false;  // stale reordered value or duplicate: rejected
+  }
+  contrib_[e] = value;
+  const NodeId v = graph_.out_target(e);
+  if (now) {
+    mark_dirty_now(v);
+  } else {
+    mark_dirty(v);
+  }
+  if (channel_ != nullptr) channel_->ack(e, seq);
+  return true;
+}
+
+void DistributedPagerank::prepare_fault_state() {
+  const NodeId n = graph_.num_nodes();
+  if (plan_ != nullptr) {
+    const PeerId num_peers = placement_.num_peers();
+    crashed_until_.assign(num_peers, 0);
+    needs_recovery_.assign(num_peers, false);
+    docs_by_peer_.assign(num_peers, {});
+    for (NodeId v = 0; v < n; ++v) {
+      docs_by_peer_[placement_.peer_of(v)].push_back(v);
+    }
+    if (plan_->config().acked_delivery) {
+      channel_ = std::make_unique<ReliableChannel>(ReliableChannel::Config{
+          plan_->config().ack_timeout_passes,
+          plan_->config().retry_backoff_cap});
+      pending_seq_.assign(graph_.num_edges(), 0);
+    }
+    if (replicas_ != nullptr && !replicas_->empty()) {
+      replica_value_.assign(n, options_.initial_rank);
+    }
+  }
+  if (plan_ != nullptr || audit_enabled_) {
+    auditor_ =
+        std::make_unique<MassAuditor>(graph_, options_.initial_rank);
+  }
+  if (audit_enabled_) {
+    edge_src_.resize(graph_.num_edges());
+    for (NodeId u = 0; u < n; ++u) {
+      for (EdgeId e = graph_.out_edge_begin(u); e < graph_.out_edge_end(u);
+           ++e) {
+        edge_src_[e] = u;
+      }
+    }
+  }
+}
+
+void DistributedPagerank::crash_peer(PeerId p, std::uint64_t pass) {
+  ++crashes_seen_;
+  const std::uint32_t downtime =
+      std::max<std::uint32_t>(1, plan_->config().crash_downtime_passes);
+  crashed_until_[p] = pass + downtime;
+  needs_recovery_[p] = true;
+
+  // Sender-side state lost: every update p had parked for offline
+  // destinations vanishes with it.
+  for (PeerId q = 0; q < deferred_by_peer_.size(); ++q) {
+    auto& entries = deferred_by_peer_[q];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].second == p) {
+        const EdgeId e = entries[i].first;
+        pending_[e] = false;
+        --total_pending_;
+        if (auditor_ != nullptr) auditor_->on_known_loss(pending_value_[e]);
+      } else {
+        entries[kept++] = entries[i];
+      }
+    }
+    entries.resize(kept);
+  }
+  // In-flight retransmission records from p are lost too (delayed
+  // messages already on the wire survive — they are in the network, not
+  // in p's memory).
+  if (channel_ != nullptr) {
+    for (const auto& lost : channel_->forget_sender(p)) {
+      if (auditor_ != nullptr) auditor_->on_known_loss(lost.value);
+    }
+  }
+  // Receiver-side state lost: p's stored contributions (the cells feeding
+  // its documents). Values still parked at live senders survive.
+  for (const NodeId v : docs_by_peer_[p]) {
+    const auto slots = graph_.in_to_out_edge(v);
+    for (const EdgeId e : slots) {
+      if (!pending_[e] && auditor_ != nullptr) {
+        auditor_->on_known_loss(contrib_[e]);
+      }
+      contrib_[e] = 0.0;
+    }
+  }
+}
+
+void DistributedPagerank::recover_peer(PeerId p,
+                                       const std::vector<bool>& presence,
+                                       PassStats& stats) {
+  needs_recovery_[p] = false;
+  // Step 1: restore document ranks — from a live replica copy where one
+  // exists (one fetch message per document), from the initial value
+  // otherwise.
+  for (const NodeId v : docs_by_peer_[p]) {
+    bool restored = false;
+    if (!replica_value_.empty()) {
+      for (const PeerId rp : replicas_->replicas_of(v)) {
+        if (presence[rp] && reachable(rp, p)) {
+          ranks_[v] = replica_value_[v];
+          meter_.record_message(PagerankUpdate::kWireBytes);
+          ++replica_restores_;
+          ++recovery_messages_;
+          restored = true;
+          break;
+        }
+      }
+    }
+    if (!restored) ranks_[v] = options_.initial_rank;
+    ++recovered_docs_;
+    ++stats.recovered_docs;
+  }
+  // Step 2: rebuild the contribution store by re-requesting each in-link
+  // source's current contribution. Ranks were all restored above, so
+  // same-peer sources are consistent regardless of document order.
+  for (const NodeId v : docs_by_peer_[p]) {
+    const auto sources = graph_.in_neighbors(v);
+    const auto slots = graph_.in_to_out_edge(v);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const NodeId u = sources[i];
+      const EdgeId e = slots[i];
+      const PeerId pu = placement_.peer_of(u);
+      if (pu != p && pending_[e]) {
+        // The sender holds a parked (fresher) value for this edge; the
+        // outbox drain later this pass delivers it.
+        continue;
+      }
+      if (pu != p && (!presence[pu] || !reachable(pu, p))) {
+        // Source unreachable: the cell stays empty until the source's
+        // next emission, its outbox, or the mass audit repairs it.
+        continue;
+      }
+      const double c =
+          ranks_[u] / static_cast<double>(graph_.out_degree(u));
+      contrib_[e] = c;
+      if (auditor_ != nullptr) auditor_->on_emit(e, c);
+      if (channel_ != nullptr) {
+        const std::uint32_t seq = channel_->next_seq(e);
+        (void)channel_->accept(e, seq);
+        channel_->ack(e, seq);
+      }
+      if (pu == p) {
+        meter_.record_local_update();
+        ++stats.local_updates;
+      } else {
+        // One pull: the re-request out, the contribution back.
+        meter_.record_resend(PagerankUpdate::kWireBytes);
+        meter_.record_message(PagerankUpdate::kWireBytes,
+                              send_hops(pu, p, v));
+        ++recovery_messages_;
+      }
+    }
+    mark_dirty_now(v);
+  }
+}
+
+void DistributedPagerank::deliver_delayed(std::uint64_t pass,
+                                          const std::vector<bool>& presence,
+                                          PassStats& stats) {
+  auto it = delayed_.begin();
+  while (it != delayed_.end() && it->first <= pass) {
+    for (const DelayedMsg& m : it->second) {
+      const NodeId v = graph_.out_target(m.edge);
+      const PeerId pv = placement_.peer_of(v);
+      if (presence[pv] && reachable(m.src, pv)) {
+        // Traffic was billed at send time.
+        (void)apply_update(m.edge, m.value, m.seq, /*now=*/true);
+      } else {
+        park(m.edge, m.src, pv, m.value, m.seq, stats);
+      }
+    }
+    delayed_total_ -= it->second.size();
+    it = delayed_.erase(it);
+  }
+}
+
+void DistributedPagerank::process_retries(std::uint64_t pass,
+                                          const std::vector<bool>& presence,
+                                          PassStats& stats) {
+  if (channel_ == nullptr) return;
+  const std::uint64_t before = channel_->retransmissions();
+  for (auto& pend : channel_->take_due(pass)) {
+    const EdgeId e = pend.slot;
+    const NodeId v = graph_.out_target(e);
+    const PeerId pv = placement_.peer_of(v);
+    if (!presence[pv] || !reachable(pend.src, pv)) {
+      // Destination offline or partitioned: hand the message to the §3.1
+      // store-and-resend outbox instead of burning retries.
+      park(e, pend.src, pv, pend.value, pend.seq, stats);
+      continue;
+    }
+    const SendFate fate = plan_->fate_for_send();
+    meter_.record_resend(PagerankUpdate::kWireBytes);
+    if (fate.dropped) {
+      ++dropped_;
+      pend.attempt += 1;  // exponential backoff grows
+      channel_->track(pend, pass);
+    } else {
+      // Retransmissions are point-to-point recovery sends: they skip the
+      // delay model; duplicates only cost traffic.
+      if (fate.duplicated) {
+        meter_.record_resend(PagerankUpdate::kWireBytes);
+        ++duplicated_;
+      }
+      (void)apply_update(e, pend.value, pend.seq, /*now=*/true);
+    }
+  }
+  stats.retransmissions += channel_->retransmissions() - before;
+}
+
+bool DistributedPagerank::audit_and_repair(const std::vector<bool>& presence,
+                                           PassStats& stats) {
+  // Effective value per edge: the applied cell, or the parked outbox
+  // value for edges still waiting on an offline destination.
+  effective_scratch_ = contrib_;
+  for (const auto& entries : deferred_by_peer_) {
+    for (const auto& [e, src] : entries) {
+      effective_scratch_[e] = pending_value_[e];
+    }
+  }
+  const MassAuditReport report =
+      auditor_->audit(effective_scratch_, kAuditSlack);
+  if (report.conserved(audit_tolerance_)) {
+    last_audit_ = report;
+    return true;
+  }
+  // Proportional re-injection: re-send exactly the contributions the
+  // ledger says went missing, then keep iterating.
+  ++repair_rounds_;
+  for (const EdgeId e :
+       auditor_->leaking_edges(effective_scratch_, kAuditSlack)) {
+    const NodeId v = graph_.out_target(e);
+    const PeerId pv = placement_.peer_of(v);
+    const PeerId pu = placement_.peer_of(edge_src_[e]);
+    const double value = auditor_->expected(e);
+    const std::uint32_t seq =
+        channel_ != nullptr ? channel_->next_seq(e) : 0;
+    if (presence[pv] && reachable(pu, pv)) {
+      (void)apply_update(e, value, seq, /*now=*/false);
+      meter_.record_resend(PagerankUpdate::kWireBytes);
+      ++repair_messages_;
+      ++stats.repair_messages;
+    } else {
+      park(e, pu, pv, value, seq, stats);
+    }
+  }
+  return false;
+}
+
 void DistributedPagerank::deliver_deferred(const std::vector<bool>& presence,
                                            PassStats& stats) {
+  const bool selective = plan_ != nullptr && plan_->partition_active();
   for (PeerId p = 0; p < deferred_by_peer_.size(); ++p) {
-    if (!presence[p] || deferred_by_peer_[p].empty()) continue;
-    for (const auto& [e, src_peer] : deferred_by_peer_[p]) {
-      contrib_[e] = pending_value_[e];
+    auto& entries = deferred_by_peer_[p];
+    if (!presence[p] || entries.empty()) continue;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const auto [e, src_peer] = entries[i];
+      if (selective && !plan_->reachable(src_peer, p)) {
+        entries[kept++] = entries[i];  // still cut off: stays parked
+        continue;
+      }
+      const std::uint32_t seq =
+          channel_ != nullptr ? pending_seq_[e] : 0;
       pending_[e] = false;
       --total_pending_;
+      (void)apply_update(e, pending_value_[e], seq, /*now=*/true);
       const NodeId v = graph_.out_target(e);
       meter_.record_message(PagerankUpdate::kWireBytes,
                             send_hops(src_peer, p, v));
       ++stats.messages_delivered_late;
-      // Delivered at pass start: the target recomputes this pass.
-      if (!in_dirty_[v]) {
-        in_dirty_[v] = true;
-        dirty_.push_back(v);
-      }
       if (replicas_ != nullptr && !replicas_->empty()) {
         send_to_replicas(src_peer, v, presence, stats);
       }
     }
-    deferred_by_peer_[p].clear();
+    entries.resize(kept);
   }
 }
 
@@ -139,27 +454,51 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
   if (churn != nullptr && churn->num_peers() != placement_.num_peers()) {
     throw std::invalid_argument("DistributedPagerank::run: churn peer count");
   }
+  prepare_fault_state();
 
-  const std::vector<bool> all_present(placement_.num_peers(), true);
+  const PeerId num_peers = placement_.num_peers();
+  const std::vector<bool> all_present(num_peers, true);
   const double d = options_.damping;
   const double base = 1.0 - d;
+  const bool track_replica_values = !replica_value_.empty();
   std::vector<NodeId> senders;
 
   DistributedRunResult result;
   for (std::uint64_t pass = 0; pass < options_.max_passes; ++pass) {
     PassStats stats;
     stats.pass = pass;
-    const std::vector<bool>& presence =
-        churn != nullptr ? churn->presence_for_pass(pass) : all_present;
+    const std::vector<bool>* presence =
+        churn != nullptr ? &churn->presence_for_pass(pass) : &all_present;
+
+    if (plan_ != nullptr) {
+      // Fault-plan pass hook: partitions advance, crashes strike.
+      const std::vector<PeerId> crashing = plan_->begin_pass(pass, num_peers);
+      for (const PeerId p : crashing) crash_peer(p, pass);
+      stats.crashes = crashing.size();
+      presence_eff_ = *presence;
+      for (PeerId p = 0; p < num_peers; ++p) {
+        if (crashed_until_[p] > pass) presence_eff_[p] = false;
+      }
+      presence = &presence_eff_;
+      // Crashed peers whose downtime ended and whom churn brought back
+      // run recovery before any delivery touches them.
+      for (PeerId p = 0; p < num_peers; ++p) {
+        if (needs_recovery_[p] && presence_eff_[p]) {
+          recover_peer(p, presence_eff_, stats);
+        }
+      }
+      deliver_delayed(pass, *presence, stats);
+      process_retries(pass, *presence, stats);
+    }
 
     // Phase 0: outbox drains for peers that are present this pass.
-    if (total_pending_ != 0) deliver_deferred(presence, stats);
+    if (total_pending_ != 0) deliver_deferred(*presence, stats);
 
     // Phase 1: recompute documents that received updates. Documents on
     // absent peers stay dirty until their peer returns.
     senders.clear();
     for (const NodeId v : dirty_) {
-      if (!presence[placement_.peer_of(v)]) {
+      if (!(*presence)[placement_.peer_of(v)]) {
         in_dirty_[v] = false;  // re-marked below for the next pass
         mark_dirty(v);
         continue;
@@ -173,6 +512,16 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
       ranks_[v] = newrank;
       ++stats.docs_recomputed;
       stats.max_rel_change = std::max(stats.max_rel_change, rel);
+      if (track_replica_values) {
+        // A live replica mirrors the recomputation (§2.3: replicas
+        // receive the same updates) — the copy crash recovery restores.
+        for (const PeerId rp : replicas_->replicas_of(v)) {
+          if ((*presence)[rp]) {
+            replica_value_[v] = newrank;
+            break;
+          }
+        }
+      }
       if (rel > options_.epsilon && graph_.out_degree(v) != 0) {
         senders.push_back(v);
       }
@@ -187,50 +536,61 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
            ++e) {
         const NodeId v = graph_.out_target(e);
         const PeerId pv = placement_.peer_of(v);
+        bool replica_eligible = true;
         if (pv == pu) {
           contrib_[e] = c;
+          if (auditor_ != nullptr) auditor_->on_emit(e, c);
           mark_dirty(v);
           meter_.record_local_update();
           ++stats.local_updates;
-        } else if (presence[pv]) {
-          // Fault injection applies to the direct (unacknowledged) path;
-          // the outbox path below models reliable store-and-resend.
-          if (faults_enabled_ &&
-              fault_rng_.chance(faults_.drop_probability)) {
-            // Sender paid for the message; the contribution cell keeps
-            // its stale value until a later update overwrites it.
-            meter_.record_message(PagerankUpdate::kWireBytes,
-                                  send_hops(pu, pv, v));
-            ++stats.messages_sent;
-            ++peer_msgs_this_pass_[pu];
-            ++dropped_;
-            continue;
-          }
-          contrib_[e] = c;
-          mark_dirty(v);
+        } else if ((*presence)[pv] && reachable(pu, pv)) {
+          if (auditor_ != nullptr) auditor_->on_emit(e, c);
+          const std::uint32_t seq =
+              channel_ != nullptr ? channel_->next_seq(e) : 0;
+          SendFate fate;
+          if (plan_ != nullptr) fate = plan_->fate_for_send();
+          // The sender pays for the message whatever its fate.
           meter_.record_message(PagerankUpdate::kWireBytes,
                                 send_hops(pu, pv, v));
           ++stats.messages_sent;
           ++peer_msgs_this_pass_[pu];
-          if (faults_enabled_ &&
-              fault_rng_.chance(faults_.duplicate_probability)) {
-            // Idempotent overwrite: the duplicate only costs traffic.
-            meter_.record_message(PagerankUpdate::kWireBytes);
-            ++stats.messages_sent;
-            ++duplicated_;
+          if (fate.dropped) {
+            ++dropped_;
+            if (channel_ != nullptr) {
+              // Unacked: schedule the retransmission.
+              channel_->track({e, pv, pu, c, seq, 0}, pass);
+            } else if (auditor_ != nullptr) {
+              auditor_->on_known_loss(c);
+            }
+            replica_eligible = false;  // lost before the fan-out point
+          } else {
+            if (fate.delay_passes > 0) {
+              delayed_[pass + 1 + fate.delay_passes].push_back(
+                  {e, pu, c, seq});
+              ++delayed_total_;
+            } else {
+              (void)apply_update(e, c, seq, /*now=*/false);
+            }
+            if (fate.duplicated) {
+              // Idempotent overwrite: the duplicate only costs traffic.
+              meter_.record_message(PagerankUpdate::kWireBytes);
+              ++stats.messages_sent;
+              ++duplicated_;
+              if (channel_ != nullptr && fate.delay_passes == 0) {
+                (void)channel_->accept(e, seq);  // suppressed by seq
+              }
+            }
           }
         } else {
-          pending_value_[e] = c;
-          if (!pending_[e]) {
-            pending_[e] = true;
-            deferred_by_peer_[pv].emplace_back(e, pu);
-            ++total_pending_;
-            outbox_peak_ = std::max(outbox_peak_, total_pending_);
-          }
-          ++stats.messages_deferred;
+          if (plan_ != nullptr && (*presence)[pv]) ++partition_deferrals_;
+          if (auditor_ != nullptr) auditor_->on_emit(e, c);
+          const std::uint32_t seq =
+              channel_ != nullptr ? channel_->next_seq(e) : 0;
+          park(e, pu, pv, c, seq, stats);
         }
-        if (replicas_ != nullptr && !replicas_->empty() && presence[pv]) {
-          send_to_replicas(pu, v, presence, stats);
+        if (replica_eligible && replicas_ != nullptr &&
+            !replicas_->empty() && (*presence)[pv]) {
+          send_to_replicas(pu, v, *presence, stats);
         }
       }
     }
@@ -243,17 +603,51 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
       peer_msgs_this_pass_[pu] = 0;  // reset only touched entries
     }
 
+    // Quiescence: nothing to recompute, nothing parked, nothing in
+    // flight, nobody awaiting recovery — then, if auditing, the mass
+    // ledger must balance (leaks are re-injected and the loop resumes).
+    bool quiescent = next_dirty_.empty() && total_pending_ == 0;
+    if (plan_ != nullptr && quiescent) {
+      quiescent = delayed_total_ == 0 &&
+                  (channel_ == nullptr || channel_->idle());
+      if (quiescent) {
+        for (PeerId p = 0; p < num_peers; ++p) {
+          if (needs_recovery_[p]) {
+            quiescent = false;
+            break;
+          }
+        }
+      }
+    }
+    if (quiescent && audit_enabled_) {
+      quiescent = audit_and_repair(*presence, stats);
+    }
+
     history_.push_back(stats);
     result.passes = pass + 1;
     if (observer) observer(pass, ranks_);
 
     dirty_.swap(next_dirty_);
     next_dirty_.clear();
-    if (dirty_.empty() && total_pending_ == 0) {
+    if (quiescent) {
       result.converged = true;
       break;
     }
   }
+  if (audit_enabled_) {
+    if (!result.converged) {
+      // Ran out of passes: report the leak as it stands.
+      effective_scratch_ = contrib_;
+      for (const auto& entries : deferred_by_peer_) {
+        for (const auto& [e, src] : entries) {
+          effective_scratch_[e] = pending_value_[e];
+        }
+      }
+      last_audit_ = auditor_->audit(effective_scratch_, kAuditSlack);
+    }
+    result.mass_ratio = last_audit_.mass_ratio;
+  }
+  result.repair_rounds = repair_rounds_;
   return result;
 }
 

@@ -28,19 +28,44 @@
 //    delivery.
 //  * Convergence: no document has a pending recompute and no update is
 //    waiting in any outbox — the paper's "error in all the documents is
-//    less than the error threshold" criterion.
+//    less than the error threshold" criterion. With a fault plan
+//    attached, in-flight (delayed) messages, unacked retransmissions and
+//    peers awaiting crash recovery also block convergence, and with the
+//    mass audit enabled the final quiescent state must additionally pass
+//    the rank-mass conservation check (leaks are repaired by
+//    re-injection and the iteration continues).
+//
+// Fault model (extension; see fault/fault_plan.hpp): a FaultPlan attaches
+// the full taxonomy — drop, duplication, bounded reordering, delivery
+// delay, fail-stop peer crashes, and network partitions — driven one pass
+// at a time. Crashes destroy sender outbox state and the peer's stored
+// contributions (unlike graceful churn); on return the peer runs
+// recovery: document ranks are restored from replicas
+// (p2p/replication.hpp) where a live copy exists, and contributions are
+// re-requested from live link sources otherwise. With
+// FaultPlanConfig::acked_delivery, cross-peer sends carry sequence
+// numbers and unacked messages retransmit with exponential backoff
+// (net/reliable_channel.hpp); receivers reject stale reordered values and
+// suppress duplicates. The MassAuditor (pagerank/mass_audit.hpp) tracks
+// every emission and re-injects leaked contributions so the chaotic
+// iteration still converges to the no-fault fixed point.
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
 #include "graph/digraph.hpp"
 #include "net/ip_cache.hpp"
+#include "net/reliable_channel.hpp"
 #include "net/traffic_meter.hpp"
 #include "p2p/churn.hpp"
 #include "p2p/placement.hpp"
 #include "p2p/replication.hpp"
+#include "pagerank/mass_audit.hpp"
 #include "pagerank/options.hpp"
 
 namespace dprank {
@@ -54,14 +79,19 @@ struct PassStats {
   std::uint64_t local_updates = 0;
   std::uint64_t max_peer_messages = 0;  // busiest sender, for Eq. 4
   double max_rel_change = 0.0;
+  // Fault-plan extensions (all zero without an attached plan).
+  std::uint64_t crashes = 0;            // peers crashing at pass start
+  std::uint64_t recovered_docs = 0;     // documents rebuilt this pass
+  std::uint64_t retransmissions = 0;    // acked-delivery retries this pass
+  std::uint64_t repair_messages = 0;    // mass-audit re-injections
 };
 
-/// Network fault injection (extension): UDP-style delivery where update
-/// messages can be silently dropped or duplicated. The protocol's
-/// newest-value-wins contribution cells make duplicates harmless; a
-/// dropped update leaves a *stale contribution* (bounded error) unless a
-/// later update for the same link overwrites it — the degradation the
-/// fault ablation measures.
+/// DEPRECATED legacy fault vocabulary: UDP-style drop/duplication only.
+/// Superseded by FaultPlan (fault/fault_plan.hpp), which composes drop,
+/// duplication, reordering, delay, crashes and partitions under one seed;
+/// inject_faults() remains as a thin compatibility shim that builds an
+/// equivalent FaultPlan (bit-identical drop/duplicate history for the
+/// same seed). New code should use attach_fault_plan().
 struct FaultModel {
   double drop_probability = 0.0;       // message vanishes in transit
   double duplicate_probability = 0.0;  // message delivered twice
@@ -71,6 +101,12 @@ struct FaultModel {
 struct DistributedRunResult {
   std::uint64_t passes = 0;
   bool converged = false;
+  /// Rank-mass conservation at termination (1.0 = every emitted
+  /// contribution accounted for). Only meaningful with the mass audit
+  /// enabled; 1.0 otherwise.
+  double mass_ratio = 1.0;
+  /// Audit rounds that found leaks and re-injected mass.
+  std::uint64_t repair_rounds = 0;
 };
 
 class DistributedPagerank {
@@ -101,12 +137,27 @@ class DistributedPagerank {
   /// the correct computed pagerank"). Replica addresses are pointers
   /// held at the source, so replica sends cost one hop. Replicas on
   /// absent peers are skipped and counted stale. Must outlive the
-  /// engine; call before run().
+  /// engine; call before run(). With a fault plan attached, replicas
+  /// additionally serve as the crash-recovery rank store.
   void attach_replicas(const ReplicaRegistry& replicas);
 
-  /// Inject message drops/duplicates (see FaultModel). Call before
-  /// run(). Dropped messages still count as sent (the sender paid for
-  /// them); duplicates add an extra counted delivery.
+  /// Attach the unified fault plan (drop/duplicate/reorder/delay/crash/
+  /// partition; see fault/fault_plan.hpp). The plan is driven one pass at
+  /// a time and advances its own RNG streams — it must outlive the engine
+  /// and must not be shared between engines. Call before run().
+  void attach_fault_plan(FaultPlan& plan);
+
+  /// Enable the rank-mass conservation audit: at every would-be
+  /// convergence the engine audits the contribution ledger and, if the
+  /// accounted mass ratio deviates from 1.0 beyond `tolerance`,
+  /// re-injects exactly the leaked contributions and keeps iterating.
+  /// Call before run().
+  void enable_mass_audit(double tolerance = 1e-9);
+
+  /// DEPRECATED: legacy drop/duplicate injection. Compatibility shim that
+  /// attaches an internally-owned FaultPlan with the same probabilities
+  /// and seed (replays the identical fault history as the original
+  /// implementation). Use attach_fault_plan() for the full taxonomy.
   void inject_faults(const FaultModel& faults);
 
   /// Run to convergence. `churn == nullptr` means all peers always
@@ -132,10 +183,54 @@ class DistributedPagerank {
     return duplicated_;
   }
 
+  // ---- Fault-plan observability (zero without an attached plan) ----
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_seen_; }
+  [[nodiscard]] std::uint64_t recovered_docs() const {
+    return recovered_docs_;
+  }
+  [[nodiscard]] std::uint64_t replica_restores() const {
+    return replica_restores_;
+  }
+  [[nodiscard]] std::uint64_t recovery_messages() const {
+    return recovery_messages_;
+  }
+  [[nodiscard]] std::uint64_t repair_messages() const {
+    return repair_messages_;
+  }
+  [[nodiscard]] std::uint64_t partition_deferrals() const {
+    return partition_deferrals_;
+  }
+  [[nodiscard]] std::uint64_t retransmissions() const {
+    return channel_ ? channel_->retransmissions() : 0;
+  }
+  [[nodiscard]] std::uint64_t stale_rejected() const {
+    return channel_ ? channel_->stale_rejected() : 0;
+  }
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const {
+    return channel_ ? channel_->duplicates_suppressed() : 0;
+  }
+  /// Ledger view; nullptr until enable_mass_audit() (or an audit-enabled
+  /// run) creates it.
+  [[nodiscard]] const MassAuditor* mass_auditor() const {
+    return auditor_.get();
+  }
+  /// The final quiescence audit (valid after run() with audit enabled).
+  [[nodiscard]] const MassAuditReport& last_audit() const {
+    return last_audit_;
+  }
+
  private:
+  struct DelayedMsg {
+    EdgeId edge = 0;
+    PeerId src = 0;
+    double value = 0.0;
+    std::uint32_t seq = 0;
+  };
+
   void deliver_deferred(const std::vector<bool>& presence,
                         PassStats& stats);
   void mark_dirty(NodeId v);
+  void mark_dirty_now(NodeId v);
   /// Overlay hop bill for one update from peer `src` to the document
   /// `target_doc` held by `holder`; 1 when no overlay is attached.
   [[nodiscard]] std::uint64_t send_hops(PeerId src, PeerId holder,
@@ -143,6 +238,31 @@ class DistributedPagerank {
   /// Fan an update for document v out to its cached copies (§2.3).
   void send_to_replicas(PeerId src, NodeId v,
                         const std::vector<bool>& presence,
+                        PassStats& stats);
+
+  // ---- fault-plan machinery ----
+  void prepare_fault_state();
+  [[nodiscard]] bool reachable(PeerId a, PeerId b) const {
+    return plan_ == nullptr || plan_->reachable(a, b);
+  }
+  /// Park the freshest value for `e` in the per-edge outbox (newest
+  /// sequence number wins when acked delivery tracks them).
+  void park(EdgeId e, PeerId src, PeerId dest, double value,
+            std::uint32_t seq, PassStats& stats);
+  /// Apply a delivered value to the contribution cell (sequence-checked
+  /// under acked delivery). `now` marks the target dirty for the current
+  /// pass instead of the next.
+  bool apply_update(EdgeId e, double value, std::uint32_t seq, bool now);
+  void crash_peer(PeerId p, std::uint64_t pass);
+  void recover_peer(PeerId p, const std::vector<bool>& presence,
+                    PassStats& stats);
+  void deliver_delayed(std::uint64_t pass,
+                       const std::vector<bool>& presence, PassStats& stats);
+  void process_retries(std::uint64_t pass,
+                       const std::vector<bool>& presence, PassStats& stats);
+  /// Quiescence audit; returns true when mass is conserved (converged),
+  /// false after re-injecting leaked contributions (keep iterating).
+  bool audit_and_repair(const std::vector<bool>& presence,
                         PassStats& stats);
 
   const Digraph& graph_;
@@ -155,16 +275,42 @@ class DistributedPagerank {
   std::uint64_t replica_messages_ = 0;
   std::uint64_t replica_stale_ = 0;
 
-  FaultModel faults_;
-  bool faults_enabled_ = false;
-  Rng fault_rng_{0};
+  FaultPlan* plan_ = nullptr;
+  std::unique_ptr<FaultPlan> owned_plan_;  // inject_faults() shim
+  std::unique_ptr<ReliableChannel> channel_;
+  std::unique_ptr<MassAuditor> auditor_;
+  bool audit_enabled_ = false;
+  double audit_tolerance_ = 1e-9;
+  static constexpr double kAuditSlack = 1e-12;
+  MassAuditReport last_audit_;
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
+  std::uint64_t crashes_seen_ = 0;
+  std::uint64_t recovered_docs_ = 0;
+  std::uint64_t replica_restores_ = 0;
+  std::uint64_t recovery_messages_ = 0;
+  std::uint64_t repair_messages_ = 0;
+  std::uint64_t repair_rounds_ = 0;
+  std::uint64_t partition_deferrals_ = 0;
+
+  // Crash bookkeeping (sized on first use).
+  std::vector<std::uint64_t> crashed_until_;  // peer offline through pass-1
+  std::vector<bool> needs_recovery_;
+  std::vector<std::vector<NodeId>> docs_by_peer_;
+  std::vector<NodeId> edge_src_;        // edge id -> source document
+  std::vector<double> replica_value_;   // last rank a live replica holds
+  std::vector<bool> presence_eff_;      // churn presence minus crashed peers
+  std::vector<double> effective_scratch_;  // audit workspace
+
+  // Delivery-delay buffer: pass -> messages arriving at its start.
+  std::map<std::uint64_t, std::vector<DelayedMsg>> delayed_;
+  std::uint64_t delayed_total_ = 0;
 
   std::vector<double> ranks_;
   std::vector<double> contrib_;        // per out-edge, delivered value
   std::vector<double> pending_value_;  // per out-edge, undelivered value
   std::vector<bool> pending_;          // per out-edge outbox flag
+  std::vector<std::uint32_t> pending_seq_;  // parked seq (acked mode only)
   // (edge, sender peer) pairs parked for an absent destination peer
   std::vector<std::vector<std::pair<EdgeId, PeerId>>> deferred_by_peer_;
   std::uint64_t total_pending_ = 0;

@@ -69,6 +69,43 @@ StandardExperiment::DistributedOutcome StandardExperiment::run_distributed(
   return out;
 }
 
+StandardExperiment::DistributedOutcome
+StandardExperiment::run_distributed_faulty(
+    const FaultRunOptions& fault_options,
+    const DistributedPagerank::PassObserver& observer) const {
+  DistributedPagerank engine(*graph_, *placement_, pagerank_options());
+  FaultPlan plan(fault_options.plan);
+  engine.attach_fault_plan(plan);
+  if (fault_options.mass_audit) {
+    engine.enable_mass_audit(fault_options.audit_tolerance);
+  }
+  ReplicaRegistry replicas(0);
+  if (fault_options.replicas_per_doc > 0) {
+    replicas = ReplicaRegistry::uniform(
+        *placement_, fault_options.replicas_per_doc, config_.seed);
+    engine.attach_replicas(replicas);
+  }
+  DistributedOutcome out;
+  if (config_.availability < 1.0) {
+    ChurnSchedule churn(config_.num_peers, config_.availability,
+                        config_.seed);
+    out.run = engine.run(&churn, observer);
+  } else {
+    out.run = engine.run(nullptr, observer);
+  }
+  out.ranks = engine.ranks();
+  out.messages = engine.traffic().messages();
+  out.local_updates = engine.traffic().local_updates();
+  out.history = engine.pass_history();
+  out.crashes = engine.crashes();
+  out.recovered_docs = engine.recovered_docs();
+  out.retransmissions = engine.retransmissions();
+  out.repair_messages = engine.repair_messages();
+  out.dropped = engine.dropped_messages();
+  out.duplicated = engine.duplicated_messages();
+  return out;
+}
+
 const std::vector<double>& StandardExperiment::reference_ranks() const {
   if (reference_.empty()) {
     // Shared across experiment instances: Table 2/4 sweeps construct one

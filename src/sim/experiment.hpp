@@ -46,11 +46,32 @@ class StandardExperiment {
     std::uint64_t messages = 0;
     std::uint64_t local_updates = 0;
     std::vector<PassStats> history;
+    // Fault-run observability (zero for run_distributed()).
+    std::uint64_t crashes = 0;
+    std::uint64_t recovered_docs = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t repair_messages = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
   };
 
   /// Run the distributed engine (fresh instance) honoring the configured
   /// availability; optional per-pass observer.
   [[nodiscard]] DistributedOutcome run_distributed(
+      const DistributedPagerank::PassObserver& observer = nullptr) const;
+
+  /// Fault-injected variant of the §4.2 run: drives the engine under a
+  /// FaultPlan built from `plan_config`, with the rank-mass audit on by
+  /// default and optional uniform replication (the crash-recovery rank
+  /// store).
+  struct FaultRunOptions {
+    FaultPlanConfig plan;
+    bool mass_audit = true;
+    double audit_tolerance = 1e-9;
+    std::uint32_t replicas_per_doc = 0;  // 0 = no replica store
+  };
+  [[nodiscard]] DistributedOutcome run_distributed_faulty(
+      const FaultRunOptions& fault_options,
       const DistributedPagerank::PassObserver& observer = nullptr) const;
 
   /// Centralized reference R_c at tight tolerance (cached per instance).

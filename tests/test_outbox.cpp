@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/reliable_channel.hpp"
 #include "net/traffic_meter.hpp"
 
 namespace dprank {
@@ -73,6 +74,140 @@ TEST(Outbox, PeakTracksHighWaterMark) {
   for (std::uint64_t s = 0; s < 10; ++s) box.store(0, s, update(1.0));
   EXPECT_EQ(box.pending_count(), 10u);
   EXPECT_EQ(box.peak_pending(), 50u);
+}
+
+TEST(Outbox, PerDestinationCapEvictsOldest) {
+  Outbox box(/*per_dest_cap=*/3);
+  EXPECT_EQ(box.per_dest_cap(), 3u);
+  box.store(0, 1, update(0.1));
+  box.store(0, 2, update(0.2));
+  box.store(0, 3, update(0.3));
+  EXPECT_EQ(box.evicted_count(), 0u);
+  box.store(0, 4, update(0.4));  // cap hit: slot 1 (oldest) evicted
+  EXPECT_EQ(box.evicted_count(), 1u);
+  EXPECT_EQ(box.pending_for(0), 3u);
+  const auto msgs = box.drain(0);
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[0].first, 2u);
+  EXPECT_EQ(msgs[1].first, 3u);
+  EXPECT_EQ(msgs[2].first, 4u);
+}
+
+TEST(Outbox, OverwriteRefreshesEvictionAge) {
+  // Re-storing a slot makes it the newest: the eviction victim is the
+  // least-recently-*stored* slot, not the first-ever-stored one.
+  Outbox box(/*per_dest_cap=*/2);
+  box.store(0, 1, update(0.1));
+  box.store(0, 2, update(0.2));
+  box.store(0, 1, update(0.9));  // refresh slot 1: slot 2 is now oldest
+  box.store(0, 3, update(0.3));  // evicts slot 2
+  EXPECT_EQ(box.evicted_count(), 1u);
+  const auto msgs = box.drain(0);
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].first, 1u);
+  EXPECT_DOUBLE_EQ(std::get<PagerankUpdate>(msgs[0].second).value, 0.9);
+  EXPECT_EQ(msgs[1].first, 3u);
+}
+
+TEST(Outbox, CapAppliesPerDestination) {
+  Outbox box(/*per_dest_cap=*/2);
+  for (std::uint64_t s = 0; s < 2; ++s) {
+    box.store(0, s, update(1.0));
+    box.store(1, s, update(1.0));
+  }
+  EXPECT_EQ(box.pending_count(), 4u);  // two per destination, no eviction
+  EXPECT_EQ(box.evicted_count(), 0u);
+}
+
+TEST(Outbox, DefaultIsUnbounded) {
+  Outbox box;
+  EXPECT_EQ(box.per_dest_cap(), 0u);
+  for (std::uint64_t s = 0; s < 10'000; ++s) box.store(0, s, update(1.0));
+  EXPECT_EQ(box.pending_count(), 10'000u);
+  EXPECT_EQ(box.evicted_count(), 0u);
+}
+
+TEST(Outbox, RetryScheduleBacksOffAndResetsOnDrain) {
+  Outbox box(/*per_dest_cap=*/0, /*retry_interval_passes=*/1,
+             /*retry_backoff_cap_passes=*/4);
+  box.store(7, 0, update(1.0));
+  EXPECT_EQ(box.due_destinations(0), (std::vector<std::uint32_t>{7}));
+  box.schedule_retry(7, /*now_pass=*/0);  // attempt 0: due again at 1
+  EXPECT_TRUE(box.due_destinations(0).empty());
+  EXPECT_EQ(box.due_destinations(1), (std::vector<std::uint32_t>{7}));
+  box.schedule_retry(7, 1);  // attempt 1: interval 2 -> due at 3
+  EXPECT_TRUE(box.due_destinations(2).empty());
+  EXPECT_EQ(box.due_destinations(3), (std::vector<std::uint32_t>{7}));
+  box.schedule_retry(7, 3);  // attempt 2: interval 4 -> due at 7
+  EXPECT_TRUE(box.due_destinations(6).empty());
+  box.schedule_retry(7, 7);  // attempt 3: capped at 4 -> due at 11
+  EXPECT_TRUE(box.due_destinations(10).empty());
+  EXPECT_EQ(box.due_destinations(11), (std::vector<std::uint32_t>{7}));
+  // Drain clears the queue; a fresh store starts over immediately due.
+  (void)box.drain(7);
+  box.store(7, 1, update(2.0));
+  EXPECT_EQ(box.due_destinations(11), (std::vector<std::uint32_t>{7}));
+}
+
+TEST(ReliableChannel, SequenceNumbersRejectStaleAndDuplicates) {
+  ReliableChannel ch;
+  EXPECT_EQ(ch.next_seq(5), 1u);
+  EXPECT_EQ(ch.next_seq(5), 2u);
+  EXPECT_EQ(ch.next_seq(9), 1u);  // independent per slot
+  EXPECT_TRUE(ch.accept(5, 2));
+  EXPECT_FALSE(ch.accept(5, 2));  // duplicate
+  EXPECT_FALSE(ch.accept(5, 1));  // stale reordered value
+  EXPECT_EQ(ch.duplicates_suppressed(), 1u);
+  EXPECT_EQ(ch.stale_rejected(), 1u);
+  EXPECT_TRUE(ch.accept(9, 1));
+}
+
+TEST(ReliableChannel, TracksAndRetriesWithBackoff) {
+  ReliableChannel ch(ReliableChannel::Config{.ack_timeout_passes = 1,
+                                             .retry_backoff_cap = 4});
+  ch.track({.slot = 3, .dest = 1, .src = 0, .value = 0.5, .seq = 1}, 0);
+  EXPECT_EQ(ch.in_flight(), 1u);
+  EXPECT_TRUE(ch.take_due(0).empty());  // not due yet
+  auto due = ch.take_due(1);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_TRUE(ch.idle());  // taken out; caller decides re-track or ack
+  due[0].attempt = 1;
+  ch.track(due[0], 1);  // interval 2: due at pass 3
+  EXPECT_TRUE(ch.take_due(2).empty());
+  ASSERT_EQ(ch.take_due(3).size(), 1u);
+  EXPECT_EQ(ch.retransmissions(), 2u);
+}
+
+TEST(ReliableChannel, NewerEmissionSupersedesInFlight) {
+  ReliableChannel ch;
+  ch.track({.slot = 3, .dest = 1, .src = 0, .value = 0.5, .seq = 1}, 0);
+  ch.track({.slot = 3, .dest = 1, .src = 0, .value = 0.8, .seq = 2}, 0);
+  EXPECT_EQ(ch.in_flight(), 1u);  // one record per slot: newest wins
+  const auto due = ch.take_due(1);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].seq, 2u);
+  EXPECT_DOUBLE_EQ(due[0].value, 0.8);
+}
+
+TEST(ReliableChannel, AckClearsUnlessNewerPending) {
+  ReliableChannel ch;
+  ch.track({.slot = 3, .dest = 1, .src = 0, .value = 0.5, .seq = 2}, 0);
+  ch.ack(3, 1);  // stale ack: the seq-2 send is still unconfirmed
+  EXPECT_EQ(ch.in_flight(), 1u);
+  ch.ack(3, 2);
+  EXPECT_TRUE(ch.idle());
+}
+
+TEST(ReliableChannel, ForgetSenderDropsOnlyTheirRecords) {
+  ReliableChannel ch;
+  ch.track({.slot = 1, .dest = 5, .src = 0, .value = 0.1, .seq = 1}, 0);
+  ch.track({.slot = 2, .dest = 5, .src = 7, .value = 0.2, .seq = 1}, 0);
+  ch.track({.slot = 3, .dest = 6, .src = 7, .value = 0.3, .seq = 1}, 0);
+  const auto lost = ch.forget_sender(7);
+  ASSERT_EQ(lost.size(), 2u);
+  EXPECT_EQ(lost[0].slot, 2u);
+  EXPECT_EQ(lost[1].slot, 3u);
+  EXPECT_EQ(ch.in_flight(), 1u);
 }
 
 TEST(TrafficMeter, CountsMessagesAndBytes) {
