@@ -136,14 +136,55 @@ void print_table() {
                "500k:118/139/196  5000k:120/141/241 passes.\n";
 }
 
+/// Instrumentation-overhead probe for the BENCH json: the same 10k-doc
+/// run with the metrics registry attached (the default posture) vs
+/// detached, best of 3 each. Tracing stays off — this measures the cost
+/// the telemetry subsystem imposes on every ordinary bench run.
+std::map<std::string, double> measure_overhead() {
+  ExperimentConfig cfg;
+  cfg.num_docs = 10'000;
+  cfg.num_peers = 500;
+  cfg.epsilon = 1e-3;
+  cfg.seed = experiment_seed();
+  const StandardExperiment exp(cfg);
+  (void)exp.run_distributed();  // warm graph/reference caches
+  double best_on = 1e300;
+  double best_off = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    {
+      const benchutil::WallTimer t;
+      (void)exp.run_distributed(
+          nullptr, StandardExperiment::Telemetry{});
+      best_on = std::min(best_on, t.seconds());
+    }
+    {
+      const benchutil::WallTimer t;
+      (void)exp.run_distributed(
+          nullptr, StandardExperiment::Telemetry{.registry = nullptr});
+      best_off = std::min(best_off, t.seconds());
+    }
+  }
+  const double ratio = best_off > 0.0 ? best_on / best_off : 1.0;
+  std::cout << "\nInstrumentation overhead (registry on vs off, 10k docs): "
+            << format_fixed((ratio - 1.0) * 100.0, 2) << "%\n";
+  return {{"registry_on_seconds", best_on},
+          {"registry_off_seconds", best_off},
+          {"registry_overhead_ratio", ratio}};
+}
+
 }  // namespace
 }  // namespace dprank
 
 int main(int argc, char** argv) {
+  const dprank::benchutil::WallTimer wall;
   benchmark::Initialize(&argc, argv);
   dprank::register_benchmarks();
   benchmark::RunSpecifiedBenchmarks();
   dprank::print_table();
+  const auto overhead = dprank::measure_overhead();
+  dprank::benchutil::write_bench_json("table1", wall.seconds(),
+                                      dprank::benchutil::standard_config(),
+                                      overhead);
   benchmark::Shutdown();
   return 0;
 }

@@ -187,10 +187,13 @@ void print_table() {
 }  // namespace dprank
 
 int main(int argc, char** argv) {
+  const dprank::benchutil::WallTimer wall;
   benchmark::Initialize(&argc, argv);
   dprank::register_benchmarks();
   benchmark::RunSpecifiedBenchmarks();
   dprank::print_table();
+  dprank::benchutil::write_bench_json("table6", wall.seconds(),
+                                      dprank::benchutil::standard_config());
   benchmark::Shutdown();
   return 0;
 }

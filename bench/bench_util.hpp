@@ -13,8 +13,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -22,6 +24,8 @@
 
 #include "common/env.hpp"
 #include "common/table.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "sim/experiment.hpp"
 
 namespace dprank::benchutil {
@@ -80,6 +84,74 @@ inline void emit(const TextTable& table, const std::string& name) {
     table.write_csv(path);
     std::cout << "[csv written to " << path.string() << "]\n";
   }
+}
+
+/// Monotonic wall-clock stopwatch for the BENCH_*.json record.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The scale/seed knobs every bench shares, for the json config block.
+inline std::map<std::string, std::string> standard_config() {
+  std::string sizes;
+  for (const auto s : experiment_graph_sizes()) {
+    if (!sizes.empty()) sizes += ",";
+    sizes += size_label(s);
+  }
+  return {{"sizes", sizes},
+          {"full_scale", full_scale_requested() ? "1" : "0"},
+          {"seed", std::to_string(experiment_seed())}};
+}
+
+/// Machine-readable bench record: BENCH_<name>.json holding the bench
+/// config, total wall time, a snapshot of the process-wide metrics
+/// registry (everything the run's engines flushed), and optional extra
+/// measurements (e.g. bench_table1's instrumentation-overhead probe).
+/// Written into DPRANK_BENCH_DIR (unset = current directory). The notice
+/// goes to stderr so table stdout stays byte-stable for golden diffs.
+inline void write_bench_json(const std::string& name, double wall_seconds,
+                             const std::map<std::string, std::string>& config,
+                             const std::map<std::string, double>& extra = {}) {
+  namespace fs = std::filesystem;
+  const char* dir = std::getenv("DPRANK_BENCH_DIR");
+  const bool have_dir = dir != nullptr && dir[0] != '\0';
+  if (have_dir) fs::create_directories(dir);
+  const fs::path path =
+      fs::path(have_dir ? dir : ".") / ("BENCH_" + name + ".json");
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "bench json: cannot open " << path.string() << "\n";
+    return;
+  }
+  os << "{\n  \"bench\": \"" << obs::json_escape(name) << "\",\n"
+     << "  \"wall_seconds\": " << obs::format_double(wall_seconds) << ",\n"
+     << "  \"config\": {";
+  bool first = true;
+  for (const auto& [k, v] : config) {
+    os << (first ? "" : ",") << "\n    \"" << obs::json_escape(k) << "\": \""
+       << obs::json_escape(v) << "\"";
+    first = false;
+  }
+  os << "\n  },\n  \"extra\": {";
+  first = true;
+  for (const auto& [k, v] : extra) {
+    os << (first ? "" : ",") << "\n    \"" << obs::json_escape(k)
+       << "\": " << obs::format_double(v);
+    first = false;
+  }
+  os << "\n  },\n  \"metrics\": ";
+  obs::write_metrics_json(obs::default_registry().snapshot(), os);
+  os << "}\n";
+  std::cerr << "[bench json written to " << path.string() << "]\n";
 }
 
 }  // namespace dprank::benchutil

@@ -1,20 +1,26 @@
 #include "net/ip_cache.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace dprank {
 
 std::uint64_t IpCache::send_hops(PeerId src, Guid key, const ChordRing& ring) {
   const auto route = ring.route(src, key);
   if (route.hop_count() == 0) return 0;  // key is local to src
-  if (!enabled_) return route.hop_count();
+  if (!enabled_) {
+    note_hops(route.hop_count());
+    return route.hop_count();
+  }
 
   auto& known = cache_[src];
   if (known.contains(route.destination)) {
-    ++hits_;
+    note_hit();
+    note_hops(1);
     return 1;
   }
-  ++misses_;
+  note_miss();
+  note_hops(route.hop_count());
   known.insert(route.destination);
   return route.hop_count();
 }
@@ -25,22 +31,34 @@ std::uint64_t IpCache::send_hops_to_peer(PeerId src, PeerId holder, Guid key,
   if (enabled_) {
     auto& known = cache_[src];
     if (known.contains(holder)) {
-      ++hits_;
+      note_hit();
+      note_hops(1);
       return 1;
     }
-    ++misses_;
+    note_miss();
     known.insert(holder);
   }
   const auto route = ring.route(src, key);
   // Route to the directory entry, then one hop to the holder (free when
   // the directory owner already is the holder).
   const auto to_directory = route.hop_count();
-  return to_directory + (route.destination == holder ? 0 : 1);
+  const std::uint64_t hops =
+      to_directory + (route.destination == holder ? 0 : 1);
+  note_hops(hops);
+  return hops;
 }
 
 void IpCache::invalidate_peer(PeerId peer) {
   cache_.erase(peer);  // addresses the departed peer had learned
   for (auto& [src, known] : cache_) known.erase(peer);
+}
+
+void IpCache::bind_metrics(obs::MetricsRegistry& registry,
+                           std::string_view overlay_name) {
+  const std::string prefix = "dht." + std::string(overlay_name);
+  hops_hist_ = &registry.histogram(prefix + ".send_hops");
+  hits_ctr_ = &registry.counter(prefix + ".cache_hits");
+  misses_ctr_ = &registry.counter(prefix + ".cache_misses");
 }
 
 std::uint64_t IpCache::entries() const {

@@ -13,10 +13,12 @@
 // is the `disabled` configuration used by the caching ablation bench.
 
 #include <cstdint>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "dht/ring.hpp"
+#include "obs/metrics.hpp"
 
 namespace dprank {
 
@@ -49,17 +51,42 @@ class IpCache {
   /// may return at a different address).
   void invalidate_peer(PeerId peer);
 
+  /// Publish per-send hop counts and cache hit/miss totals into
+  /// `registry` under `dht.<overlay_name>.send_hops` (histogram),
+  /// `.cache_hits` and `.cache_misses` (counters) — one name set per
+  /// overlay, so ablations comparing cached vs Freenet-style routing read
+  /// distinct hop distributions. The registry must outlive the cache.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    std::string_view overlay_name);
+
   [[nodiscard]] bool enabled() const { return enabled_; }
   [[nodiscard]] std::uint64_t entries() const;
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
 
  private:
+  void note_hops(std::uint64_t hops) noexcept {
+    if (hops_hist_ != nullptr) {
+      hops_hist_->record(static_cast<double>(hops));
+    }
+  }
+  void note_hit() noexcept {
+    ++hits_;
+    if (hits_ctr_ != nullptr) hits_ctr_->add(1);
+  }
+  void note_miss() noexcept {
+    ++misses_;
+    if (misses_ctr_ != nullptr) misses_ctr_->add(1);
+  }
+
   bool enabled_;
   // cache_[src] = set of peers whose address src knows.
   std::unordered_map<PeerId, std::unordered_set<PeerId>> cache_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  obs::Histogram* hops_hist_ = nullptr;
+  obs::Counter* hits_ctr_ = nullptr;
+  obs::Counter* misses_ctr_ = nullptr;
 };
 
 }  // namespace dprank

@@ -44,6 +44,9 @@ class ReliableChannel {
     double value = 0.0;
     std::uint32_t seq = 0;
     std::uint32_t attempt = 0;  // retries already performed
+    /// Causal trace id (obs/trace.hpp) riding along so retransmissions
+    /// stay on the original message's journey; 0 = untraced.
+    std::uint64_t trace = 0;
   };
 
   ReliableChannel() = default;

@@ -6,8 +6,19 @@
 // caching ablation needs overlay hop counts; Table 6 counts document ids
 // transferred. TrafficMeter is the single ledger all layers report into
 // so every bench reads consistent numbers.
+//
+// Since the obs subsystem landed, TrafficMeter is a thin shim over
+// obs::Counter — the registry's own primitive — so the meter and a
+// metrics snapshot literally read the same atomics. The arithmetic is
+// unchanged from the original plain-uint64 implementation (same adds in
+// the same order), so bench output is byte-identical; test_obs.cpp
+// replays mixed op sequences against a legacy reference to pin that
+// down. flush_to() publishes the ledger into a MetricsRegistry under
+// the net.* names.
 
 #include <cstdint>
+
+#include "obs/metrics.hpp"
 
 namespace dprank {
 
@@ -17,57 +28,79 @@ class TrafficMeter {
   /// transmissions (1 when the IP address is known/cached, O(log N) when
   /// DHT-routed) and `bytes` on the wire per transmission.
   void record_message(std::uint64_t bytes, std::uint64_t hops = 1) noexcept {
-    messages_ += 1;
-    hop_transmissions_ += hops;
-    bytes_ += bytes * hops;
+    messages_.add(1);
+    hop_transmissions_.add(hops);
+    bytes_.add(bytes * hops);
   }
 
   /// `count` direct (1-hop) messages of `bytes_each` in one call.
   void record_messages(std::uint64_t count, std::uint64_t bytes_each) noexcept {
-    messages_ += count;
-    hop_transmissions_ += count;
-    bytes_ += count * bytes_each;
+    messages_.add(count);
+    hop_transmissions_.add(count);
+    bytes_.add(count * bytes_each);
   }
 
   /// A message delivered without the network (both documents on the same
   /// peer — Fig. 1 step b updates those "without need for network update
   /// messages").
-  void record_local_update() noexcept { local_updates_ += 1; }
+  void record_local_update() noexcept { local_updates_.add(1); }
 
   /// A delivery retry after the destination peer was unavailable (§3.1:
   /// updates "are stored at the sender and periodically resent until
   /// delivered successfully"). Counts wire traffic but not a new message.
   void record_resend(std::uint64_t bytes) noexcept {
-    resends_ += 1;
-    bytes_ += bytes;
+    resends_.add(1);
+    bytes_.add(bytes);
   }
 
   void merge(const TrafficMeter& other) noexcept {
-    messages_ += other.messages_;
-    local_updates_ += other.local_updates_;
-    resends_ += other.resends_;
-    hop_transmissions_ += other.hop_transmissions_;
-    bytes_ += other.bytes_;
+    messages_.add(other.messages());
+    local_updates_.add(other.local_updates());
+    resends_.add(other.resends());
+    hop_transmissions_.add(other.hop_transmissions());
+    bytes_.add(other.bytes());
   }
 
-  void reset() noexcept { *this = TrafficMeter{}; }
+  void reset() noexcept {
+    messages_.set(0);
+    local_updates_.set(0);
+    resends_.set(0);
+    hop_transmissions_.set(0);
+    bytes_.set(0);
+  }
 
-  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+  /// Publish the ledger's current totals into `registry` under
+  /// `net.messages`, `net.local_updates`, `net.resends`,
+  /// `net.hop_transmissions`, `net.bytes` — additive, so sequential
+  /// engine runs flushing into one registry accumulate process totals.
+  void flush_to(obs::MetricsRegistry& registry) const {
+    registry.counter("net.messages").add(messages());
+    registry.counter("net.local_updates").add(local_updates());
+    registry.counter("net.resends").add(resends());
+    registry.counter("net.hop_transmissions").add(hop_transmissions());
+    registry.counter("net.bytes").add(bytes());
+  }
+
+  [[nodiscard]] std::uint64_t messages() const noexcept {
+    return messages_.value();
+  }
   [[nodiscard]] std::uint64_t local_updates() const noexcept {
-    return local_updates_;
+    return local_updates_.value();
   }
-  [[nodiscard]] std::uint64_t resends() const noexcept { return resends_; }
+  [[nodiscard]] std::uint64_t resends() const noexcept {
+    return resends_.value();
+  }
   [[nodiscard]] std::uint64_t hop_transmissions() const noexcept {
-    return hop_transmissions_;
+    return hop_transmissions_.value();
   }
-  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_.value(); }
 
  private:
-  std::uint64_t messages_ = 0;
-  std::uint64_t local_updates_ = 0;
-  std::uint64_t resends_ = 0;
-  std::uint64_t hop_transmissions_ = 0;
-  std::uint64_t bytes_ = 0;
+  obs::Counter messages_;
+  obs::Counter local_updates_;
+  obs::Counter resends_;
+  obs::Counter hop_transmissions_;
+  obs::Counter bytes_;
 };
 
 }  // namespace dprank

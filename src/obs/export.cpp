@@ -1,0 +1,186 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dprank::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  // %.12g is locale-independent for the values we emit (no grouping) and
+  // round-trips every counter-sized integer exactly.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+namespace {
+
+void write_args(std::ostream& os, const TraceEvent& ev) {
+  os << "\"args\":{";
+  for (std::uint8_t i = 0; i < ev.num_args; ++i) {
+    if (i != 0) os << ',';
+    os << '"' << json_escape(ev.args[i].first)
+       << "\":" << format_double(ev.args[i].second);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : tracer.events()) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+       << json_escape(ev.category) << "\",\"ph\":\"" << ev.phase
+       << "\",\"ts\":" << format_double(ev.ts_us) << ",\"pid\":" << ev.pid
+       << ",\"tid\":0";
+    if (ev.phase == 'X') os << ",\"dur\":" << format_double(ev.dur_us);
+    if (ev.id != kNoTrace) {
+      // Hex string ids, the format the trace_event spec uses for async
+      // event correlation.
+      char idbuf[32];
+      std::snprintf(idbuf, sizeof(idbuf), "0x%llx",
+                    static_cast<unsigned long long>(ev.id));
+      os << ",\"id\":\"" << idbuf << "\"";
+    }
+    os << ',';
+    write_args(os, ev);
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+std::string chrome_trace_string(const Tracer& tracer) {
+  std::ostringstream os;
+  write_chrome_trace(tracer, os);
+  return os.str();
+}
+
+void write_chrome_trace_file(const Tracer& tracer, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("chrome trace export: cannot open " + path);
+  }
+  write_chrome_trace(tracer, os);
+}
+
+void write_metrics_json(const MetricsSnapshot& snap, std::ostream& os) {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << format_double(v);
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": {\"count\": " << h.count << ", \"sum\": " << format_double(h.sum)
+       << ", \"min\": " << format_double(h.min)
+       << ", \"max\": " << format_double(h.max)
+       << ", \"p50\": " << format_double(h.p50)
+       << ", \"p90\": " << format_double(h.p90)
+       << ", \"p99\": " << format_double(h.p99) << "}";
+    first = false;
+  }
+  os << "\n  },\n  \"series\": {";
+  first = true;
+  for (const auto& [name, points] : snap.series) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": [";
+    bool p_first = true;
+    for (const auto& [x, y] : points) {
+      os << (p_first ? "" : ",") << "[" << format_double(x) << ","
+         << format_double(y) << "]";
+      p_first = false;
+    }
+    os << "]";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+}
+
+void write_metrics_json_file(const MetricsSnapshot& snap,
+                             const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("metrics export: cannot open " + path);
+  }
+  write_metrics_json(snap, os);
+}
+
+void write_metrics_csv(const MetricsSnapshot& snap, std::ostream& os) {
+  os << "kind,name,field,value\n";
+  for (const auto& [name, v] : snap.counters) {
+    os << "counter," << name << ",value," << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    os << "gauge," << name << ",value," << format_double(v) << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    os << "histogram," << name << ",count," << h.count << "\n"
+       << "histogram," << name << ",sum," << format_double(h.sum) << "\n"
+       << "histogram," << name << ",min," << format_double(h.min) << "\n"
+       << "histogram," << name << ",max," << format_double(h.max) << "\n"
+       << "histogram," << name << ",p50," << format_double(h.p50) << "\n"
+       << "histogram," << name << ",p90," << format_double(h.p90) << "\n"
+       << "histogram," << name << ",p99," << format_double(h.p99) << "\n";
+  }
+  for (const auto& [name, points] : snap.series) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      os << "series," << name << ",x" << i << ","
+         << format_double(points[i].first) << "\n"
+         << "series," << name << ",y" << i << ","
+         << format_double(points[i].second) << "\n";
+    }
+  }
+}
+
+}  // namespace dprank::obs

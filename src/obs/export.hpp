@@ -1,0 +1,42 @@
+#pragma once
+
+// Machine-readable exporters for the obs subsystem.
+//
+//   * write_chrome_trace: Chrome trace_event JSON (the "JSON Array
+//     Format" with a traceEvents wrapper) — drag into Perfetto
+//     (https://ui.perfetto.dev) or chrome://tracing. Message journeys are
+//     async events keyed by trace id; passes are 'X' spans.
+//   * write_metrics_json / write_metrics_csv: flat dumps of a
+//     MetricsSnapshot for plotting pipelines and the bench harness's
+//     BENCH_*.json files.
+//
+// Output is deterministic for deterministic inputs (fixed field order,
+// fixed float formatting) so seeded runs can be golden-file compared.
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dprank::obs {
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Fixed, locale-independent float formatting used by every exporter.
+[[nodiscard]] std::string format_double(double v);
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os);
+void write_chrome_trace_file(const Tracer& tracer, const std::string& path);
+[[nodiscard]] std::string chrome_trace_string(const Tracer& tracer);
+
+void write_metrics_json(const MetricsSnapshot& snap, std::ostream& os);
+void write_metrics_json_file(const MetricsSnapshot& snap,
+                             const std::string& path);
+
+/// CSV with one row per scalar: kind,name,field,value. Histograms expand
+/// to count/sum/min/max/p50/p90/p99 rows; series to indexed x/y rows.
+void write_metrics_csv(const MetricsSnapshot& snap, std::ostream& os);
+
+}  // namespace dprank::obs

@@ -1,0 +1,203 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dprank::obs {
+
+namespace {
+
+/// fetch_add for atomic<double> via CAS (portable; atomic<double>::fetch_add
+/// is C++20 but not lock-free everywhere).
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // zero, negative and NaN: the zero bucket
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [.5,1)
+  exp -= 1;                                 // v in [2^exp, 2^(exp+1))
+  if (exp < kMinExponent) return 1;
+  if (exp > kMaxExponent) return kNumBuckets - 1;
+  // frac in [0.5, 1): linear position within the octave.
+  const int sub = std::min(kSubBuckets - 1,
+                           static_cast<int>((frac - 0.5) * 2 * kSubBuckets));
+  return 1 + (exp - kMinExponent) * kSubBuckets + sub;
+}
+
+double Histogram::bucket_lower(int index) noexcept {
+  if (index <= 0) return 0.0;
+  const int li = index - 1;
+  const int exp = kMinExponent + li / kSubBuckets;
+  const int sub = li % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, exp);
+}
+
+double Histogram::bucket_upper(int index) noexcept {
+  if (index <= 0) return 0.0;
+  const int li = index - 1;
+  const int exp = kMinExponent + li / kSubBuckets;
+  const int sub = li % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets, exp);
+}
+
+void Histogram::record(double v) noexcept { record_count(v, 1); }
+
+void Histogram::record_count(double v, std::uint64_t times) noexcept {
+  if (times == 0) return;
+  const int idx = bucket_index(v);
+  buckets_[static_cast<std::size_t>(idx)].fetch_add(
+      times, std::memory_order_relaxed);
+  count_.fetch_add(times, std::memory_order_relaxed);
+  atomic_add(sum_, v * static_cast<double>(times));
+  if (!has_value_.exchange(true, std::memory_order_relaxed)) {
+    // First recorder seeds min/max; racing recorders fix it up below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * n).
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(n))));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t c =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    cum += c;
+    if (cum >= rank) {
+      const double mid =
+          i == 0 ? 0.0 : 0.5 * (bucket_lower(i) + bucket_upper(i));
+      return std::clamp(mid, min_.load(std::memory_order_relaxed),
+                        max_.load(std::memory_order_relaxed));
+    }
+  }
+  return max_.load(std::memory_order_relaxed);
+}
+
+HistogramSummary Histogram::summarize() const {
+  HistogramSummary s;
+  s.count = count();
+  if (s.count == 0) return s;
+  s.sum = sum();
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+std::vector<std::pair<double, std::uint64_t>> Histogram::buckets() const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t c =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    if (c != 0) out.emplace_back(bucket_upper(i), c);
+  }
+  return out;
+}
+
+void Series::append(double x, double y) {
+  const std::lock_guard lock(mu_);
+  points_.emplace_back(x, y);
+}
+
+std::vector<std::pair<double, double>> Series::points() const {
+  const std::lock_guard lock(mu_);
+  return points_;
+}
+
+std::size_t Series::size() const {
+  const std::lock_guard lock(mu_);
+  return points_.size();
+}
+
+namespace {
+
+template <typename Map>
+auto& find_or_create(Map& map, std::string_view name) {
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  using Metric = typename Map::mapped_type::element_type;
+  return *map.emplace(std::string(name), std::make_unique<Metric>())
+              .first->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard lock(mu_);
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard lock(mu_);
+  return find_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard lock(mu_);
+  return find_or_create(histograms_, name);
+}
+
+Series& MetricsRegistry::series(std::string_view name) {
+  const std::lock_guard lock(mu_);
+  return find_or_create(series_, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->summarize();
+  }
+  for (const auto& [name, s] : series_) snap.series[name] = s->points();
+  return snap;
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  series_.clear();
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace dprank::obs

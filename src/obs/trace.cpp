@@ -1,0 +1,90 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace dprank::obs {
+
+namespace {
+/// Spacing between successive events at the same simulated instant:
+/// preserves emission order in viewers without pretending the simulator
+/// has sub-pass timing.
+constexpr double kTickUs = 0.001;
+}  // namespace
+
+TraceId Tracer::begin_trace() {
+  const std::lock_guard lock(mu_);
+  const std::uint64_t n = next_trace_++;
+  const std::uint64_t k = std::max<std::uint64_t>(1, config_.sample_every);
+  if (n % k != 0) return kNoTrace;
+  return n + 1;  // ids are 1-based so kNoTrace stays unambiguous
+}
+
+void Tracer::push(
+    char phase, TraceId id, const char* name, const char* category,
+    std::uint32_t pid, double dur_us,
+    std::initializer_list<std::pair<const char*, double>> args) {
+  const std::lock_guard lock(mu_);
+  if (events_.size() >= config_.max_events) {
+    ++dropped_;
+    return;
+  }
+  TraceEvent ev;
+  ev.ts_us = cursor_us_;
+  cursor_us_ += kTickUs;
+  ev.dur_us = dur_us;
+  ev.phase = phase;
+  ev.pid = pid;
+  ev.id = id;
+  ev.name = name;
+  ev.category = category;
+  for (const auto& arg : args) {
+    if (ev.num_args == TraceEvent::kMaxArgs) break;
+    ev.args[ev.num_args++] = arg;
+  }
+  events_.push_back(ev);
+}
+
+void Tracer::async_begin(
+    TraceId id, const char* name, const char* category, std::uint32_t pid,
+    std::initializer_list<std::pair<const char*, double>> args) {
+  if (id == kNoTrace) return;
+  push('b', id, name, category, pid, 0.0, args);
+}
+
+void Tracer::async_step(
+    TraceId id, const char* name, const char* category, std::uint32_t pid,
+    std::initializer_list<std::pair<const char*, double>> args) {
+  if (id == kNoTrace) return;
+  push('n', id, name, category, pid, 0.0, args);
+}
+
+void Tracer::async_end(
+    TraceId id, const char* name, const char* category, std::uint32_t pid,
+    std::initializer_list<std::pair<const char*, double>> args) {
+  if (id == kNoTrace) return;
+  push('e', id, name, category, pid, 0.0, args);
+}
+
+void Tracer::instant(
+    const char* name, const char* category, std::uint32_t pid,
+    std::initializer_list<std::pair<const char*, double>> args) {
+  push('i', kNoTrace, name, category, pid, 0.0, args);
+}
+
+void Tracer::complete(
+    const char* name, const char* category, std::uint32_t pid, double dur_us,
+    std::initializer_list<std::pair<const char*, double>> args) {
+  push('X', kNoTrace, name, category, pid, dur_us, args);
+}
+
+void Tracer::advance_time(double ts_us) {
+  const std::lock_guard lock(mu_);
+  cursor_us_ = std::max(cursor_us_, ts_us);
+}
+
+double Tracer::now_us() const {
+  const std::lock_guard lock(mu_);
+  return cursor_us_;
+}
+
+}  // namespace dprank::obs

@@ -115,6 +115,19 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
   std::atomic<std::uint64_t> local_updates{0};
   std::atomic<std::uint64_t> recomputes{0};
   std::atomic<bool> capped{false};
+  // Live registry handles, resolved once before the workers spawn (name
+  // lookup takes the registry mutex; updates through these are lock-free
+  // and hit the counters from every worker thread concurrently).
+  obs::Counter* m_cross = nullptr;
+  obs::Counter* m_local = nullptr;
+  obs::Counter* m_recomputes = nullptr;
+  obs::Histogram* m_batch = nullptr;
+  if (metrics_ != nullptr) {
+    m_cross = &metrics_->counter("async.cross_messages");
+    m_local = &metrics_->counter("async.local_updates");
+    m_recomputes = &metrics_->counter("async.recomputes");
+    m_batch = &metrics_->histogram("async.mail_batch_size");
+  }
   std::mutex done_mu;
   std::condition_variable done_cv;
 
@@ -141,6 +154,7 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
       const double rel = relative_change(result.ranks[v], newrank);
       result.ranks[v] = newrank;
       recomputes.fetch_add(1, std::memory_order_relaxed);
+      if (m_recomputes != nullptr) m_recomputes->add(1);
       if (rel <= options_.epsilon) return;
       const auto deg = graph_.out_degree(v);
       if (deg == 0) return;
@@ -159,6 +173,7 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
           // Local deliveries: apply immediately, schedule recomputes.
           local_updates.fetch_add(outgoing[p].size(),
                                   std::memory_order_relaxed);
+          if (m_local != nullptr) m_local->add(outgoing[p].size());
           for (const auto& u : outgoing[p]) {
             contrib[u.edge] = u.value;
             const NodeId v = graph_.out_target(u.edge);
@@ -167,6 +182,7 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
         } else {
           cross_msgs.fetch_add(outgoing[p].size(),
                                std::memory_order_relaxed);
+          if (m_cross != nullptr) m_cross->add(outgoing[p].size());
           inflight.fetch_add(static_cast<std::int64_t>(outgoing[p].size()));
           mailbox[p].push(std::move(outgoing[p]));
         }
@@ -195,6 +211,9 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
       }
       std::vector<WireUpdate> mail = mailbox[me].drain_or_stop(stop);
       if (mail.empty()) continue;  // stop raised
+      if (m_batch != nullptr) {
+        m_batch->record(static_cast<double>(mail.size()));
+      }
       if (message_cap != 0 &&
           cross_msgs.load(std::memory_order_relaxed) > message_cap) {
         capped.store(true);
@@ -260,6 +279,10 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
   result.local_updates = local_updates.load();
   result.recomputes = recomputes.load();
   result.converged = !capped.load();
+  if (metrics_ != nullptr) {
+    metrics_->counter("async.runs").add(1);
+    if (result.converged) metrics_->counter("async.converged_runs").add(1);
+  }
   return result;
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "obs/metrics.hpp"
 #include "p2p/placement.hpp"
 #include "pagerank/options.hpp"
 
@@ -75,6 +76,14 @@ class AsyncPagerankRuntime {
   [[nodiscard]] AsyncRunResult run_with_churn(const ChurnParams& churn,
                                               std::uint64_t message_cap = 0);
 
+  /// Stream live telemetry into `registry` during run(): worker threads
+  /// update `async.cross_messages`, `async.local_updates` and
+  /// `async.recomputes` counters and the `async.mail_batch_size`
+  /// histogram concurrently (the registry's primitives are relaxed
+  /// atomics, so this is the intended concurrent-writer usage). The
+  /// registry must outlive the run. Call before run().
+  void bind_metrics(obs::MetricsRegistry& registry) { metrics_ = &registry; }
+
  private:
   AsyncRunResult run_impl(std::uint64_t message_cap,
                           const ChurnParams* churn);
@@ -82,6 +91,7 @@ class AsyncPagerankRuntime {
   const Digraph& graph_;
   const Placement& placement_;
   PagerankOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace dprank

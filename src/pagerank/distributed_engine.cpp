@@ -97,6 +97,51 @@ void DistributedPagerank::inject_faults(const FaultModel& faults) {
   plan_ = owned_plan_.get();
 }
 
+void DistributedPagerank::attach_metrics(obs::MetricsRegistry& registry) {
+  if (ran_) throw std::logic_error("attach_metrics after run");
+  metrics_ = &registry;
+}
+
+void DistributedPagerank::attach_tracer(obs::Tracer& tracer,
+                                        PassClock clock) {
+  if (ran_) throw std::logic_error("attach_tracer after run");
+  tracer_ = &tracer;
+  pass_clock_ = std::move(clock);
+  pending_trace_.assign(graph_.num_edges(), obs::kNoTrace);
+}
+
+void DistributedPagerank::trace_terminal(obs::TraceId t, bool applied,
+                                         PeerId pv) {
+  if (t == obs::kNoTrace) return;
+  tracer_->async_end(t, applied ? "update.apply" : "update.stale",
+                     "pagerank", pv, {});
+}
+
+obs::TraceId DistributedPagerank::trace_send(EdgeId e, PeerId pu, PeerId pv,
+                                             NodeId v, double value,
+                                             std::uint64_t pass,
+                                             std::uint64_t hops) {
+  const obs::TraceId tid = tracer_->begin_trace();
+  if (tid == obs::kNoTrace) return tid;  // unsampled journey
+  tracer_->async_begin(tid, "update.send", "pagerank", pu,
+                       {{"edge", static_cast<double>(e)},
+                        {"pass", static_cast<double>(pass)},
+                        {"value", value}});
+  if (hops > 1 && ring_ != nullptr) {
+    // Hop-by-hop overlay story: send_hops() already billed the route and
+    // updated the cache; route() is read-only, so re-deriving the path
+    // changes nothing the simulation can observe.
+    const auto route = ring_->route(pu, document_guid(v));
+    for (const PeerId hop : route.hops) {
+      tracer_->async_step(tid, "dht.hop", "dht", hop, {});
+    }
+    if (route.destination != pv) {
+      tracer_->async_step(tid, "dht.hop", "dht", pv, {});
+    }
+  }
+  return tid;
+}
+
 std::uint64_t DistributedPagerank::send_hops(PeerId src, PeerId holder,
                                              NodeId target_doc) {
   if (ring_ == nullptr) return 1;
@@ -140,11 +185,14 @@ void DistributedPagerank::send_to_replicas(PeerId src, NodeId v,
 
 void DistributedPagerank::park(EdgeId e, PeerId src, PeerId dest,
                                double value, std::uint32_t seq,
-                               PassStats& stats) {
+                               obs::TraceId trace, PassStats& stats) {
   if (channel_ != nullptr) {
     if (pending_[e] && pending_seq_[e] > seq) {
       // A fresher emission is already parked for this edge.
       ++stats.messages_deferred;
+      if (trace != obs::kNoTrace) {
+        tracer_->async_end(trace, "update.superseded", "net", dest, {});
+      }
       return;
     }
     pending_seq_[e] = seq;
@@ -155,6 +203,18 @@ void DistributedPagerank::park(EdgeId e, PeerId src, PeerId dest,
     deferred_by_peer_[dest].emplace_back(e, src);
     ++total_pending_;
     outbox_peak_ = std::max(outbox_peak_, total_pending_);
+  }
+  if (tracer_ != nullptr) {
+    obs::TraceId& slot = pending_trace_[e];
+    if (slot != obs::kNoTrace && slot != trace) {
+      // Newest value wins the outbox slot; the overwritten journey ends.
+      tracer_->async_end(slot, "update.superseded", "net", dest, {});
+    }
+    slot = trace;
+    if (trace != obs::kNoTrace) {
+      tracer_->async_step(trace, "outbox.park", "net", dest,
+                          {{"edge", static_cast<double>(e)}});
+    }
   }
   ++stats.messages_deferred;
 }
@@ -216,6 +276,11 @@ void DistributedPagerank::crash_peer(PeerId p, std::uint64_t pass) {
       std::max<std::uint32_t>(1, plan_->config().crash_downtime_passes);
   crashed_until_[p] = pass + downtime;
   needs_recovery_[p] = true;
+  if (tracer_ != nullptr) {
+    tracer_->instant("peer.crash", "fault", p,
+                     {{"pass", static_cast<double>(pass)},
+                      {"downtime", static_cast<double>(downtime)}});
+  }
 
   // Sender-side state lost: every update p had parked for offline
   // destinations vanishes with it.
@@ -228,6 +293,11 @@ void DistributedPagerank::crash_peer(PeerId p, std::uint64_t pass) {
         pending_[e] = false;
         --total_pending_;
         if (auditor_ != nullptr) auditor_->on_known_loss(pending_value_[e]);
+        if (tracer_ != nullptr && pending_trace_[e] != obs::kNoTrace) {
+          tracer_->async_end(pending_trace_[e], "crash.loss", "fault", p,
+                             {});
+          pending_trace_[e] = obs::kNoTrace;
+        }
       } else {
         entries[kept++] = entries[i];
       }
@@ -240,6 +310,9 @@ void DistributedPagerank::crash_peer(PeerId p, std::uint64_t pass) {
   if (channel_ != nullptr) {
     for (const auto& lost : channel_->forget_sender(p)) {
       if (auditor_ != nullptr) auditor_->on_known_loss(lost.value);
+      if (tracer_ != nullptr && lost.trace != obs::kNoTrace) {
+        tracer_->async_end(lost.trace, "crash.loss", "fault", p, {});
+      }
     }
   }
   // Receiver-side state lost: p's stored contributions (the cells feeding
@@ -259,6 +332,7 @@ void DistributedPagerank::recover_peer(PeerId p,
                                        const std::vector<bool>& presence,
                                        PassStats& stats) {
   needs_recovery_[p] = false;
+  if (tracer_ != nullptr) tracer_->instant("peer.recover", "fault", p, {});
   // Step 1: restore document ranks — from a live replica copy where one
   // exists (one fetch message per document), from the initial value
   // otherwise.
@@ -334,9 +408,10 @@ void DistributedPagerank::deliver_delayed(std::uint64_t pass,
       const PeerId pv = placement_.peer_of(v);
       if (presence[pv] && reachable(m.src, pv)) {
         // Traffic was billed at send time.
-        (void)apply_update(m.edge, m.value, m.seq, /*now=*/true);
+        const bool applied = apply_update(m.edge, m.value, m.seq, /*now=*/true);
+        trace_terminal(m.trace, applied, pv);
       } else {
-        park(m.edge, m.src, pv, m.value, m.seq, stats);
+        park(m.edge, m.src, pv, m.value, m.seq, m.trace, stats);
       }
     }
     delayed_total_ -= it->second.size();
@@ -356,13 +431,20 @@ void DistributedPagerank::process_retries(std::uint64_t pass,
     if (!presence[pv] || !reachable(pend.src, pv)) {
       // Destination offline or partitioned: hand the message to the §3.1
       // store-and-resend outbox instead of burning retries.
-      park(e, pend.src, pv, pend.value, pend.seq, stats);
+      park(e, pend.src, pv, pend.value, pend.seq, pend.trace, stats);
       continue;
     }
     const SendFate fate = plan_->fate_for_send();
     meter_.record_resend(PagerankUpdate::kWireBytes);
+    if (pend.trace != obs::kNoTrace) {
+      tracer_->async_step(pend.trace, "net.retransmit", "net", pend.src,
+                          {{"attempt", static_cast<double>(pend.attempt + 1)}});
+    }
     if (fate.dropped) {
       ++dropped_;
+      if (pend.trace != obs::kNoTrace) {
+        tracer_->async_step(pend.trace, "net.drop", "fault", pv, {});
+      }
       pend.attempt += 1;  // exponential backoff grows
       channel_->track(pend, pass);
     } else {
@@ -372,7 +454,8 @@ void DistributedPagerank::process_retries(std::uint64_t pass,
         meter_.record_resend(PagerankUpdate::kWireBytes);
         ++duplicated_;
       }
-      (void)apply_update(e, pend.value, pend.seq, /*now=*/true);
+      const bool applied = apply_update(e, pend.value, pend.seq, /*now=*/true);
+      trace_terminal(pend.trace, applied, pv);
     }
   }
   stats.retransmissions += channel_->retransmissions() - before;
@@ -411,7 +494,7 @@ bool DistributedPagerank::audit_and_repair(const std::vector<bool>& presence,
       ++repair_messages_;
       ++stats.repair_messages;
     } else {
-      park(e, pu, pv, value, seq, stats);
+      park(e, pu, pv, value, seq, obs::kNoTrace, stats);
     }
   }
   return false;
@@ -432,13 +515,22 @@ void DistributedPagerank::deliver_deferred(const std::vector<bool>& presence,
       }
       const std::uint32_t seq =
           channel_ != nullptr ? pending_seq_[e] : 0;
+      obs::TraceId t = obs::kNoTrace;
+      if (tracer_ != nullptr) {
+        t = pending_trace_[e];
+        pending_trace_[e] = obs::kNoTrace;
+      }
       pending_[e] = false;
       --total_pending_;
-      (void)apply_update(e, pending_value_[e], seq, /*now=*/true);
+      const bool applied = apply_update(e, pending_value_[e], seq, /*now=*/true);
       const NodeId v = graph_.out_target(e);
       meter_.record_message(PagerankUpdate::kWireBytes,
                             send_hops(src_peer, p, v));
       ++stats.messages_delivered_late;
+      if (t != obs::kNoTrace) {
+        tracer_->async_step(t, "outbox.deliver", "net", p, {});
+        trace_terminal(t, applied, p);
+      }
       if (replicas_ != nullptr && !replicas_->empty()) {
         send_to_replicas(src_peer, v, presence, stats);
       }
@@ -550,32 +642,50 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
           SendFate fate;
           if (plan_ != nullptr) fate = plan_->fate_for_send();
           // The sender pays for the message whatever its fate.
-          meter_.record_message(PagerankUpdate::kWireBytes,
-                                send_hops(pu, pv, v));
+          const std::uint64_t hops = send_hops(pu, pv, v);
+          meter_.record_message(PagerankUpdate::kWireBytes, hops);
           ++stats.messages_sent;
           ++peer_msgs_this_pass_[pu];
+          const obs::TraceId tid =
+              tracer_ != nullptr ? trace_send(e, pu, pv, v, c, pass, hops)
+                                 : obs::kNoTrace;
           if (fate.dropped) {
             ++dropped_;
+            if (tid != obs::kNoTrace) {
+              tracer_->async_step(tid, "net.drop", "fault", pv, {});
+            }
             if (channel_ != nullptr) {
               // Unacked: schedule the retransmission.
-              channel_->track({e, pv, pu, c, seq, 0}, pass);
-            } else if (auditor_ != nullptr) {
-              auditor_->on_known_loss(c);
+              channel_->track({e, pv, pu, c, seq, 0, tid}, pass);
+            } else {
+              if (auditor_ != nullptr) auditor_->on_known_loss(c);
+              if (tid != obs::kNoTrace) {
+                tracer_->async_end(tid, "update.lost", "fault", pv, {});
+              }
             }
             replica_eligible = false;  // lost before the fan-out point
           } else {
             if (fate.delay_passes > 0) {
               delayed_[pass + 1 + fate.delay_passes].push_back(
-                  {e, pu, c, seq});
+                  {e, pu, c, seq, tid});
               ++delayed_total_;
+              if (tid != obs::kNoTrace) {
+                tracer_->async_step(
+                    tid, "net.delay", "fault", pv,
+                    {{"passes", static_cast<double>(fate.delay_passes)}});
+              }
             } else {
-              (void)apply_update(e, c, seq, /*now=*/false);
+              const bool applied = apply_update(e, c, seq, /*now=*/false);
+              trace_terminal(tid, applied, pv);
             }
             if (fate.duplicated) {
               // Idempotent overwrite: the duplicate only costs traffic.
               meter_.record_message(PagerankUpdate::kWireBytes);
               ++stats.messages_sent;
               ++duplicated_;
+              if (tracer_ != nullptr) {
+                tracer_->instant("net.duplicate", "fault", pv, {});
+              }
               if (channel_ != nullptr && fate.delay_passes == 0) {
                 (void)channel_->accept(e, seq);  // suppressed by seq
               }
@@ -586,7 +696,10 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
           if (auditor_ != nullptr) auditor_->on_emit(e, c);
           const std::uint32_t seq =
               channel_ != nullptr ? channel_->next_seq(e) : 0;
-          park(e, pu, pv, c, seq, stats);
+          const obs::TraceId tid =
+              tracer_ != nullptr ? trace_send(e, pu, pv, v, c, pass, 1)
+                                 : obs::kNoTrace;
+          park(e, pu, pv, c, seq, tid, stats);
         }
         if (replica_eligible && replicas_ != nullptr &&
             !replicas_->empty() && (*presence)[pv]) {
@@ -623,6 +736,19 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
       quiescent = audit_and_repair(*presence, stats);
     }
 
+    if (tracer_ != nullptr) {
+      // One span per pass on the engine track (pid 0); the clock decides
+      // how much simulated time the pass consumed.
+      const double dur_us = pass_clock_ ? pass_clock_(stats) : 1.0;
+      tracer_->complete(
+          "pass", "engine", 0, dur_us,
+          {{"pass", static_cast<double>(pass)},
+           {"recomputed", static_cast<double>(stats.docs_recomputed)},
+           {"sent", static_cast<double>(stats.messages_sent)},
+           {"residual", stats.max_rel_change}});
+      tracer_->advance_time(tracer_->now_us() + dur_us);
+    }
+
     history_.push_back(stats);
     result.passes = pass + 1;
     if (observer) observer(pass, ranks_);
@@ -648,7 +774,55 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
     result.mass_ratio = last_audit_.mass_ratio;
   }
   result.repair_rounds = repair_rounds_;
+  if (metrics_ != nullptr) flush_metrics(result);
   return result;
+}
+
+void DistributedPagerank::flush_metrics(const DistributedRunResult& result) {
+  obs::MetricsRegistry& reg = *metrics_;
+  meter_.flush_to(reg);
+  reg.counter("pagerank.runs").add(1);
+  reg.counter("pagerank.passes").add(result.passes);
+  if (result.converged) reg.counter("pagerank.converged_runs").add(1);
+  reg.counter("pagerank.dropped").add(dropped_);
+  reg.counter("pagerank.duplicated").add(duplicated_);
+  reg.counter("pagerank.crashes").add(crashes_seen_);
+  reg.counter("pagerank.recovered_docs").add(recovered_docs_);
+  reg.counter("pagerank.retransmissions").add(retransmissions());
+  reg.counter("pagerank.repair_messages").add(repair_messages_);
+  reg.counter("pagerank.replica_messages").add(replica_messages_);
+  reg.gauge("pagerank.mass_ratio").set(result.mass_ratio);
+  reg.gauge("pagerank.outbox_peak").set(static_cast<double>(outbox_peak_));
+
+  // Per-pass telemetry, entry for entry with pass_history(): the residual
+  // series is the convergence timeline Fig. 2-style plots read.
+  obs::Series& residual = reg.series("pagerank.residual");
+  obs::Series& recomputed = reg.series("pagerank.docs_recomputed");
+  obs::Series& sent = reg.series("pagerank.messages_sent");
+  obs::Histogram& pass_msgs = reg.histogram("pagerank.pass.messages");
+  bool any_fault_event = false;
+  for (const PassStats& p : history_) {
+    const double x = static_cast<double>(p.pass);
+    residual.append(x, p.max_rel_change);
+    recomputed.append(x, static_cast<double>(p.docs_recomputed));
+    sent.append(x, static_cast<double>(p.messages_sent));
+    pass_msgs.record(static_cast<double>(p.messages_sent));
+    if (p.crashes != 0 || p.recovered_docs != 0) any_fault_event = true;
+  }
+  if (any_fault_event) {
+    obs::Series& crash_tl = reg.series("pagerank.crash_events");
+    obs::Series& recovery_tl = reg.series("pagerank.recovery_events");
+    for (const PassStats& p : history_) {
+      if (p.crashes != 0) {
+        crash_tl.append(static_cast<double>(p.pass),
+                        static_cast<double>(p.crashes));
+      }
+      if (p.recovered_docs != 0) {
+        recovery_tl.append(static_cast<double>(p.pass),
+                           static_cast<double>(p.recovered_docs));
+      }
+    }
+  }
 }
 
 }  // namespace dprank

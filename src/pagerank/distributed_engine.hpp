@@ -58,6 +58,8 @@
 
 #include "common/rng.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "graph/digraph.hpp"
 #include "net/ip_cache.hpp"
 #include "net/reliable_channel.hpp"
@@ -160,6 +162,32 @@ class DistributedPagerank {
   /// implementation). Use attach_fault_plan() for the full taxonomy.
   void inject_faults(const FaultModel& faults);
 
+  /// Publish run telemetry into `registry` (obs/metrics.hpp) when run()
+  /// finishes: the traffic ledger under net.*, run totals under
+  /// pagerank.* counters, the per-pass residual series
+  /// `pagerank.residual` (x = pass, y = max relative change — matching
+  /// pass_history() entry for entry), recompute/crash timelines, and a
+  /// histogram of per-pass message counts. Flush-at-end keeps the hot
+  /// loop untouched; live per-send metrics come from the attached
+  /// IpCache (IpCache::bind_metrics). The registry must outlive the
+  /// engine. Call before run().
+  void attach_metrics(obs::MetricsRegistry& registry);
+
+  /// Per-pass simulated duration in microseconds, driven by the pass
+  /// just completed (sim/time_model.hpp's make_pass_clock builds one
+  /// from the Eq. 4 network model).
+  using PassClock = std::function<double(const PassStats&)>;
+
+  /// Attach a causal message tracer (obs/trace.hpp). Every cross-peer
+  /// update mints a TraceId at send time; DHT routing hops, outbox
+  /// parking, delivery delay, drops, retransmissions, crash losses and
+  /// the final application all append events under that id, so the
+  /// exported Chrome trace reconstructs any message's journey by id.
+  /// `clock` advances simulated time once per pass (1 us per pass when
+  /// omitted — ordering only). Tracer must outlive the engine; call
+  /// before run().
+  void attach_tracer(obs::Tracer& tracer, PassClock clock = nullptr);
+
   /// Run to convergence. `churn == nullptr` means all peers always
   /// present. Can be called once per engine instance.
   DistributedRunResult run(ChurnSchedule* churn = nullptr,
@@ -225,6 +253,7 @@ class DistributedPagerank {
     PeerId src = 0;
     double value = 0.0;
     std::uint32_t seq = 0;
+    obs::TraceId trace = obs::kNoTrace;
   };
 
   void deliver_deferred(const std::vector<bool>& presence,
@@ -246,9 +275,10 @@ class DistributedPagerank {
     return plan_ == nullptr || plan_->reachable(a, b);
   }
   /// Park the freshest value for `e` in the per-edge outbox (newest
-  /// sequence number wins when acked delivery tracks them).
+  /// sequence number wins when acked delivery tracks them). `trace`
+  /// continues the message's journey from the outbox when it drains.
   void park(EdgeId e, PeerId src, PeerId dest, double value,
-            std::uint32_t seq, PassStats& stats);
+            std::uint32_t seq, obs::TraceId trace, PassStats& stats);
   /// Apply a delivered value to the contribution cell (sequence-checked
   /// under acked delivery). `now` marks the target dirty for the current
   /// pass instead of the next.
@@ -264,6 +294,19 @@ class DistributedPagerank {
   /// false after re-injecting leaked contributions (keep iterating).
   bool audit_and_repair(const std::vector<bool>& presence,
                         PassStats& stats);
+
+  // ---- telemetry ----
+  /// End the journey `t` (no-op for kNoTrace) with the applied/stale
+  /// terminal event at the receiving peer.
+  void trace_terminal(obs::TraceId t, bool applied, PeerId pv);
+  /// Journey mint + send/DHT-hop events for one cross-peer emission;
+  /// returns the id to thread through the message's fate.
+  [[nodiscard]] obs::TraceId trace_send(EdgeId e, PeerId pu, PeerId pv,
+                                        NodeId v, double value,
+                                        std::uint64_t pass,
+                                        std::uint64_t hops);
+  /// Publish run totals, the residual series and timelines to metrics_.
+  void flush_metrics(const DistributedRunResult& result);
 
   const Digraph& graph_;
   const Placement& placement_;
@@ -325,6 +368,11 @@ class DistributedPagerank {
   TrafficMeter meter_;
   std::vector<PassStats> history_;
   bool ran_ = false;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  PassClock pass_clock_;
+  std::vector<obs::TraceId> pending_trace_;  // parked journey per edge
 };
 
 }  // namespace dprank

@@ -56,6 +56,11 @@ QueryOutcome SearchEngine::run_query(const std::vector<TermId>& terms,
         apply_top_fraction(current, policy);
     out.forwarded_per_hop.push_back(
         static_cast<std::uint32_t>(forwarded.size()));
+    if (tracer_ != nullptr) {
+      tracer_->instant("search.forward", "search", next_peer,
+                       {{"hop", static_cast<double>(i)},
+                        {"forwarded", static_cast<double>(forwarded.size())}});
+    }
 
     if (policy.bloom_prefilter) {
       // Coordinator keeps the working set; it ships a Bloom filter of the
@@ -92,6 +97,26 @@ QueryOutcome SearchEngine::run_query(const std::vector<TermId>& terms,
   out.wire_bytes += current.size() * policy.bytes_per_doc_id;
   out.hits.reserve(current.size());
   for (const Posting& p : current) out.hits.push_back(p.doc);
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("search.queries").add(1);
+    metrics_->counter("search.ids_transferred").add(out.ids_transferred);
+    metrics_->counter("search.wire_bytes").add(out.wire_bytes);
+    obs::Histogram& fanout = metrics_->histogram("search.query.fanout");
+    for (const std::uint32_t f : out.forwarded_per_hop) {
+      fanout.record(static_cast<double>(f));
+    }
+    metrics_->histogram("search.query.hits")
+        .record(static_cast<double>(out.hits.size()));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->complete(
+        "search.query", "search", index_.peer_of_term(terms[0]),
+        static_cast<double>(terms.size()),
+        {{"terms", static_cast<double>(terms.size())},
+         {"hits", static_cast<double>(out.hits.size())},
+         {"ids", static_cast<double>(out.ids_transferred)}});
+  }
   return out;
 }
 

@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "search/distributed_index.hpp"
 
 namespace dprank {
@@ -69,8 +71,21 @@ class SearchEngine {
   [[nodiscard]] QueryOutcome run_query(const std::vector<TermId>& terms,
                                        const SearchPolicy& policy) const;
 
+  /// Publish per-query telemetry into `registry`: `search.queries`,
+  /// `search.ids_transferred`, `search.wire_bytes` counters plus
+  /// `search.query.fanout` (ids forwarded per inter-peer hop) and
+  /// `search.query.hits` histograms. The registry must outlive the
+  /// engine (and every SearchSession copied from it).
+  void bind_metrics(obs::MetricsRegistry& registry) { metrics_ = &registry; }
+
+  /// Emit one complete span per query ("search.query", one lane per
+  /// query pipeline) plus an instant per inter-peer forward hop.
+  void bind_tracer(obs::Tracer& tracer) { tracer_ = &tracer; }
+
  private:
   const DistributedIndex& index_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Incremental result fetching (§1/§4.9: the user "sees the most

@@ -51,9 +51,25 @@ PagerankOptions StandardExperiment::pagerank_options() const {
   return opts;
 }
 
+namespace {
+
+void wire_telemetry(DistributedPagerank& engine,
+                    const StandardExperiment::Telemetry& telemetry) {
+  if (telemetry.registry != nullptr) {
+    engine.attach_metrics(*telemetry.registry);
+  }
+  if (telemetry.tracer != nullptr) {
+    engine.attach_tracer(*telemetry.tracer, make_pass_clock(telemetry.net));
+  }
+}
+
+}  // namespace
+
 StandardExperiment::DistributedOutcome StandardExperiment::run_distributed(
-    const DistributedPagerank::PassObserver& observer) const {
+    const DistributedPagerank::PassObserver& observer,
+    const Telemetry& telemetry) const {
   DistributedPagerank engine(*graph_, *placement_, pagerank_options());
+  wire_telemetry(engine, telemetry);
   DistributedOutcome out;
   if (config_.availability < 1.0) {
     ChurnSchedule churn(config_.num_peers, config_.availability,
@@ -72,8 +88,10 @@ StandardExperiment::DistributedOutcome StandardExperiment::run_distributed(
 StandardExperiment::DistributedOutcome
 StandardExperiment::run_distributed_faulty(
     const FaultRunOptions& fault_options,
-    const DistributedPagerank::PassObserver& observer) const {
+    const DistributedPagerank::PassObserver& observer,
+    const Telemetry& telemetry) const {
   DistributedPagerank engine(*graph_, *placement_, pagerank_options());
+  wire_telemetry(engine, telemetry);
   FaultPlan plan(fault_options.plan);
   engine.attach_fault_plan(plan);
   if (fault_options.mass_audit) {

@@ -15,10 +15,13 @@
 
 #include "dht/ring.hpp"
 #include "graph/digraph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "p2p/churn.hpp"
 #include "p2p/placement.hpp"
 #include "pagerank/distributed_engine.hpp"
 #include "pagerank/options.hpp"
+#include "sim/time_model.hpp"
 
 namespace dprank {
 
@@ -29,6 +32,18 @@ struct ExperimentConfig {
   double epsilon = 1e-3;
   double availability = 1.0;  // Table 1's 100/75/50% columns
   std::uint64_t seed = 42;
+};
+
+/// Observability wiring for an experiment run. The default publishes
+/// metrics into the process-wide obs::default_registry() (flush-at-end:
+/// measured overhead is recorded by bench_table1 in its BENCH json);
+/// tracing is opt-in. Set `registry = nullptr` to detach metrics
+/// entirely.
+struct Telemetry {
+  obs::MetricsRegistry* registry = &obs::default_registry();
+  obs::Tracer* tracer = nullptr;
+  /// Network model feeding the trace's simulated pass clock (Eq. 4).
+  NetworkParams net;
 };
 
 class StandardExperiment {
@@ -55,10 +70,13 @@ class StandardExperiment {
     std::uint64_t duplicated = 0;
   };
 
+  using Telemetry = ::dprank::Telemetry;
+
   /// Run the distributed engine (fresh instance) honoring the configured
-  /// availability; optional per-pass observer.
+  /// availability; optional per-pass observer and telemetry sinks.
   [[nodiscard]] DistributedOutcome run_distributed(
-      const DistributedPagerank::PassObserver& observer = nullptr) const;
+      const DistributedPagerank::PassObserver& observer = nullptr,
+      const Telemetry& telemetry = {}) const;
 
   /// Fault-injected variant of the §4.2 run: drives the engine under a
   /// FaultPlan built from `plan_config`, with the rank-mass audit on by
@@ -72,7 +90,8 @@ class StandardExperiment {
   };
   [[nodiscard]] DistributedOutcome run_distributed_faulty(
       const FaultRunOptions& fault_options,
-      const DistributedPagerank::PassObserver& observer = nullptr) const;
+      const DistributedPagerank::PassObserver& observer = nullptr,
+      const Telemetry& telemetry = {}) const;
 
   /// Centralized reference R_c at tight tolerance (cached per instance).
   [[nodiscard]] const std::vector<double>& reference_ranks() const;

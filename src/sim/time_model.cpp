@@ -47,6 +47,17 @@ TimeEstimate estimate_parallel(const std::vector<PassStats>& history,
   return t;
 }
 
+DistributedPagerank::PassClock make_pass_clock(const NetworkParams& net) {
+  return [net](const PassStats& p) {
+    const double msgs = static_cast<double>(p.messages_sent) +
+                        static_cast<double>(p.messages_delivered_late);
+    const double seconds =
+        msgs * net.message_bytes / net.bandwidth_bytes_per_sec +
+        static_cast<double>(p.docs_recomputed) * net.compute_seconds_per_doc;
+    return seconds * 1e6;
+  };
+}
+
 TimeEstimate extrapolate_internet_scale(double avg_messages_per_node,
                                         double avg_passes,
                                         double num_documents,

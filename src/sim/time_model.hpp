@@ -71,4 +71,12 @@ struct TimeEstimate {
     double avg_messages_per_node, double avg_passes, double num_documents,
     const NetworkParams& net, double num_servers = 100'000.0);
 
+/// Simulated-time clock for the tracer (obs/trace.hpp): per-pass duration
+/// in microseconds under the Eq. 4 serialized model, the same arithmetic
+/// as estimate_serialized() applied to one pass. The engine advances the
+/// trace cursor by this amount after every pass, so exported trace
+/// timestamps line up with the Table 3 hour figures.
+[[nodiscard]] DistributedPagerank::PassClock make_pass_clock(
+    const NetworkParams& net);
+
 }  // namespace dprank

@@ -13,6 +13,10 @@
 //   search  [--docs N] [--peers P] [--queries Q] [--terms T] [--top PCT]
 //           corpus + distributed index + incremental search
 //
+// rank/insert/search also take the telemetry flags:
+//   --metrics-out FILE   dump the run's metrics registry as JSON
+//   --trace-out FILE     dump a Chrome trace_event JSON (open in Perfetto)
+//
 // Examples:
 //   dprank_cli gen --nodes 100000 --out web.dpg
 //   dprank_cli rank --graph web.dpg --peers 500 --epsilon 1e-3
@@ -33,6 +37,9 @@
 #include "graph/graph_io.hpp"
 #include "graph/graph_stats.hpp"
 #include "graph/scc.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "p2p/placement.hpp"
 #include "pagerank/centralized.hpp"
 #include "pagerank/distributed_engine.hpp"
@@ -44,6 +51,7 @@
 #include "core/p2p_system.hpp"
 #include "search/query_gen.hpp"
 #include "sim/experiment.hpp"
+#include "sim/time_model.hpp"
 
 namespace dprank::cli {
 namespace {
@@ -90,6 +98,24 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Shared --metrics-out / --trace-out handling. Call after the run;
+/// writes only the artifacts the user asked for.
+void write_telemetry_outputs(const Args& args,
+                             const obs::MetricsRegistry& registry,
+                             const obs::Tracer& tracer) {
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::write_metrics_json_file(registry.snapshot(), metrics_out);
+    std::cout << "wrote metrics to " << metrics_out << "\n";
+  }
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) {
+    obs::write_chrome_trace_file(tracer, trace_out);
+    std::cout << "wrote trace to " << trace_out << " ("
+              << tracer.events().size() << " events)\n";
+  }
+}
 
 int cmd_gen(const Args& args) {
   WebGraphParams params;
@@ -145,6 +171,12 @@ int cmd_rank(const Args& args) {
   PagerankOptions options;
   options.epsilon = epsilon;
   DistributedPagerank engine(g, placement, options);
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  engine.attach_metrics(registry);
+  if (!args.get("trace-out", "").empty()) {
+    engine.attach_tracer(tracer, make_pass_clock(NetworkParams{}));
+  }
   DistributedRunResult run;
   if (availability < 1.0) {
     ChurnSchedule churn(peers, availability, seed);
@@ -168,6 +200,7 @@ int cmd_rank(const Args& args) {
     }
     std::cout << "wrote ranks to " << ranks_out << "\n";
   }
+  write_telemetry_outputs(args, registry, tracer);
   return 0;
 }
 
@@ -182,6 +215,14 @@ int cmd_insert(const Args& args) {
   options.epsilon = epsilon;
   IncrementalPagerank engine(g, ranks, options);
   Rng rng(seed);
+  // The incremental engine has no attach hooks (each probe is a tiny
+  // local computation); record per-probe stats here instead.
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  auto& probe_count = registry.counter("insert.probes");
+  auto& path_hist = registry.histogram("insert.path_length");
+  auto& coverage_hist = registry.histogram("insert.nodes_covered");
+  auto& update_hist = registry.histogram("insert.updates_delivered");
   double path = 0;
   double coverage = 0;
   double messages = 0;
@@ -191,6 +232,15 @@ int cmd_insert(const Args& args) {
     path += stats.path_length;
     coverage += static_cast<double>(stats.nodes_covered);
     messages += static_cast<double>(stats.updates_delivered);
+    probe_count.add();
+    path_hist.record(stats.path_length);
+    coverage_hist.record(static_cast<double>(stats.nodes_covered));
+    update_hist.record(static_cast<double>(stats.updates_delivered));
+    tracer.complete("insert.probe", "insert", 0, stats.path_length,
+                    {{"node", static_cast<double>(node)},
+                     {"covered", static_cast<double>(stats.nodes_covered)},
+                     {"updates", static_cast<double>(stats.updates_delivered)}});
+    tracer.advance_time(tracer.now_us() + stats.path_length);
   }
   const auto n = static_cast<double>(count);
   std::cout << "inserts probed:    " << count << "\n"
@@ -198,6 +248,7 @@ int cmd_insert(const Args& args) {
             << "avg node coverage: " << format_fixed(coverage / n, 0) << "\n"
             << "avg messages:      " << format_fixed(messages / n, 0)
             << "\n";
+  write_telemetry_outputs(args, registry, tracer);
   return 0;
 }
 
@@ -218,7 +269,15 @@ int cmd_search(const Args& args) {
   cfg.num_peers = peers;
   cfg.seed = cp.seed;
   const StandardExperiment exp(cfg);
-  const auto outcome = exp.run_distributed();
+  // One registry/tracer covers both phases: the rank computation that
+  // seeds the index and the query fan-out below share the output files.
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  const bool want_trace = !args.get("trace-out", "").empty();
+  StandardExperiment::Telemetry telemetry;
+  telemetry.registry = &registry;
+  telemetry.tracer = want_trace ? &tracer : nullptr;
+  const auto outcome = exp.run_distributed(nullptr, telemetry);
 
   ChordRing ring(peers);
   DistributedIndex index(corpus, ring);
@@ -229,6 +288,8 @@ int cmd_search(const Args& args) {
   index.publish_ranks(outcome.ranks, owner);
 
   SearchEngine engine(index);
+  engine.bind_metrics(registry);
+  if (want_trace) engine.bind_tracer(tracer);
   SearchPolicy policy;
   policy.forward_fraction = top_pct / 100.0;
   const auto queries = generate_queries(
@@ -250,6 +311,7 @@ int cmd_search(const Args& args) {
             << format_fixed(base_ids / std::max(1.0, inc_ids), 1) << "x\n"
             << "  avg hits returned: "
             << format_fixed(hits / num_queries, 1) << "\n";
+  write_telemetry_outputs(args, registry, tracer);
   return 0;
 }
 
