@@ -109,7 +109,8 @@ inline std::map<std::string, std::string> standard_config() {
   }
   return {{"sizes", sizes},
           {"full_scale", full_scale_requested() ? "1" : "0"},
-          {"seed", std::to_string(experiment_seed())}};
+          {"seed", std::to_string(experiment_seed())},
+          {"threads", std::to_string(experiment_threads())}};
 }
 
 /// Machine-readable bench record: BENCH_<name>.json holding the bench

@@ -1,23 +1,47 @@
 #!/usr/bin/env bash
-# Build the tree with ASan+UBSan (-DDPRANK_SANITIZE=ON) and run the tier-1
-# ctest suite under the sanitizers. Any report aborts the run
-# (-fno-sanitize-recover=all), so a green exit means a clean pass.
+# Build the tree under a sanitizer and run the tier-1 ctest suite with it.
+# Any report aborts the run (-fno-sanitize-recover=all), so a green exit
+# means a clean pass.
 #
-# Usage: scripts/run_sanitized.sh [ctest args...]
+# Default mode is ASan+UBSan (-DDPRANK_SANITIZE=ON). Pass --tsan as the
+# first argument to build with ThreadSanitizer instead
+# (-DDPRANK_SANITIZE_THREAD=ON, separate build directory) — the mode that
+# exercises the parallel pass engine, the thread pool and the async
+# runtime for data races.
+#
+# Usage: scripts/run_sanitized.sh [--tsan] [ctest args...]
 #   e.g. scripts/run_sanitized.sh -R 'faults|recovery'
+#        scripts/run_sanitized.sh --tsan -R 'async|parallel|thread_pool'
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${DPRANK_SANITIZE_BUILD_DIR:-${repo_root}/build-sanitize}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+mode=asan
+if [[ "${1:-}" == "--tsan" ]]; then
+  mode=tsan
+  shift
+fi
+
+if [[ "${mode}" == "tsan" ]]; then
+  build_dir="${DPRANK_SANITIZE_BUILD_DIR:-${repo_root}/build-tsan}"
+  sanitize_flag=-DDPRANK_SANITIZE_THREAD=ON
+else
+  build_dir="${DPRANK_SANITIZE_BUILD_DIR:-${repo_root}/build-sanitize}"
+  sanitize_flag=-DDPRANK_SANITIZE=ON
+fi
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DDPRANK_SANITIZE=ON
+  "${sanitize_flag}"
 cmake --build "${build_dir}" -j "${jobs}"
 
-export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
-export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+if [[ "${mode}" == "tsan" ]]; then
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+else
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+fi
 
 cd "${build_dir}"
 ctest --output-on-failure -j "${jobs}" "$@"

@@ -15,6 +15,15 @@ std::uint64_t experiment_seed() {
   return std::strtoull(v, nullptr, 10);
 }
 
+std::uint32_t experiment_threads() {
+  const char* v = std::getenv("DPRANK_THREADS");
+  if (v == nullptr || v[0] == '\0') return 1;
+  const unsigned long parsed = std::strtoul(v, nullptr, 10);
+  if (parsed < 1) return 1;
+  if (parsed > 256) return 256;
+  return static_cast<std::uint32_t>(parsed);
+}
+
 std::vector<std::uint64_t> experiment_graph_sizes() {
   if (full_scale_requested()) {
     return {10'000, 100'000, 500'000, 5'000'000};

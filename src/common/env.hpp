@@ -19,6 +19,11 @@ namespace dprank {
 /// Experiment seed: DPRANK_SEED if set, else the fixed default (42).
 [[nodiscard]] std::uint64_t experiment_seed();
 
+/// Pass-parallel worker count for the distributed engine: DPRANK_THREADS
+/// if set (clamped to [1, 256]), else 1. Thread count never changes the
+/// results — only the wall time — so benches can sweep it freely.
+[[nodiscard]] std::uint32_t experiment_threads();
+
 /// Graph sizes for the current run: {10k, 100k} by default,
 /// {10k, 100k, 500k, 5000k} under DPRANK_FULL=1.
 [[nodiscard]] std::vector<std::uint64_t> experiment_graph_sizes();

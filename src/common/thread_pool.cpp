@@ -1,0 +1,80 @@
+#include "common/thread_pool.hpp"
+
+namespace dprank {
+
+ThreadPool::ThreadPool(unsigned extra_workers) {
+  workers_.reserve(extra_workers);
+  for (unsigned w = 0; w < extra_workers; ++w) {
+    workers_.emplace_back([this, slot = w + 1] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        std::shared_ptr<Region> region;
+        {
+          std::unique_lock lock(mu_);
+          work_cv_.wait(lock,
+                        [&] { return stop_ || generation_ != seen; });
+          if (stop_) return;
+          seen = generation_;
+          region = region_;
+        }
+        work_on(*region, slot);
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::work_on(Region& region, unsigned slot) {
+  for (;;) {
+    const unsigned shard = region.next.fetch_add(1);
+    if (shard >= region.shards) break;
+    try {
+      (*region.job)(shard, slot);
+    } catch (...) {
+      const std::lock_guard lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    if (region.completed.fetch_add(1) + 1 == region.shards) {
+      // Last shard done: wake the caller. The lock pairs with the
+      // caller's predicate read so the notification cannot be lost.
+      const std::lock_guard lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(unsigned shards,
+                     const std::function<void(unsigned, unsigned)>& fn) {
+  if (shards == 0) return;
+  auto region = std::make_shared<Region>();
+  region->job = &fn;
+  region->shards = shards;
+  {
+    const std::lock_guard lock(mu_);
+    error_ = nullptr;
+    region_ = region;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  work_on(*region, /*slot=*/0);
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return region->completed.load() == region->shards;
+    });
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace dprank

@@ -40,10 +40,29 @@ class TrafficMeter {
     bytes_.add(count * bytes_each);
   }
 
+  /// One §4.6.1 coalesced transfer: `count` updates of `payload_bytes`
+  /// each riding a single wire message behind one `header_bytes` header,
+  /// travelling `hops` overlay transmissions. Counts one message, `count`
+  /// batched updates, and (header + count * payload) bytes per hop.
+  void record_batch(std::uint64_t count, std::uint64_t payload_bytes,
+                    std::uint64_t header_bytes,
+                    std::uint64_t hops = 1) noexcept {
+    messages_.add(1);
+    batched_updates_.add(count);
+    hop_transmissions_.add(hops);
+    bytes_.add((header_bytes + count * payload_bytes) * hops);
+  }
+
   /// A message delivered without the network (both documents on the same
   /// peer — Fig. 1 step b updates those "without need for network update
   /// messages").
   void record_local_update() noexcept { local_updates_.add(1); }
+
+  /// `count` local deliveries in one call (the batched exchange applies a
+  /// whole same-peer batch at once).
+  void record_local_updates(std::uint64_t count) noexcept {
+    local_updates_.add(count);
+  }
 
   /// A delivery retry after the destination peer was unavailable (§3.1:
   /// updates "are stored at the sender and periodically resent until
@@ -55,6 +74,7 @@ class TrafficMeter {
 
   void merge(const TrafficMeter& other) noexcept {
     messages_.add(other.messages());
+    batched_updates_.add(other.batched_updates());
     local_updates_.add(other.local_updates());
     resends_.add(other.resends());
     hop_transmissions_.add(other.hop_transmissions());
@@ -63,6 +83,7 @@ class TrafficMeter {
 
   void reset() noexcept {
     messages_.set(0);
+    batched_updates_.set(0);
     local_updates_.set(0);
     resends_.set(0);
     hop_transmissions_.set(0);
@@ -79,10 +100,18 @@ class TrafficMeter {
     registry.counter("net.resends").add(resends());
     registry.counter("net.hop_transmissions").add(hop_transmissions());
     registry.counter("net.bytes").add(bytes());
+    if (batched_updates() != 0) {
+      registry.counter("net.batched_updates").add(batched_updates());
+    }
   }
 
   [[nodiscard]] std::uint64_t messages() const noexcept {
     return messages_.value();
+  }
+  /// Updates carried inside coalesced batch messages (record_batch);
+  /// zero under the classic one-message-per-update billing.
+  [[nodiscard]] std::uint64_t batched_updates() const noexcept {
+    return batched_updates_.value();
   }
   [[nodiscard]] std::uint64_t local_updates() const noexcept {
     return local_updates_.value();
@@ -97,6 +126,7 @@ class TrafficMeter {
 
  private:
   obs::Counter messages_;
+  obs::Counter batched_updates_;
   obs::Counter local_updates_;
   obs::Counter resends_;
   obs::Counter hop_transmissions_;

@@ -107,13 +107,26 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
   // per peer. Quiescence <=> counter reaches zero.
   std::atomic<std::int64_t> inflight{static_cast<std::int64_t>(num_peers)};
   std::atomic<bool> stop{false};
-  // Churn gates: a paused peer spins (without consuming credits) until
-  // resumed or stopped. deque<atomic> because atomics are immovable.
+  // Churn gates: a paused peer sleeps on pause_cv (without consuming
+  // credits) until resumed or stopped. deque<atomic> because atomics are
+  // immovable. The controller flips the flags under pause_mu before
+  // notifying, so a worker checking the predicate under the lock cannot
+  // miss a resume.
   std::deque<std::atomic<bool>> paused(num_peers);
   for (auto& p : paused) p.store(false);
+  std::mutex pause_mu;
+  std::condition_variable pause_cv;
+  // True while the churn controller is running. The test pause seam only
+  // injects a pause while this holds (checked under pause_mu, which
+  // orders it against the controller's final resume-all), so an injected
+  // pause can never be left set after the last resume — no wakeup is
+  // ever missed.
+  std::atomic<bool> churn_active{churn != nullptr && num_peers > 1};
   std::atomic<std::uint64_t> cross_msgs{0};
   std::atomic<std::uint64_t> local_updates{0};
   std::atomic<std::uint64_t> recomputes{0};
+  std::atomic<std::uint64_t> capped_discards{0};
+  std::atomic<std::uint64_t> paused_holds{0};
   std::atomic<bool> capped{false};
   // Live registry handles, resolved once before the workers spawn (name
   // lookup takes the registry mutex; updates through these are lock-free
@@ -121,11 +134,13 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
   obs::Counter* m_cross = nullptr;
   obs::Counter* m_local = nullptr;
   obs::Counter* m_recomputes = nullptr;
+  obs::Counter* m_discards = nullptr;
   obs::Histogram* m_batch = nullptr;
   if (metrics_ != nullptr) {
     m_cross = &metrics_->counter("async.cross_messages");
     m_local = &metrics_->counter("async.local_updates");
     m_recomputes = &metrics_->counter("async.recomputes");
+    m_discards = &metrics_->counter("async.capped_discards");
     m_batch = &metrics_->histogram("async.mail_batch_size");
   }
   std::mutex done_mu;
@@ -204,19 +219,50 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
     }
     release_credits(1);
 
+    // Sleep until this peer is unpaused (or the run stops). Returns true
+    // if the peer was actually paused on entry.
+    auto wait_while_paused = [&]() -> bool {
+      if (!paused[me].load(std::memory_order_acquire)) return false;
+      std::unique_lock lock(pause_mu);
+      pause_cv.wait(lock, [&] {
+        return !paused[me].load(std::memory_order_acquire) || stop.load();
+      });
+      return true;
+    };
+
     // Message loop.
     while (!stop.load()) {
-      while (paused[me].load(std::memory_order_relaxed) && !stop.load()) {
-        std::this_thread::sleep_for(std::chrono::microseconds(100));
-      }
+      (void)wait_while_paused();
       std::vector<WireUpdate> mail = mailbox[me].drain_or_stop(stop);
       if (mail.empty()) continue;  // stop raised
+      if (test_pause_after_drain_ && test_pause_after_drain_(me)) {
+        // Test seam: simulate a churn pause that landed while this thread
+        // was blocked in the drain above — exactly the window the
+        // post-drain gate below closes.
+        const std::lock_guard lock(pause_mu);
+        if (churn_active.load(std::memory_order_relaxed)) {
+          paused[me].store(true, std::memory_order_release);
+        }
+      }
+      // The pause may have landed while this thread was blocked in the
+      // drain above; the pre-drain gate never saw it. A paused peer must
+      // not apply updates, so hold the batch — credits retained, nothing
+      // lost — until the controller resumes us.
+      if (paused[me].load(std::memory_order_acquire)) {
+        paused_holds.fetch_add(1, std::memory_order_relaxed);
+        (void)wait_while_paused();
+      }
       if (m_batch != nullptr) {
         m_batch->record(static_cast<double>(mail.size()));
       }
       if (message_cap != 0 &&
           cross_msgs.load(std::memory_order_relaxed) > message_cap) {
+        // Over the cap: the batch is dropped on the floor. It was already
+        // counted sent in cross_msgs when queued — tally the discard
+        // separately so delivered = sent - discarded stays truthful.
         capped.store(true);
+        capped_discards.fetch_add(mail.size(), std::memory_order_relaxed);
+        if (m_discards != nullptr) m_discards->add(mail.size());
         release_credits(static_cast<std::int64_t>(mail.size()));
         continue;
       }
@@ -259,11 +305,22 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
           for (const auto v : victims) paused[v].store(true);
           std::this_thread::sleep_for(
               std::chrono::microseconds(params.pause_microseconds));
-          for (const auto v : victims) paused[v].store(false);
+          {
+            // Resumes flip under pause_mu so a worker mid-predicate-check
+            // cannot miss the wakeup.
+            const std::lock_guard lock(pause_mu);
+            for (const auto v : victims) paused[v].store(false);
+          }
+          pause_cv.notify_all();
           std::this_thread::sleep_for(
               std::chrono::microseconds(params.pause_microseconds));
         }
-        for (auto& p : paused) p.store(false);
+        {
+          const std::lock_guard lock(pause_mu);
+          churn_active.store(false, std::memory_order_relaxed);
+          for (auto& p : paused) p.store(false);
+        }
+        pause_cv.notify_all();
       });
     }
 
@@ -272,13 +329,23 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
       done_cv.wait(lock, [&] { return inflight.load() == 0; });
     }
     stop.store(true);
+    {
+      // Pair with the pause predicate so no worker sleeps through stop.
+      const std::lock_guard lock(pause_mu);
+    }
+    pause_cv.notify_all();
     for (PeerId p = 0; p < num_peers; ++p) mailbox[p].notify();
   }  // controller and worker jthreads join here
 
   result.cross_peer_messages = cross_msgs.load();
   result.local_updates = local_updates.load();
   result.recomputes = recomputes.load();
+  result.capped_discards = capped_discards.load();
+  result.paused_holds = paused_holds.load();
   result.converged = !capped.load();
+  if (metrics_ != nullptr && result.paused_holds != 0) {
+    metrics_->counter("async.paused_holds").add(result.paused_holds);
+  }
   if (metrics_ != nullptr) {
     metrics_->counter("async.runs").add(1);
     if (result.converged) metrics_->counter("async.converged_runs").add(1);

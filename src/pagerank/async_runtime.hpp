@@ -27,6 +27,8 @@
 // centralized solver at the quality level Table 2 predicts.
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -38,10 +40,20 @@ namespace dprank {
 
 struct AsyncRunResult {
   std::vector<double> ranks;
-  std::uint64_t cross_peer_messages = 0;
+  std::uint64_t cross_peer_messages = 0;  // sent (includes later discards)
   std::uint64_t local_updates = 0;
   std::uint64_t recomputes = 0;
+  /// Updates a capped run discarded after the message cap tripped. Sent
+  /// and discarded are tallied separately: cross_peer_messages counts
+  /// what the wire carried, delivered_messages() what receivers applied.
+  std::uint64_t capped_discards = 0;
+  /// Batches a paused peer held at the post-drain churn gate instead of
+  /// processing while paused (regression counter for the gate race).
+  std::uint64_t paused_holds = 0;
   bool converged = false;  // false only if the safety cap tripped
+  [[nodiscard]] std::uint64_t delivered_messages() const {
+    return cross_peer_messages - capped_discards;
+  }
 };
 
 class AsyncPagerankRuntime {
@@ -64,7 +76,10 @@ class AsyncPagerankRuntime {
   /// random fraction of the peer threads for `pause_microseconds` and
   /// resumes them, `cycles` times. Paused peers neither drain their
   /// mailboxes nor send; messages simply wait (the transport analogue of
-  /// §3.1's store-and-resend). Quiescence detection is unaffected —
+  /// §3.1's store-and-resend). A pause that lands while a peer is blocked
+  /// on its mailbox still gates the batch: the drained mail is held,
+  /// credits retained, until the controller resumes the peer (counted in
+  /// AsyncRunResult::paused_holds). Quiescence detection is unaffected —
   /// held messages keep their credits — so the run still terminates at
   /// the true fixed point.
   struct ChurnParams {
@@ -84,6 +99,18 @@ class AsyncPagerankRuntime {
   /// registry must outlive the run. Call before run().
   void bind_metrics(obs::MetricsRegistry& registry) { metrics_ = &registry; }
 
+  /// Test-only seam for the post-drain churn gate. When set, a worker
+  /// that drains a non-empty batch calls `hook(me)` immediately after the
+  /// drain returns; if it returns true the runtime pauses that peer right
+  /// there — deterministically recreating a churn pause landing inside
+  /// the drain's blind window, instead of racing real controller timing
+  /// against the mailbox wait. The injected pause is applied only while
+  /// the churn controller is still live (so its final resume-all is
+  /// guaranteed to clear it); outside run_with_churn() the hook is inert.
+  void set_test_pause_after_drain(std::function<bool(PeerId)> hook) {
+    test_pause_after_drain_ = std::move(hook);
+  }
+
  private:
   AsyncRunResult run_impl(std::uint64_t message_cap,
                           const ChurnParams* churn);
@@ -92,6 +119,7 @@ class AsyncPagerankRuntime {
   const Placement& placement_;
   PagerankOptions options_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  std::function<bool(PeerId)> test_pause_after_drain_;
 };
 
 }  // namespace dprank

@@ -1,6 +1,7 @@
 #include "pagerank/distributed_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "common/guid.hpp"
@@ -500,6 +501,207 @@ bool DistributedPagerank::audit_and_repair(const std::vector<bool>& presence,
   return false;
 }
 
+void DistributedPagerank::prepare_parallel_state() {
+  // The batched exchange applies updates outside the sequential emission
+  // order. That is invisible on clean and churn-only runs — every write
+  // lands in its own per-edge cell and every counter is a commutative
+  // sum — but fault plans, tracers, replicas, overlays and the audit all
+  // consume ordered state (RNG draws, cache warms, trace event order),
+  // so those configurations keep the sequential sender-major exchange.
+  batched_exchange_ = plan_ == nullptr && tracer_ == nullptr &&
+                      replicas_ == nullptr && ring_ == nullptr &&
+                      !audit_enabled_;
+  const std::uint32_t threads = std::max<std::uint32_t>(1, options_.threads);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads - 1);
+  const PeerId num_peers = placement_.num_peers();
+  peer_dirty_.resize(num_peers);
+  peer_scratch_.resize(num_peers);
+  if (batched_exchange_) {
+    dst_incoming_.resize(num_peers);
+    dst_marked_.resize(num_peers);
+    slot_scratch_.resize(pool_ != nullptr ? pool_->concurrency() : 1);
+    for (auto& ws : slot_scratch_) ws.bucket.resize(num_peers);
+  }
+}
+
+void DistributedPagerank::parallel_region(
+    std::size_t shards, const std::function<void(std::size_t, unsigned)>& fn) {
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < shards; ++i) fn(i, 0);
+    return;
+  }
+  pool_->run(static_cast<unsigned>(shards),
+             [&fn](unsigned shard, unsigned slot) { fn(shard, slot); });
+}
+
+void DistributedPagerank::bucket_dirty() {
+  for (const PeerId p : active_peers_) peer_dirty_[p].clear();
+  active_peers_.clear();
+  for (const NodeId v : dirty_) {
+    const PeerId p = placement_.peer_of(v);
+    if (peer_dirty_[p].empty()) active_peers_.push_back(p);
+    peer_dirty_[p].push_back(v);
+  }
+  std::sort(active_peers_.begin(), active_peers_.end());
+  for (const PeerId p : active_peers_) {
+    PeerScratch& s = peer_scratch_[p];
+    s.docs_recomputed = 0;
+    s.max_rel = 0.0;
+    s.deferred_calls = 0;
+    s.senders.clear();
+    s.targets.clear();
+    s.buckets.clear();
+    s.parked.clear();
+  }
+}
+
+void DistributedPagerank::compute_peer(PeerId p,
+                                       const std::vector<bool>& presence,
+                                       bool track_replica_values) {
+  if (!presence[p]) return;  // docs stay dirty; re-marked at the merge
+  PeerScratch& s = peer_scratch_[p];
+  const double d = options_.damping;
+  const double base = 1.0 - d;
+  for (const NodeId v : peer_dirty_[p]) {
+    in_dirty_[v] = 0;
+    double acc = 0.0;
+    const auto slots = graph_.in_to_out_edge(v);
+    for (const EdgeId e : slots) acc += contrib_[e];
+    const double newrank = base + d * acc;
+    const double rel = relative_change(ranks_[v], newrank);
+    ranks_[v] = newrank;
+    ++s.docs_recomputed;
+    s.max_rel = std::max(s.max_rel, rel);
+    if (track_replica_values) {
+      // A live replica mirrors the recomputation (§2.3: replicas
+      // receive the same updates) — the copy crash recovery restores.
+      for (const PeerId rp : replicas_->replicas_of(v)) {
+        if (presence[rp]) {
+          replica_value_[v] = newrank;
+          break;
+        }
+      }
+    }
+    if (rel > options_.epsilon && graph_.out_degree(v) != 0) {
+      s.senders.push_back(v);
+    }
+  }
+}
+
+void DistributedPagerank::exchange_batched(const std::vector<bool>& presence,
+                                           PassStats& stats,
+                                           obs::Histogram* batch_hist) {
+  // Emission, one shard per source peer: workers write only per-edge
+  // cells (contrib_ / pending_ / pending_value_ — each edge has a unique
+  // emitting source) and their own peer/slot scratch. Targets are
+  // grouped into one bucket per destination peer — §4.6.1's "collect
+  // together all the pagerank messages going towards these documents".
+  parallel_region(active_peers_.size(), [&](std::size_t i, unsigned slot) {
+    const PeerId p = active_peers_[i];
+    PeerScratch& s = peer_scratch_[p];
+    if (s.senders.empty()) return;
+    SlotScratch& ws = slot_scratch_[slot];
+    for (const NodeId u : s.senders) {
+      const double c = ranks_[u] / static_cast<double>(graph_.out_degree(u));
+      for (EdgeId e = graph_.out_edge_begin(u); e < graph_.out_edge_end(u);
+           ++e) {
+        const NodeId v = graph_.out_target(e);
+        const PeerId pv = placement_.peer_of(v);
+        if (presence[pv]) {
+          contrib_[e] = c;
+          auto& b = ws.bucket[pv];
+          if (b.empty()) ws.touched.push_back(pv);
+          b.push_back(v);
+        } else {
+          // park(), minus the shared bookkeeping (merged below).
+          pending_value_[e] = c;
+          ++s.deferred_calls;
+          if (!pending_[e]) {
+            pending_[e] = 1;
+            s.parked.emplace_back(pv, e);
+          }
+        }
+      }
+    }
+    std::sort(ws.touched.begin(), ws.touched.end());
+    for (const PeerId dst : ws.touched) {
+      auto& b = ws.bucket[dst];
+      s.buckets.push_back(
+          {dst, s.targets.size(), s.targets.size() + b.size()});
+      s.targets.insert(s.targets.end(), b.begin(), b.end());
+      b.clear();
+    }
+    ws.touched.clear();
+  });
+
+  // Merge, in sorted source-peer order: fold counters, bill traffic in
+  // bulk (same totals as the per-update calls), park deferred edges and
+  // index each bucket under its destination for the apply region.
+  std::uint64_t delivered_total = 0;
+  std::uint64_t local_total = 0;
+  for (const PeerId p : active_peers_) {
+    PeerScratch& s = peer_scratch_[p];
+    stats.messages_deferred += s.deferred_calls;
+    for (const auto& [dst, e] : s.parked) {
+      deferred_by_peer_[dst].emplace_back(e, p);
+      ++total_pending_;
+    }
+    std::uint64_t cross_msgs = 0;  // wire messages this peer sent
+    for (const PeerScratch::Bucket& b : s.buckets) {
+      const std::uint64_t k = b.end - b.begin;
+      if (b.dst == p) {
+        local_total += k;
+        stats.local_updates += k;
+      } else {
+        delivered_total += k;
+        if (options_.coalesce_wire) {
+          meter_.record_batch(k, options_.batch_payload_bytes,
+                              options_.batch_header_bytes);
+          ++cross_msgs;
+        } else {
+          cross_msgs += k;
+        }
+        if (batch_hist != nullptr) batch_hist->record(static_cast<double>(k));
+      }
+      if (dst_incoming_[b.dst].empty()) active_dsts_.push_back(b.dst);
+      dst_incoming_[b.dst].push_back({p, b.begin, b.end});
+    }
+    stats.messages_sent += cross_msgs;
+    stats.max_peer_messages = std::max(stats.max_peer_messages, cross_msgs);
+  }
+  if (!options_.coalesce_wire && delivered_total != 0) {
+    meter_.record_messages(delivered_total, PagerankUpdate::kWireBytes);
+  }
+  if (local_total != 0) meter_.record_local_updates(local_total);
+  outbox_peak_ = std::max(outbox_peak_, total_pending_);
+
+  // Apply-side marking, one shard per destination peer: a destination
+  // owns its documents' dirty flags, so shards never collide; the merge
+  // appends each destination's newly-marked documents in sorted order.
+  std::sort(active_dsts_.begin(), active_dsts_.end());
+  parallel_region(active_dsts_.size(), [&](std::size_t i, unsigned) {
+    const PeerId dst = active_dsts_[i];
+    auto& marked = dst_marked_[dst];
+    marked.clear();
+    for (const DstSlice& slice : dst_incoming_[dst]) {
+      const auto& targets = peer_scratch_[slice.src].targets;
+      for (std::size_t t = slice.begin; t < slice.end; ++t) {
+        const NodeId v = targets[t];
+        if (!in_dirty_[v]) {
+          in_dirty_[v] = 1;
+          marked.push_back(v);
+        }
+      }
+    }
+  });
+  for (const PeerId dst : active_dsts_) {
+    next_dirty_.insert(next_dirty_.end(), dst_marked_[dst].begin(),
+                       dst_marked_[dst].end());
+    dst_incoming_[dst].clear();
+  }
+  active_dsts_.clear();
+}
+
 void DistributedPagerank::deliver_deferred(const std::vector<bool>& presence,
                                            PassStats& stats) {
   const bool selective = plan_ != nullptr && plan_->partition_active();
@@ -547,16 +749,22 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
     throw std::invalid_argument("DistributedPagerank::run: churn peer count");
   }
   prepare_fault_state();
+  prepare_parallel_state();
 
   const PeerId num_peers = placement_.num_peers();
   const std::vector<bool> all_present(num_peers, true);
-  const double d = options_.damping;
-  const double base = 1.0 - d;
   const bool track_replica_values = !replica_value_.empty();
-  std::vector<NodeId> senders;
+  obs::Histogram* pass_wall =
+      metrics_ != nullptr ? &metrics_->histogram("pagerank.pass_wall_us")
+                          : nullptr;
+  obs::Histogram* batch_hist =
+      metrics_ != nullptr && batched_exchange_
+          ? &metrics_->histogram("pagerank.batch_size")
+          : nullptr;
 
   DistributedRunResult result;
   for (std::uint64_t pass = 0; pass < options_.max_passes; ++pass) {
+    const auto wall_start = std::chrono::steady_clock::now();
     PassStats stats;
     stats.pass = pass;
     const std::vector<bool>* presence =
@@ -586,43 +794,37 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
     // Phase 0: outbox drains for peers that are present this pass.
     if (total_pending_ != 0) deliver_deferred(*presence, stats);
 
-    // Phase 1: recompute documents that received updates. Documents on
-    // absent peers stay dirty until their peer returns.
-    senders.clear();
-    for (const NodeId v : dirty_) {
-      if (!(*presence)[placement_.peer_of(v)]) {
-        in_dirty_[v] = false;  // re-marked below for the next pass
-        mark_dirty(v);
+    // Phase 1: recompute documents that received updates, sharded by
+    // owning peer (documents on absent peers stay dirty until their peer
+    // returns). Workers touch only state their shard's peer owns; the
+    // merge folds per-peer results in sorted peer order, so the outcome
+    // is identical for every thread count.
+    bucket_dirty();
+    parallel_region(active_peers_.size(), [&](std::size_t i, unsigned) {
+      compute_peer(active_peers_[i], *presence, track_replica_values);
+    });
+    for (const PeerId p : active_peers_) {
+      if (!(*presence)[p]) {
+        // Re-marked for the next pass (in_dirty_ stayed set).
+        next_dirty_.insert(next_dirty_.end(), peer_dirty_[p].begin(),
+                           peer_dirty_[p].end());
         continue;
       }
-      in_dirty_[v] = false;
-      double acc = 0.0;
-      const auto slots = graph_.in_to_out_edge(v);
-      for (const EdgeId e : slots) acc += contrib_[e];
-      const double newrank = base + d * acc;
-      const double rel = relative_change(ranks_[v], newrank);
-      ranks_[v] = newrank;
-      ++stats.docs_recomputed;
-      stats.max_rel_change = std::max(stats.max_rel_change, rel);
-      if (track_replica_values) {
-        // A live replica mirrors the recomputation (§2.3: replicas
-        // receive the same updates) — the copy crash recovery restores.
-        for (const PeerId rp : replicas_->replicas_of(v)) {
-          if ((*presence)[rp]) {
-            replica_value_[v] = newrank;
-            break;
-          }
-        }
-      }
-      if (rel > options_.epsilon && graph_.out_degree(v) != 0) {
-        senders.push_back(v);
-      }
+      const PeerScratch& s = peer_scratch_[p];
+      stats.docs_recomputed += s.docs_recomputed;
+      stats.max_rel_change = std::max(stats.max_rel_change, s.max_rel);
     }
 
     // Phase 2: senders emit their new contribution on every out-link;
     // visible next pass (or parked in the outbox for absent peers).
-    for (const NodeId u : senders) {
-      const PeerId pu = placement_.peer_of(u);
+    if (batched_exchange_) {
+      exchange_batched(*presence, stats, batch_hist);
+    } else {
+    // Sequential sender-major exchange: fault fates, overlay cache warms
+    // and trace events must observe emissions in one canonical order —
+    // peers ascending, each peer's senders in recompute order.
+    for (const PeerId pu : active_peers_) {
+     for (const NodeId u : peer_scratch_[pu].senders) {
       const double c = ranks_[u] / static_cast<double>(graph_.out_degree(u));
       for (EdgeId e = graph_.out_edge_begin(u); e < graph_.out_edge_end(u);
            ++e) {
@@ -706,14 +908,16 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
           send_to_replicas(pu, v, *presence, stats);
         }
       }
+     }
     }
 
     stats.max_peer_messages = 0;
-    for (const NodeId u : senders) {
-      const PeerId pu = placement_.peer_of(u);
+    for (const PeerId pu : active_peers_) {
+      if (peer_scratch_[pu].senders.empty()) continue;
       stats.max_peer_messages =
           std::max(stats.max_peer_messages, peer_msgs_this_pass_[pu]);
       peer_msgs_this_pass_[pu] = 0;  // reset only touched entries
+    }
     }
 
     // Quiescence: nothing to recompute, nothing parked, nothing in
@@ -747,6 +951,12 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
            {"sent", static_cast<double>(stats.messages_sent)},
            {"residual", stats.max_rel_change}});
       tracer_->advance_time(tracer_->now_us() + dur_us);
+    }
+
+    if (pass_wall != nullptr) {
+      pass_wall->record(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count());
     }
 
     history_.push_back(stats);
@@ -793,6 +1003,8 @@ void DistributedPagerank::flush_metrics(const DistributedRunResult& result) {
   reg.counter("pagerank.replica_messages").add(replica_messages_);
   reg.gauge("pagerank.mass_ratio").set(result.mass_ratio);
   reg.gauge("pagerank.outbox_peak").set(static_cast<double>(outbox_peak_));
+  reg.gauge("pagerank.threads")
+      .set(static_cast<double>(std::max<std::uint32_t>(1, options_.threads)));
 
   // Per-pass telemetry, entry for entry with pass_history(): the residual
   // series is the convergence timeline Fig. 2-style plots read.

@@ -18,6 +18,18 @@
 //    pass t are visible in pass t+1 ("pagerank messages are sent and
 //    received instantaneously and all peers start their next iteration
 //    concurrently").
+//  * Execution model: each pass is a compute phase (recompute dirty
+//    documents, sharded by owning peer) followed by an exchange phase.
+//    With PagerankOptions::threads > 1 both phases run on a reusable
+//    worker pool (common/thread_pool.hpp). On clean and churn-only
+//    configurations the exchange coalesces each source peer's emissions
+//    into one batch per destination peer (§4.6.1's "collect together all
+//    the pagerank messages") and applies batches sharded by destination;
+//    configurations with a fault plan, tracer, replicas, overlay or mass
+//    audit keep the sequential sender-major exchange (those paths consume
+//    ordered RNG/cache/trace state). Every per-shard result is keyed by
+//    peer and merged in peer order, so ranks, pass history, residual
+//    series and traffic tables are bit-identical for every thread count.
 //  * Same-peer updates are applied locally without network messages
 //    (Fig. 1 step b); cross-peer updates are counted in the traffic
 //    meter.
@@ -57,6 +69,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -352,18 +365,81 @@ class DistributedPagerank {
   std::vector<double> ranks_;
   std::vector<double> contrib_;        // per out-edge, delivered value
   std::vector<double> pending_value_;  // per out-edge, undelivered value
-  std::vector<bool> pending_;          // per out-edge outbox flag
+  // Per out-edge outbox flag. uint8_t, not vector<bool>: parallel workers
+  // set flags for distinct edges concurrently, which must not share words.
+  std::vector<std::uint8_t> pending_;
   std::vector<std::uint32_t> pending_seq_;  // parked seq (acked mode only)
   // (edge, sender peer) pairs parked for an absent destination peer
   std::vector<std::vector<std::pair<EdgeId, PeerId>>> deferred_by_peer_;
   std::uint64_t total_pending_ = 0;
   std::uint64_t outbox_peak_ = 0;
 
-  std::vector<bool> in_dirty_;
+  std::vector<std::uint8_t> in_dirty_;  // uint8_t: see pending_
   std::vector<NodeId> dirty_;       // docs to recompute this pass
   std::vector<NodeId> next_dirty_;  // docs to recompute next pass
 
   std::vector<std::uint64_t> peer_msgs_this_pass_;
+
+  // ---- pass-parallel execution (see the header comment) ----
+  // Per-source-peer shard results. Everything is keyed by peer and merged
+  // in sorted-peer order on the coordinating thread, never by worker
+  // slot, so output is independent of the scheduler.
+  struct PeerScratch {
+    std::uint64_t docs_recomputed = 0;
+    double max_rel = 0.0;
+    std::uint64_t deferred_calls = 0;    // park() equivalents this pass
+    std::vector<NodeId> senders;         // epsilon-exceeding, dirty order
+    // Batched exchange: emission targets grouped per destination peer.
+    // buckets[i] covers targets[begin, end) for destination dst (sorted
+    // by dst; the dst == source bucket holds the Fig. 1b local updates).
+    struct Bucket {
+      PeerId dst = 0;
+      std::size_t begin = 0;
+      std::size_t end = 0;
+    };
+    std::vector<NodeId> targets;
+    std::vector<Bucket> buckets;
+    std::vector<std::pair<PeerId, EdgeId>> parked;  // newly parked edges
+  };
+  // Per-participant workspace for bucketing emissions by destination
+  // (indexed by pool slot, reused across passes).
+  struct SlotScratch {
+    std::vector<std::vector<NodeId>> bucket;  // per destination peer
+    std::vector<PeerId> touched;
+  };
+  struct DstSlice {  // one source peer's targets aimed at a destination
+    PeerId src = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void prepare_parallel_state();
+  /// Bucket dirty_ by owning peer into peer_dirty_ / active_peers_
+  /// (sorted) and reset the active peers' scratch.
+  void bucket_dirty();
+  /// Invoke fn(shard) for every shard in [0, shards) — on the pool when
+  /// one exists, as a plain loop otherwise. fn also receives the
+  /// participant slot for SlotScratch indexing.
+  void parallel_region(std::size_t shards,
+                       const std::function<void(std::size_t, unsigned)>& fn);
+  /// Phase 1 for one peer's dirty bucket: recompute, collect senders.
+  void compute_peer(PeerId p, const std::vector<bool>& presence,
+                    bool track_replica_values);
+  /// Batched fast-path exchange (clean/churn configs only): emit per
+  /// source peer into per-destination buckets, bill coalesced or
+  /// per-update traffic, apply and mark sharded by destination peer.
+  void exchange_batched(const std::vector<bool>& presence, PassStats& stats,
+                        obs::Histogram* batch_hist);
+
+  std::unique_ptr<ThreadPool> pool_;   // only when options_.threads > 1
+  bool batched_exchange_ = false;
+  std::vector<std::vector<NodeId>> peer_dirty_;
+  std::vector<PeerId> active_peers_;   // peers owning dirty docs, sorted
+  std::vector<PeerScratch> peer_scratch_;
+  std::vector<SlotScratch> slot_scratch_;
+  std::vector<std::vector<DstSlice>> dst_incoming_;
+  std::vector<std::vector<NodeId>> dst_marked_;
+  std::vector<PeerId> active_dsts_;    // destinations this pass, sorted
 
   TrafficMeter meter_;
   std::vector<PassStats> history_;

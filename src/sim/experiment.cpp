@@ -48,6 +48,7 @@ PagerankOptions StandardExperiment::pagerank_options() const {
   PagerankOptions opts;
   opts.damping = config_.damping;
   opts.epsilon = config_.epsilon;
+  opts.threads = config_.threads;
   return opts;
 }
 

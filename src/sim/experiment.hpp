@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/env.hpp"
 #include "dht/ring.hpp"
 #include "graph/digraph.hpp"
 #include "obs/metrics.hpp"
@@ -32,6 +33,10 @@ struct ExperimentConfig {
   double epsilon = 1e-3;
   double availability = 1.0;  // Table 1's 100/75/50% columns
   std::uint64_t seed = 42;
+  /// Engine worker count (PagerankOptions::threads); defaults to the
+  /// DPRANK_THREADS environment knob. Never changes results, only wall
+  /// time, so benches sweep it without invalidating goldens.
+  std::uint32_t threads = experiment_threads();
 };
 
 /// Observability wiring for an experiment run. The default publishes

@@ -1,0 +1,89 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dprank {
+namespace {
+
+TEST(ThreadPool, EveryShardRunsExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.concurrency(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.run(257, [&](unsigned shard, unsigned) { hits[shard].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersDegradesToSequentialLoop) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  std::vector<unsigned> order;
+  pool.run(5, [&](unsigned shard, unsigned slot) {
+    EXPECT_EQ(slot, 0u);  // only the caller participates
+    order.push_back(shard);
+  });
+  EXPECT_EQ(order, (std::vector<unsigned>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, SlotsStayWithinConcurrency) {
+  ThreadPool pool(2);
+  std::atomic<unsigned> bad{0};
+  pool.run(100, [&](unsigned, unsigned slot) {
+    if (slot >= pool.concurrency()) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRegions) {
+  // The engine runs two to three regions per pass for hundreds of
+  // passes; the pool must be stable under rapid region turnover.
+  ThreadPool pool(3);
+  std::vector<std::atomic<std::uint64_t>> cell(64);
+  for (int region = 0; region < 200; ++region) {
+    pool.run(64, [&](unsigned shard, unsigned) { cell[shard].fetch_add(1); });
+  }
+  for (const auto& c : cell) EXPECT_EQ(c.load(), 200u);
+}
+
+TEST(ThreadPool, ZeroShardsIsANoOp) {
+  ThreadPool pool(2);
+  pool.run(0, [&](unsigned, unsigned) { FAIL() << "no shard should run"; });
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndRegionCompletes) {
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.run(32,
+               [&](unsigned shard, unsigned) {
+                 executed.fetch_add(1);
+                 if (shard == 7) throw std::runtime_error("shard 7");
+               }),
+      std::runtime_error);
+  // The region always completes: an exception poisons the result, not
+  // the remaining shards.
+  EXPECT_EQ(executed.load(), 32);
+  // The pool stays usable after a failed region.
+  std::atomic<int> after{0};
+  pool.run(8, [&](unsigned, unsigned) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, UnevenShardCostsAllComplete) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> total{0};
+  pool.run(40, [&](unsigned shard, unsigned) {
+    std::uint64_t acc = 0;
+    const std::uint64_t reps = (shard % 10 == 0) ? 200'000 : 10;
+    for (std::uint64_t i = 0; i < reps; ++i) acc += i * i % 7;
+    total.fetch_add(acc + 1);
+  });
+  EXPECT_GE(total.load(), 40u);
+}
+
+}  // namespace
+}  // namespace dprank

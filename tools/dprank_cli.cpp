@@ -6,7 +6,7 @@
 //   stats   --graph FILE
 //           degree statistics + Broder bow-tie decomposition
 //   rank    --graph FILE [--peers P] [--epsilon E] [--placement MODE]
-//           [--availability F] [--ranks-out FILE]
+//           [--availability F] [--threads T] [--ranks-out FILE]
 //           run the distributed pagerank computation
 //   insert  --graph FILE [--epsilon E] [--count K] [--seed S]
 //           measure insert-propagation cost (Table 4's experiment)
@@ -170,6 +170,8 @@ int cmd_rank(const Args& args) {
 
   PagerankOptions options;
   options.epsilon = epsilon;
+  options.threads = static_cast<std::uint32_t>(
+      args.get_u64("threads", experiment_threads()));
   DistributedPagerank engine(g, placement, options);
   obs::MetricsRegistry registry;
   obs::Tracer tracer;
