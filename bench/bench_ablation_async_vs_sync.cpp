@@ -13,6 +13,9 @@
 #include "pagerank/centralized.hpp"
 #include "pagerank/quality.hpp"
 
+#include <string>
+#include <vector>
+
 namespace dprank {
 namespace {
 

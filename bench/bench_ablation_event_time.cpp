@@ -13,6 +13,8 @@
 #include "pagerank/event_engine.hpp"
 #include "sim/time_model.hpp"
 
+#include <vector>
+
 namespace dprank {
 namespace {
 

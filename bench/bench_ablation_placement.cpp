@@ -13,6 +13,9 @@
 #include "dht/ring.hpp"
 #include "pagerank/distributed_engine.hpp"
 
+#include <string>
+#include <vector>
+
 namespace dprank {
 namespace {
 

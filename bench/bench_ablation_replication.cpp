@@ -13,6 +13,10 @@
 #include "pagerank/centralized.hpp"
 #include "pagerank/distributed_engine.hpp"
 
+#include <optional>
+#include <string>
+#include <vector>
+
 namespace dprank {
 namespace {
 

@@ -12,6 +12,9 @@
 #include "pagerank/centralized.hpp"
 #include "pagerank/incremental.hpp"
 
+#include <string>
+#include <vector>
+
 namespace dprank {
 namespace {
 

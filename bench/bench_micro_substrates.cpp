@@ -19,6 +19,8 @@
 #include "search/distributed_index.hpp"
 #include "sim/experiment.hpp"
 
+#include <vector>
+
 namespace dprank {
 namespace {
 

@@ -12,6 +12,10 @@
 
 #include "pagerank/quality.hpp"
 
+#include <map>
+#include <string>
+#include <vector>
+
 namespace dprank {
 namespace {
 

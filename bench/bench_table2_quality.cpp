@@ -10,6 +10,9 @@
 
 #include "pagerank/quality.hpp"
 
+#include <string>
+#include <vector>
+
 namespace dprank {
 namespace {
 

@@ -11,6 +11,9 @@
 
 #include "sim/time_model.hpp"
 
+#include <string>
+#include <vector>
+
 namespace dprank {
 namespace {
 

@@ -17,6 +17,9 @@
 #include "search/incremental_search.hpp"
 #include "search/query_gen.hpp"
 
+#include <string>
+#include <vector>
+
 namespace dprank {
 namespace {
 
@@ -41,6 +44,9 @@ struct Workbench {
 };
 
 Workbench& workbench() {
+  // One corpus + index shared by every search benchmark in the binary;
+  // rebuilding per run would dominate the timings. Read-only after
+  // construction. dprank-lint: allow(mutable-global)
   static Workbench wb = [] {
     CorpusParams cp;  // paper scale: 11k docs, 1880 terms
     cp.seed = experiment_seed();

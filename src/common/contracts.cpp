@@ -1,0 +1,47 @@
+#include "common/contracts.hpp"
+
+#include <utility>
+
+namespace dprank::contracts {
+
+namespace {
+
+std::string build_report(const std::string& subsystem,
+                         const std::string& expression,
+                         const std::string& file, int line,
+                         const std::string& message) {
+  std::string out = "[dprank contract] subsystem=";
+  out += subsystem;
+  out += " at ";
+  out += file;
+  out += ':';
+  out += std::to_string(line);
+  out += "\n  failed: ";
+  out += expression;
+  if (!message.empty()) {
+    out += "\n  detail: ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace
+
+ContractViolation::ContractViolation(std::string subsystem,
+                                     std::string expression,
+                                     const char* file, int line,
+                                     std::string message)
+    : std::logic_error(
+          build_report(subsystem, expression, file, line, message)),
+      subsystem_(std::move(subsystem)),
+      expression_(std::move(expression)),
+      file_(file),
+      line_(line),
+      message_(std::move(message)) {}
+
+void fail(const char* subsystem, const char* expression, const char* file,
+          int line, const std::string& message) {
+  throw ContractViolation(subsystem, expression, file, line, message);
+}
+
+}  // namespace dprank::contracts

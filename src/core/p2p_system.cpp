@@ -1,6 +1,7 @@
 #include "core/p2p_system.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "net/message.hpp"
 #include "pagerank/distributed_engine.hpp"
@@ -9,7 +10,7 @@
 namespace dprank {
 
 P2PSystem::P2PSystem(const Digraph& initial_graph, const Corpus& corpus,
-                     P2PSystemConfig config)
+                     const P2PSystemConfig& config)
     : config_(config),
       graph_(initial_graph),
       ring_(config.num_peers),

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -54,7 +55,7 @@ class P2PSystem {
   /// uniformly at random (the paper's setup); the index is built
   /// immediately, ranks are zero until converge().
   P2PSystem(const Digraph& initial_graph, const Corpus& corpus,
-            P2PSystemConfig config);
+            const P2PSystemConfig& config);
 
   /// Run the initial distributed pagerank computation to convergence and
   /// publish every rank into the index. Returns the number of passes.

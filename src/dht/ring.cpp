@@ -1,6 +1,12 @@
 #include "dht/ring.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
 
 namespace dprank {
 
@@ -90,6 +96,86 @@ ChordRing::Route ChordRing::route(PeerId from, Guid key) const {
     current = next;
   }
   return r;
+}
+
+void ChordRing::validate(std::size_t route_samples) const {
+  if (!contracts::enabled()) return;
+  [[maybe_unused]] const char* kSub = "dht";
+  DPRANK_INVARIANT(by_id_.size() == guid_of_peer_.size(), kSub,
+                   "ring and reverse index disagree on membership size");
+  for (const auto& [id, peer] : by_id_) {
+    const auto it = guid_of_peer_.find(peer);
+    DPRANK_INVARIANT(it != guid_of_peer_.end(), kSub,
+                     "peer " + std::to_string(peer) +
+                         " on the ring is missing from the reverse index");
+    DPRANK_INVARIANT(it->second == id, kSub,
+                     "peer " + std::to_string(peer) +
+                         " has mismatched GUIDs in ring vs reverse index");
+  }
+  if (by_id_.empty()) return;
+  const std::size_t n = by_id_.size();
+
+  // Independently sorted membership copy: the reference the finger table
+  // and ownership checks compare against.
+  std::vector<std::pair<Guid, PeerId>> sorted(guid_of_peer_.size());
+  std::size_t w = 0;
+  for (const auto& [peer, id] : guid_of_peer_) sorted[w++] = {id, peer};
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 1; i < n; ++i) {
+    DPRANK_INVARIANT(sorted[i - 1].first < sorted[i].first, kSub,
+                     "two peers share one GUID");
+  }
+  const auto independent_successor = [&](Guid key) -> PeerId {
+    const auto it = std::lower_bound(
+        sorted.begin(), sorted.end(), key,
+        [](const std::pair<Guid, PeerId>& e, Guid k) { return e.first < k; });
+    return it == sorted.end() ? sorted.front().second : it->second;
+  };
+
+  // Ownership: every peer owns the arc ending at its own id.
+  for (const auto& [id, peer] : by_id_) {
+    DPRANK_INVARIANT(successor_of_key(id) == peer, kSub,
+                     "peer " + std::to_string(peer) +
+                         " is not the successor of its own id");
+  }
+
+  // Finger-table consistency (§2.4.2), sampled around the ring when the
+  // membership is large: finger k is the successor of id + 2^k.
+  const std::size_t peer_step = n <= 32 ? 1 : n / 32;
+  for (std::size_t i = 0; i < n; i += peer_step) {
+    const auto [id, peer] = sorted[i];
+    for (int k = 0; k < 128; ++k) {
+      DPRANK_INVARIANT(
+          finger(peer, k) == independent_successor(id + U128::pow2(k)), kSub,
+          "finger " + std::to_string(k) + " of peer " +
+              std::to_string(peer) + " does not match the sorted ring");
+    }
+  }
+
+  // Routability: greedy lookups resolve at the true owner within the
+  // O(log N) hop budget. Probe keys mix peer-boundary ids (arc edges,
+  // the off-by-one hot spots) with uniformly random keys.
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  const std::size_t hop_cap =
+      std::max<std::size_t>(16, 2 * log2n + 8);
+  Rng probe_rng(0x5EEDF1A6ULL);
+  for (std::size_t s = 0; s < route_samples; ++s) {
+    const PeerId from = sorted[probe_rng.bounded(n)].second;
+    const Guid key = (s % 2 == 0)
+                         ? Guid{probe_rng(), probe_rng()}
+                         : sorted[probe_rng.bounded(n)].first + Guid{s};
+    const Route r = route(from, key);
+    DPRANK_INVARIANT(r.destination == independent_successor(key), kSub,
+                     "lookup from peer " + std::to_string(from) +
+                         " terminated at the wrong owner");
+    DPRANK_INVARIANT(r.hops.empty() || r.hops.back() == r.destination, kSub,
+                     "route does not end at its destination");
+    DPRANK_INVARIANT(r.hop_count() <= hop_cap, kSub,
+                     "lookup took " + std::to_string(r.hop_count()) +
+                         " hops, over the O(log N) budget of " +
+                         std::to_string(hop_cap));
+  }
 }
 
 std::vector<PeerId> ChordRing::peers_in_ring_order() const {

@@ -71,7 +71,25 @@ class ChordRing {
   /// All live peers, ascending id order around the ring.
   [[nodiscard]] std::vector<PeerId> peers_in_ring_order() const;
 
+  /// Structural invariant walk (contracts.hpp; subsystem "dht"):
+  ///  * by_id_ and guid_of_peer_ are inverse bijections (the successor
+  ///    list IS the sorted map — consistency of the two indices is the
+  ///    ring's membership invariant);
+  ///  * ownership: every peer is the successor of its own id, so each
+  ///    arc (predecessor, self] has exactly one owner;
+  ///  * finger-table consistency: finger(p, k) equals the successor of
+  ///    id(p) + 2^k recomputed against an independently sorted copy of
+  ///    the membership (§2.4.2);
+  ///  * routability: greedy lookups from sampled origins terminate at
+  ///    the true owner of the key in at most max(16, 2·ceil(log2 N) + 8)
+  ///    hops — the paper's O(log N) claim with deterministic slack.
+  /// `route_samples` bounds the lookup probes (0 skips routing checks).
+  /// Throws contracts::ContractViolation on the first violation; no-op
+  /// when contracts are compiled out.
+  void validate(std::size_t route_samples = 64) const;
+
  private:
+  friend struct TestCorruptor;  // negative invariant tests corrupt privates
   std::map<Guid, PeerId> by_id_;         // the ring, sorted by GUID
   std::map<PeerId, Guid> guid_of_peer_;  // reverse index
 };

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "common/contracts.hpp"
 
 namespace dprank {
 
@@ -49,6 +52,81 @@ Digraph Digraph::from_edges(NodeId num_nodes, std::vector<Edge> edges) {
 bool Digraph::has_edge(NodeId u, NodeId v) const {
   const auto nbrs = out_neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void Digraph::validate() const {
+  if (!contracts::enabled()) return;
+  [[maybe_unused]] const char* kSub = "graph";
+  const NodeId n = num_nodes();
+  const EdgeId m = num_edges();
+  DPRANK_INVARIANT(out_offsets_.size() == in_offsets_.size(), kSub,
+                   "out/in offset arrays cover different node counts");
+  DPRANK_INVARIANT(
+      (n == 0 && out_offsets_.empty()) || out_offsets_.size() == n + 1, kSub,
+      "offset array size does not match node count");
+  if (n == 0) {
+    DPRANK_INVARIANT(m == 0 && in_sources_.empty() && in_to_out_.empty(),
+                     kSub, "empty graph holds edges");
+    return;
+  }
+  DPRANK_INVARIANT(out_offsets_.front() == 0 && in_offsets_.front() == 0,
+                   kSub, "offset arrays do not start at 0");
+  DPRANK_INVARIANT(out_offsets_.back() == m && in_offsets_.back() == m &&
+                       in_sources_.size() == m && in_to_out_.size() == m,
+                   kSub, "degree sums do not match the edge count");
+  for (NodeId u = 0; u < n; ++u) {
+    DPRANK_INVARIANT(out_offsets_[u] <= out_offsets_[u + 1], kSub,
+                     "out-CSR offsets not monotone at node " +
+                         std::to_string(u));
+    DPRANK_INVARIANT(in_offsets_[u] <= in_offsets_[u + 1], kSub,
+                     "in-CSR offsets not monotone at node " +
+                         std::to_string(u));
+  }
+  // Out-lists: in-range targets, strictly sorted (has_edge relies on it),
+  // no self-loops.
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = out_neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      DPRANK_INVARIANT(nbrs[i] < n, kSub,
+                       "out-edge target out of range at node " +
+                           std::to_string(u));
+      DPRANK_INVARIANT(nbrs[i] != u, kSub,
+                       "self-loop stored at node " + std::to_string(u));
+      DPRANK_INVARIANT(i == 0 || nbrs[i - 1] < nbrs[i], kSub,
+                       "out-list not strictly sorted at node " +
+                           std::to_string(u));
+    }
+  }
+  // In-CSR mirror: in_to_out_ is a permutation of [0, m); each mirrored
+  // edge id must target the list's owner and originate at the recorded
+  // source (the per-edge contribution cells depend on this cross index).
+  std::vector<std::uint8_t> seen(m, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto srcs = in_neighbors(v);
+    const auto slots = in_to_out_edge(v);
+    for (std::size_t i = 0; i < srcs.size(); ++i) {
+      const EdgeId e = slots[i];
+      DPRANK_INVARIANT(e < m, kSub,
+                       "in_to_out edge id out of range at node " +
+                           std::to_string(v));
+      DPRANK_INVARIANT(!seen[e], kSub,
+                       "edge id " + std::to_string(e) +
+                           " mirrored twice in the in-CSR");
+      seen[e] = 1;
+      DPRANK_INVARIANT(out_targets_[e] == v, kSub,
+                       "in-CSR mirror of edge " + std::to_string(e) +
+                           " does not target its owner " +
+                           std::to_string(v));
+      const NodeId u = srcs[i];
+      DPRANK_INVARIANT(u < n, kSub,
+                       "in-edge source out of range at node " +
+                           std::to_string(v));
+      DPRANK_INVARIANT(
+          out_offsets_[u] <= e && e < out_offsets_[u + 1], kSub,
+          "in-CSR source " + std::to_string(u) + " does not own edge " +
+              std::to_string(e));
+    }
+  }
 }
 
 std::vector<Edge> Digraph::edge_list() const {

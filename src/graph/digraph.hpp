@@ -87,7 +87,19 @@ class Digraph {
   /// All edges, in out-CSR order (edge id order).
   [[nodiscard]] std::vector<Edge> edge_list() const;
 
+  /// Structural invariant walk (contracts.hpp; subsystem "graph"): both
+  /// CSR offset arrays are monotone and cover [0, num_edges]; every
+  /// endpoint id is in range; out-lists are strictly sorted (has_edge
+  /// binary-searches them); degree sums on both sides equal the edge
+  /// count; and the in-CSR is an exact mirror of the out-CSR — the
+  /// in_to_out_ cross index is a permutation of the edge ids with
+  /// matching source and target on both sides. O(E log N). Throws
+  /// contracts::ContractViolation on the first violation; no-op when
+  /// contracts are compiled out.
+  void validate() const;
+
  private:
+  friend struct TestCorruptor;  // negative invariant tests corrupt privates
   // Out-CSR: out_offsets_[u]..out_offsets_[u+1] indexes out_targets_.
   std::vector<EdgeId> out_offsets_;
   std::vector<NodeId> out_targets_;

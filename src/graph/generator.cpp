@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 #include <unordered_set>
+#include <vector>
 
 #include "common/zipf.hpp"
 

@@ -1,6 +1,10 @@
 #include "graph/mutable_digraph.hpp"
 
 #include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/contracts.hpp"
 
 namespace dprank {
 
@@ -59,6 +63,47 @@ void MutableDigraph::isolate_node(NodeId v) {
   for (const NodeId w : outs) remove_edge(v, w);
   const std::vector<NodeId> ins = in_[v];
   for (const NodeId u : ins) remove_edge(u, v);
+}
+
+void MutableDigraph::validate() const {
+  if (!contracts::enabled()) return;
+  [[maybe_unused]] const char* kSub = "graph";
+  const NodeId n = num_nodes();
+  DPRANK_INVARIANT(in_.size() == out_.size(), kSub,
+                   "out/in adjacency cover different node counts");
+  // Gather both directions as (u, v) edge lists; the mirrors must be the
+  // same set, each side free of self-loops and duplicates.
+  std::vector<std::pair<NodeId, NodeId>> fwd;
+  std::vector<std::pair<NodeId, NodeId>> bwd;
+  fwd.reserve(num_edges_);
+  bwd.reserve(num_edges_);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : out_[u]) {
+      DPRANK_INVARIANT(v < n, kSub,
+                       "out-neighbor out of range at node " +
+                           std::to_string(u));
+      DPRANK_INVARIANT(v != u, kSub,
+                       "self-loop stored at node " + std::to_string(u));
+      fwd.emplace_back(u, v);
+    }
+    for (const NodeId w : in_[u]) {
+      DPRANK_INVARIANT(w < n, kSub,
+                       "in-neighbor out of range at node " +
+                           std::to_string(u));
+      bwd.emplace_back(w, u);
+    }
+  }
+  DPRANK_INVARIANT(fwd.size() == num_edges_, kSub,
+                   "out-degree sum does not match the edge count");
+  DPRANK_INVARIANT(bwd.size() == num_edges_, kSub,
+                   "in-degree sum does not match the edge count");
+  std::sort(fwd.begin(), fwd.end());
+  std::sort(bwd.begin(), bwd.end());
+  DPRANK_INVARIANT(std::adjacent_find(fwd.begin(), fwd.end()) == fwd.end(),
+                   kSub, "duplicate edge stored in the out-adjacency");
+  DPRANK_INVARIANT(fwd == bwd, kSub,
+                   "in-adjacency is not an exact mirror of the "
+                   "out-adjacency");
 }
 
 Digraph MutableDigraph::freeze() const {

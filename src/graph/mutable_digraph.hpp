@@ -69,7 +69,18 @@ class MutableDigraph {
   /// Snapshot to CSR.
   [[nodiscard]] Digraph freeze() const;
 
+  /// Structural invariant walk (contracts.hpp; subsystem "graph"): the
+  /// out- and in-adjacency lists are exact mirrors (u->v stored in
+  /// out_[u] exactly once iff u stored in in_[v] exactly once), no
+  /// self-loops or duplicate edges survive a mutation, every neighbor id
+  /// is in range, and both degree sums equal num_edges(). O(E log E).
+  /// Throws contracts::ContractViolation on the first violation; no-op
+  /// when contracts are compiled out. The §4.7 incremental-update tests
+  /// call this after every randomized insert/delete.
+  void validate() const;
+
  private:
+  friend struct TestCorruptor;  // negative invariant tests corrupt privates
   std::vector<std::vector<NodeId>> out_;
   std::vector<std::vector<NodeId>> in_;
   EdgeId num_edges_ = 0;

@@ -1,6 +1,10 @@
 #include "net/outbox.hpp"
 
 #include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "common/contracts.hpp"
 
 namespace dprank {
 
@@ -23,6 +27,8 @@ void Outbox::store(std::uint32_t dest_peer, std::uint64_t slot, Message msg) {
   const auto [it, inserted] =
       q.slots.insert_or_assign(slot, std::make_pair(std::move(msg), gen));
   q.order.emplace_back(slot, gen);
+  ++stored_;
+  if (!inserted) ++superseded_;  // newest-wins: the older value is gone
   if (inserted) {
     ++total_pending_;
     if (per_dest_cap_ != 0 && q.slots.size() > per_dest_cap_) {
@@ -54,6 +60,7 @@ std::vector<std::pair<std::uint64_t, Message>> Outbox::drain(
     out.emplace_back(slot, std::move(entry.first));
   }
   total_pending_ -= it->second.slots.size();
+  drained_ += it->second.slots.size();
   pending_.erase(it);
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -90,6 +97,55 @@ bool Outbox::has_pending(std::uint32_t dest_peer) const {
 std::uint64_t Outbox::pending_for(std::uint32_t dest_peer) const {
   const auto it = pending_.find(dest_peer);
   return it == pending_.end() ? 0 : it->second.slots.size();
+}
+
+void Outbox::validate() const {
+  if (!contracts::enabled()) return;
+  [[maybe_unused]] const char* kSub = "net";
+  std::uint64_t live = 0;
+  for (const auto& [dest, q] : pending_) {
+    live += q.slots.size();
+    if (per_dest_cap_ != 0) {
+      DPRANK_INVARIANT(q.slots.size() <= per_dest_cap_, kSub,
+                       "destination " + std::to_string(dest) + " holds " +
+                           std::to_string(q.slots.size()) +
+                           " slots, over the per-destination cap of " +
+                           std::to_string(per_dest_cap_));
+    }
+    // Every live slot must appear in the store-order deque under its
+    // current generation exactly once — otherwise the cap eviction order
+    // is wrong (or the slot can never be evicted at all).
+    std::unordered_set<std::uint64_t> live_seen;
+    for (const auto& [slot, gen] : q.order) {
+      const auto sit = q.slots.find(slot);
+      if (sit == q.slots.end() || sit->second.second != gen) continue;
+      DPRANK_INVARIANT(live_seen.insert(slot).second, kSub,
+                       "slot " + std::to_string(slot) + " for destination " +
+                           std::to_string(dest) +
+                           " appears twice in the eviction order");
+      DPRANK_INVARIANT(gen <= generation_, kSub,
+                       "slot generation is ahead of the store clock");
+    }
+    DPRANK_INVARIANT(
+        live_seen.size() == q.slots.size(), kSub,
+        "destination " + std::to_string(dest) + " has " +
+            std::to_string(q.slots.size() - live_seen.size()) +
+            " slot(s) missing from the eviction order (uncappable state)");
+  }
+  DPRANK_INVARIANT(live == total_pending_, kSub,
+                   "pending_count() (" + std::to_string(total_pending_) +
+                       ") disagrees with the per-destination slot sum (" +
+                       std::to_string(live) + ")");
+  DPRANK_INVARIANT(peak_pending_ >= total_pending_, kSub,
+                   "peak_pending() understates the live pending count");
+  // Credit conservation (§3.1): nothing stored may vanish unaccounted.
+  DPRANK_INVARIANT(
+      stored_ == total_pending_ + drained_ + superseded_ + evicted_, kSub,
+      "outbox credit leak: stored=" + std::to_string(stored_) +
+          " != pending=" + std::to_string(total_pending_) +
+          " + drained=" + std::to_string(drained_) +
+          " + superseded=" + std::to_string(superseded_) +
+          " + evicted=" + std::to_string(evicted_));
 }
 
 }  // namespace dprank

@@ -77,7 +77,28 @@ class Outbox {
   [[nodiscard]] std::uint64_t evicted_count() const { return evicted_; }
   [[nodiscard]] std::uint64_t per_dest_cap() const { return per_dest_cap_; }
 
+  // Credit-conservation ledger: every store() is accounted for until it
+  // leaves through exactly one exit. stored == drained + superseded +
+  // evicted + pending at all times (validate() enforces it).
+  [[nodiscard]] std::uint64_t stored_count() const { return stored_; }
+  [[nodiscard]] std::uint64_t drained_count() const { return drained_; }
+  [[nodiscard]] std::uint64_t superseded_count() const { return superseded_; }
+
+  /// Structural invariant walk (contracts.hpp; subsystem "net"):
+  ///  * credit conservation — every stored message is pending, drained,
+  ///    superseded by a fresher value, or evicted by the cap (§3.1's
+  ///    linear-in-outlinks state bound depends on this accounting);
+  ///  * total_pending_ equals the sum of live per-destination slots;
+  ///  * each live slot has exactly one live generation entry in its
+  ///    queue's store-order deque (the eviction order);
+  ///  * the per-destination cap, when set, is respected;
+  ///  * peak_pending() never understates pending_count().
+  /// Throws contracts::ContractViolation on the first violation; no-op
+  /// when contracts are compiled out.
+  void validate() const;
+
  private:
+  friend struct TestCorruptor;  // negative invariant tests corrupt privates
   struct Queue {
     // slot -> (freshest message, generation of its newest store)
     std::unordered_map<std::uint64_t, std::pair<Message, std::uint64_t>>
@@ -99,6 +120,9 @@ class Outbox {
   std::uint64_t total_pending_ = 0;
   std::uint64_t peak_pending_ = 0;
   std::uint64_t evicted_ = 0;
+  std::uint64_t stored_ = 0;
+  std::uint64_t drained_ = 0;
+  std::uint64_t superseded_ = 0;
 };
 
 }  // namespace dprank

@@ -1,6 +1,9 @@
 #include "net/reliable_channel.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "common/contracts.hpp"
 
 namespace dprank {
 
@@ -67,6 +70,48 @@ bool ReliableChannel::accept(std::uint64_t slot, std::uint32_t seq) {
     ++stale_rejected_;
   }
   return false;
+}
+
+void ReliableChannel::validate() const {
+  if (!contracts::enabled()) return;
+  [[maybe_unused]] const char* kSub = "net";
+  for (const auto& [slot, issued] : seq_) {
+    DPRANK_INVARIANT(issued >= 1, kSub,
+                     "slot " + std::to_string(slot) +
+                         " has an issued sequence counter of zero");
+  }
+  for (const auto& [slot, applied] : applied_) {
+    const auto it = seq_.find(slot);
+    // A slot can be applied without a local seq_ entry only when two
+    // channel instances split sender and receiver roles; the simulator
+    // shares one instance, where every applied value was issued here.
+    if (it == seq_.end()) continue;
+    DPRANK_INVARIANT(applied <= it->second, kSub,
+                     "slot " + std::to_string(slot) + " applied seq " +
+                         std::to_string(applied) +
+                         " ahead of the newest issued seq " +
+                         std::to_string(it->second));
+  }
+  for (const auto& [slot, entry] : inflight_) {
+    DPRANK_INVARIANT(entry.send.slot == slot, kSub,
+                     "in-flight record filed under slot " +
+                         std::to_string(slot) + " but carries slot " +
+                         std::to_string(entry.send.slot));
+    DPRANK_INVARIANT(entry.send.seq >= 1, kSub,
+                     "in-flight record on slot " + std::to_string(slot) +
+                         " carries an unissued sequence number 0");
+    const auto it = seq_.find(slot);
+    DPRANK_INVARIANT(it != seq_.end(), kSub,
+                     "in-flight record on slot " + std::to_string(slot) +
+                         " has no issued sequence counter");
+    DPRANK_INVARIANT(entry.send.seq <= it->second, kSub,
+                     "in-flight record on slot " + std::to_string(slot) +
+                         " carries seq " + std::to_string(entry.send.seq) +
+                         " ahead of the newest issued seq " +
+                         std::to_string(it->second));
+  }
+  DPRANK_INVARIANT(peak_in_flight_ >= inflight_.size(), kSub,
+                   "peak_in_flight() understates the live in-flight count");
 }
 
 }  // namespace dprank

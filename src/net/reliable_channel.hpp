@@ -96,7 +96,21 @@ class ReliableChannel {
   }
   [[nodiscard]] const Config& config() const { return config_; }
 
+  /// Structural invariant walk (contracts.hpp; subsystem "net"):
+  ///  * per-slot sequence monotonicity — nothing applied on a slot is
+  ///    fresher than the newest sequence number ever issued for it
+  ///    (applied[slot] <= seq[slot]);
+  ///  * every in-flight record is keyed by its own slot, carries a
+  ///    sequence number that was actually issued (1 <= send.seq <=
+  ///    seq[slot]), and at most one record exists per slot (the
+  ///    linear-in-outlinks bound);
+  ///  * peak_in_flight() never understates the live in-flight count.
+  /// Throws contracts::ContractViolation on the first violation; no-op
+  /// when contracts are compiled out.
+  void validate() const;
+
  private:
+  friend struct TestCorruptor;  // negative invariant tests corrupt privates
   struct Inflight {
     Pending send;
     std::uint64_t retry_at = 0;

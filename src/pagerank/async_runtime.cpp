@@ -1,5 +1,6 @@
 #include "pagerank/async_runtime.hpp"
 
+#include "common/contracts.hpp"
 #include "common/rng.hpp"
 
 #include <algorithm>
@@ -9,6 +10,7 @@
 #include <deque>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <unordered_set>
 
@@ -55,6 +57,13 @@ class Mailbox {
 
   void notify() { cv_.notify_one(); }
 
+  /// Post-join probe for the end-of-run invariant walk: quiescence means
+  /// every queue drained.
+  [[nodiscard]] bool empty() {
+    const std::lock_guard lock(mu_);
+    return queue_.empty();
+  }
+
  private:
   std::mutex mu_;
   std::condition_variable cv_;
@@ -65,7 +74,7 @@ class Mailbox {
 
 AsyncPagerankRuntime::AsyncPagerankRuntime(const Digraph& g,
                                            const Placement& placement,
-                                           PagerankOptions options)
+                                           const PagerankOptions& options)
     : graph_(g), placement_(placement), options_(options) {
   if (placement.num_docs() != g.num_nodes()) {
     throw std::invalid_argument(
@@ -303,6 +312,9 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
           const auto victims =
               rng.sample_without_replacement(num_peers, count);
           for (const auto v : victims) paused[v].store(true);
+          // The async runtime runs real threads; churn downtime is real
+          // elapsed time, not simulated passes — there is no pass clock
+          // to consult here. dprank-lint: allow(wall-clock)
           std::this_thread::sleep_for(
               std::chrono::microseconds(params.pause_microseconds));
           {
@@ -312,6 +324,7 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
             for (const auto v : victims) paused[v].store(false);
           }
           pause_cv.notify_all();
+          // Real inter-cycle gap, as above. dprank-lint: allow(wall-clock)
           std::this_thread::sleep_for(
               std::chrono::microseconds(params.pause_microseconds));
         }
@@ -336,6 +349,34 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
     pause_cv.notify_all();
     for (PeerId p = 0; p < num_peers; ++p) mailbox[p].notify();
   }  // controller and worker jthreads join here
+
+  // End-of-run invariant walk: quiescence was detected via the credit
+  // counter, so every credit must be returned, every mailbox drained,
+  // and the sent/discarded ledger consistent. A violation here means the
+  // credit protocol lost or double-counted a unit — exactly the class of
+  // bug the counter exists to rule out.
+  if (contracts::enabled()) {
+    [[maybe_unused]] const char* kSub = "pagerank";
+    DPRANK_INVARIANT(inflight.load() == 0, kSub,
+                     "async run joined with " +
+                         std::to_string(inflight.load()) +
+                         " delivery credit(s) outstanding");
+    for (PeerId p = 0; p < num_peers; ++p) {
+      DPRANK_INVARIANT(mailbox[p].empty(), kSub,
+                       "async run joined with undelivered mail for peer " +
+                           std::to_string(p));
+    }
+    DPRANK_INVARIANT(cross_msgs.load() >= capped_discards.load(), kSub,
+                     "more updates discarded by the message cap than were "
+                     "ever sent cross-peer");
+    DPRANK_INVARIANT(capped.load() || capped_discards.load() == 0, kSub,
+                     "updates were discarded without the cap tripping");
+    DPRANK_INVARIANT(num_peers == 0 || recomputes.load() >= n, kSub,
+                     "startup pass skipped documents: " +
+                         std::to_string(recomputes.load()) +
+                         " recomputes for " + std::to_string(n) +
+                         " documents");
+  }
 
   result.cross_peer_messages = cross_msgs.load();
   result.local_updates = local_updates.load();

@@ -63,7 +63,7 @@ class AsyncPagerankRuntime {
   /// pass-based engine; this runtime exists to validate the asynchronous
   /// algorithm itself.)
   AsyncPagerankRuntime(const Digraph& g, const Placement& placement,
-                       PagerankOptions options);
+                       const PagerankOptions& options);
   AsyncPagerankRuntime(Digraph&&, const Placement&, PagerankOptions) = delete;
   AsyncPagerankRuntime(const Digraph&, Placement&&, PagerankOptions) = delete;
   AsyncPagerankRuntime(Digraph&&, Placement&&, PagerankOptions) = delete;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <string>
 
+#include "common/contracts.hpp"
 #include "common/guid.hpp"
 #include "net/message.hpp"
 
@@ -11,7 +13,7 @@ namespace dprank {
 
 DistributedPagerank::DistributedPagerank(const Digraph& g,
                                          const Placement& placement,
-                                         PagerankOptions options)
+                                         const PagerankOptions& options)
     : graph_(g), placement_(placement), options_(options) {
   if (placement.num_docs() != g.num_nodes()) {
     throw std::invalid_argument(
@@ -256,7 +258,12 @@ void DistributedPagerank::prepare_fault_state() {
       replica_value_.assign(n, options_.initial_rank);
     }
   }
-  if (plan_ != nullptr || audit_enabled_) {
+  // Periodic validation re-uses the mass ledger for the fault-free
+  // conservation identity — only worth feeding when contracts are
+  // compiled in (validate_state() is a no-op otherwise).
+  const bool audit_for_validation =
+      options_.validate_every_n_passes != 0 && contracts::enabled();
+  if (plan_ != nullptr || audit_enabled_ || audit_for_validation) {
     auditor_ =
         std::make_unique<MassAuditor>(graph_, options_.initial_rank);
   }
@@ -543,6 +550,15 @@ void DistributedPagerank::bucket_dirty() {
     peer_dirty_[p].push_back(v);
   }
   std::sort(active_peers_.begin(), active_peers_.end());
+  // Determinism precondition for every per-peer merge below: results are
+  // folded in this order, so it must be strictly sorted (no duplicates).
+  DPRANK_ASSERT(std::adjacent_find(active_peers_.begin(),
+                                   active_peers_.end(),
+                                   std::greater_equal<PeerId>()) ==
+                    active_peers_.end(),
+                "pagerank",
+                "active peer list is not strictly sorted; the parallel "
+                "merge order would be scheduler-dependent");
   for (const PeerId p : active_peers_) {
     PeerScratch& s = peer_scratch_[p];
     s.docs_recomputed = 0;
@@ -607,6 +623,9 @@ void DistributedPagerank::exchange_batched(const std::vector<bool>& presence,
            ++e) {
         const NodeId v = graph_.out_target(e);
         const PeerId pv = placement_.peer_of(v);
+        // Ledger write (validation runs only): per-edge cell, same
+        // disjointness as contrib_, so workers never collide.
+        if (auditor_ != nullptr) auditor_->on_emit(e, c);
         if (presence[pv]) {
           contrib_[e] = c;
           auto& b = ws.bucket[pv];
@@ -641,6 +660,26 @@ void DistributedPagerank::exchange_batched(const std::vector<bool>& presence,
   std::uint64_t local_total = 0;
   for (const PeerId p : active_peers_) {
     PeerScratch& s = peer_scratch_[p];
+    if (contracts::enabled()) {
+      // Determinism precondition: each shard's buckets must be strictly
+      // sorted by destination and tile the target list contiguously —
+      // the apply region indexes targets[begin, end) through them.
+      [[maybe_unused]] std::size_t off = 0;
+      [[maybe_unused]] PeerId prev_dst = 0;
+      [[maybe_unused]] bool first = true;
+      for (const PeerScratch::Bucket& b : s.buckets) {
+        DPRANK_ASSERT(first || b.dst > prev_dst, "pagerank",
+                      "exchange buckets are not strictly sorted by "
+                      "destination peer");
+        DPRANK_ASSERT(b.begin == off && b.end >= b.begin, "pagerank",
+                      "exchange bucket ranges do not tile the target list");
+        off = b.end;
+        prev_dst = b.dst;
+        first = false;
+      }
+      DPRANK_ASSERT(off == s.targets.size(), "pagerank",
+                    "exchange buckets do not cover every emitted target");
+    }
     stats.messages_deferred += s.deferred_calls;
     for (const auto& [dst, e] : s.parked) {
       deferred_by_peer_[dst].emplace_back(e, p);
@@ -741,6 +780,117 @@ void DistributedPagerank::deliver_deferred(const std::vector<bool>& presence,
   }
 }
 
+void DistributedPagerank::validate_state() const {
+  if (!contracts::enabled()) return;
+  [[maybe_unused]] const char* kSub = "pagerank";
+  const NodeId n = graph_.num_nodes();
+  const EdgeId m = graph_.num_edges();
+  DPRANK_INVARIANT(ranks_.size() == n, kSub,
+                   "rank array does not cover the documents");
+  DPRANK_INVARIANT(contrib_.size() == m, kSub,
+                   "contribution store does not cover the edges");
+  DPRANK_INVARIANT(pending_.size() == m && pending_value_.size() == m, kSub,
+                   "outbox arrays do not cover the edges");
+  DPRANK_INVARIANT(pending_seq_.empty() || pending_seq_.size() == m, kSub,
+                   "parked-sequence array does not cover the edges");
+
+  // Dirty-set integrity: the recompute queues and the membership flags
+  // must agree exactly — a document queued twice would be recomputed
+  // twice in one pass, and a flagged-but-unqueued document would never
+  // be recomputed again. This is the precondition bucket_dirty() relies
+  // on for its deterministic peer sharding.
+  std::vector<std::uint8_t> queued(n, 0);
+  const auto check_queue = [&](const std::vector<NodeId>& q) {
+    for (const NodeId v : q) {
+      DPRANK_INVARIANT(v < n, kSub, "dirty queue holds an unknown document");
+      DPRANK_INVARIANT(queued[v] == 0, kSub,
+                       "document " + std::to_string(v) +
+                           " queued for recompute twice");
+      queued[v] = 1;
+      DPRANK_INVARIANT(in_dirty_[v] != 0, kSub,
+                       "document " + std::to_string(v) +
+                           " queued for recompute but not flagged dirty");
+    }
+  };
+  check_queue(dirty_);
+  check_queue(next_dirty_);
+  std::size_t flagged = 0;
+  for (NodeId v = 0; v < n; ++v) flagged += in_dirty_[v] != 0 ? 1 : 0;
+  DPRANK_INVARIANT(
+      flagged == dirty_.size() + next_dirty_.size(), kSub,
+      "dirty flags (" + std::to_string(flagged) +
+          ") disagree with the recompute queues (" +
+          std::to_string(dirty_.size() + next_dirty_.size()) +
+          ") — flagged-but-unqueued documents lose updates");
+
+  // Outbox bookkeeping: pending flags, the per-destination deferred
+  // lists and the counters are three views of one set of parked edges.
+  std::vector<std::uint8_t> parked(m, 0);
+  std::uint64_t parked_entries = 0;
+  for (PeerId dest = 0; dest < deferred_by_peer_.size(); ++dest) {
+    for (const auto& [e, src] : deferred_by_peer_[dest]) {
+      DPRANK_INVARIANT(e < m, kSub, "parked entry holds an unknown edge");
+      DPRANK_INVARIANT(parked[e] == 0, kSub,
+                       "edge " + std::to_string(e) +
+                           " parked in two deferred lists");
+      parked[e] = 1;
+      DPRANK_INVARIANT(pending_[e] != 0, kSub,
+                       "edge " + std::to_string(e) +
+                           " parked but not flagged pending");
+      DPRANK_INVARIANT(
+          placement_.peer_of(graph_.out_target(e)) == dest, kSub,
+          "edge " + std::to_string(e) +
+              " filed under a peer that does not own its target");
+      DPRANK_INVARIANT(src < placement_.num_peers(), kSub,
+                       "parked entry names an unknown sender peer");
+      ++parked_entries;
+    }
+  }
+  std::uint64_t flagged_edges = 0;
+  for (EdgeId e = 0; e < m; ++e) flagged_edges += pending_[e] != 0 ? 1 : 0;
+  DPRANK_INVARIANT(flagged_edges == parked_entries, kSub,
+                   "outbox credit leak: " + std::to_string(flagged_edges) +
+                       " edges flagged pending vs " +
+                       std::to_string(parked_entries) +
+                       " parked in deferred lists");
+  DPRANK_INVARIANT(total_pending_ == parked_entries, kSub,
+                   "outbox credit leak: pending count " +
+                       std::to_string(total_pending_) + " vs " +
+                       std::to_string(parked_entries) + " parked entries");
+  DPRANK_INVARIANT(outbox_peak_ >= total_pending_, kSub,
+                   "outbox peak understates the live pending count");
+
+  // Delivery-delay buffer accounting.
+  std::uint64_t delayed_msgs = 0;
+  for (const auto& [due, msgs] : delayed_) delayed_msgs += msgs.size();
+  DPRANK_INVARIANT(delayed_msgs == delayed_total_, kSub,
+                   "delay-buffer count disagrees with buffered messages");
+
+  // Cascade into the attached subsystems: each reports under its own
+  // subsystem tag, so a failure names the layer that broke.
+  if (channel_ != nullptr) channel_->validate();
+  graph_.validate();
+  if (ring_ != nullptr) ring_->validate(/*route_samples=*/16);
+
+  // Rank-mass conservation identity (§2.3): on fault-free runs every
+  // emitted contribution is applied or parked, nothing else — the ledger
+  // balances exactly. Under a fault plan transient leaks are expected
+  // (crash wipes, unacked drops) until audit_and_repair re-injects them,
+  // so the identity only holds at quiescence and is checked there by the
+  // audit machinery instead.
+  if (auditor_ != nullptr && plan_ == nullptr) {
+    std::vector<double> effective = contrib_;
+    for (const auto& entries : deferred_by_peer_) {
+      for (const auto& [e, src] : entries) effective[e] = pending_value_[e];
+    }
+    const MassAuditReport report = auditor_->audit(effective, kAuditSlack);
+    DPRANK_INVARIANT(report.conserved(audit_tolerance_), kSub,
+                     "rank mass leaked on a fault-free run: ratio " +
+                         std::to_string(report.mass_ratio) + " across " +
+                         std::to_string(report.leaking_edges) + " edge(s)");
+  }
+}
+
 DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
                                               const PassObserver& observer) {
   if (ran_) throw std::logic_error("DistributedPagerank::run: already ran");
@@ -764,6 +914,8 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
 
   DistributedRunResult result;
   for (std::uint64_t pass = 0; pass < options_.max_passes; ++pass) {
+    // Telemetry measures the simulator itself (real wall time per pass),
+    // never feeds the simulation. dprank-lint: allow(wall-clock)
     const auto wall_start = std::chrono::steady_clock::now();
     PassStats stats;
     stats.pass = pass;
@@ -955,6 +1107,8 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
 
     if (pass_wall != nullptr) {
       pass_wall->record(std::chrono::duration<double, std::micro>(
+                            // Same telemetry read as wall_start.
+                            // dprank-lint: allow(wall-clock)
                             std::chrono::steady_clock::now() - wall_start)
                             .count());
     }
@@ -965,11 +1119,18 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
 
     dirty_.swap(next_dirty_);
     next_dirty_.clear();
+    if (options_.validate_every_n_passes != 0 &&
+        (pass + 1) % options_.validate_every_n_passes == 0) {
+      validate_state();
+    }
     if (quiescent) {
       result.converged = true;
       break;
     }
   }
+  // Terminal sweep: whatever cadence was chosen, the final state is
+  // always checked (convergence or pass-budget exhaustion alike).
+  if (options_.validate_every_n_passes != 0) validate_state();
   if (audit_enabled_) {
     if (!result.converged) {
       // Ran out of passes: report the leak as it stands.

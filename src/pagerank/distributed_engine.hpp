@@ -130,7 +130,7 @@ class DistributedPagerank {
   /// keeps references: graph and placement must outlive it (temporaries
   /// are rejected at compile time).
   DistributedPagerank(const Digraph& g, const Placement& placement,
-                      PagerankOptions options);
+                      const PagerankOptions& options);
   DistributedPagerank(Digraph&&, const Placement&, PagerankOptions) = delete;
   DistributedPagerank(const Digraph&, Placement&&, PagerankOptions) = delete;
   DistributedPagerank(Digraph&&, Placement&&, PagerankOptions) = delete;
@@ -260,7 +260,29 @@ class DistributedPagerank {
     return last_audit_;
   }
 
+  /// Full engine invariant walk (contracts.hpp; subsystem "pagerank"),
+  /// plus a cascade into the attached subsystems (graph, overlay ring,
+  /// reliable channel). Checks, at a pass boundary:
+  ///  * per-edge array sizing matches the graph;
+  ///  * dirty-set integrity — in_dirty_[v] set exactly for the documents
+  ///    queued in dirty_, no duplicates (the parallel merge precondition);
+  ///  * outbox bookkeeping — pending flags, the per-destination deferred
+  ///    lists and pending_count agree edge for edge, every parked edge is
+  ///    filed under the peer owning its target, and the peak never
+  ///    understates the live count;
+  ///  * delay-buffer accounting (delayed_total_ vs buffered messages);
+  ///  * rank-mass identity on fault-free runs — the MassAuditor ledger
+  ///    balances exactly against the applied + parked values (§2.3's
+  ///    fixed point; skipped under a fault plan, where transient leaks
+  ///    are expected until audit_and_repair re-injects them).
+  /// Driven every PagerankOptions::validate_every_n_passes passes by
+  /// run(); callable directly after run() returns. Throws
+  /// contracts::ContractViolation on the first violation; no-op when
+  /// contracts are compiled out.
+  void validate_state() const;
+
  private:
+  friend struct TestCorruptor;  // negative invariant tests corrupt privates
   struct DelayedMsg {
     EdgeId edge = 0;
     PeerId src = 0;
@@ -351,11 +373,14 @@ class DistributedPagerank {
 
   // Crash bookkeeping (sized on first use).
   std::vector<std::uint64_t> crashed_until_;  // peer offline through pass-1
-  std::vector<bool> needs_recovery_;
+  std::vector<std::uint8_t> needs_recovery_;  // uint8_t: see pending_
   std::vector<std::vector<NodeId>> docs_by_peer_;
   std::vector<NodeId> edge_src_;        // edge id -> source document
   std::vector<double> replica_value_;   // last rank a live replica holds
-  std::vector<bool> presence_eff_;      // churn presence minus crashed peers
+  // Churn presence minus crashed peers. vector<bool> is safe here:
+  // written only by the coordinator between parallel regions, and read
+  // through const access inside them. dprank-lint: allow(vector-bool)
+  std::vector<bool> presence_eff_;
   std::vector<double> effective_scratch_;  // audit workspace
 
   // Delivery-delay buffer: pass -> messages arriving at its start.

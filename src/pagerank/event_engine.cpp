@@ -41,7 +41,7 @@ struct InboxEntry {
 
 EventDrivenPagerank::EventDrivenPagerank(const Digraph& g,
                                          const Placement& placement,
-                                         PagerankOptions options,
+                                         const PagerankOptions& options,
                                          EventNetParams net)
     : graph_(g), placement_(placement), options_(options), net_(net) {
   if (placement.num_docs() != g.num_nodes()) {

@@ -51,7 +51,7 @@ struct EventRunResult {
 class EventDrivenPagerank {
  public:
   EventDrivenPagerank(const Digraph& g, const Placement& placement,
-                      PagerankOptions options, EventNetParams net = {});
+                      const PagerankOptions& options, EventNetParams net = {});
   EventDrivenPagerank(Digraph&&, const Placement&, PagerankOptions,
                       EventNetParams) = delete;
 

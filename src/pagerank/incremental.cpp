@@ -14,7 +14,7 @@ constexpr std::uint32_t kMaxCascadeDepth = 1'000'000;
 
 IncrementalPagerank::IncrementalPagerank(const Digraph& g,
                                          std::vector<double>& ranks,
-                                         PagerankOptions options,
+                                         const PagerankOptions& options,
                                          const Placement* placement)
     : graph_(g), ranks_(ranks), options_(options), placement_(placement) {
   if (ranks.size() != g.num_nodes()) {

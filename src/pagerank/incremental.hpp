@@ -41,7 +41,7 @@ class IncrementalPagerank {
   /// `placement` may be nullptr; cross_peer_messages is then zero and all
   /// updates count as deliveries only.
   IncrementalPagerank(const Digraph& g, std::vector<double>& ranks,
-                      PagerankOptions options,
+                      const PagerankOptions& options,
                       const Placement* placement = nullptr);
   IncrementalPagerank(Digraph&&, std::vector<double>&, PagerankOptions,
                       const Placement*) = delete;

@@ -55,6 +55,14 @@ struct PagerankOptions {
   /// per update behind one transport header).
   std::uint32_t batch_header_bytes = 16;
   std::uint32_t batch_payload_bytes = 24;
+
+  /// Run the engine's full invariant walk (DistributedPagerank
+  /// validate_state(); see common/contracts.hpp) every n-th pass boundary
+  /// and once more at termination. 0 disables periodic validation. The
+  /// checks are no-ops when contracts are compiled out
+  /// (DPRANK_CHECK_INVARIANTS=OFF), so leaving this set in release builds
+  /// costs nothing. CLI: --check-invariants [n].
+  std::uint64_t validate_every_n_passes = 0;
 };
 
 /// Relative change |oldv - newv| / |newv| with a guard for newv == 0

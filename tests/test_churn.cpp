@@ -4,6 +4,7 @@
 
 #include <numeric>
 #include <stdexcept>
+#include <vector>
 
 #include "graph/generator.hpp"
 #include "pagerank/distributed_engine.hpp"

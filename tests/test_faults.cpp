@@ -10,6 +10,8 @@
 #include "pagerank/distributed_engine.hpp"
 #include "pagerank/quality.hpp"
 
+#include <vector>
+
 namespace dprank {
 namespace {
 

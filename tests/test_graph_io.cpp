@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <vector>
 
 #include "graph/generator.hpp"
 

@@ -4,6 +4,7 @@
 
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 namespace dprank {
 namespace {

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <set>
+#include <vector>
 
 #include "graph/generator.hpp"
 #include "pagerank/centralized.hpp"

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
 #include "graph/generator.hpp"
 
 namespace dprank {
@@ -92,6 +98,66 @@ TEST(MutableDigraph, InsertDeleteCycleRestoresShape) {
   g.isolate_node(id);
   EXPECT_EQ(g.num_edges(), edges_before);
   EXPECT_TRUE(g.is_isolated(id));
+}
+
+// §4.7 regression: a long randomized stream of the exact mutations the
+// incremental protocol performs — document inserts (outlinks only),
+// edge adds/removes, document deletions (isolate) — must preserve the
+// adjacency-mirror invariant after *every* step. validate() throws
+// ContractViolation on the first inconsistency, so any break pinpoints
+// the offending mutation instead of surfacing passes later as a wrong
+// rank. A shadow edge-set double-checks the edge count.
+TEST(MutableDigraph, RandomizedMutationsPreserveInvariants) {
+  if (!contracts::enabled()) {
+    GTEST_SKIP() << "contracts compiled out (DPRANK_CHECK_INVARIANTS off)";
+  }
+  Rng rng(0xD16E57ULL);
+  MutableDigraph g(paper_graph(200, 17));
+  std::set<std::pair<NodeId, NodeId>> shadow;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NodeId v : g.out_neighbors(u)) shadow.emplace(u, v);
+  }
+
+  for (int step = 0; step < 2000; ++step) {
+    const NodeId n = g.num_nodes();
+    const double roll = rng.uniform();
+    if (roll < 0.15) {
+      // Insert a fresh document with random out-links (§4.7: outlinks
+      // only; duplicates in the request must be deduplicated).
+      std::vector<NodeId> links;
+      const auto want = 1 + rng.bounded(8);
+      for (std::uint64_t i = 0; i < want; ++i) {
+        links.push_back(static_cast<NodeId>(rng.bounded(n)));
+      }
+      const NodeId id = g.add_document(links);
+      EXPECT_EQ(g.in_degree(id), 0u);
+      for (const NodeId v : g.out_neighbors(id)) shadow.emplace(id, v);
+    } else if (roll < 0.55) {
+      const auto u = static_cast<NodeId>(rng.bounded(n));
+      const auto v = static_cast<NodeId>(rng.bounded(n));
+      const bool added = g.add_edge(u, v);
+      EXPECT_EQ(added, u != v && shadow.emplace(u, v).second);
+      if (u == v) shadow.erase({u, v});
+    } else if (roll < 0.9) {
+      const auto u = static_cast<NodeId>(rng.bounded(n));
+      const auto v = static_cast<NodeId>(rng.bounded(n));
+      EXPECT_EQ(g.remove_edge(u, v), shadow.erase({u, v}) == 1);
+    } else {
+      // Document deletion: drop the row and column (§4.7).
+      const auto v = static_cast<NodeId>(rng.bounded(n));
+      g.isolate_node(v);
+      EXPECT_TRUE(g.is_isolated(v));
+      for (auto it = shadow.begin(); it != shadow.end();) {
+        it = (it->first == v || it->second == v) ? shadow.erase(it) : ++it;
+      }
+    }
+    ASSERT_NO_THROW(g.validate()) << "after step " << step;
+    ASSERT_EQ(g.num_edges(), shadow.size()) << "after step " << step;
+  }
+  // The survivors must round-trip through CSR unchanged.
+  const Digraph frozen = g.freeze();
+  EXPECT_EQ(frozen.num_edges(), shadow.size());
+  frozen.validate();
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 

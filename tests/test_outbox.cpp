@@ -5,6 +5,8 @@
 #include "net/reliable_channel.hpp"
 #include "net/traffic_meter.hpp"
 
+#include <vector>
+
 namespace dprank {
 namespace {
 

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "graph/generator.hpp"

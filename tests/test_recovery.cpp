@@ -14,6 +14,8 @@
 #include "pagerank/quality.hpp"
 #include "sim/experiment.hpp"
 
+#include <vector>
+
 namespace dprank {
 namespace {
 

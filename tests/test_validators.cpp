@@ -1,0 +1,237 @@
+// Negative tests for the invariant-contract layer (contracts.hpp).
+//
+// Each validated subsystem gets a deliberate corruption of its private
+// state through TestCorruptor (a friend of every validated class), and
+// the test asserts that the *right* validator catches it — the thrown
+// ContractViolation must name the owning subsystem. A validator that
+// only passes on healthy structures proves nothing; these tests prove
+// each one can actually fail.
+//
+// The positive half runs the distributed engine with
+// validate_every_n_passes=1 across clean / churn / crash-fault
+// configurations at 1 and 4 threads: the full invariant walk at every
+// pass boundary must never fire on a correct run.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "dht/ring.hpp"
+#include "fault/fault_plan.hpp"
+#include "graph/digraph.hpp"
+#include "graph/generator.hpp"
+#include "graph/mutable_digraph.hpp"
+#include "net/outbox.hpp"
+#include "net/reliable_channel.hpp"
+#include "p2p/churn.hpp"
+#include "p2p/placement.hpp"
+#include "pagerank/distributed_engine.hpp"
+
+namespace dprank {
+
+// Friend of every validated class; reaches into private state to plant
+// exactly one inconsistency per test.
+struct TestCorruptor {
+  static void corrupt_csr_target(Digraph& g) {
+    // Redirect edge 0 in the out-CSR only: the in-CSR mirror and the
+    // in_to_out_ cross index now disagree with it.
+    g.out_targets_[0] = (g.out_targets_[0] + 1) % g.num_nodes();
+  }
+  static void corrupt_adjacency_mirror(MutableDigraph& g) {
+    // An out-entry with no in-mirror (a half-written edge).
+    g.out_[0].push_back(1);
+  }
+  static void corrupt_edge_count(MutableDigraph& g) { ++g.num_edges_; }
+  static void corrupt_ring_index(ChordRing& ring) {
+    // Swap two peers' GUIDs in the reverse index only: by_id_ and
+    // guid_of_peer_ stop being inverse bijections, and every finger
+    // computed through id_of() goes stale.
+    auto a = ring.guid_of_peer_.begin();
+    auto b = std::next(a);
+    std::swap(a->second, b->second);
+  }
+  static void drop_outbox_credit(Outbox& box) {
+    // A store that was never accounted: the conservation ledger
+    // stored == pending + drained + superseded + evicted breaks.
+    --box.stored_;
+  }
+  static void inflate_outbox_pending(Outbox& box) { ++box.total_pending_; }
+  static void corrupt_channel_seq(ReliableChannel& ch) {
+    // Receiver claims to have applied a fresher value than the sender
+    // ever issued on the slot.
+    ch.applied_[ch.seq_.begin()->first] = ch.seq_.begin()->second + 1;
+  }
+  static void corrupt_dirty_set(DistributedPagerank& engine) {
+    // Queue a document without flagging it: the dedup flag array and
+    // the queue no longer agree (the parallel-merge precondition).
+    engine.dirty_.push_back(0);
+  }
+  static void leak_rank_mass(DistributedPagerank& engine) {
+    // Inflate one stored contribution: the MassAuditor ledger no longer
+    // balances against the applied + parked values.
+    engine.contrib_[0] += 0.25;
+  }
+};
+
+namespace {
+
+using contracts::ContractViolation;
+
+// EXPECT_THROW cannot inspect the exception; this asserts both the type
+// and that the violation names the expected subsystem.
+template <typename Fn>
+void expect_violation(const char* subsystem, Fn&& fn) {
+  try {
+    std::forward<Fn>(fn)();
+    FAIL() << "expected ContractViolation from subsystem " << subsystem;
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.subsystem(), subsystem) << v.what();
+    EXPECT_FALSE(v.expression().empty());
+    EXPECT_NE(v.line(), 0);
+  }
+}
+
+#define SKIP_WITHOUT_CONTRACTS()                                          \
+  if (!contracts::enabled()) {                                            \
+    GTEST_SKIP() << "contracts compiled out (DPRANK_CHECK_INVARIANTS "    \
+                    "off)";                                               \
+  }
+
+TEST(ValidatorNegative, DigraphCatchesCorruptCsrMirror) {
+  SKIP_WITHOUT_CONTRACTS();
+  Digraph g = paper_graph(100, 3);
+  g.validate();  // healthy before the corruption
+  TestCorruptor::corrupt_csr_target(g);
+  expect_violation("graph", [&] { g.validate(); });
+}
+
+TEST(ValidatorNegative, MutableDigraphCatchesBrokenMirror) {
+  SKIP_WITHOUT_CONTRACTS();
+  MutableDigraph g(paper_graph(100, 5));
+  g.validate();
+  TestCorruptor::corrupt_adjacency_mirror(g);
+  expect_violation("graph", [&] { g.validate(); });
+}
+
+TEST(ValidatorNegative, MutableDigraphCatchesWrongEdgeCount) {
+  SKIP_WITHOUT_CONTRACTS();
+  MutableDigraph g(paper_graph(100, 5));
+  TestCorruptor::corrupt_edge_count(g);
+  expect_violation("graph", [&] { g.validate(); });
+}
+
+TEST(ValidatorNegative, RingCatchesBrokenFingerIndex) {
+  SKIP_WITHOUT_CONTRACTS();
+  ChordRing ring(32);
+  ring.validate();
+  TestCorruptor::corrupt_ring_index(ring);
+  expect_violation("dht", [&] { ring.validate(); });
+}
+
+TEST(ValidatorNegative, OutboxCatchesDroppedCredit) {
+  SKIP_WITHOUT_CONTRACTS();
+  Outbox box;
+  box.store(3, 10, PagerankUpdate{document_guid(1), 0.5});
+  box.store(3, 11, PagerankUpdate{document_guid(2), 0.7});
+  box.validate();
+  TestCorruptor::drop_outbox_credit(box);
+  expect_violation("net", [&] { box.validate(); });
+}
+
+TEST(ValidatorNegative, OutboxCatchesPendingMiscount) {
+  SKIP_WITHOUT_CONTRACTS();
+  Outbox box;
+  box.store(1, 7, PagerankUpdate{document_guid(1), 0.1});
+  TestCorruptor::inflate_outbox_pending(box);
+  expect_violation("net", [&] { box.validate(); });
+}
+
+TEST(ValidatorNegative, ChannelCatchesSeqRegression) {
+  SKIP_WITHOUT_CONTRACTS();
+  ReliableChannel ch;
+  const auto seq = ch.next_seq(/*slot=*/42);
+  EXPECT_TRUE(ch.accept(42, seq));
+  ch.validate();
+  TestCorruptor::corrupt_channel_seq(ch);
+  expect_violation("net", [&] { ch.validate(); });
+}
+
+TEST(ValidatorNegative, EngineCatchesCorruptDirtySet) {
+  SKIP_WITHOUT_CONTRACTS();
+  const Digraph g = paper_graph(300, 7);
+  const auto p = Placement::random(300, 10, 7);
+  PagerankOptions opts;
+  opts.validate_every_n_passes = 1;
+  DistributedPagerank engine(g, p, opts);
+  ASSERT_TRUE(engine.run().converged);
+  engine.validate_state();  // healthy after the run
+  TestCorruptor::corrupt_dirty_set(engine);
+  expect_violation("pagerank", [&] { engine.validate_state(); });
+}
+
+TEST(ValidatorNegative, EngineCatchesLeakedRankMass) {
+  SKIP_WITHOUT_CONTRACTS();
+  const Digraph g = paper_graph(300, 9);
+  const auto p = Placement::random(300, 10, 9);
+  PagerankOptions opts;
+  opts.validate_every_n_passes = 1;  // creates the audit ledger
+  DistributedPagerank engine(g, p, opts);
+  ASSERT_TRUE(engine.run().converged);
+  engine.validate_state();
+  TestCorruptor::leak_rank_mass(engine);
+  expect_violation("pagerank", [&] { engine.validate_state(); });
+}
+
+// ---- positive: the full walk never fires on correct runs ----
+
+class ValidatorPositive : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ValidatorPositive, CleanRunPassesEveryPass) {
+  SKIP_WITHOUT_CONTRACTS();
+  const Digraph g = paper_graph(1000, 11);
+  const auto p = Placement::random(1000, 20, 11);
+  PagerankOptions opts;
+  opts.threads = GetParam();
+  opts.validate_every_n_passes = 1;
+  DistributedPagerank engine(g, p, opts);
+  EXPECT_TRUE(engine.run().converged);
+}
+
+TEST_P(ValidatorPositive, ChurnRunPassesEveryPass) {
+  SKIP_WITHOUT_CONTRACTS();
+  const Digraph g = paper_graph(1000, 13);
+  const auto p = Placement::random(1000, 20, 13);
+  PagerankOptions opts;
+  opts.threads = GetParam();
+  opts.validate_every_n_passes = 1;
+  ChurnSchedule churn(20, 0.75, 13);
+  DistributedPagerank engine(g, p, opts);
+  EXPECT_TRUE(engine.run(&churn).converged);
+}
+
+TEST_P(ValidatorPositive, CrashFaultRunPassesEveryPass) {
+  SKIP_WITHOUT_CONTRACTS();
+  const Digraph g = paper_graph(1000, 17);
+  const auto p = Placement::random(1000, 20, 17);
+  PagerankOptions opts;
+  opts.threads = GetParam();
+  opts.validate_every_n_passes = 1;
+  FaultPlan plan({.drop_probability = 0.05,
+                  .crashes = {{.pass = 2, .peer = 3}, {.pass = 4, .peer = 7}},
+                  .ack_timeout_passes = 1,
+                  .seed = 17});
+  DistributedPagerank engine(g, p, opts);
+  engine.attach_fault_plan(plan);
+  engine.enable_mass_audit();
+  const auto run = engine.run();
+  EXPECT_TRUE(run.converged);
+  EXPECT_NEAR(run.mass_ratio, 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ValidatorPositive,
+                         ::testing::Values(1u, 4u));
+
+}  // namespace
+}  // namespace dprank

@@ -7,7 +7,11 @@
 //           degree statistics + Broder bow-tie decomposition
 //   rank    --graph FILE [--peers P] [--epsilon E] [--placement MODE]
 //           [--availability F] [--threads T] [--ranks-out FILE]
-//           run the distributed pagerank computation
+//           [--check-invariants [N]]
+//           run the distributed pagerank computation; --check-invariants
+//           runs the full contract-validator sweep every N passes
+//           (default every pass) — needs a build with
+//           DPRANK_CHECK_INVARIANTS=ON (the default outside Release)
 //   insert  --graph FILE [--epsilon E] [--count K] [--seed S]
 //           measure insert-propagation cost (Table 4's experiment)
 //   search  [--docs N] [--peers P] [--queries Q] [--terms T] [--top PCT]
@@ -31,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "graph/generator.hpp"
@@ -65,10 +70,13 @@ class Args {
         throw std::invalid_argument("expected --flag, got: " + key);
       }
       key = key.substr(2);
-      if (i + 1 >= argc) {
-        throw std::invalid_argument("missing value for --" + key);
+      // Boolean flags: a flag followed by another --flag (or the end of
+      // the line) stands alone and reads as "1" (--check-invariants).
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        values_[key] = "1";
+      } else {
+        values_[key] = argv[++i];
       }
-      values_[key] = argv[++i];
     }
   }
 
@@ -172,6 +180,12 @@ int cmd_rank(const Args& args) {
   options.epsilon = epsilon;
   options.threads = static_cast<std::uint32_t>(
       args.get_u64("threads", experiment_threads()));
+  options.validate_every_n_passes = args.get_u64("check-invariants", 0);
+  if (options.validate_every_n_passes != 0 && !contracts::enabled()) {
+    std::cerr << "warning: --check-invariants requested but contract "
+                 "checks are compiled out; rebuild with "
+                 "-DDPRANK_CHECK_INVARIANTS=ON\n";
+  }
   DistributedPagerank engine(g, placement, options);
   obs::MetricsRegistry registry;
   obs::Tracer tracer;
