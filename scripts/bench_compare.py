@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json exports against the committed baselines.
+
+Usage:
+    python3 scripts/bench_compare.py CANDIDATE_DIR [--baseline-dir DIR]
+                                     [--max-wall-regress PCT]
+
+For every baseline bench/baselines/BENCH_<name>.json with a matching
+BENCH_<name>.json in CANDIDATE_DIR, prints a small table of the metrics
+that matter for the messaging hot path:
+
+    pass_wall_us  pagerank.pass_wall_us histogram sum — per-pass engine
+                  time, the number the perf acceptance criteria are
+                  written against (immune to process startup noise)
+    messages      net.messages counter — wire-update count; changes mean
+                  the convergence behavior changed, not just the speed
+    passes        pagerank.passes counter
+
+The comparison refuses to judge apples against oranges: the config block
+(sizes / seed / threads / full_scale) must match the baseline's, or the
+pair is reported as SKIPPED.
+
+Exit status is non-zero only when pass_wall_us regressed by more than
+--max-wall-regress percent (default 25). Everything else — message-count
+drift, pass-count drift, missing candidates — is advisory text, because
+machine noise on shared CI runners makes hard gates on small absolute
+times flaky; the 25% bar is wide enough to only catch real regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+CONFIG_KEYS = ("sizes", "seed", "threads", "full_scale")
+
+
+def load(path: pathlib.Path) -> dict:
+    with path.open() as fh:
+        return json.load(fh)
+
+
+def pass_wall_sum(doc: dict) -> float | None:
+    hist = doc.get("metrics", {}).get("histograms", {}).get(
+        "pagerank.pass_wall_us")
+    return None if hist is None else float(hist["sum"])
+
+
+def counter(doc: dict, name: str) -> int | None:
+    value = doc.get("metrics", {}).get("counters", {}).get(name)
+    return None if value is None else int(value)
+
+
+def pct(new: float, old: float) -> str:
+    if old == 0:
+        return "n/a"
+    return f"{100.0 * (new - old) / old:+.1f}%"
+
+
+def compare_one(name: str, base: dict, cand: dict,
+                max_wall_regress: float) -> bool:
+    """Print the comparison; True when the wall gate passes."""
+    base_cfg = {k: base.get("config", {}).get(k) for k in CONFIG_KEYS}
+    cand_cfg = {k: cand.get("config", {}).get(k) for k in CONFIG_KEYS}
+    if base_cfg != cand_cfg:
+        print(f"{name}: SKIPPED — config mismatch "
+              f"(baseline {base_cfg}, candidate {cand_cfg})")
+        return True
+
+    rows = [
+        ("pass_wall_us", pass_wall_sum(base), pass_wall_sum(cand)),
+        ("messages", counter(base, "net.messages"),
+         counter(cand, "net.messages")),
+        ("passes", counter(base, "pagerank.passes"),
+         counter(cand, "pagerank.passes")),
+    ]
+    print(f"{name}:")
+    for label, old, new in rows:
+        if old is None or new is None:
+            print(f"  {label:<14} (missing)")
+            continue
+        print(f"  {label:<14} {old:>14.1f} -> {new:>14.1f}  {pct(new, old)}")
+
+    old_wall, new_wall = rows[0][1], rows[0][2]
+    if old_wall is None or new_wall is None or old_wall == 0:
+        print("  wall gate: skipped (pass_wall_us unavailable)")
+        return True
+    regress = 100.0 * (new_wall - old_wall) / old_wall
+    if regress > max_wall_regress:
+        print(f"  wall gate: FAIL — pass_wall_us regressed {regress:.1f}% "
+              f"(> {max_wall_regress:.0f}% allowed)")
+        return False
+    print(f"  wall gate: ok ({regress:+.1f}% vs {max_wall_regress:.0f}% bar)")
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare BENCH_*.json exports against baselines")
+    parser.add_argument("candidate_dir", type=pathlib.Path,
+                        help="directory holding freshly produced "
+                             "BENCH_*.json files")
+    parser.add_argument("--baseline-dir", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent
+                        / "bench" / "baselines")
+    parser.add_argument("--max-wall-regress", type=float, default=25.0,
+                        help="percent pass_wall_us regression that fails "
+                             "the run (default 25)")
+    args = parser.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no baselines under {args.baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    ok = True
+    compared = 0
+    for base_path in baselines:
+        cand_path = args.candidate_dir / base_path.name
+        if not cand_path.exists():
+            print(f"{base_path.stem}: no candidate in {args.candidate_dir} "
+                  "(advisory — bench not run)")
+            continue
+        compared += 1
+        ok &= compare_one(base_path.stem, load(base_path), load(cand_path),
+                          args.max_wall_regress)
+
+    if compared == 0:
+        print("error: no candidate files matched any baseline",
+              file=sys.stderr)
+        return 2
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,16 @@ simulator that generic tooling does not know about:
                   state between runs in one process and between tests.
                   (const/constexpr statics are fine.)
 
+  hot-path-map    The messaging hot path (src/net, src/pagerank) is
+                  flat-map/array-backed: node-based std::map and
+                  std::unordered_map pay an allocation plus pointer
+                  chases per message, which is exactly the cost the
+                  FlatMap64/arena work removed. New code there should
+                  use FlatMap64 (common/flat_map.hpp), a plain vector,
+                  or an EpochArray; cold-path uses (config tables,
+                  metrics export, a rarely-touched delay buffer) carry
+                  an explicit waiver naming why the path is cold.
+
   include-what-you-use (iwyu-lite)
                   A file that names a std:: container/utility must
                   include its header directly (or in its paired .hpp) —
@@ -87,6 +97,10 @@ MUTABLE_STATIC_RE = re.compile(r"^\s*static\s+(?!const\b|constexpr\b|assert\b)")
 # result stores). A Meyers singleton of one of these types is the
 # pattern, not a violation of it.
 REGISTRY_TYPES_RE = re.compile(r"\b(MetricsRegistry|ResultStore)\b")
+
+# Subsystems forming the per-message hot path (see hot-path-map above).
+HOT_PATH_DIRS = ("src/net", "src/pagerank")
+HOT_PATH_MAP_RE = re.compile(r"\bstd::(unordered_map|map)\s*<")
 
 # iwyu-lite: std symbols whose header must be included directly. Kept to
 # high-signal, low-noise symbols (containers and threading primitives
@@ -209,6 +223,7 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
         findings.append(Finding(path, idx + 1, rule, message))
 
     in_sim = rel.startswith(SIM_DIRS)
+    in_hot_path = rel.startswith(HOT_PATH_DIRS)
     is_rng_impl = rel in RNG_FILES
     threaded = any(marker in text for marker in THREADED_MARKERS)
 
@@ -240,6 +255,14 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
                 "mutable std::vector<bool> in a threaded subsystem: packed "
                 "bits share words, so concurrent writers race — use "
                 "std::vector<std::uint8_t>",
+            )
+        if in_hot_path and HOT_PATH_MAP_RE.search(code):
+            report(
+                idx,
+                "hot-path-map",
+                "node-based map on the messaging hot path: use FlatMap64 "
+                "(common/flat_map.hpp), a vector, or an EpochArray; waive "
+                "only with a comment naming why this path is cold",
             )
         if (
             MUTABLE_STATIC_RE.search(code)

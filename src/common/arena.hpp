@@ -1,0 +1,188 @@
+#pragma once
+
+// Allocation-recycling primitives for the per-pass message path.
+//
+// The engines and the async runtime used to rebuild the same scratch
+// buffers every pass — a vector allocated, filled, moved away and dropped,
+// hundreds of times per run. These helpers keep that memory alive across
+// passes:
+//
+//   * BufferPool<T>: a free list of std::vector<T> buffers. acquire()
+//     hands back a cleared buffer with its old capacity intact; release()
+//     returns it. Under AddressSanitizer a released buffer's storage is
+//     poisoned until re-acquired, so a stale pointer into recycled memory
+//     traps instead of silently reading the next user's data.
+//   * ObjectPool<T>: the same free-list discipline for arbitrary
+//     move-constructible objects (e.g. an Outbox queue with its warmed-up
+//     flat map); no poisoning, since T owns its own memory.
+//   * EpochArray<T>: a dense array whose slots self-reset lazily via an
+//     epoch stamp. advance() makes every slot logically default again in
+//     O(1); at(i) re-initializes a slot on first touch of the new epoch.
+//     Replaces the clear()-every-pass pattern for per-peer counters where
+//     only a handful of the slots are touched each pass.
+//
+// Lifetime rules (DESIGN.md §9): pooled buffers belong to exactly one
+// owner between acquire() and release(); releasing twice or using after
+// release is a bug the ASan poisoning is designed to catch. Pools are not
+// thread-safe — each thread (or each single-threaded phase) owns its own.
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define DPRANK_HAS_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DPRANK_HAS_ASAN 1
+#endif
+#endif
+#ifndef DPRANK_HAS_ASAN
+#define DPRANK_HAS_ASAN 0
+#endif
+
+#if DPRANK_HAS_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace dprank {
+
+/// Free list of reusable std::vector<T> buffers (see the header comment).
+/// T must be trivially destructible: a parked buffer's storage is poisoned
+/// wholesale under ASan, which assumes no live objects inside it.
+template <typename T>
+class BufferPool {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "BufferPool poisons parked storage; non-trivial element "
+                "types would need destruction first");
+
+ public:
+  /// A cleared buffer, reusing the capacity of the most recently released
+  /// one when the pool is non-empty.
+  [[nodiscard]] std::vector<T> acquire() {
+    if (free_.empty()) {
+      ++allocs_;
+      return {};
+    }
+    std::vector<T> buf = std::move(free_.back());
+    free_.pop_back();
+    unpoison(buf);
+    buf.clear();
+    ++reuses_;
+    return buf;
+  }
+
+  /// Hand a buffer back. The contents are dead from this point on; under
+  /// ASan any stale reference into the buffer's storage now traps.
+  void release(std::vector<T>&& buf) {
+    buf.clear();
+    poison(buf);
+    free_.push_back(std::move(buf));
+  }
+
+  /// Buffers handed out fresh (pool was empty) vs recycled — the
+  /// net.pool_reuse telemetry series reads these.
+  [[nodiscard]] std::uint64_t allocations() const { return allocs_; }
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  [[nodiscard]] std::size_t idle() const { return free_.size(); }
+
+ private:
+  static void poison(std::vector<T>& buf) {
+#if DPRANK_HAS_ASAN
+    if (buf.capacity() != 0) {
+      __asan_poison_memory_region(buf.data(), buf.capacity() * sizeof(T));
+    }
+#else
+    (void)buf;
+#endif
+  }
+  static void unpoison(std::vector<T>& buf) {
+#if DPRANK_HAS_ASAN
+    if (buf.capacity() != 0) {
+      __asan_unpoison_memory_region(buf.data(), buf.capacity() * sizeof(T));
+    }
+#else
+    (void)buf;
+#endif
+  }
+
+  std::vector<std::vector<T>> free_;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+/// Free list for arbitrary move-constructible objects; acquire() returns
+/// the most recently released instance (warm caches, warm capacity).
+template <typename T>
+class ObjectPool {
+ public:
+  [[nodiscard]] T acquire() {
+    if (free_.empty()) {
+      ++allocs_;
+      return T{};
+    }
+    T obj = std::move(free_.back());
+    free_.pop_back();
+    ++reuses_;
+    return obj;
+  }
+
+  void release(T&& obj) { free_.push_back(std::move(obj)); }
+
+  [[nodiscard]] std::uint64_t allocations() const { return allocs_; }
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  [[nodiscard]] std::size_t idle() const { return free_.size(); }
+
+ private:
+  std::vector<T> free_;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+/// Dense array with O(1) logical reset: each slot carries the epoch it was
+/// last written in; reading a slot from an older epoch sees (and stores) a
+/// fresh default value instead. Slot count is fixed at construction or
+/// resize(); advance() starts a new epoch.
+template <typename T>
+class EpochArray {
+ public:
+  EpochArray() = default;
+  explicit EpochArray(std::size_t n) { resize(n); }
+
+  void resize(std::size_t n) {
+    values_.resize(n);
+    stamps_.resize(n, 0);
+  }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// Invalidate every slot in O(1).
+  void advance() { ++epoch_; }
+
+  /// Reference to slot i, default-initialized on first touch this epoch.
+  [[nodiscard]] T& at(std::size_t i) {
+    if (stamps_[i] != epoch_) {
+      stamps_[i] = epoch_;
+      values_[i] = T{};
+    }
+    return values_[i];
+  }
+
+  /// Slot i's value without reviving it: the default when stale.
+  [[nodiscard]] T peek(std::size_t i) const {
+    return stamps_[i] == epoch_ ? values_[i] : T{};
+  }
+
+  /// True when slot i was written this epoch.
+  [[nodiscard]] bool fresh(std::size_t i) const {
+    return stamps_[i] == epoch_;
+  }
+
+ private:
+  std::vector<T> values_;
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t epoch_ = 1;  // stamps_ start at 0: everything stale
+};
+
+}  // namespace dprank

@@ -39,12 +39,14 @@ Digraph Digraph::from_edges(NodeId num_nodes, std::vector<Edge> edges) {
   for (NodeId v = 0; v < num_nodes; ++v) {
     g.in_offsets_[v + 1] += g.in_offsets_[v];
   }
+  g.out_to_in_.resize(m);
   std::vector<EdgeId> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
   for (EdgeId e = 0; e < m; ++e) {
     const NodeId v = edges[e].dst;
     const EdgeId pos = cursor[v]++;
     g.in_sources_[pos] = edges[e].src;
     g.in_to_out_[pos] = e;  // edges are already in out-CSR (edge id) order
+    g.out_to_in_[e] = pos;
   }
   return g;
 }
@@ -99,7 +101,10 @@ void Digraph::validate() const {
   }
   // In-CSR mirror: in_to_out_ is a permutation of [0, m); each mirrored
   // edge id must target the list's owner and originate at the recorded
-  // source (the per-edge contribution cells depend on this cross index).
+  // source (the per-edge contribution cells depend on this cross index),
+  // and out_to_in_ must be its exact inverse.
+  DPRANK_INVARIANT(out_to_in_.size() == m, kSub,
+                   "out_to_in inverse index does not cover the edges");
   std::vector<std::uint8_t> seen(m, 0);
   for (NodeId v = 0; v < n; ++v) {
     const auto srcs = in_neighbors(v);
@@ -109,6 +114,9 @@ void Digraph::validate() const {
       DPRANK_INVARIANT(e < m, kSub,
                        "in_to_out edge id out of range at node " +
                            std::to_string(v));
+      DPRANK_INVARIANT(out_to_in_[e] == in_offsets_[v] + i, kSub,
+                       "out_to_in is not the inverse of in_to_out at edge " +
+                           std::to_string(e));
       DPRANK_INVARIANT(!seen[e], kSub,
                        "edge id " + std::to_string(e) +
                            " mirrored twice in the in-CSR");

@@ -81,6 +81,21 @@ class Digraph {
             in_to_out_.data() + in_offsets_[v + 1]};
   }
 
+  /// In-CSR positions for node v occupy [in_edge_begin(v), in_edge_end(v));
+  /// position in_edge_begin(v) + i belongs to in_neighbors(v)[i]. State
+  /// stored per in-position (the engine's contribution cells) is
+  /// contiguous per destination, so a recompute streams its cells instead
+  /// of gathering them through the cross index.
+  [[nodiscard]] EdgeId in_edge_begin(NodeId v) const { return in_offsets_[v]; }
+  [[nodiscard]] EdgeId in_edge_end(NodeId v) const {
+    return in_offsets_[v + 1];
+  }
+
+  /// Inverse of the in_to_out_edge cross index: the in-CSR position that
+  /// mirrors out-edge id e. in_to_out_edge(v)[i] == e implies
+  /// out_to_in_edge(e) == in_edge_begin(v) + i.
+  [[nodiscard]] EdgeId out_to_in_edge(EdgeId e) const { return out_to_in_[e]; }
+
   /// True if u has an edge to v (binary search over sorted out-list).
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
 
@@ -108,6 +123,8 @@ class Digraph {
   std::vector<EdgeId> in_offsets_;
   std::vector<NodeId> in_sources_;
   std::vector<EdgeId> in_to_out_;
+  // Inverse permutation of in_to_out_, indexed by out-edge id.
+  std::vector<EdgeId> out_to_in_;
 };
 
 }  // namespace dprank

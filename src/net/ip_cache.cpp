@@ -1,6 +1,7 @@
 #include "net/ip_cache.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <string>
 
 namespace dprank {
@@ -13,15 +14,14 @@ std::uint64_t IpCache::send_hops(PeerId src, Guid key, const ChordRing& ring) {
     return route.hop_count();
   }
 
-  auto& known = cache_[src];
-  if (known.contains(route.destination)) {
+  if (knows(src, route.destination)) {
     note_hit();
     note_hops(1);
     return 1;
   }
   note_miss();
   note_hops(route.hop_count());
-  known.insert(route.destination);
+  learn(src, route.destination);
   return route.hop_count();
 }
 
@@ -29,14 +29,13 @@ std::uint64_t IpCache::send_hops_to_peer(PeerId src, PeerId holder, Guid key,
                                          const ChordRing& ring) {
   if (src == holder) return 0;
   if (enabled_) {
-    auto& known = cache_[src];
-    if (known.contains(holder)) {
+    if (knows(src, holder)) {
       note_hit();
       note_hops(1);
       return 1;
     }
     note_miss();
-    known.insert(holder);
+    learn(src, holder);
   }
   const auto route = ring.route(src, key);
   // Route to the directory entry, then one hop to the holder (free when
@@ -49,8 +48,14 @@ std::uint64_t IpCache::send_hops_to_peer(PeerId src, PeerId holder, Guid key,
 }
 
 void IpCache::invalidate_peer(PeerId peer) {
-  cache_.erase(peer);  // addresses the departed peer had learned
-  for (auto& [src, known] : cache_) known.erase(peer);
+  // Addresses the departed peer had learned...
+  if (peer < rows_.size()) rows_[peer].clear();
+  // ...and everyone else's cached address for it.
+  const std::size_t word = peer / 64;
+  const std::uint64_t mask = ~(std::uint64_t{1} << (peer % 64));
+  for (auto& row : rows_) {
+    if (word < row.size()) row[word] &= mask;
+  }
 }
 
 void IpCache::bind_metrics(obs::MetricsRegistry& registry,
@@ -63,7 +68,11 @@ void IpCache::bind_metrics(obs::MetricsRegistry& registry,
 
 std::uint64_t IpCache::entries() const {
   std::uint64_t total = 0;
-  for (const auto& [src, known] : cache_) total += known.size();
+  for (const auto& row : rows_) {
+    for (const std::uint64_t word : row) {
+      total += static_cast<std::uint64_t>(std::popcount(word));
+    }
+  }
   return total;
 }
 

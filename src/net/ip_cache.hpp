@@ -12,10 +12,10 @@
 // the Freenet mode (anonymity honored, no caching, every message routed)
 // is the `disabled` configuration used by the caching ablation bench.
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "dht/ring.hpp"
 #include "obs/metrics.hpp"
@@ -79,9 +79,28 @@ class IpCache {
     if (misses_ctr_ != nullptr) misses_ctr_->add(1);
   }
 
+  /// rows_[src] is a direct-indexed bitset over destination peer ids:
+  /// bit p set = src knows p's address. The consult-on-every-send path
+  /// was a two-level hash lookup; peer ids are small and dense, so a
+  /// bitset makes each probe one shift+mask and the whole cache a few
+  /// words per active sender. Rows grow on demand (a row is only
+  /// materialized once its peer sends something).
+  [[nodiscard]] bool knows(PeerId src, PeerId dest) const {
+    if (src >= rows_.size()) return false;
+    const auto& row = rows_[src];
+    const std::size_t word = dest / 64;
+    return word < row.size() && (row[word] >> (dest % 64)) & 1;
+  }
+  void learn(PeerId src, PeerId dest) {
+    if (src >= rows_.size()) rows_.resize(static_cast<std::size_t>(src) + 1);
+    auto& row = rows_[src];
+    const std::size_t word = dest / 64;
+    if (word >= row.size()) row.resize(word + 1, 0);
+    row[word] |= std::uint64_t{1} << (dest % 64);
+  }
+
   bool enabled_;
-  // cache_[src] = set of peers whose address src knows.
-  std::unordered_map<PeerId, std::unordered_set<PeerId>> cache_;
+  std::vector<std::vector<std::uint64_t>> rows_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   obs::Histogram* hops_hist_ = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 #include <unordered_set>
+#include <utility>
 
 #include "common/contracts.hpp"
 
@@ -12,9 +13,9 @@ void Outbox::evict_oldest(Queue& q) {
   while (!q.order.empty()) {
     const auto [slot, gen] = q.order.front();
     q.order.pop_front();
-    const auto it = q.slots.find(slot);
-    if (it == q.slots.end() || it->second.second != gen) continue;  // stale
-    q.slots.erase(it);
+    const auto* it = q.slots.find(slot);
+    if (it == nullptr || it->second != gen) continue;  // stale
+    q.slots.erase(slot);
     --total_pending_;
     ++evicted_;
     return;
@@ -22,13 +23,19 @@ void Outbox::evict_oldest(Queue& q) {
 }
 
 void Outbox::store(std::uint32_t dest_peer, std::uint64_t slot, Message msg) {
-  auto& q = pending_[dest_peer];
+  auto [dest_entry, new_dest] = pending_.try_emplace(dest_peer);
+  if (new_dest) {
+    // Recycled queues arrive with their slot map's capacity warm — a
+    // churning destination stops allocating after its first cycle.
+    dest_entry->second = queue_pool_.acquire();
+  }
+  Queue& q = dest_entry->second;
   const std::uint64_t gen = ++generation_;
-  const auto [it, inserted] =
-      q.slots.insert_or_assign(slot, std::make_pair(std::move(msg), gen));
+  auto [slot_entry, inserted] = q.slots.try_emplace(slot);
+  if (!inserted) ++superseded_;  // newest-wins: the older value is gone
+  slot_entry->second = std::make_pair(std::move(msg), gen);
   q.order.emplace_back(slot, gen);
   ++stored_;
-  if (!inserted) ++superseded_;  // newest-wins: the older value is gone
   if (inserted) {
     ++total_pending_;
     if (per_dest_cap_ != 0 && q.slots.size() > per_dest_cap_) {
@@ -41,8 +48,8 @@ void Outbox::store(std::uint32_t dest_peer, std::uint64_t slot, Message msg) {
   if (q.order.size() > 4 * (q.slots.size() + 4)) {
     std::deque<std::pair<std::uint64_t, std::uint64_t>> live;
     for (const auto& [s, g] : q.order) {
-      const auto sit = q.slots.find(s);
-      if (sit != q.slots.end() && sit->second.second == g) {
+      const auto* sit = q.slots.find(s);
+      if (sit != nullptr && sit->second == g) {
         live.emplace_back(s, g);
       }
     }
@@ -53,24 +60,32 @@ void Outbox::store(std::uint32_t dest_peer, std::uint64_t slot, Message msg) {
 std::vector<std::pair<std::uint64_t, Message>> Outbox::drain(
     std::uint32_t dest_peer) {
   std::vector<std::pair<std::uint64_t, Message>> out;
-  const auto it = pending_.find(dest_peer);
-  if (it == pending_.end()) return out;
-  out.reserve(it->second.slots.size());
-  for (auto& [slot, entry] : it->second.slots) {
+  Queue* qp = pending_.find(dest_peer);
+  if (qp == nullptr) return out;
+  out.reserve(qp->slots.size());
+  qp->slots.for_each([&](std::uint64_t slot, auto& entry) {
     out.emplace_back(slot, std::move(entry.first));
-  }
-  total_pending_ -= it->second.slots.size();
-  drained_ += it->second.slots.size();
-  pending_.erase(it);
+  });
+  total_pending_ -= qp->slots.size();
+  drained_ += qp->slots.size();
+  // Recycle the queue (its flat map keeps its capacity) instead of
+  // letting the erase free it.
+  Queue recycled = std::move(*qp);
+  pending_.erase(dest_peer);
+  recycled.slots.clear();
+  recycled.order.clear();
+  recycled.next_retry = 0;
+  recycled.attempts = 0;
+  queue_pool_.release(std::move(recycled));
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 
 void Outbox::schedule_retry(std::uint32_t dest_peer, std::uint64_t now_pass) {
-  const auto it = pending_.find(dest_peer);
-  if (it == pending_.end()) return;
-  auto& q = it->second;
+  Queue* qp = pending_.find(dest_peer);
+  if (qp == nullptr) return;
+  Queue& q = *qp;
   std::uint64_t interval = retry_interval_;
   for (std::uint32_t i = 0; i < q.attempts && interval < retry_backoff_cap_;
        ++i) {
@@ -82,28 +97,30 @@ void Outbox::schedule_retry(std::uint32_t dest_peer, std::uint64_t now_pass) {
 
 std::vector<std::uint32_t> Outbox::due_destinations(std::uint64_t pass) const {
   std::vector<std::uint32_t> due;
-  for (const auto& [dest, q] : pending_) {
-    if (!q.slots.empty() && q.next_retry <= pass) due.push_back(dest);
-  }
+  pending_.for_each([&](std::uint64_t dest, const Queue& q) {
+    if (!q.slots.empty() && q.next_retry <= pass) {
+      due.push_back(static_cast<std::uint32_t>(dest));
+    }
+  });
   std::sort(due.begin(), due.end());
   return due;
 }
 
 bool Outbox::has_pending(std::uint32_t dest_peer) const {
-  const auto it = pending_.find(dest_peer);
-  return it != pending_.end() && !it->second.slots.empty();
+  const Queue* qp = pending_.find(dest_peer);
+  return qp != nullptr && !qp->slots.empty();
 }
 
 std::uint64_t Outbox::pending_for(std::uint32_t dest_peer) const {
-  const auto it = pending_.find(dest_peer);
-  return it == pending_.end() ? 0 : it->second.slots.size();
+  const Queue* qp = pending_.find(dest_peer);
+  return qp == nullptr ? 0 : qp->slots.size();
 }
 
 void Outbox::validate() const {
   if (!contracts::enabled()) return;
   [[maybe_unused]] const char* kSub = "net";
   std::uint64_t live = 0;
-  for (const auto& [dest, q] : pending_) {
+  pending_.for_each([&](std::uint64_t dest, const Queue& q) {
     live += q.slots.size();
     if (per_dest_cap_ != 0) {
       DPRANK_INVARIANT(q.slots.size() <= per_dest_cap_, kSub,
@@ -117,8 +134,8 @@ void Outbox::validate() const {
     // is wrong (or the slot can never be evicted at all).
     std::unordered_set<std::uint64_t> live_seen;
     for (const auto& [slot, gen] : q.order) {
-      const auto sit = q.slots.find(slot);
-      if (sit == q.slots.end() || sit->second.second != gen) continue;
+      const auto* sit = q.slots.find(slot);
+      if (sit == nullptr || sit->second != gen) continue;
       DPRANK_INVARIANT(live_seen.insert(slot).second, kSub,
                        "slot " + std::to_string(slot) + " for destination " +
                            std::to_string(dest) +
@@ -131,7 +148,7 @@ void Outbox::validate() const {
         "destination " + std::to_string(dest) + " has " +
             std::to_string(q.slots.size() - live_seen.size()) +
             " slot(s) missing from the eviction order (uncappable state)");
-  }
+  });
   DPRANK_INVARIANT(live == total_pending_, kSub,
                    "pending_count() (" + std::to_string(total_pending_) +
                        ") disagrees with the per-destination slot sum (" +
@@ -144,8 +161,8 @@ void Outbox::validate() const {
       "outbox credit leak: stored=" + std::to_string(stored_) +
           " != pending=" + std::to_string(total_pending_) +
           " + drained=" + std::to_string(drained_) +
-          " + superseded=" + std::to_string(superseded_) +
-          " + evicted=" + std::to_string(evicted_));
+          " + evicted=" + std::to_string(evicted_) +
+          " + superseded=" + std::to_string(superseded_));
 }
 
 }  // namespace dprank

@@ -28,9 +28,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.hpp"
+#include "common/flat_map.hpp"
 #include "net/message.hpp"
 
 namespace dprank {
@@ -97,12 +98,18 @@ class Outbox {
   /// when contracts are compiled out.
   void validate() const;
 
+  /// Queues recycled through the pool keep their warmed-up slot-map
+  /// capacity, so a destination churning offline/online stops costing
+  /// allocations after the first cycle.
+  [[nodiscard]] std::uint64_t queue_reuses() const {
+    return queue_pool_.reuses();
+  }
+
  private:
   friend struct TestCorruptor;  // negative invariant tests corrupt privates
   struct Queue {
     // slot -> (freshest message, generation of its newest store)
-    std::unordered_map<std::uint64_t, std::pair<Message, std::uint64_t>>
-        slots;
+    FlatMap64<std::pair<Message, std::uint64_t>> slots;
     // store order with lazy invalidation: an entry is live only when its
     // generation matches the slot's current one.
     std::deque<std::pair<std::uint64_t, std::uint64_t>> order;
@@ -112,7 +119,8 @@ class Outbox {
 
   void evict_oldest(Queue& q);
 
-  std::unordered_map<std::uint32_t, Queue> pending_;
+  FlatMap64<Queue> pending_;
+  ObjectPool<Queue> queue_pool_;
   std::uint64_t per_dest_cap_;
   std::uint64_t retry_interval_;
   std::uint64_t retry_backoff_cap_;

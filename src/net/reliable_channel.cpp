@@ -23,23 +23,24 @@ void ReliableChannel::track(const Pending& send, std::uint64_t pass) {
 }
 
 void ReliableChannel::ack(std::uint64_t slot, std::uint32_t seq) {
-  const auto it = inflight_.find(slot);
-  if (it != inflight_.end() && it->second.send.seq <= seq) {
-    inflight_.erase(it);
+  const Inflight* entry = inflight_.find(slot);
+  if (entry != nullptr && entry->send.seq <= seq) {
+    inflight_.erase(slot);
   }
 }
 
 std::vector<ReliableChannel::Pending> ReliableChannel::take_due(
     std::uint64_t pass) {
   std::vector<Pending> due;
-  for (auto it = inflight_.begin(); it != inflight_.end();) {
-    if (it->second.retry_at <= pass) {
-      due.push_back(it->second.send);
-      it = inflight_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  inflight_.erase_if([&](std::uint64_t, Inflight& entry) {
+    if (entry.retry_at > pass) return false;
+    due.push_back(entry.send);
+    return true;
+  });
+  // The flat map iterates in slot-array order; callers observe the
+  // retransmission order, so restore the slot order the std::map gave.
+  std::sort(due.begin(), due.end(),
+            [](const Pending& a, const Pending& b) { return a.slot < b.slot; });
   retransmissions_ += due.size();
   return due;
 }
@@ -47,24 +48,23 @@ std::vector<ReliableChannel::Pending> ReliableChannel::take_due(
 std::vector<ReliableChannel::Pending> ReliableChannel::forget_sender(
     std::uint32_t src) {
   std::vector<Pending> lost;
-  for (auto it = inflight_.begin(); it != inflight_.end();) {
-    if (it->second.send.src == src) {
-      lost.push_back(it->second.send);
-      it = inflight_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  inflight_.erase_if([&](std::uint64_t, Inflight& entry) {
+    if (entry.send.src != src) return false;
+    lost.push_back(entry.send);
+    return true;
+  });
+  std::sort(lost.begin(), lost.end(),
+            [](const Pending& a, const Pending& b) { return a.slot < b.slot; });
   return lost;
 }
 
 bool ReliableChannel::accept(std::uint64_t slot, std::uint32_t seq) {
-  auto& applied = applied_[slot];
-  if (seq > applied) {
-    applied = seq;
+  EdgeRecord& record = edges_[slot];
+  if (seq > record.applied) {
+    record.applied = seq;
     return true;
   }
-  if (seq == applied) {
+  if (seq == record.applied) {
     ++duplicates_suppressed_;
   } else {
     ++stale_rejected_;
@@ -75,24 +75,19 @@ bool ReliableChannel::accept(std::uint64_t slot, std::uint32_t seq) {
 void ReliableChannel::validate() const {
   if (!contracts::enabled()) return;
   [[maybe_unused]] const char* kSub = "net";
-  for (const auto& [slot, issued] : seq_) {
-    DPRANK_INVARIANT(issued >= 1, kSub,
-                     "slot " + std::to_string(slot) +
-                         " has an issued sequence counter of zero");
-  }
-  for (const auto& [slot, applied] : applied_) {
-    const auto it = seq_.find(slot);
-    // A slot can be applied without a local seq_ entry only when two
-    // channel instances split sender and receiver roles; the simulator
-    // shares one instance, where every applied value was issued here.
-    if (it == seq_.end()) continue;
-    DPRANK_INVARIANT(applied <= it->second, kSub,
-                     "slot " + std::to_string(slot) + " applied seq " +
-                         std::to_string(applied) +
-                         " ahead of the newest issued seq " +
-                         std::to_string(it->second));
-  }
-  for (const auto& [slot, entry] : inflight_) {
+  edges_.for_each([&](std::uint64_t slot, const EdgeRecord& record) {
+    // A slot applied without local issues only happens when sender and
+    // receiver roles live in different channel instances; the simulator
+    // shares one, where every applied value was issued here.
+    if (record.issued != 0) {
+      DPRANK_INVARIANT(record.applied <= record.issued, kSub,
+                       "slot " + std::to_string(slot) + " applied seq " +
+                           std::to_string(record.applied) +
+                           " ahead of the newest issued seq " +
+                           std::to_string(record.issued));
+    }
+  });
+  inflight_.for_each([&](std::uint64_t slot, const Inflight& entry) {
     DPRANK_INVARIANT(entry.send.slot == slot, kSub,
                      "in-flight record filed under slot " +
                          std::to_string(slot) + " but carries slot " +
@@ -100,16 +95,16 @@ void ReliableChannel::validate() const {
     DPRANK_INVARIANT(entry.send.seq >= 1, kSub,
                      "in-flight record on slot " + std::to_string(slot) +
                          " carries an unissued sequence number 0");
-    const auto it = seq_.find(slot);
-    DPRANK_INVARIANT(it != seq_.end(), kSub,
+    const EdgeRecord* record = edges_.find(slot);
+    DPRANK_INVARIANT(record != nullptr && record->issued >= 1, kSub,
                      "in-flight record on slot " + std::to_string(slot) +
                          " has no issued sequence counter");
-    DPRANK_INVARIANT(entry.send.seq <= it->second, kSub,
+    DPRANK_INVARIANT(entry.send.seq <= record->issued, kSub,
                      "in-flight record on slot " + std::to_string(slot) +
                          " carries seq " + std::to_string(entry.send.seq) +
                          " ahead of the newest issued seq " +
-                         std::to_string(it->second));
-  }
+                         std::to_string(record->issued));
+  });
   DPRANK_INVARIANT(peak_in_flight_ >= inflight_.size(), kSub,
                    "peak_in_flight() understates the live in-flight count");
 }

@@ -20,13 +20,22 @@
 //     idempotent-by-latest, so at most one in-flight record per slot is
 //     needed (the same linear-in-outlinks bound as the Outbox).
 //
+// Storage: one EdgeRecord per slot holds both sides of the sequence state
+// (newest issued, newest applied) — they were two `std::map`s keyed by the
+// same packed edge id, which doubled the lookups and the node allocations
+// on every send. Records and in-flight entries live in open-addressing
+// flat maps (common/flat_map.hpp); everything whose order the simulation
+// can observe (take_due, forget_sender) is sorted by slot on extraction,
+// exactly as the ordered maps guaranteed.
+//
 // The class is transport-agnostic bookkeeping: the engine decides what a
 // "send" is, asks the fault plan whether it survived, and reports the
 // outcome here.
 
 #include <cstdint>
-#include <map>
 #include <vector>
+
+#include "common/flat_map.hpp"
 
 namespace dprank {
 
@@ -54,7 +63,7 @@ class ReliableChannel {
 
   /// Next sequence number for `slot` (first emission gets 1).
   [[nodiscard]] std::uint32_t next_seq(std::uint64_t slot) {
-    return ++seq_[slot];
+    return ++edges_[slot].issued;
   }
 
   /// Record an unacked send awaiting retransmission. A newer emission for
@@ -99,10 +108,10 @@ class ReliableChannel {
   /// Structural invariant walk (contracts.hpp; subsystem "net"):
   ///  * per-slot sequence monotonicity — nothing applied on a slot is
   ///    fresher than the newest sequence number ever issued for it
-  ///    (applied[slot] <= seq[slot]);
+  ///    (record.applied <= record.issued);
   ///  * every in-flight record is keyed by its own slot, carries a
   ///    sequence number that was actually issued (1 <= send.seq <=
-  ///    seq[slot]), and at most one record exists per slot (the
+  ///    record.issued), and at most one record exists per slot (the
   ///    linear-in-outlinks bound);
   ///  * peak_in_flight() never understates the live in-flight count.
   /// Throws contracts::ContractViolation on the first violation; no-op
@@ -111,6 +120,13 @@ class ReliableChannel {
 
  private:
   friend struct TestCorruptor;  // negative invariant tests corrupt privates
+  /// Both halves of a slot's sequence state. An `applied` without a local
+  /// `issued` only happens when two channel instances split sender and
+  /// receiver roles; the simulator shares one instance.
+  struct EdgeRecord {
+    std::uint32_t issued = 0;   // newest sequence number handed out
+    std::uint32_t applied = 0;  // newest sequence number accepted
+  };
   struct Inflight {
     Pending send;
     std::uint64_t retry_at = 0;
@@ -119,11 +135,8 @@ class ReliableChannel {
   [[nodiscard]] std::uint64_t retry_interval(std::uint32_t attempt) const;
 
   Config config_;
-  // Ordered maps keep retransmission and RNG-consumption order
-  // deterministic across runs.
-  std::map<std::uint64_t, Inflight> inflight_;
-  std::map<std::uint64_t, std::uint32_t> seq_;
-  std::map<std::uint64_t, std::uint32_t> applied_;
+  FlatMap64<EdgeRecord> edges_;
+  FlatMap64<Inflight> inflight_;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t stale_rejected_ = 0;
   std::uint64_t duplicates_suppressed_ = 0;

@@ -1,5 +1,6 @@
 #include "pagerank/async_runtime.hpp"
 
+#include "common/arena.hpp"
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 
@@ -29,10 +30,13 @@ struct WireUpdate {
 /// single lock acquisition.
 class Mailbox {
  public:
-  void push(std::vector<WireUpdate> batch) {
+  /// Senders keep their batch vector (contents are copied into the queue
+  /// under the lock), so a per-destination scratch buffer retains its
+  /// capacity across pushes instead of being reallocated every flush.
+  void push(const std::vector<WireUpdate>& batch) {
     {
       const std::lock_guard lock(mu_);
-      for (auto& u : batch) queue_.push_back(u);
+      for (const auto& u : batch) queue_.push_back(u);
     }
     cv_.notify_one();
   }
@@ -46,11 +50,15 @@ class Mailbox {
   }
 
   /// Blocks until there is mail or `stop` becomes true. Returns the
-  /// drained queue (empty only on stop).
-  std::vector<WireUpdate> drain_or_stop(const std::atomic<bool>& stop) {
+  /// drained queue (empty only on stop) in a buffer from `pool` — the
+  /// owner's pool, since only the owning thread drains; release the
+  /// buffer back once the batch is applied.
+  std::vector<WireUpdate> drain_or_stop(const std::atomic<bool>& stop,
+                                        BufferPool<WireUpdate>& pool) {
     std::unique_lock lock(mu_);
     cv_.wait(lock, [&] { return !queue_.empty() || stop.load(); });
-    std::vector<WireUpdate> out(queue_.begin(), queue_.end());
+    std::vector<WireUpdate> out = pool.acquire();
+    out.insert(out.end(), queue_.begin(), queue_.end());
     queue_.clear();
     return out;
   }
@@ -165,10 +173,19 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
   const double d = options_.damping;
   const double base = 1.0 - d;
 
+  // Per-worker recycled mail buffers (each worker owns its own pool —
+  // they are not thread-safe); reuse totals feed net.pool_reuse.
+  std::atomic<std::uint64_t> pool_reuses{0};
+  std::atomic<std::uint64_t> pool_allocs{0};
+
   auto worker = [&](PeerId me) {
     std::vector<std::vector<WireUpdate>> outgoing(num_peers);
-    // `changed` collects documents needing recompute, deduplicated.
+    BufferPool<WireUpdate> mail_pool;
+    // `changed` collects documents needing recompute, deduplicated;
+    // `work` is its double buffer — the pair swap every cascade round,
+    // keeping both capacities warm.
     std::vector<NodeId> changed;
+    std::vector<NodeId> work;
     std::unordered_set<NodeId> changed_set;
 
     auto recompute_and_send = [&](NodeId v) {
@@ -208,7 +225,7 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
                                std::memory_order_relaxed);
           if (m_cross != nullptr) m_cross->add(outgoing[p].size());
           inflight.fetch_add(static_cast<std::int64_t>(outgoing[p].size()));
-          mailbox[p].push(std::move(outgoing[p]));
+          mailbox[p].push(outgoing[p]);
         }
         outgoing[p].clear();
       }
@@ -221,7 +238,7 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
     for (;;) {
       flush_outgoing();
       if (changed.empty()) break;
-      std::vector<NodeId> work;
+      work.clear();
       work.swap(changed);
       changed_set.clear();
       for (const NodeId v : work) recompute_and_send(v);
@@ -242,7 +259,8 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
     // Message loop.
     while (!stop.load()) {
       (void)wait_while_paused();
-      std::vector<WireUpdate> mail = mailbox[me].drain_or_stop(stop);
+      std::vector<WireUpdate> mail =
+          mailbox[me].drain_or_stop(stop, mail_pool);
       if (mail.empty()) continue;  // stop raised
       if (test_pause_after_drain_ && test_pause_after_drain_(me)) {
         // Test seam: simulate a churn pause that landed while this thread
@@ -273,6 +291,7 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
         capped_discards.fetch_add(mail.size(), std::memory_order_relaxed);
         if (m_discards != nullptr) m_discards->add(mail.size());
         release_credits(static_cast<std::int64_t>(mail.size()));
+        mail_pool.release(std::move(mail));
         continue;
       }
       // Apply the whole batch, then recompute each touched document once
@@ -283,14 +302,18 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
         if (changed_set.insert(v).second) changed.push_back(v);
       }
       while (!changed.empty()) {
-        std::vector<NodeId> work;
+        work.clear();
         work.swap(changed);
         changed_set.clear();
         for (const NodeId v : work) recompute_and_send(v);
         flush_outgoing();
       }
-      release_credits(static_cast<std::int64_t>(mail.size()));
+      const auto credits = static_cast<std::int64_t>(mail.size());
+      mail_pool.release(std::move(mail));
+      release_credits(credits);
     }
+    pool_reuses.fetch_add(mail_pool.reuses(), std::memory_order_relaxed);
+    pool_allocs.fetch_add(mail_pool.allocations(), std::memory_order_relaxed);
   };
 
   {
@@ -390,6 +413,11 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
   if (metrics_ != nullptr) {
     metrics_->counter("async.runs").add(1);
     if (result.converged) metrics_->counter("async.converged_runs").add(1);
+    // Arena health of the mailbox hot path: recycled vs freshly allocated
+    // drain buffers across all workers (a reuse ratio near 1 means the
+    // message loop ran allocation-free after warm-up).
+    metrics_->counter("net.pool_reuse").add(pool_reuses.load());
+    metrics_->counter("net.pool_alloc").add(pool_allocs.load());
   }
   return result;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -23,14 +25,15 @@ DistributedPagerank::DistributedPagerank(const Digraph& g,
   ranks_.assign(n, options_.initial_rank);
   // "Available pagerank for in-links from the previous iteration" at
   // pass 0 is the initial value: contribution of edge u->v starts at
-  // initial_rank / outdeg(u).
+  // initial_rank / outdeg(u). Cells live at in-CSR positions (see the
+  // header): iterate per destination, reading each source's out-degree.
   contrib_.resize(g.num_edges());
-  for (NodeId u = 0; u < n; ++u) {
-    const auto deg = g.out_degree(u);
-    if (deg == 0) continue;
-    const double c = options_.initial_rank / static_cast<double>(deg);
-    for (EdgeId e = g.out_edge_begin(u); e < g.out_edge_end(u); ++e) {
-      contrib_[e] = c;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto sources = g.in_neighbors(v);
+    const EdgeId base = g.in_edge_begin(v);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      contrib_[base + i] = options_.initial_rank /
+                           static_cast<double>(g.out_degree(sources[i]));
     }
   }
   pending_value_.assign(g.num_edges(), 0.0);
@@ -41,6 +44,12 @@ DistributedPagerank::DistributedPagerank(const Digraph& g,
   for (NodeId v = 0; v < n; ++v) dirty_[v] = v;  // first pass: everyone
   next_dirty_.reserve(n);
   peer_msgs_this_pass_.assign(placement.num_peers(), 0);
+  residual_mode_ = options_.schedule == Schedule::kResidual;
+  if (residual_mode_) {
+    residual_.assign(n, std::numeric_limits<double>::infinity());
+    last_sent_.assign(n, options_.initial_rank);
+    defer_age_.assign(n, 0);
+  }
 }
 
 void DistributedPagerank::attach_overlay(const ChordRing& ring,
@@ -227,8 +236,10 @@ bool DistributedPagerank::apply_update(EdgeId e, double value,
   if (channel_ != nullptr && !channel_->accept(e, seq)) {
     return false;  // stale reordered value or duplicate: rejected
   }
-  contrib_[e] = value;
+  const EdgeId cell = graph_.out_to_in_edge(e);
   const NodeId v = graph_.out_target(e);
+  if (residual_mode_) residual_[v] += std::abs(value - contrib_[cell]);
+  contrib_[cell] = value;
   if (now) {
     mark_dirty_now(v);
   } else {
@@ -327,11 +338,12 @@ void DistributedPagerank::crash_peer(PeerId p, std::uint64_t pass) {
   // its documents). Values still parked at live senders survive.
   for (const NodeId v : docs_by_peer_[p]) {
     const auto slots = graph_.in_to_out_edge(v);
-    for (const EdgeId e : slots) {
-      if (!pending_[e] && auditor_ != nullptr) {
-        auditor_->on_known_loss(contrib_[e]);
+    const EdgeId base = graph_.in_edge_begin(v);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!pending_[slots[i]] && auditor_ != nullptr) {
+        auditor_->on_known_loss(contrib_[base + i]);
       }
-      contrib_[e] = 0.0;
+      contrib_[base + i] = 0.0;
     }
   }
 }
@@ -384,7 +396,7 @@ void DistributedPagerank::recover_peer(PeerId p,
       }
       const double c =
           ranks_[u] / static_cast<double>(graph_.out_degree(u));
-      contrib_[e] = c;
+      contrib_[graph_.in_edge_begin(v) + i] = c;
       if (auditor_ != nullptr) auditor_->on_emit(e, c);
       if (channel_ != nullptr) {
         const std::uint32_t seq = channel_->next_seq(e);
@@ -401,6 +413,11 @@ void DistributedPagerank::recover_peer(PeerId p,
                               send_hops(pu, p, v));
         ++recovery_messages_;
       }
+    }
+    // A rebuilt document must recompute promptly whatever its residual
+    // history says: its cells were just rewritten wholesale.
+    if (residual_mode_) {
+      residual_[v] = std::numeric_limits<double>::infinity();
     }
     mark_dirty_now(v);
   }
@@ -469,16 +486,24 @@ void DistributedPagerank::process_retries(std::uint64_t pass,
   stats.retransmissions += channel_->retransmissions() - before;
 }
 
-bool DistributedPagerank::audit_and_repair(const std::vector<bool>& presence,
-                                           PassStats& stats) {
-  // Effective value per edge: the applied cell, or the parked outbox
-  // value for edges still waiting on an offline destination.
-  effective_scratch_ = contrib_;
+void DistributedPagerank::build_effective(std::vector<double>& out) const {
+  // Effective value per edge: the applied cell (permuted back from its
+  // in-CSR position to the out-edge id the ledger is keyed by), or the
+  // parked outbox value for edges still waiting on an offline
+  // destination.
+  const EdgeId m = graph_.num_edges();
+  out.resize(m);
+  for (EdgeId e = 0; e < m; ++e) out[e] = contrib_[graph_.out_to_in_edge(e)];
   for (const auto& entries : deferred_by_peer_) {
     for (const auto& [e, src] : entries) {
-      effective_scratch_[e] = pending_value_[e];
+      out[e] = pending_value_[e];
     }
   }
+}
+
+bool DistributedPagerank::audit_and_repair(const std::vector<bool>& presence,
+                                           PassStats& stats) {
+  build_effective(effective_scratch_);
   const MassAuditReport report =
       auditor_->audit(effective_scratch_, kAuditSlack);
   if (report.conserved(audit_tolerance_)) {
@@ -524,15 +549,23 @@ void DistributedPagerank::prepare_parallel_state() {
   peer_dirty_.resize(num_peers);
   peer_scratch_.resize(num_peers);
   if (batched_exchange_) {
+    if (pool_ == nullptr && !residual_mode_) {
+      // Sequential fifo runs skip the bucket machinery entirely.
+      dst_count_.resize(num_peers);
+      return;
+    }
     dst_incoming_.resize(num_peers);
     dst_marked_.resize(num_peers);
     slot_scratch_.resize(pool_ != nullptr ? pool_->concurrency() : 1);
-    for (auto& ws : slot_scratch_) ws.bucket.resize(num_peers);
+    for (auto& ws : slot_scratch_) {
+      ws.bucket.resize(num_peers);
+      if (residual_mode_) ws.bucket_delta.resize(num_peers);
+    }
   }
 }
 
-void DistributedPagerank::parallel_region(
-    std::size_t shards, const std::function<void(std::size_t, unsigned)>& fn) {
+template <typename Fn>
+void DistributedPagerank::parallel_region(std::size_t shards, Fn&& fn) {
   if (pool_ == nullptr) {
     for (std::size_t i = 0; i < shards; ++i) fn(i, 0);
     return;
@@ -564,8 +597,11 @@ void DistributedPagerank::bucket_dirty() {
     s.docs_recomputed = 0;
     s.max_rel = 0.0;
     s.deferred_calls = 0;
+    s.deferred_docs = 0;
     s.senders.clear();
+    s.kept_dirty.clear();
     s.targets.clear();
+    s.target_deltas.clear();
     s.buckets.clear();
     s.parked.clear();
   }
@@ -576,13 +612,47 @@ void DistributedPagerank::compute_peer(PeerId p,
                                        bool track_replica_values) {
   if (!presence[p]) return;  // docs stay dirty; re-marked at the merge
   PeerScratch& s = peer_scratch_[p];
+  std::vector<NodeId>& bucket = peer_dirty_[p];
   const double d = options_.damping;
   const double base = 1.0 - d;
-  for (const NodeId v : peer_dirty_[p]) {
+  // Residual schedule: order the bucket by accumulated |Δcontribution|
+  // so one recompute coalesces every update behind the largest pending
+  // mass, and decide whether this pass may defer the low-residual tail.
+  // No deferral once the iteration is within epsilon of converging — the
+  // endgame runs exhaustively, exactly like fifo.
+  const bool may_defer = residual_mode_ && prev_max_rel_ > options_.epsilon;
+  const double cutoff =
+      may_defer ? options_.residual_defer_ratio * prev_max_rel_ : 0.0;
+  if (residual_mode_) {
+    std::sort(bucket.begin(), bucket.end(), [&](NodeId a, NodeId b) {
+      const double ra = residual_[a];
+      const double rb = residual_[b];
+      return ra != rb ? ra > rb : a < b;
+    });
+  }
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    const NodeId v = bucket[i];
+    if (may_defer && i != 0 && defer_age_[v] < options_.residual_max_defer) {
+      // The damped residual bounds this document's possible rank change;
+      // relative to its current rank it is the analogue of the epsilon
+      // test. Every peer processes its top document (i == 0) and the age
+      // cap forces periodic progress, so deferral cannot starve anyone.
+      const double denom = ranks_[v] > 0 ? ranks_[v] : -ranks_[v];
+      const double relres =
+          denom > 0 ? d * residual_[v] / denom : d * residual_[v];
+      if (relres < cutoff) {
+        ++defer_age_[v];
+        ++s.deferred_docs;
+        s.kept_dirty.push_back(v);  // in_dirty_ stays set
+        continue;
+      }
+    }
     in_dirty_[v] = 0;
     double acc = 0.0;
-    const auto slots = graph_.in_to_out_edge(v);
-    for (const EdgeId e : slots) acc += contrib_[e];
+    const EdgeId cells_end = graph_.in_edge_end(v);
+    for (EdgeId c = graph_.in_edge_begin(v); c < cells_end; ++c) {
+      acc += contrib_[c];
+    }
     const double newrank = base + d * acc;
     const double rel = relative_change(ranks_[v], newrank);
     ranks_[v] = newrank;
@@ -598,8 +668,28 @@ void DistributedPagerank::compute_peer(PeerId p,
         }
       }
     }
-    if (rel > options_.epsilon && graph_.out_degree(v) != 0) {
+    if (!residual_mode_) {
+      if (rel > options_.epsilon && graph_.out_degree(v) != 0) {
+        s.senders.push_back(v);
+      }
+      continue;
+    }
+    residual_[v] = 0.0;
+    defer_age_[v] = 0;
+    if (graph_.out_degree(v) == 0) continue;
+    // Emission gate against the value the out-links actually hold (the
+    // last emission), not last pass's rank — a deferred document's
+    // coalesced change is judged in full.
+    const double rel_sent = relative_change(last_sent_[v], newrank);
+    if (rel_sent > eff_epsilon_) {
       s.senders.push_back(v);
+      last_sent_[v] = newrank;
+    } else if (rel_sent > options_.epsilon) {
+      // Cleared epsilon but not this pass's adaptive threshold: hold the
+      // emission (stay dirty) instead of dropping it — it goes out once
+      // the schedule tightens.
+      in_dirty_[v] = 1;
+      s.kept_dirty.push_back(v);
     }
   }
 }
@@ -627,10 +717,18 @@ void DistributedPagerank::exchange_batched(const std::vector<bool>& presence,
         // disjointness as contrib_, so workers never collide.
         if (auditor_ != nullptr) auditor_->on_emit(e, c);
         if (presence[pv]) {
-          contrib_[e] = c;
+          const EdgeId cell = graph_.out_to_in_edge(e);
           auto& b = ws.bucket[pv];
           if (b.empty()) ws.touched.push_back(pv);
           b.push_back(v);
+          if (residual_mode_) {
+            // |Δcontribution| travels with the target; the destination
+            // shard folds it into residual_ (it owns v's slot).
+            ws.bucket_delta[pv].push_back(c > contrib_[cell]
+                                              ? c - contrib_[cell]
+                                              : contrib_[cell] - c);
+          }
+          contrib_[cell] = c;
         } else {
           // park(), minus the shared bookkeeping (merged below).
           pending_value_[e] = c;
@@ -649,6 +747,11 @@ void DistributedPagerank::exchange_batched(const std::vector<bool>& presence,
           {dst, s.targets.size(), s.targets.size() + b.size()});
       s.targets.insert(s.targets.end(), b.begin(), b.end());
       b.clear();
+      if (residual_mode_) {
+        auto& bd = ws.bucket_delta[dst];
+        s.target_deltas.insert(s.target_deltas.end(), bd.begin(), bd.end());
+        bd.clear();
+      }
     }
     ws.touched.clear();
   });
@@ -724,6 +827,16 @@ void DistributedPagerank::exchange_batched(const std::vector<bool>& presence,
     marked.clear();
     for (const DstSlice& slice : dst_incoming_[dst]) {
       const auto& targets = peer_scratch_[slice.src].targets;
+      if (residual_mode_) {
+        // Fold the emitted |Δcontribution| into the destinations'
+        // residuals. Slices arrive in sorted source-peer order and each
+        // slice in emission order, so the floating-point accumulation
+        // order is fixed regardless of thread count.
+        const auto& deltas = peer_scratch_[slice.src].target_deltas;
+        for (std::size_t t = slice.begin; t < slice.end; ++t) {
+          residual_[targets[t]] += deltas[t];
+        }
+      }
       for (std::size_t t = slice.begin; t < slice.end; ++t) {
         const NodeId v = targets[t];
         if (!in_dirty_[v]) {
@@ -739,6 +852,78 @@ void DistributedPagerank::exchange_batched(const std::vector<bool>& presence,
     dst_incoming_[dst].clear();
   }
   active_dsts_.clear();
+}
+
+void DistributedPagerank::exchange_direct(const std::vector<bool>& presence,
+                                          PassStats& stats,
+                                          obs::Histogram* batch_hist) {
+  // Mirror of exchange_batched for the sequential fifo case: identical
+  // emission order (source peers ascending, senders in recompute order),
+  // identical billing order (per source, destinations ascending), same
+  // counters — but each update is one inline cell write plus an
+  // epoch-stamped per-destination tally instead of a materialized bucket.
+  std::uint64_t delivered_total = 0;
+  std::uint64_t local_total = 0;
+  for (const PeerId p : active_peers_) {
+    PeerScratch& s = peer_scratch_[p];
+    if (s.senders.empty()) continue;
+    dst_count_.advance();
+    touched_dsts_.clear();
+    for (const NodeId u : s.senders) {
+      const double c = ranks_[u] / static_cast<double>(graph_.out_degree(u));
+      const EdgeId out_end = graph_.out_edge_end(u);
+      for (EdgeId e = graph_.out_edge_begin(u); e < out_end; ++e) {
+        const NodeId v = graph_.out_target(e);
+        const PeerId pv = placement_.peer_of(v);
+        if (auditor_ != nullptr) auditor_->on_emit(e, c);
+        if (presence[pv]) {
+          contrib_[graph_.out_to_in_edge(e)] = c;
+          if (!dst_count_.fresh(pv)) touched_dsts_.push_back(pv);
+          ++dst_count_.at(pv);
+          if (!in_dirty_[v]) {
+            in_dirty_[v] = 1;
+            next_dirty_.push_back(v);
+          }
+        } else {
+          // park(), with the bookkeeping inlined (no channel, tracer or
+          // fault plan can be attached on this path).
+          pending_value_[e] = c;
+          ++stats.messages_deferred;
+          if (!pending_[e]) {
+            pending_[e] = 1;
+            deferred_by_peer_[pv].emplace_back(e, p);
+            ++total_pending_;
+          }
+        }
+      }
+    }
+    std::sort(touched_dsts_.begin(), touched_dsts_.end());
+    std::uint64_t cross_msgs = 0;  // wire messages this peer sent
+    for (const PeerId dst : touched_dsts_) {
+      const std::uint64_t k = dst_count_.peek(dst);
+      if (dst == p) {
+        local_total += k;
+        stats.local_updates += k;
+      } else {
+        delivered_total += k;
+        if (options_.coalesce_wire) {
+          meter_.record_batch(k, options_.batch_payload_bytes,
+                              options_.batch_header_bytes);
+          ++cross_msgs;
+        } else {
+          cross_msgs += k;
+        }
+        if (batch_hist != nullptr) batch_hist->record(static_cast<double>(k));
+      }
+    }
+    stats.messages_sent += cross_msgs;
+    stats.max_peer_messages = std::max(stats.max_peer_messages, cross_msgs);
+  }
+  if (!options_.coalesce_wire && delivered_total != 0) {
+    meter_.record_messages(delivered_total, PagerankUpdate::kWireBytes);
+  }
+  if (local_total != 0) meter_.record_local_updates(local_total);
+  outbox_peak_ = std::max(outbox_peak_, total_pending_);
 }
 
 void DistributedPagerank::deliver_deferred(const std::vector<bool>& presence,
@@ -860,6 +1045,28 @@ void DistributedPagerank::validate_state() const {
   DPRANK_INVARIANT(outbox_peak_ >= total_pending_, kSub,
                    "outbox peak understates the live pending count");
 
+  // Residual-scheduler state: arrays cover the documents, residual mass
+  // is non-negative, the defer age never escapes its cap, and any
+  // document holding undigested residual is queued for a recompute (a
+  // positive residual with no dirty flag would be an update the
+  // scheduler lost).
+  if (residual_mode_) {
+    DPRANK_INVARIANT(residual_.size() == n && last_sent_.size() == n &&
+                         defer_age_.size() == n,
+                     kSub,
+                     "residual-scheduler arrays do not cover the documents");
+    for (NodeId v = 0; v < n; ++v) {
+      DPRANK_INVARIANT(residual_[v] >= 0.0, kSub,
+                       "negative residual at document " + std::to_string(v));
+      DPRANK_INVARIANT(defer_age_[v] <= options_.residual_max_defer, kSub,
+                       "defer age exceeds residual_max_defer at document " +
+                           std::to_string(v));
+      DPRANK_INVARIANT(!(residual_[v] > 0.0) || in_dirty_[v] != 0, kSub,
+                       "document " + std::to_string(v) +
+                           " holds residual mass but is not marked dirty");
+    }
+  }
+
   // Delivery-delay buffer accounting.
   std::uint64_t delayed_msgs = 0;
   for (const auto& [due, msgs] : delayed_) delayed_msgs += msgs.size();
@@ -879,10 +1086,8 @@ void DistributedPagerank::validate_state() const {
   // so the identity only holds at quiescence and is checked there by the
   // audit machinery instead.
   if (auditor_ != nullptr && plan_ == nullptr) {
-    std::vector<double> effective = contrib_;
-    for (const auto& entries : deferred_by_peer_) {
-      for (const auto& [e, src] : entries) effective[e] = pending_value_[e];
-    }
+    std::vector<double> effective;
+    build_effective(effective);
     const MassAuditReport report = auditor_->audit(effective, kAuditSlack);
     DPRANK_INVARIANT(report.conserved(audit_tolerance_), kSub,
                      "rank mass leaked on a fault-free run: ratio " +
@@ -951,6 +1156,15 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
     // returns). Workers touch only state their shard's peer owns; the
     // merge folds per-peer results in sorted peer order, so the outcome
     // is identical for every thread count.
+    if (residual_mode_) {
+      // This pass's emission threshold: epsilon, or — under the adaptive
+      // schedule — loosened while last pass's max relative change was
+      // still large, tightening back to epsilon as the run settles.
+      eff_epsilon_ =
+          options_.adaptive_epsilon
+              ? std::max(options_.epsilon, std::min(0.05, prev_max_rel_ / 8.0))
+              : options_.epsilon;
+    }
     bucket_dirty();
     parallel_region(active_peers_.size(), [&](std::size_t i, unsigned) {
       compute_peer(active_peers_[i], *presence, track_replica_values);
@@ -965,12 +1179,24 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
       const PeerScratch& s = peer_scratch_[p];
       stats.docs_recomputed += s.docs_recomputed;
       stats.max_rel_change = std::max(stats.max_rel_change, s.max_rel);
+      stats.docs_deferred += s.deferred_docs;
+      if (!s.kept_dirty.empty()) {
+        // Deferred tail + held emissions: still flagged dirty, queued for
+        // the next pass in sorted peer order.
+        next_dirty_.insert(next_dirty_.end(), s.kept_dirty.begin(),
+                           s.kept_dirty.end());
+      }
     }
+    prev_max_rel_ = stats.max_rel_change;
 
     // Phase 2: senders emit their new contribution on every out-link;
     // visible next pass (or parked in the outbox for absent peers).
     if (batched_exchange_) {
-      exchange_batched(*presence, stats, batch_hist);
+      if (pool_ == nullptr && !residual_mode_) {
+        exchange_direct(*presence, stats, batch_hist);
+      } else {
+        exchange_batched(*presence, stats, batch_hist);
+      }
     } else {
     // Sequential sender-major exchange: fault fates, overlay cache warms
     // and trace events must observe emissions in one canonical order —
@@ -984,7 +1210,9 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
         const PeerId pv = placement_.peer_of(v);
         bool replica_eligible = true;
         if (pv == pu) {
-          contrib_[e] = c;
+          const EdgeId cell = graph_.out_to_in_edge(e);
+          if (residual_mode_) residual_[v] += std::abs(c - contrib_[cell]);
+          contrib_[cell] = c;
           if (auditor_ != nullptr) auditor_->on_emit(e, c);
           mark_dirty(v);
           meter_.record_local_update();
@@ -1134,12 +1362,7 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
   if (audit_enabled_) {
     if (!result.converged) {
       // Ran out of passes: report the leak as it stands.
-      effective_scratch_ = contrib_;
-      for (const auto& entries : deferred_by_peer_) {
-        for (const auto& [e, src] : entries) {
-          effective_scratch_[e] = pending_value_[e];
-        }
-      }
+      build_effective(effective_scratch_);
       last_audit_ = auditor_->audit(effective_scratch_, kAuditSlack);
     }
     result.mass_ratio = last_audit_.mass_ratio;
@@ -1181,6 +1404,19 @@ void DistributedPagerank::flush_metrics(const DistributedRunResult& result) {
     sent.append(x, static_cast<double>(p.messages_sent));
     pass_msgs.record(static_cast<double>(p.messages_sent));
     if (p.crashes != 0 || p.recovered_docs != 0) any_fault_event = true;
+  }
+  if (residual_mode_) {
+    // Scheduler telemetry: how much recompute work the residual order
+    // pushed to later passes (always absent under Schedule::kFifo, so
+    // fifo exports are unchanged byte for byte).
+    std::uint64_t total_deferred = 0;
+    obs::Series& deferred = reg.series("pagerank.deferred");
+    for (const PassStats& p : history_) {
+      total_deferred += p.docs_deferred;
+      deferred.append(static_cast<double>(p.pass),
+                      static_cast<double>(p.docs_deferred));
+    }
+    reg.counter("pagerank.docs_deferred").add(total_deferred);
   }
   if (any_fault_event) {
     obs::Series& crash_tl = reg.series("pagerank.crash_events");

@@ -68,6 +68,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
@@ -99,6 +100,9 @@ struct PassStats {
   std::uint64_t recovered_docs = 0;     // documents rebuilt this pass
   std::uint64_t retransmissions = 0;    // acked-delivery retries this pass
   std::uint64_t repair_messages = 0;    // mass-audit re-injections
+  /// Dirty documents whose recompute the residual scheduler pushed to a
+  /// later pass (always zero under Schedule::kFifo).
+  std::uint64_t docs_deferred = 0;
 };
 
 /// DEPRECATED legacy fault vocabulary: UDP-style drop/duplication only.
@@ -329,6 +333,10 @@ class DistributedPagerank {
   /// false after re-injecting leaked contributions (keep iterating).
   bool audit_and_repair(const std::vector<bool>& presence,
                         PassStats& stats);
+  /// The MassAuditor's view of the ledger: the contribution store
+  /// permuted back to out-edge indexing (it is stored per in-CSR
+  /// position), with parked outbox values overlaid.
+  void build_effective(std::vector<double>& out) const;
 
   // ---- telemetry ----
   /// End the journey `t` (no-op for kNoTrace) with the applied/stale
@@ -383,12 +391,21 @@ class DistributedPagerank {
   std::vector<bool> presence_eff_;
   std::vector<double> effective_scratch_;  // audit workspace
 
-  // Delivery-delay buffer: pass -> messages arriving at its start.
+  // Delivery-delay buffer: pass -> messages arriving at its start. A
+  // node-based ordered map is right here: the fault path is cold, only
+  // the earliest due passes are visited, and delivery order must follow
+  // due-pass order. dprank-lint: allow(hot-path-map)
   std::map<std::uint64_t, std::vector<DelayedMsg>> delayed_;
   std::uint64_t delayed_total_ = 0;
 
   std::vector<double> ranks_;
-  std::vector<double> contrib_;        // per out-edge, delivered value
+  // Delivered contribution cells, indexed by in-CSR *position* (see
+  // Digraph::in_edge_begin): a document's cells are contiguous, so the
+  // recompute — the engine's hottest loop — streams them sequentially.
+  // Everything keyed by message identity (outbox, sequence numbers,
+  // audit ledger) stays on out-edge ids; writes translate through
+  // Digraph::out_to_in_edge.
+  std::vector<double> contrib_;
   std::vector<double> pending_value_;  // per out-edge, undelivered value
   // Per out-edge outbox flag. uint8_t, not vector<bool>: parallel workers
   // set flags for distinct edges concurrently, which must not share words.
@@ -413,7 +430,12 @@ class DistributedPagerank {
     std::uint64_t docs_recomputed = 0;
     double max_rel = 0.0;
     std::uint64_t deferred_calls = 0;    // park() equivalents this pass
+    std::uint64_t deferred_docs = 0;     // residual schedule: tail pushed
     std::vector<NodeId> senders;         // epsilon-exceeding, dirty order
+    // Residual schedule: documents this peer kept dirty instead of
+    // processing — the deferred low-residual tail, plus documents whose
+    // change cleared epsilon but not the adaptive threshold.
+    std::vector<NodeId> kept_dirty;
     // Batched exchange: emission targets grouped per destination peer.
     // buckets[i] covers targets[begin, end) for destination dst (sorted
     // by dst; the dst == source bucket holds the Fig. 1b local updates).
@@ -423,6 +445,9 @@ class DistributedPagerank {
       std::size_t end = 0;
     };
     std::vector<NodeId> targets;
+    // Residual schedule: |Δcontribution| per entry of targets, folded
+    // into residual_ by the destination shard (deterministic order).
+    std::vector<double> target_deltas;
     std::vector<Bucket> buckets;
     std::vector<std::pair<PeerId, EdgeId>> parked;  // newly parked edges
   };
@@ -430,6 +455,7 @@ class DistributedPagerank {
   // (indexed by pool slot, reused across passes).
   struct SlotScratch {
     std::vector<std::vector<NodeId>> bucket;  // per destination peer
+    std::vector<std::vector<double>> bucket_delta;  // residual mode only
     std::vector<PeerId> touched;
   };
   struct DstSlice {  // one source peer's targets aimed at a destination
@@ -443,11 +469,15 @@ class DistributedPagerank {
   /// (sorted) and reset the active peers' scratch.
   void bucket_dirty();
   /// Invoke fn(shard) for every shard in [0, shards) — on the pool when
-  /// one exists, as a plain loop otherwise. fn also receives the
-  /// participant slot for SlotScratch indexing.
-  void parallel_region(std::size_t shards,
-                       const std::function<void(std::size_t, unsigned)>& fn);
+  /// one exists, as a plain inlined loop otherwise (the template keeps
+  /// the sequential path free of std::function dispatch). fn also
+  /// receives the participant slot for SlotScratch indexing.
+  template <typename Fn>
+  void parallel_region(std::size_t shards, Fn&& fn);
   /// Phase 1 for one peer's dirty bucket: recompute, collect senders.
+  /// Under Schedule::kResidual the bucket is first ordered by accumulated
+  /// residual (descending) and its low-residual tail may be deferred into
+  /// kept_dirty instead of processed.
   void compute_peer(PeerId p, const std::vector<bool>& presence,
                     bool track_replica_values);
   /// Batched fast-path exchange (clean/churn configs only): emit per
@@ -455,6 +485,16 @@ class DistributedPagerank {
   /// per-update traffic, apply and mark sharded by destination peer.
   void exchange_batched(const std::vector<bool>& presence, PassStats& stats,
                         obs::Histogram* batch_hist);
+  /// Single-threaded fifo specialization of exchange_batched: delivery
+  /// is one cell write at the emission site and per-destination message
+  /// counts come from an epoch-stamped counter array, skipping the
+  /// bucket materialization entirely (at 500 peers the median batch is
+  /// one update, so the buckets cost more than the updates). Counters,
+  /// traffic and dirty-set membership are bit-identical to the batched
+  /// path; only the order of next_dirty_ differs, which no observable
+  /// state depends on.
+  void exchange_direct(const std::vector<bool>& presence, PassStats& stats,
+                       obs::Histogram* batch_hist);
 
   std::unique_ptr<ThreadPool> pool_;   // only when options_.threads > 1
   bool batched_exchange_ = false;
@@ -465,6 +505,23 @@ class DistributedPagerank {
   std::vector<std::vector<DstSlice>> dst_incoming_;
   std::vector<std::vector<NodeId>> dst_marked_;
   std::vector<PeerId> active_dsts_;    // destinations this pass, sorted
+  // exchange_direct scratch: per-destination update counts, epoch-reset
+  // per source peer instead of cleared.
+  EpochArray<std::uint32_t> dst_count_;
+  std::vector<PeerId> touched_dsts_;
+
+  // ---- residual scheduler state (Schedule::kResidual only) ----
+  bool residual_mode_ = false;
+  double eff_epsilon_ = 0.0;   // this pass's emission threshold
+  double prev_max_rel_ = 0.0;  // last pass's max relative change
+  // Accumulated |Δcontribution| since the document's last recompute;
+  // +inf until first recomputed, so pass 0 processes everything.
+  std::vector<double> residual_;
+  // Rank value behind the document's last emission: the emission gate
+  // compares against what the out-links actually hold, not last pass's
+  // rank, so coalesced (deferred) updates are never silently dropped.
+  std::vector<double> last_sent_;
+  std::vector<std::uint8_t> defer_age_;  // consecutive deferrals
 
   TrafficMeter meter_;
   std::vector<PassStats> history_;

@@ -15,6 +15,23 @@
 
 namespace dprank {
 
+/// Order in which DistributedPagerank works through its dirty set.
+enum class Schedule : std::uint8_t {
+  /// Fig. 1 as written: every dirty document is recomputed each pass, in
+  /// the order it was marked. The default — and the bit-compatibility
+  /// baseline: ranks, pass history and traffic are unchanged from engines
+  /// that predate the scheduler.
+  kFifo = 0,
+  /// Residual-prioritized (after D-Iteration and Das Sarma et al.): each
+  /// dirty document carries the |Δcontribution| mass accumulated since
+  /// its last recompute; every peer works highest-residual-first and may
+  /// defer the low-residual tail of its bucket to a later pass, so one
+  /// recompute (and one emission fan-out) coalesces several incoming
+  /// updates. Converges to the same epsilon with fewer update messages;
+  /// rank values differ from kFifo only within the epsilon tolerance.
+  kResidual = 1,
+};
+
 struct PagerankOptions {
   /// Damping factor d of Eq. 1. Google's standard 0.85. The Figure 2
   /// illustration corresponds to d = 1 (increments 1/3 and 1/6 with no
@@ -55,6 +72,27 @@ struct PagerankOptions {
   /// per update behind one transport header).
   std::uint32_t batch_header_bytes = 16;
   std::uint32_t batch_payload_bytes = 24;
+
+  /// Dirty-set processing order; see Schedule. CLI: --schedule.
+  Schedule schedule = Schedule::kFifo;
+
+  /// kResidual sub-flag: start each pass with a loosened emission
+  /// threshold that tightens toward epsilon as the global residual falls
+  /// (documents whose change clears epsilon but not the loosened
+  /// threshold stay dirty rather than emitting, so no update is lost —
+  /// it is sent once the schedule tightens). Cuts early-phase message
+  /// storms; final quality is still governed by epsilon. CLI:
+  /// --adaptive-epsilon.
+  bool adaptive_epsilon = false;
+
+  /// kResidual tuning: a document is deferred when its relative residual
+  /// falls below residual_defer_ratio x the previous pass's max relative
+  /// change (no deferral once that max is within epsilon — the endgame
+  /// runs exhaustively). Each peer always processes its highest-residual
+  /// document, and no document is deferred more than residual_max_defer
+  /// consecutive passes, which bounds staleness and guarantees progress.
+  double residual_defer_ratio = 0.5;
+  std::uint32_t residual_max_defer = 8;
 
   /// Run the engine's full invariant walk (DistributedPagerank
   /// validate_state(); see common/contracts.hpp) every n-th pass boundary

@@ -1,0 +1,323 @@
+// Convergence-schedule tests (PagerankOptions::schedule).
+//
+// Two contracts, each load-bearing for a different audience:
+//  * Schedule::kFifo (the default) is BIT-IDENTICAL to the engine that
+//    predates the scheduler: ranks, the full pass history, the traffic
+//    ledger and the outbox peak hash to golden digests recorded on the
+//    pre-scheduler build, at 1 and 4 threads, clean and churned. Anyone
+//    not opting into the scheduler gets exactly the old engine.
+//  * Schedule::kResidual converges at the same epsilon with materially
+//    fewer cross-peer messages, at fifo-level quality against the
+//    centralized oracle (Table 2's measure), and — like every engine
+//    configuration — produces bit-identical results for every thread
+//    count.
+
+#include "pagerank/distributed_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "graph/generator.hpp"
+#include "p2p/churn.hpp"
+#include "p2p/placement.hpp"
+#include "pagerank/centralized.hpp"
+#include "pagerank/quality.hpp"
+
+namespace dprank {
+namespace {
+
+// ---- fifo bit-compatibility ------------------------------------------
+
+constexpr NodeId kDocs = 2'000;
+constexpr PeerId kPeers = 40;
+
+/// FNV-1a over every observable the compatibility promise covers.
+class Fnv {
+ public:
+  void mix(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 1099511628211ULL;
+    }
+  }
+  template <typename T>
+  void mix_value(const T& v) {
+    mix(&v, sizeof(v));
+  }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ULL;
+};
+
+std::uint64_t digest_run(std::uint64_t seed, std::uint32_t threads,
+                         double availability) {
+  const Digraph g = paper_graph(kDocs, seed);
+  const auto placement = Placement::random(kDocs, kPeers, seed);
+  PagerankOptions o;
+  o.epsilon = 1e-3;
+  o.threads = threads;
+  DistributedPagerank engine(g, placement, o);
+  DistributedRunResult run;
+  if (availability < 1.0) {
+    ChurnSchedule churn(kPeers, availability, seed);
+    run = engine.run(&churn);
+  } else {
+    run = engine.run();
+  }
+  Fnv f;
+  f.mix_value(run.passes);
+  f.mix_value(run.converged);
+  f.mix(engine.ranks().data(), engine.ranks().size() * sizeof(double));
+  for (const PassStats& s : engine.pass_history()) {
+    f.mix_value(s.pass);
+    f.mix_value(s.docs_recomputed);
+    f.mix_value(s.messages_sent);
+    f.mix_value(s.messages_deferred);
+    f.mix_value(s.messages_delivered_late);
+    f.mix_value(s.local_updates);
+    f.mix_value(s.max_peer_messages);
+    f.mix_value(s.max_rel_change);
+  }
+  const TrafficMeter& t = engine.traffic();
+  f.mix_value(t.messages());
+  f.mix_value(t.local_updates());
+  f.mix_value(t.bytes());
+  f.mix_value(t.resends());
+  f.mix_value(t.hop_transmissions());
+  f.mix_value(engine.outbox_peak());
+  return f.value();
+}
+
+struct GoldenEntry {
+  std::uint64_t seed;
+  double availability;
+  std::uint32_t threads;
+  std::uint64_t digest;
+};
+
+// Recorded on the build immediately preceding the scheduler and the
+// contribution-store reindex (commit ad810a0), 2000 docs / 40 peers /
+// epsilon 1e-3. These values must never change: fifo is the
+// compatibility baseline.
+constexpr GoldenEntry kGolden[] = {
+    {7ULL, 1.00, 1, 0xe1f5136668ea4ddcULL},
+    {7ULL, 1.00, 4, 0xe1f5136668ea4ddcULL},
+    {7ULL, 0.85, 1, 0xb9b4652c2261524aULL},
+    {7ULL, 0.85, 4, 0xb9b4652c2261524aULL},
+    {21ULL, 1.00, 1, 0xb46e1c638e860edaULL},
+    {21ULL, 1.00, 4, 0xb46e1c638e860edaULL},
+    {21ULL, 0.85, 1, 0x130df7e04f634d08ULL},
+    {21ULL, 0.85, 4, 0x130df7e04f634d08ULL},
+    {42ULL, 1.00, 1, 0xae197f138e3ac718ULL},
+    {42ULL, 1.00, 4, 0xae197f138e3ac718ULL},
+    {42ULL, 0.85, 1, 0xf3aede7be2c2410eULL},
+    {42ULL, 0.85, 4, 0xf3aede7be2c2410eULL},
+};
+
+TEST(ScheduleFifo, BitIdenticalToPreSchedulerEngine) {
+  for (const GoldenEntry& entry : kGolden) {
+    EXPECT_EQ(digest_run(entry.seed, entry.threads, entry.availability),
+              entry.digest)
+        << "seed=" << entry.seed << " threads=" << entry.threads
+        << " availability=" << entry.availability;
+  }
+}
+
+TEST(ScheduleFifo, DeferredCounterStaysZero) {
+  const Digraph g = paper_graph(kDocs, 7);
+  const auto placement = Placement::random(kDocs, kPeers, 7);
+  PagerankOptions o;
+  o.epsilon = 1e-3;
+  DistributedPagerank engine(g, placement, o);
+  (void)engine.run();
+  for (const PassStats& s : engine.pass_history()) {
+    EXPECT_EQ(s.docs_deferred, 0u);
+  }
+}
+
+// ---- residual schedule -----------------------------------------------
+
+struct ResidualOutcome {
+  std::vector<double> ranks;
+  std::uint64_t messages = 0;
+  std::uint64_t passes = 0;
+  std::uint64_t deferred = 0;
+  bool converged = false;
+};
+
+ResidualOutcome run_schedule(const Digraph& g, const Placement& placement,
+                             Schedule schedule, std::uint32_t threads,
+                             bool adaptive = false) {
+  PagerankOptions o;
+  o.epsilon = 1e-3;
+  o.threads = threads;
+  o.schedule = schedule;
+  o.adaptive_epsilon = adaptive;
+  o.validate_every_n_passes = 16;  // exercise the scheduler invariants
+  DistributedPagerank engine(g, placement, o);
+  const DistributedRunResult run = engine.run();
+  ResidualOutcome out;
+  out.ranks = engine.ranks();
+  out.messages = engine.traffic().messages();
+  out.passes = run.passes;
+  out.converged = run.converged;
+  for (const PassStats& s : engine.pass_history()) {
+    out.deferred += s.docs_deferred;
+  }
+  return out;
+}
+
+TEST(ScheduleResidual, FewerMessagesAtTable1Config) {
+  // The Table 1 small configuration (10k docs, 500 peers, epsilon 1e-3,
+  // bench seed 42): the residual schedule must save at least 20% of the
+  // cross-peer update messages, the adaptive variant at least 25%.
+  const Digraph g = paper_graph(10'000, 42);
+  const auto placement = Placement::random(10'000, 500, 42);
+
+  const ResidualOutcome fifo =
+      run_schedule(g, placement, Schedule::kFifo, 1);
+  const ResidualOutcome residual =
+      run_schedule(g, placement, Schedule::kResidual, 1);
+  const ResidualOutcome adaptive =
+      run_schedule(g, placement, Schedule::kResidual, 1, /*adaptive=*/true);
+
+  ASSERT_TRUE(fifo.converged);
+  ASSERT_TRUE(residual.converged);
+  ASSERT_TRUE(adaptive.converged);
+  EXPECT_EQ(fifo.deferred, 0u);
+  EXPECT_GT(residual.deferred, 0u);
+
+  const auto saving = [&](const ResidualOutcome& r) {
+    return 1.0 - static_cast<double>(r.messages) /
+                     static_cast<double>(fifo.messages);
+  };
+  EXPECT_GE(saving(residual), 0.20)
+      << "residual messages " << residual.messages << " vs fifo "
+      << fifo.messages;
+  EXPECT_GE(saving(adaptive), 0.25)
+      << "adaptive messages " << adaptive.messages << " vs fifo "
+      << fifo.messages;
+
+  // Quality versus the centralized oracle (Table 2's measure): the
+  // schedule must not cost ordering or value accuracy beyond the epsilon
+  // tolerance fifo itself exhibits.
+  const auto oracle = centralized_pagerank(g, {});
+  const QualityReport qf = summarize_quality(fifo.ranks, oracle.ranks);
+  const QualityReport qr = summarize_quality(residual.ranks, oracle.ranks);
+  const QualityReport qa = summarize_quality(adaptive.ranks, oracle.ranks);
+  EXPECT_LE(qr.avg, qf.avg + 2e-3);
+  EXPECT_LE(qa.avg, qf.avg + 2e-3);
+  EXPECT_GE(kendall_tau_sampled(residual.ranks, oracle.ranks),
+            kendall_tau_sampled(fifo.ranks, oracle.ranks) - 0.01);
+  EXPECT_GE(kendall_tau_sampled(adaptive.ranks, oracle.ranks),
+            kendall_tau_sampled(fifo.ranks, oracle.ranks) - 0.01);
+}
+
+TEST(ScheduleResidual, ThreadCountInvariant) {
+  // The residual order itself (sorting, deferral, adaptive thresholds)
+  // must not observe the thread count: residual accumulation is sharded
+  // and merged in fixed order exactly like every other engine fold.
+  for (const std::uint64_t seed : {7ULL, 21ULL, 42ULL}) {
+    const Digraph g = paper_graph(kDocs, seed);
+    const auto placement = Placement::random(kDocs, kPeers, seed);
+    for (const bool adaptive : {false, true}) {
+      const ResidualOutcome one =
+          run_schedule(g, placement, Schedule::kResidual, 1, adaptive);
+      const ResidualOutcome four =
+          run_schedule(g, placement, Schedule::kResidual, 4, adaptive);
+      EXPECT_EQ(one.ranks, four.ranks)
+          << "seed=" << seed << " adaptive=" << adaptive;
+      EXPECT_EQ(one.messages, four.messages);
+      EXPECT_EQ(one.passes, four.passes);
+      EXPECT_EQ(one.deferred, four.deferred);
+    }
+  }
+}
+
+TEST(ScheduleResidual, ConvergesUnderChurn) {
+  // Absent peers park updates; deferral must not interact badly with the
+  // store-and-resend outbox (a deferred document that later receives a
+  // late delivery still drains its residual).
+  const Digraph g = paper_graph(kDocs, 21);
+  const auto placement = Placement::random(kDocs, kPeers, 21);
+  PagerankOptions o;
+  o.epsilon = 1e-3;
+  o.schedule = Schedule::kResidual;
+  o.validate_every_n_passes = 8;
+  DistributedPagerank engine(g, placement, o);
+  ChurnSchedule churn(kPeers, 0.85, 21);
+  const DistributedRunResult run = engine.run(&churn);
+  EXPECT_TRUE(run.converged);
+
+  PagerankOptions of = o;
+  of.schedule = Schedule::kFifo;
+  DistributedPagerank fifo(g, placement, of);
+  ChurnSchedule churn2(kPeers, 0.85, 21);
+  (void)fifo.run(&churn2);
+  double l1 = 0.0;
+  double norm = 0.0;
+  for (NodeId v = 0; v < kDocs; ++v) {
+    l1 += std::abs(engine.ranks()[v] - fifo.ranks()[v]);
+    norm += std::abs(fifo.ranks()[v]);
+  }
+  EXPECT_LT(l1 / norm, 5e-3);
+}
+
+TEST(ScheduleResidual, MaxDeferBoundsStaleness) {
+  // With an age cap of 1 every document is processed at least every
+  // other pass; the run must still converge and defer strictly less than
+  // the default cap allows.
+  const Digraph g = paper_graph(kDocs, 42);
+  const auto placement = Placement::random(kDocs, kPeers, 42);
+  PagerankOptions tight;
+  tight.epsilon = 1e-3;
+  tight.schedule = Schedule::kResidual;
+  tight.residual_max_defer = 1;
+  DistributedPagerank eng_tight(g, placement, tight);
+  ASSERT_TRUE(eng_tight.run().converged);
+
+  PagerankOptions loose = tight;
+  loose.residual_max_defer = 8;
+  DistributedPagerank eng_loose(g, placement, loose);
+  ASSERT_TRUE(eng_loose.run().converged);
+
+  std::uint64_t tight_deferred = 0;
+  for (const PassStats& s : eng_tight.pass_history()) {
+    tight_deferred += s.docs_deferred;
+  }
+  std::uint64_t loose_deferred = 0;
+  for (const PassStats& s : eng_loose.pass_history()) {
+    loose_deferred += s.docs_deferred;
+  }
+  EXPECT_LT(tight_deferred, loose_deferred);
+}
+
+TEST(ScheduleResidual, DeferredTelemetryMatchesHistory) {
+  obs::MetricsRegistry reg;
+  const Digraph g = paper_graph(kDocs, 7);
+  const auto placement = Placement::random(kDocs, kPeers, 7);
+  PagerankOptions o;
+  o.epsilon = 1e-3;
+  o.schedule = Schedule::kResidual;
+  DistributedPagerank engine(g, placement, o);
+  engine.attach_metrics(reg);
+  (void)engine.run();
+
+  std::uint64_t total = 0;
+  for (const PassStats& s : engine.pass_history()) total += s.docs_deferred;
+  const auto snap = reg.snapshot();
+  ASSERT_TRUE(snap.counters.contains("pagerank.docs_deferred"));
+  EXPECT_EQ(snap.counters.at("pagerank.docs_deferred"),
+            total);
+  ASSERT_TRUE(snap.series.contains("pagerank.deferred"));
+  EXPECT_EQ(snap.series.at("pagerank.deferred").size(),
+            engine.pass_history().size());
+}
+
+}  // namespace
+}  // namespace dprank

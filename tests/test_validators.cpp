@@ -61,7 +61,13 @@ struct TestCorruptor {
   static void corrupt_channel_seq(ReliableChannel& ch) {
     // Receiver claims to have applied a fresher value than the sender
     // ever issued on the slot.
-    ch.applied_[ch.seq_.begin()->first] = ch.seq_.begin()->second + 1;
+    bool done = false;
+    ch.edges_.for_each(
+        [&](std::uint64_t, ReliableChannel::EdgeRecord& record) {
+          if (done || record.issued == 0) return;
+          record.applied = record.issued + 1;
+          done = true;
+        });
   }
   static void corrupt_dirty_set(DistributedPagerank& engine) {
     // Queue a document without flagging it: the dedup flag array and

@@ -7,10 +7,15 @@
 //           degree statistics + Broder bow-tie decomposition
 //   rank    --graph FILE [--peers P] [--epsilon E] [--placement MODE]
 //           [--availability F] [--threads T] [--ranks-out FILE]
+//           [--schedule fifo|residual] [--adaptive-epsilon]
 //           [--check-invariants [N]]
-//           run the distributed pagerank computation; --check-invariants
-//           runs the full contract-validator sweep every N passes
-//           (default every pass) — needs a build with
+//           run the distributed pagerank computation; --schedule residual
+//           enables residual-prioritized scheduling (fewer update
+//           messages, ranks within epsilon of fifo) and
+//           --adaptive-epsilon additionally loosens the emission
+//           threshold early and tightens it as the run converges;
+//           --check-invariants runs the full contract-validator sweep
+//           every N passes (default every pass) — needs a build with
 //           DPRANK_CHECK_INVARIANTS=ON (the default outside Release)
 //   insert  --graph FILE [--epsilon E] [--count K] [--seed S]
 //           measure insert-propagation cost (Table 4's experiment)
@@ -180,6 +185,18 @@ int cmd_rank(const Args& args) {
   options.epsilon = epsilon;
   options.threads = static_cast<std::uint32_t>(
       args.get_u64("threads", experiment_threads()));
+  const std::string schedule = args.get("schedule", "fifo");
+  if (schedule == "residual") {
+    options.schedule = Schedule::kResidual;
+  } else if (schedule != "fifo") {
+    throw std::invalid_argument("--schedule must be fifo or residual, got: " +
+                                schedule);
+  }
+  options.adaptive_epsilon = args.get_u64("adaptive-epsilon", 0) != 0;
+  if (options.adaptive_epsilon && options.schedule != Schedule::kResidual) {
+    throw std::invalid_argument(
+        "--adaptive-epsilon requires --schedule residual");
+  }
   options.validate_every_n_passes = args.get_u64("check-invariants", 0);
   if (options.validate_every_n_passes != 0 && !contracts::enabled()) {
     std::cerr << "warning: --check-invariants requested but contract "
@@ -207,6 +224,14 @@ int cmd_rank(const Args& args) {
             << " (" << format_count(engine.traffic().bytes()) << " bytes)\n"
             << "local upd: " << format_count(engine.traffic().local_updates())
             << "\n";
+  if (options.schedule == Schedule::kResidual) {
+    std::uint64_t deferred = 0;
+    for (const auto& pass : engine.pass_history()) {
+      deferred += pass.docs_deferred;
+    }
+    std::cout << "deferred:  " << format_count(deferred)
+              << " recomputes postponed by the residual schedule\n";
+  }
 
   const std::string ranks_out = args.get("ranks-out", "");
   if (!ranks_out.empty()) {
