@@ -45,3 +45,12 @@ fi
 
 cd "${build_dir}"
 ctest --output-on-failure -j "${jobs}" "$@"
+
+# Sweep the dynamic-membership handoff path (join pulls, leave pushes,
+# reconstruct-from-replica, outbox eviction, channel give-up) at bench
+# scale under the same sanitizer: the chaos-soak campaign binary exits
+# non-zero if any seeded case fails its acceptance bar. Skip with
+# DPRANK_SKIP_SOAK=1 when iterating on an unrelated subsystem.
+if [[ "${DPRANK_SKIP_SOAK:-0}" != "1" ]]; then
+  ./bench/bench_chaos_soak --benchmark_filter='chaos/soak'
+fi

@@ -94,4 +94,167 @@ class ChordRing {
   std::map<PeerId, Guid> guid_of_peer_;  // reverse index
 };
 
+// Self-healing Chord ring (extension; ROADMAP items 1 and 5).
+//
+// ChordRing derives finger tables from global membership — perfect for
+// the paper's converged-network traffic accounting, useless for studying
+// node loss, because a membership change repairs everything instantly.
+// SelfHealingRing gives every peer its own *local* routing state, exactly
+// the state a real Chord node maintains (Stoica et al. §E):
+//
+//   * a successor list of r = kSuccessors live peers (the ring survives
+//     up to r consecutive simultaneous failures);
+//   * a predecessor pointer;
+//   * a 128-entry finger table, repaired round-robin a few fingers per
+//     stabilization round (fix_fingers).
+//
+// Membership events diverge local state from the ground truth the class
+// also tracks (the oracle — what an omniscient observer knows):
+//   * join(p)   — p bootstraps its tables by routing to its own id from
+//     the lowest-id live peer and notifies its successor; predecessors
+//     and deeper successor lists catch up via stabilization;
+//   * leave(p)  — graceful: p hands its neighbors correct pointers on
+//     the way out (the paper's §3.1 "notify before departing");
+//   * crash(p)  — fail-stop: p vanishes, every pointer at other peers
+//     that names p goes stale until stabilization prunes it.
+//
+// stabilize_round() runs one synchronous round of Chord's maintenance at
+// every live peer in ascending id order (deterministic): prune dead
+// successors (falling back to live fingers, and as a last resort the
+// oracle — counted in emergency_rebootstraps(), zero unless all r
+// successors die at once), adopt the successor's predecessor when it sits
+// between, reconcile the successor list from the successor's own list,
+// notify, and repair the next fingers_per_round fingers via local routes.
+// converged() holds when every peer's successor list and predecessor
+// match the oracle; a single crash or join converges in one round,
+// deeper successor-list entries within r rounds.
+//
+// route() walks ONLY local tables — dead pointers are skipped (counted
+// per-route in Route::dead_probes) and stale-but-live fingers still make
+// clockwise progress, so routing keeps working *during* disruption;
+// landing on the true owner is guaranteed once converged() holds, which
+// is what validate() asserts (call it after stabilization, as the chaos
+// campaign does).
+
+class SelfHealingRing {
+ public:
+  /// Successor-list length r: tolerates r consecutive simultaneous
+  /// crashes between stabilization rounds.
+  static constexpr std::size_t kSuccessors = 3;
+
+  SelfHealingRing() = default;
+
+  /// Construct converged with peers 0..num_peers-1, ids from peer_guid().
+  /// `fingers_per_round` is the fix_fingers budget per peer per
+  /// stabilization round.
+  explicit SelfHealingRing(PeerId num_peers, int fingers_per_round = 32);
+
+  /// A new peer joins: bootstraps its local tables by looking up its own
+  /// id from the lowest-id live peer, adopts its successor's state and
+  /// notifies it. Other peers learn through stabilization. Throws
+  /// std::invalid_argument on duplicate peer or GUID collision.
+  void join(PeerId peer, Guid id);
+
+  /// Graceful departure: the peer repairs its immediate neighbors'
+  /// pointers on the way out (the ring never routes through a notified
+  /// gap); remaining references elsewhere are pruned on use. No-op if
+  /// absent.
+  void leave(PeerId peer);
+
+  /// Fail-stop crash: the peer vanishes without notice; every pointer to
+  /// it at other peers goes stale until stabilization prunes it. No-op
+  /// if absent.
+  void crash(PeerId peer);
+
+  [[nodiscard]] bool contains(PeerId peer) const;
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+  [[nodiscard]] Guid id_of(PeerId peer) const;
+
+  /// Oracle owner of `key` (ground truth; what routing must find once
+  /// converged). Requires a non-empty ring.
+  [[nodiscard]] PeerId successor_of_key(Guid key) const;
+
+  struct Route {
+    PeerId destination = kInvalidPeer;  // where the greedy walk delivered
+    std::vector<PeerId> hops;           // excludes origin; empty = local
+    bool ok = false;            // false: no live next hop / hop cap blown
+    std::size_t dead_probes = 0;  // stale pointers skipped along the way
+    [[nodiscard]] std::size_t hop_count() const { return hops.size(); }
+  };
+
+  /// Greedy lookup of `key` from `from` over local tables only. Dead
+  /// pointers are skipped; the walk fails (ok = false) only when a peer
+  /// has no live successor at all or the hop cap is exhausted.
+  [[nodiscard]] Route route(PeerId from, Guid key) const;
+
+  /// One synchronous maintenance round at every live peer, ascending id
+  /// order. Returns the number of pointer repairs performed (0 once the
+  /// ring has converged and fingers are clean).
+  std::size_t stabilize_round();
+
+  /// Run stabilize_round() until converged() or `max_rounds` is spent.
+  /// Returns rounds used. A single membership event needs 1 round for
+  /// first-successor correctness and at most kSuccessors for the deeper
+  /// list entries.
+  std::size_t stabilize(std::size_t max_rounds = 8);
+
+  /// True when every live peer's pruned successor list and predecessor
+  /// equal the oracle's. Fingers are excluded: they are a lookup
+  /// accelerator, not a correctness requirement (routing falls back to
+  /// successor hops).
+  [[nodiscard]] bool converged() const;
+
+  /// Live successor-list / predecessor views (for tests and handoff).
+  [[nodiscard]] std::vector<PeerId> successors_of(PeerId peer) const;
+  [[nodiscard]] PeerId predecessor_of(PeerId peer) const;
+
+  [[nodiscard]] std::vector<PeerId> peers_in_ring_order() const;
+
+  [[nodiscard]] std::uint64_t repairs() const { return repairs_; }
+  [[nodiscard]] std::uint64_t emergency_rebootstraps() const {
+    return emergency_rebootstraps_;
+  }
+
+  /// Structural invariant walk (contracts.hpp; subsystem "dht"). Call
+  /// after stabilization — the routability clause is a *converged-ring*
+  /// contract, extending ChordRing's invariant to the repaired ring:
+  ///  * membership bijection (ring index vs reverse index), and exactly
+  ///    the live peers hold local routing state;
+  ///  * successor lists hold at most kSuccessors entries and the ring
+  ///    has converged (lists + predecessors match the oracle);
+  ///  * routability: greedy lookups over LOCAL tables from sampled
+  ///    origins land on the true owner within max(24, 3·ceil(log2 N)+12)
+  ///    hops — ChordRing's budget plus slack for fingers still healing
+  ///    round-robin (stale fingers cost hops, never correctness).
+  /// Throws contracts::ContractViolation on the first violation; no-op
+  /// when contracts are compiled out.
+  void validate(std::size_t route_samples = 64) const;
+
+ private:
+  friend struct TestCorruptor;  // negative invariant tests corrupt privates
+  struct Local {
+    std::vector<PeerId> successors;  // clockwise, possibly stale entries
+    PeerId predecessor = kInvalidPeer;
+    std::vector<PeerId> fingers;  // 128 entries, possibly stale
+    int next_finger = 0;          // fix_fingers round-robin cursor
+  };
+
+  [[nodiscard]] bool alive(PeerId peer) const {
+    return guid_of_peer_.contains(peer);
+  }
+  /// First live entry of `peer`'s successor list (kInvalidPeer if none).
+  [[nodiscard]] PeerId first_live_successor(const Local& local) const;
+  /// Oracle successor list: the next min(r, size) live peers clockwise.
+  [[nodiscard]] std::vector<PeerId> oracle_successors(PeerId peer) const;
+  [[nodiscard]] PeerId oracle_predecessor(PeerId peer) const;
+  [[nodiscard]] std::size_t hop_cap() const;
+
+  std::map<Guid, PeerId> by_id_;         // ground truth, sorted by GUID
+  std::map<PeerId, Guid> guid_of_peer_;  // reverse index
+  std::map<PeerId, Local> locals_;       // per-peer local routing state
+  int fingers_per_round_ = 32;
+  std::uint64_t repairs_ = 0;
+  std::uint64_t emergency_rebootstraps_ = 0;
+};
+
 }  // namespace dprank

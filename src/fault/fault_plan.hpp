@@ -25,8 +25,14 @@
 //      which is exactly the out-of-order hazard sequence numbers guard.
 // Crashes are a per-pass event, not a per-send fate: a crashing peer loses
 // its outbox and its stored (un-applied) contributions, goes offline for
-// crash_downtime_passes, and must run recovery when it returns — unlike
-// graceful churn, where all state survives.
+// crash_downtime_passes, and must run recovery when it returns. Note that
+// NOT all churn is graceful: a FaultPlan crash is fail-stop WITH state
+// loss — only graceful §3.1 churn (ChurnSchedule) preserves every parked
+// update. FaultPlan crashes are still *temporary* (the peer returns after
+// its downtime); permanent fail-stop departure — the peer never returns,
+// its key range must move, and a failure detector must declare it dead —
+// is the dynamic-membership vocabulary (p2p/membership.hpp), scheduled as
+// MembershipEvents rather than CrashEvents.
 //
 // Determinism: every decision is a pure function of the seed and the call
 // sequence. The engine iterates peers, senders and edges in deterministic
@@ -88,6 +94,11 @@ struct FaultPlanConfig {
   bool acked_delivery = false;
   std::uint32_t ack_timeout_passes = 1;   // passes before first retry
   std::uint32_t retry_backoff_cap = 16;   // max passes between retries
+  /// Retransmission budget per record; 0 = retry forever. Pair a bound
+  /// with the failure detector under permanent departure, so abandoned
+  /// sends reach the channel's `gave_up` terminal outcome and their rank
+  /// mass is audited instead of leaking.
+  std::uint32_t retry_max_attempts = 0;
 
   std::uint64_t seed = 42;
 };

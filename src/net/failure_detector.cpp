@@ -1,0 +1,94 @@
+#include "net/failure_detector.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/contracts.hpp"
+
+namespace dprank {
+
+void FailureDetector::heartbeat(PeerId peer, std::uint64_t pass) {
+  Record& rec = record_for(peer);
+  if (rec.state == State::kDead || rec.state == State::kLeft) return;
+  if (rec.state == State::kSuspected) {
+    // Exonerated: the timeout fired on a slow-but-live peer.
+    ++false_suspicions_;
+    rec.suspicion = 0;
+  }
+  rec.state = State::kAlive;
+  rec.last_heard = pass;
+}
+
+void FailureDetector::mark_left(PeerId peer) {
+  Record& rec = record_for(peer);
+  if (rec.state == State::kDead) return;  // the verdict already landed
+  rec.state = State::kLeft;
+  rec.suspicion = 0;
+}
+
+std::vector<PeerId> FailureDetector::tick(std::uint64_t pass) {
+  const std::uint64_t suspect_after =
+      std::max<std::uint64_t>(1, config_.suspect_after_passes);
+  const std::uint32_t confirm_after =
+      std::max<std::uint32_t>(1, config_.confirm_after_suspicions);
+  std::vector<PeerId> newly_dead;
+  for (PeerId p = 0; p < records_.size(); ++p) {
+    Record& rec = records_[p];
+    if (rec.state != State::kAlive && rec.state != State::kSuspected) {
+      continue;
+    }
+    const std::uint64_t silence =
+        pass >= rec.last_heard ? pass - rec.last_heard : 0;
+    if (silence < suspect_after) continue;
+    if (rec.state == State::kAlive) {
+      rec.state = State::kSuspected;
+      rec.suspicion = 1;
+      ++suspicions_raised_;
+    } else {
+      ++rec.suspicion;
+    }
+    if (rec.suspicion >= confirm_after) {
+      rec.state = State::kDead;
+      rec.suspicion = 0;
+      ++declared_dead_;
+      newly_dead.push_back(p);  // ascending: the loop walks ids in order
+    }
+  }
+  return newly_dead;
+}
+
+void FailureDetector::validate() const {
+  if (!contracts::enabled()) return;
+  [[maybe_unused]] const char* kSub = "net";
+  const std::uint32_t confirm_after =
+      std::max<std::uint32_t>(1, config_.confirm_after_suspicions);
+  std::uint64_t dead = 0;
+  for (PeerId p = 0; p < records_.size(); ++p) {
+    const Record& rec = records_[p];
+    if (rec.state == State::kDead) ++dead;
+    if (rec.state == State::kSuspected) {
+      DPRANK_INVARIANT(rec.suspicion >= 1 && rec.suspicion < confirm_after,
+                       kSub,
+                       "peer " + std::to_string(p) +
+                           " suspected with suspicion count " +
+                           std::to_string(rec.suspicion) +
+                           " outside [1, confirmation threshold)");
+    } else {
+      DPRANK_INVARIANT(rec.suspicion == 0, kSub,
+                       "peer " + std::to_string(p) +
+                           " carries a suspicion count outside kSuspected");
+    }
+  }
+  DPRANK_INVARIANT(declared_dead_ == dead, kSub,
+                   "declared_dead() (" + std::to_string(declared_dead_) +
+                       ") disagrees with the kDead population (" +
+                       std::to_string(dead) + ")");
+  DPRANK_INVARIANT(
+      suspicions_raised_ >= false_suspicions_ + declared_dead_, kSub,
+      "suspicion ledger out of balance: raised " +
+          std::to_string(suspicions_raised_) + " < false " +
+          std::to_string(false_suspicions_) + " + dead " +
+          std::to_string(declared_dead_));
+}
+
+}  // namespace dprank

@@ -82,6 +82,29 @@ std::vector<std::pair<std::uint64_t, Message>> Outbox::drain(
   return out;
 }
 
+std::vector<std::pair<std::uint64_t, Message>> Outbox::drop_dead(
+    std::uint32_t dest_peer) {
+  std::vector<std::pair<std::uint64_t, Message>> out;
+  Queue* qp = pending_.find(dest_peer);
+  if (qp == nullptr) return out;
+  out.reserve(qp->slots.size());
+  qp->slots.for_each([&](std::uint64_t slot, auto& entry) {
+    out.emplace_back(slot, std::move(entry.first));
+  });
+  total_pending_ -= qp->slots.size();
+  dropped_dead_ += qp->slots.size();
+  Queue recycled = std::move(*qp);
+  pending_.erase(dest_peer);
+  recycled.slots.clear();
+  recycled.order.clear();
+  recycled.next_retry = 0;
+  recycled.attempts = 0;
+  queue_pool_.release(std::move(recycled));
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 void Outbox::schedule_retry(std::uint32_t dest_peer, std::uint64_t now_pass) {
   Queue* qp = pending_.find(dest_peer);
   if (qp == nullptr) return;
@@ -157,12 +180,15 @@ void Outbox::validate() const {
                    "peak_pending() understates the live pending count");
   // Credit conservation (§3.1): nothing stored may vanish unaccounted.
   DPRANK_INVARIANT(
-      stored_ == total_pending_ + drained_ + superseded_ + evicted_, kSub,
+      stored_ == total_pending_ + drained_ + superseded_ + evicted_ +
+                     dropped_dead_,
+      kSub,
       "outbox credit leak: stored=" + std::to_string(stored_) +
           " != pending=" + std::to_string(total_pending_) +
           " + drained=" + std::to_string(drained_) +
           " + evicted=" + std::to_string(evicted_) +
-          " + superseded=" + std::to_string(superseded_));
+          " + superseded=" + std::to_string(superseded_) +
+          " + dropped_dead=" + std::to_string(dropped_dead_));
 }
 
 }  // namespace dprank

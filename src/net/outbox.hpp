@@ -60,6 +60,16 @@ class Outbox {
   [[nodiscard]] std::vector<std::pair<std::uint64_t, Message>> drain(
       std::uint32_t dest_peer);
 
+  /// Evict everything pending for `dest_peer` — the failure detector
+  /// declared it permanently dead, so "periodically resent until
+  /// delivered" can never succeed and the queue would otherwise be
+  /// retried/parked forever (a slow memory leak under sustained
+  /// departure). Returned in slot order so the caller can feed the lost
+  /// rank mass to the auditor; accounted under the dropped_dead exit of
+  /// the conservation ledger.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, Message>> drop_dead(
+      std::uint32_t dest_peer);
+
   /// Arm (or re-arm, with doubled backoff) the resend timer for
   /// `dest_peer` as of `now_pass`. No-op for destinations with nothing
   /// pending.
@@ -80,15 +90,20 @@ class Outbox {
 
   // Credit-conservation ledger: every store() is accounted for until it
   // leaves through exactly one exit. stored == drained + superseded +
-  // evicted + pending at all times (validate() enforces it).
+  // evicted + dropped_dead + pending at all times (validate() enforces
+  // it).
   [[nodiscard]] std::uint64_t stored_count() const { return stored_; }
   [[nodiscard]] std::uint64_t drained_count() const { return drained_; }
   [[nodiscard]] std::uint64_t superseded_count() const { return superseded_; }
+  [[nodiscard]] std::uint64_t dropped_dead_count() const {
+    return dropped_dead_;
+  }
 
   /// Structural invariant walk (contracts.hpp; subsystem "net"):
   ///  * credit conservation — every stored message is pending, drained,
-  ///    superseded by a fresher value, or evicted by the cap (§3.1's
-  ///    linear-in-outlinks state bound depends on this accounting);
+  ///    superseded by a fresher value, evicted by the cap, or dropped for
+  ///    a declared-dead destination (§3.1's linear-in-outlinks state
+  ///    bound depends on this accounting);
   ///  * total_pending_ equals the sum of live per-destination slots;
   ///  * each live slot has exactly one live generation entry in its
   ///    queue's store-order deque (the eviction order);
@@ -131,6 +146,7 @@ class Outbox {
   std::uint64_t stored_ = 0;
   std::uint64_t drained_ = 0;
   std::uint64_t superseded_ = 0;
+  std::uint64_t dropped_dead_ = 0;
 };
 
 }  // namespace dprank

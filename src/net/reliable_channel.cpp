@@ -16,9 +16,18 @@ std::uint64_t ReliableChannel::retry_interval(std::uint32_t attempt) const {
 }
 
 void ReliableChannel::track(const Pending& send, std::uint64_t pass) {
-  auto& entry = inflight_[send.slot];
-  if (entry.send.seq <= send.seq) entry.send = send;
-  entry.retry_at = pass + retry_interval(send.attempt);
+  if (config_.max_attempts != 0 && send.attempt >= config_.max_attempts) {
+    // Retry budget exhausted: terminal outcome instead of another backoff
+    // round. The record never re-enters the in-flight table, so the
+    // ledger sees neither an insertion nor an exit.
+    ++gave_up_;
+    gave_up_queue_.push_back(send);
+    return;
+  }
+  auto [entry, inserted] = inflight_.try_emplace(send.slot);
+  if (inserted) ++tracked_;
+  if (entry->second.send.seq <= send.seq) entry->second.send = send;
+  entry->second.retry_at = pass + retry_interval(send.attempt);
   peak_in_flight_ = std::max<std::uint64_t>(peak_in_flight_, inflight_.size());
 }
 
@@ -26,6 +35,7 @@ void ReliableChannel::ack(std::uint64_t slot, std::uint32_t seq) {
   const Inflight* entry = inflight_.find(slot);
   if (entry != nullptr && entry->send.seq <= seq) {
     inflight_.erase(slot);
+    ++acked_clears_;
   }
 }
 
@@ -42,6 +52,7 @@ std::vector<ReliableChannel::Pending> ReliableChannel::take_due(
   std::sort(due.begin(), due.end(),
             [](const Pending& a, const Pending& b) { return a.slot < b.slot; });
   retransmissions_ += due.size();
+  taken_ += due.size();
   return due;
 }
 
@@ -55,7 +66,43 @@ std::vector<ReliableChannel::Pending> ReliableChannel::forget_sender(
   });
   std::sort(lost.begin(), lost.end(),
             [](const Pending& a, const Pending& b) { return a.slot < b.slot; });
+  forgotten_ += lost.size();
   return lost;
+}
+
+std::vector<ReliableChannel::Pending> ReliableChannel::give_up_on_dest(
+    std::uint32_t dest) {
+  std::vector<Pending> abandoned;
+  inflight_.erase_if([&](std::uint64_t, Inflight& entry) {
+    if (entry.send.dest != dest) return false;
+    abandoned.push_back(entry.send);
+    return true;
+  });
+  std::sort(abandoned.begin(), abandoned.end(),
+            [](const Pending& a, const Pending& b) { return a.slot < b.slot; });
+  gave_up_removed_ += abandoned.size();
+  gave_up_ += abandoned.size();
+  gave_up_queue_.insert(gave_up_queue_.end(), abandoned.begin(),
+                        abandoned.end());
+  return abandoned;
+}
+
+std::vector<ReliableChannel::Pending> ReliableChannel::take_gave_up() {
+  std::vector<Pending> drained;
+  drained.swap(gave_up_queue_);
+  return drained;
+}
+
+std::uint64_t ReliableChannel::reassign_sender(std::uint32_t src,
+                                               std::uint32_t heir) {
+  std::uint64_t moved = 0;
+  inflight_.for_each([&](std::uint64_t, Inflight& entry) {
+    if (entry.send.src == src) {
+      entry.send.src = heir;
+      ++moved;
+    }
+  });
+  return moved;
 }
 
 bool ReliableChannel::accept(std::uint64_t slot, std::uint32_t seq) {
@@ -107,6 +154,22 @@ void ReliableChannel::validate() const {
   });
   DPRANK_INVARIANT(peak_in_flight_ >= inflight_.size(), kSub,
                    "peak_in_flight() understates the live in-flight count");
+  // Conservation ledger: every insertion into the in-flight table left
+  // through exactly one exit or is still live. (Budget-exhausted give-ups
+  // never re-entered the table, so they appear in gave_up_ but not here.)
+  DPRANK_INVARIANT(
+      tracked_ ==
+          acked_clears_ + forgotten_ + taken_ + gave_up_removed_ +
+              inflight_.size(),
+      kSub,
+      "in-flight conservation ledger out of balance: tracked " +
+          std::to_string(tracked_) + " != acked " +
+          std::to_string(acked_clears_) + " + forgotten " +
+          std::to_string(forgotten_) + " + taken " + std::to_string(taken_) +
+          " + gave_up " + std::to_string(gave_up_removed_) + " + in_flight " +
+          std::to_string(inflight_.size()));
+  DPRANK_INVARIANT(gave_up_queue_.size() <= gave_up_, kSub,
+                   "undrained give-up queue exceeds the total give-up count");
 }
 
 }  // namespace dprank

@@ -18,7 +18,19 @@
 //     number of passes until the ack arrives. Retransmissions always carry
 //     the *newest* emission for the slot — pagerank updates are
 //     idempotent-by-latest, so at most one in-flight record per slot is
-//     needed (the same linear-in-outlinks bound as the Outbox).
+//     needed (the same linear-in-outlinks bound as the Outbox);
+//   * retransmission is bounded when the caller asks for it: with
+//     Config::max_attempts set, a record whose retry budget is exhausted
+//     (or whose destination the failure detector declared permanently
+//     dead — give_up_on_dest()) reaches the `gave_up` terminal outcome
+//     instead of backing off forever. Given-up records queue for the
+//     caller (take_gave_up()) so the lost rank mass can be fed to the
+//     MassAuditor rather than silently leaking.
+//
+// Conservation ledger: every record that enters the in-flight table exits
+// through exactly one of ack, forget_sender, take_due or give_up_on_dest;
+// validate() enforces tracked == acked + forgotten + taken + gave_up +
+// in_flight, mirroring the Outbox credit ledger.
 //
 // Storage: one EdgeRecord per slot holds both sides of the sequence state
 // (newest issued, newest applied) — they were two `std::map`s keyed by the
@@ -44,6 +56,11 @@ class ReliableChannel {
   struct Config {
     std::uint32_t ack_timeout_passes = 1;  // passes before the first retry
     std::uint32_t retry_backoff_cap = 16;  // max passes between retries
+    /// Retransmission budget per record: a track() whose `attempt` has
+    /// reached this many retries gives up instead of re-arming the timer.
+    /// 0 = retry forever (the legacy behaviour; dangerous under permanent
+    /// departure — pair a bound with a failure detector).
+    std::uint32_t max_attempts = 0;
   };
 
   struct Pending {
@@ -67,7 +84,10 @@ class ReliableChannel {
   }
 
   /// Record an unacked send awaiting retransmission. A newer emission for
-  /// the same slot supersedes the old record (newest-value-wins).
+  /// the same slot supersedes the old record (newest-value-wins). With
+  /// Config::max_attempts set, a send whose retry budget is exhausted is
+  /// not re-armed: it reaches the `gave_up` terminal outcome and queues
+  /// for take_gave_up() instead.
   void track(const Pending& send, std::uint64_t pass);
 
   /// The ack for `slot` covering sequence numbers <= `seq` arrived: clear
@@ -83,6 +103,24 @@ class ReliableChannel {
   /// loses its retransmission state. Returns the records lost, in slot
   /// order, so the caller can account the leaked rank mass.
   std::vector<Pending> forget_sender(std::uint32_t src);
+
+  /// Stop retransmitting to `dest` — the failure detector declared the
+  /// peer permanently dead, so no ack can ever arrive. Every in-flight
+  /// record addressed to it reaches the `gave_up` terminal outcome and is
+  /// returned in slot order (and also queued for take_gave_up()) so the
+  /// caller can account the lost rank mass.
+  std::vector<Pending> give_up_on_dest(std::uint32_t dest);
+
+  /// Drain the records that reached the `gave_up` terminal outcome since
+  /// the last call (budget exhaustion via track(), or give_up_on_dest()),
+  /// in the order they gave up. Each appears exactly once.
+  [[nodiscard]] std::vector<Pending> take_gave_up();
+
+  /// Transfer retransmission responsibility for every in-flight record
+  /// whose sender is `src` to `heir` — a gracefully leaving peer hands
+  /// its unacked sends to its ring successor instead of losing them.
+  /// Returns how many records moved.
+  std::uint64_t reassign_sender(std::uint32_t src, std::uint32_t heir);
 
   /// Receiver-side filter: true when `seq` is fresher than everything
   /// already applied on `slot` (and records it as applied). Stale values
@@ -103,6 +141,9 @@ class ReliableChannel {
   [[nodiscard]] std::uint64_t peak_in_flight() const {
     return peak_in_flight_;
   }
+  /// Records that reached the `gave_up` terminal outcome (budget
+  /// exhaustion + declared-dead destinations), drained or not.
+  [[nodiscard]] std::uint64_t gave_up() const { return gave_up_; }
   [[nodiscard]] const Config& config() const { return config_; }
 
   /// Structural invariant walk (contracts.hpp; subsystem "net"):
@@ -113,6 +154,12 @@ class ReliableChannel {
   ///    sequence number that was actually issued (1 <= send.seq <=
   ///    record.issued), and at most one record exists per slot (the
   ///    linear-in-outlinks bound);
+  ///  * conservation ledger — every record that entered the in-flight
+  ///    table left through exactly one exit: tracked == acked +
+  ///    forgotten + taken + gave_up_removed + in_flight (the new
+  ///    `gave_up` exit balances like every other);
+  ///  * the undrained give-up queue never exceeds the total give-up
+  ///    count;
   ///  * peak_in_flight() never understates the live in-flight count.
   /// Throws contracts::ContractViolation on the first violation; no-op
   /// when contracts are compiled out.
@@ -137,10 +184,19 @@ class ReliableChannel {
   Config config_;
   FlatMap64<EdgeRecord> edges_;
   FlatMap64<Inflight> inflight_;
+  std::vector<Pending> gave_up_queue_;  // awaiting take_gave_up()
   std::uint64_t retransmissions_ = 0;
   std::uint64_t stale_rejected_ = 0;
   std::uint64_t duplicates_suppressed_ = 0;
   std::uint64_t peak_in_flight_ = 0;
+  std::uint64_t gave_up_ = 0;
+  // Conservation ledger (validate()): in-flight entries created vs the
+  // exits they left through.
+  std::uint64_t tracked_ = 0;           // insertions into inflight_
+  std::uint64_t acked_clears_ = 0;      // removed by ack()
+  std::uint64_t forgotten_ = 0;         // removed by forget_sender()
+  std::uint64_t taken_ = 0;             // removed by take_due()
+  std::uint64_t gave_up_removed_ = 0;   // removed by give_up_on_dest()
 };
 
 }  // namespace dprank

@@ -1,0 +1,227 @@
+#include "p2p/membership.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "common/guid.hpp"
+
+namespace dprank {
+
+namespace {
+
+bool contains_peer(const std::vector<PeerId>& v, PeerId p) {
+  return std::find(v.begin(), v.end(), p) != v.end();
+}
+
+}  // namespace
+
+MembershipCoordinator::MembershipCoordinator(
+    Placement& placement, PeerId initial_peers,
+    std::vector<MembershipEvent> schedule, MembershipConfig config)
+    : placement_(placement),
+      ring_(initial_peers),
+      detector_(config.detector),
+      config_(config),
+      schedule_(std::move(schedule)) {
+  if (initial_peers == 0) {
+    throw std::invalid_argument("MembershipCoordinator: zero initial peers");
+  }
+  if (placement_.num_peers() < initial_peers) {
+    throw std::invalid_argument(
+        "MembershipCoordinator: placement capacity below initial peers");
+  }
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const MembershipEvent& a, const MembershipEvent& b) {
+                     return a.pass < b.pass;
+                   });
+  // Replay the schedule against a liveness model to reject impossible
+  // histories up front (join of a live peer, removal of a dead one,
+  // ids beyond placement capacity, emptying the ring).
+  std::vector<bool> live(placement_.num_peers(), false);
+  std::fill(live.begin(), live.begin() + initial_peers, true);
+  std::uint64_t live_count = initial_peers;
+  for (const MembershipEvent& ev : schedule_) {
+    if (ev.peer >= placement_.num_peers()) {
+      throw std::invalid_argument(
+          "MembershipCoordinator: event peer beyond placement capacity");
+    }
+    switch (ev.kind) {
+      case MembershipEvent::Kind::kJoin:
+        if (live[ev.peer]) {
+          throw std::invalid_argument(
+              "MembershipCoordinator: join of a live peer");
+        }
+        live[ev.peer] = true;
+        ++live_count;
+        break;
+      case MembershipEvent::Kind::kLeave:
+      case MembershipEvent::Kind::kCrash:
+        if (!live[ev.peer]) {
+          throw std::invalid_argument(
+              "MembershipCoordinator: departure of a non-live peer");
+        }
+        if (live_count == 1) {
+          throw std::invalid_argument(
+              "MembershipCoordinator: schedule empties the ring");
+        }
+        live[ev.peer] = false;
+        --live_count;
+        break;
+    }
+  }
+  presence_.assign(placement_.num_peers(), false);
+  for (PeerId p = 0; p < initial_peers; ++p) presence_[p] = true;
+  live_count_ = initial_peers;
+  for (PeerId p = 0; p < initial_peers; ++p) detector_.monitor(p, 0);
+  // Normalize placement to ring ownership so the first pass starts from
+  // a consistent-hash layout (the handoff deltas are computed against
+  // this baseline).
+  for (NodeId d = 0; d < placement_.num_docs(); ++d) {
+    const PeerId owner = ring_.successor_of_key(document_guid(d));
+    if (placement_.peer_of(d) != owner) placement_.reassign(d, owner);
+  }
+}
+
+const MembershipCoordinator::PassPlan& MembershipCoordinator::begin_pass(
+    std::uint64_t pass) {
+  if (pass < next_pass_) {
+    throw std::invalid_argument(
+        "MembershipCoordinator::begin_pass: passes must increase");
+  }
+  next_pass_ = pass + 1;
+  plan_ = PassPlan{};
+
+  // 1. Scheduled events striking at (or before, if the caller skipped
+  //    passes) this pass.
+  while (cursor_ < schedule_.size() && schedule_[cursor_].pass <= pass) {
+    const MembershipEvent& ev = schedule_[cursor_++];
+    ++events_applied_;
+    switch (ev.kind) {
+      case MembershipEvent::Kind::kJoin: {
+        ring_.join(ev.peer, peer_guid(ev.peer));
+        presence_[ev.peer] = true;
+        ++live_count_;
+        detector_.heartbeat(ev.peer, pass);
+        plan_.joins.push_back(ev.peer);
+        break;
+      }
+      case MembershipEvent::Kind::kLeave: {
+        const Guid id = ring_.id_of(ev.peer);
+        ring_.leave(ev.peer);
+        // The heir is the successor that absorbs the leaver's arc: the
+        // owner of the leaver's own id once it is gone.
+        const PeerId heir = ring_.successor_of_key(id);
+        presence_[ev.peer] = false;
+        --live_count_;
+        detector_.mark_left(ev.peer);
+        plan_.leaves.emplace_back(ev.peer, heir);
+        break;
+      }
+      case MembershipEvent::Kind::kCrash: {
+        ring_.crash(ev.peer);
+        presence_[ev.peer] = false;
+        --live_count_;
+        undetected_crashes_.emplace(ev.peer, pass);
+        plan_.crashes.push_back(ev.peer);
+        break;
+      }
+    }
+  }
+
+  // 2. Heartbeats from the live population, then the detector sweep.
+  //    Crashed peers fall silent here, which is what starts their
+  //    suspicion clock.
+  for (PeerId p = 0; p < presence_.size(); ++p) {
+    if (presence_[p]) detector_.heartbeat(p, pass);
+  }
+  for (const PeerId dead : detector_.tick(pass)) {
+    plan_.declared_dead.push_back(dead);
+    const auto it = undetected_crashes_.find(dead);
+    if (it != undetected_crashes_.end()) {
+      detection_latencies_.push_back(pass - it->second);
+      undetected_crashes_.erase(it);
+    }
+  }
+
+  // 3. Ring maintenance: a burst after any event, plus a few background
+  //    passes so round-robin finger repair keeps healing after the
+  //    successor lists have converged.
+  const bool event_pass = plan_.any_event();
+  if (event_pass) heal_passes_left_ = config_.heal_passes_after_event;
+  if (event_pass || heal_passes_left_ > 0) {
+    if (!event_pass) --heal_passes_left_;
+    stabilize_rounds_total_ += ring_.stabilize(config_.stabilize_max_rounds);
+    if (config_.validate_ring && contracts::enabled()) {
+      ring_.validate(config_.ring_route_samples);
+    }
+  }
+
+  // 4. Ownership: re-derive owner arcs from the repaired ring.
+  //    Documents of an undetected crash stay frozen on the dead owner —
+  //    the declaration pass is when their range moves (kReconstruct).
+  if (event_pass) recompute_ownership();
+  handoffs_total_ += plan_.handoffs.size();
+  return plan_;
+}
+
+void MembershipCoordinator::recompute_ownership() {
+  for (NodeId d = 0; d < placement_.num_docs(); ++d) {
+    const PeerId old_owner = placement_.peer_of(d);
+    if (undetected_crashes_.contains(old_owner)) continue;
+    const PeerId now = ring_.successor_of_key(document_guid(d));
+    if (now == old_owner) continue;
+    placement_.reassign(d, now);
+    Handoff::Reason reason;
+    if (detector_.is_dead(old_owner)) {
+      reason = Handoff::Reason::kReconstruct;
+    } else if (contains_peer(plan_.joins, now)) {
+      reason = Handoff::Reason::kJoinPull;
+    } else if (!presence_[old_owner]) {
+      reason = Handoff::Reason::kLeavePush;
+    } else {
+      // A live-to-live move can only be a join splitting an arc whose
+      // owner notified late; treat it as a pull by the new owner.
+      reason = Handoff::Reason::kJoinPull;
+    }
+    plan_.handoffs.push_back(Handoff{d, old_owner, now, reason});
+  }
+}
+
+void MembershipCoordinator::validate() const {
+  if (!contracts::enabled()) return;
+  PeerId live = 0;
+  for (PeerId p = 0; p < presence_.size(); ++p) {
+    if (presence_[p]) {
+      ++live;
+      DPRANK_INVARIANT(ring_.contains(p), "p2p",
+                       "membership: present peer missing from ring");
+      DPRANK_INVARIANT(detector_.considers_live(p) ||
+                           undetected_crashes_.contains(p),
+                       "p2p", "membership: present peer not considered live");
+    } else {
+      DPRANK_INVARIANT(!ring_.contains(p), "p2p",
+                       "membership: absent peer still in ring");
+    }
+  }
+  DPRANK_INVARIANT(live == live_count_, "p2p",
+                   "membership: live count mismatch");
+  DPRANK_INVARIANT(live_count_ == ring_.size(), "p2p",
+                   "membership: ring size mismatch");
+  for (const auto& [peer, pass] : undetected_crashes_) {
+    DPRANK_INVARIANT(!presence_[peer], "p2p",
+                     "membership: undetected crash marked present");
+    DPRANK_INVARIANT(!detector_.is_dead(peer), "p2p",
+                     "membership: undetected crash already declared");
+    (void)pass;
+  }
+  for (NodeId d = 0; d < placement_.num_docs(); ++d) {
+    const PeerId owner = placement_.peer_of(d);
+    if (undetected_crashes_.contains(owner)) continue;
+    DPRANK_INVARIANT(owner == ring_.successor_of_key(document_guid(d)), "p2p",
+                     "membership: document not owned by its ring successor");
+  }
+  detector_.validate();
+}
+
+}  // namespace dprank

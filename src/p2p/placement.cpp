@@ -1,5 +1,6 @@
 #include "p2p/placement.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/guid.hpp"
@@ -98,6 +99,19 @@ Placement Placement::by_link_clustering(const Digraph& g, PeerId num_peers,
   return Placement(std::move(owner), num_peers);
 }
 
+Placement Placement::from_owners(std::vector<PeerId> owner, PeerId num_peers) {
+  if (num_peers == 0) {
+    throw std::invalid_argument("Placement::from_owners: zero peers");
+  }
+  for (const PeerId p : owner) {
+    if (p >= num_peers) {
+      throw std::invalid_argument(
+          "Placement::from_owners: owner beyond peer capacity");
+    }
+  }
+  return Placement(std::move(owner), num_peers);
+}
+
 double Placement::cross_peer_edge_fraction(const Digraph& g) const {
   if (g.num_edges() == 0) return 0.0;
   std::uint64_t cross = 0;
@@ -124,6 +138,20 @@ void Placement::add_document(NodeId doc, PeerId peer) {
     throw std::invalid_argument("Placement::add_document: bad peer");
   }
   owner_.push_back(peer);
+}
+
+void Placement::reassign(NodeId doc, PeerId new_owner) {
+  if (doc >= owner_.size()) {
+    throw std::invalid_argument("Placement::reassign: unknown document");
+  }
+  if (new_owner >= num_peers_) {
+    throw std::invalid_argument("Placement::reassign: bad peer");
+  }
+  owner_[doc] = new_owner;
+}
+
+void Placement::grow_peers(PeerId num_peers) {
+  num_peers_ = std::max(num_peers_, num_peers);
 }
 
 }  // namespace dprank

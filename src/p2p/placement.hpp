@@ -36,6 +36,12 @@ class Placement {
   static Placement by_link_clustering(const Digraph& g, PeerId num_peers,
                                       std::uint64_t seed);
 
+  /// Adopt an explicit owner vector (dynamic-membership handoff: the
+  /// membership layer recomputes ownership from the repaired ring).
+  /// `num_peers` is the peer-id capacity — it may exceed the number of
+  /// distinct owners so crashed/left ids keep their slots.
+  static Placement from_owners(std::vector<PeerId> owner, PeerId num_peers);
+
   /// Fraction of graph edges whose endpoints live on different peers —
   /// the knob link-aware placement turns down.
   [[nodiscard]] double cross_peer_edge_fraction(const Digraph& g) const;
@@ -50,6 +56,15 @@ class Placement {
   /// Register a newly inserted document on `peer` (must be the next doc
   /// id, i.e. num_docs() before the call).
   void add_document(NodeId doc, PeerId peer);
+
+  /// Move `doc` to `new_owner` (membership handoff). The engine that
+  /// shares this placement must re-file its per-document message state
+  /// in the same pass (DistributedPagerank::apply_membership does).
+  void reassign(NodeId doc, PeerId new_owner);
+
+  /// Raise the peer-id capacity so joining peers get fresh ids beyond
+  /// the initial population. Never shrinks.
+  void grow_peers(PeerId num_peers);
 
  private:
   Placement(std::vector<PeerId> owner, PeerId num_peers)

@@ -55,6 +55,11 @@ DistributedPagerank::DistributedPagerank(const Digraph& g,
 void DistributedPagerank::attach_overlay(const ChordRing& ring,
                                          IpCache& cache) {
   if (ran_) throw std::logic_error("attach_overlay after run");
+  if (membership_ != nullptr) {
+    throw std::logic_error(
+        "attach_overlay: dynamic membership is attached; the static "
+        "converged ring and the self-healing ring are mutually exclusive");
+  }
   if (ring.size() != placement_.num_peers()) {
     throw std::invalid_argument(
         "attach_overlay: ring size does not match placement peers");
@@ -80,6 +85,22 @@ void DistributedPagerank::attach_fault_plan(FaultPlan& plan) {
         "already attached");
   }
   plan_ = &plan;
+}
+
+void DistributedPagerank::attach_membership(
+    MembershipCoordinator& membership) {
+  if (ran_) throw std::logic_error("attach_membership after run");
+  if (ring_ != nullptr) {
+    throw std::logic_error(
+        "attach_membership: attach_overlay models a fixed converged ring; "
+        "dynamic membership owns its own self-healing ring");
+  }
+  if (&membership.placement() != &placement_) {
+    throw std::invalid_argument(
+        "attach_membership: the coordinator must share this engine's "
+        "Placement object (handoffs mutate it in place)");
+  }
+  membership_ = &membership;
 }
 
 void DistributedPagerank::enable_mass_audit(double tolerance) {
@@ -262,23 +283,30 @@ void DistributedPagerank::prepare_fault_state() {
     if (plan_->config().acked_delivery) {
       channel_ = std::make_unique<ReliableChannel>(ReliableChannel::Config{
           plan_->config().ack_timeout_passes,
-          plan_->config().retry_backoff_cap});
+          plan_->config().retry_backoff_cap,
+          plan_->config().retry_max_attempts});
       pending_seq_.assign(graph_.num_edges(), 0);
     }
-    if (replicas_ != nullptr && !replicas_->empty()) {
-      replica_value_.assign(n, options_.initial_rank);
-    }
+  }
+  if ((plan_ != nullptr || membership_ != nullptr) && replicas_ != nullptr &&
+      !replicas_->empty()) {
+    // Replicas double as the rank store crash recovery (fault plan) and
+    // crash-range reconstruction (membership) restore from.
+    replica_value_.assign(n, options_.initial_rank);
   }
   // Periodic validation re-uses the mass ledger for the fault-free
   // conservation identity — only worth feeding when contracts are
   // compiled in (validate_state() is a no-op otherwise).
   const bool audit_for_validation =
       options_.validate_every_n_passes != 0 && contracts::enabled();
-  if (plan_ != nullptr || audit_enabled_ || audit_for_validation) {
+  if (plan_ != nullptr || membership_ != nullptr || audit_enabled_ ||
+      audit_for_validation) {
     auditor_ =
         std::make_unique<MassAuditor>(graph_, options_.initial_rank);
   }
-  if (audit_enabled_) {
+  // The audit's repair pass and the membership handoffs both need to map
+  // an out-edge back to its source document.
+  if (audit_enabled_ || membership_ != nullptr) {
     edge_src_.resize(graph_.num_edges());
     for (NodeId u = 0; u < n; ++u) {
       for (EdgeId e = graph_.out_edge_begin(u); e < graph_.out_edge_end(u);
@@ -301,6 +329,13 @@ void DistributedPagerank::crash_peer(PeerId p, std::uint64_t pass) {
                       {"downtime", static_cast<double>(downtime)}});
   }
 
+  wipe_sender_state(p);
+  // Receiver-side state lost: p's stored contributions (the cells feeding
+  // its documents). Values still parked at live senders survive.
+  for (const NodeId v : docs_by_peer_[p]) wipe_receiver_cells(v);
+}
+
+void DistributedPagerank::wipe_sender_state(PeerId p) {
   // Sender-side state lost: every update p had parked for offline
   // destinations vanishes with it.
   for (PeerId q = 0; q < deferred_by_peer_.size(); ++q) {
@@ -334,17 +369,16 @@ void DistributedPagerank::crash_peer(PeerId p, std::uint64_t pass) {
       }
     }
   }
-  // Receiver-side state lost: p's stored contributions (the cells feeding
-  // its documents). Values still parked at live senders survive.
-  for (const NodeId v : docs_by_peer_[p]) {
-    const auto slots = graph_.in_to_out_edge(v);
-    const EdgeId base = graph_.in_edge_begin(v);
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-      if (!pending_[slots[i]] && auditor_ != nullptr) {
-        auditor_->on_known_loss(contrib_[base + i]);
-      }
-      contrib_[base + i] = 0.0;
+}
+
+void DistributedPagerank::wipe_receiver_cells(NodeId v) {
+  const auto slots = graph_.in_to_out_edge(v);
+  const EdgeId base = graph_.in_edge_begin(v);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!pending_[slots[i]] && auditor_ != nullptr) {
+      auditor_->on_known_loss(contrib_[base + i]);
     }
+    contrib_[base + i] = 0.0;
   }
 }
 
@@ -423,6 +457,183 @@ void DistributedPagerank::recover_peer(PeerId p,
   }
 }
 
+void DistributedPagerank::drain_gave_up() {
+  if (channel_ == nullptr) return;
+  for (const auto& g : channel_->take_gave_up()) {
+    if (auditor_ != nullptr) auditor_->on_known_loss(g.value);
+    if (tracer_ != nullptr && g.trace != obs::kNoTrace) {
+      tracer_->async_end(g.trace, "net.gave_up", "net",
+                         static_cast<PeerId>(g.dest), {});
+    }
+  }
+}
+
+void DistributedPagerank::apply_membership(
+    const MembershipCoordinator::PassPlan& mplan, std::uint64_t pass,
+    PassStats& stats) {
+  const std::vector<bool>& presence = membership_->presence();
+
+  // 1. Fail-stop crashes: the peer's sender-side outbox state,
+  //    retransmission records and stored contribution cells vanish.
+  //    Ownership of its documents stays frozen on the dead id until the
+  //    detector's verdict (the coordinator holds the range back), so
+  //    parked updates addressed to it stay correctly filed meanwhile.
+  for (const PeerId p : mplan.crashes) {
+    ++crashes_seen_;
+    ++stats.crashes;
+    if (tracer_ != nullptr) {
+      tracer_->instant("peer.crash", "fault", p,
+                       {{"pass", static_cast<double>(pass)}});
+    }
+    wipe_sender_state(p);
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      if (placement_.peer_of(v) == p) wipe_receiver_cells(v);
+    }
+  }
+
+  // 2. Graceful leavers: in-flight sender responsibility moves to the
+  //    ring heir along with the documents (§3.1 "notify before
+  //    departing", extended to permanent departure). Parked entries are
+  //    re-labelled to the peer now owning each edge's source.
+  for (const auto& [leaver, heir] : mplan.leaves) {
+    for (auto& entries : deferred_by_peer_) {
+      for (auto& [e, src] : entries) {
+        if (src == leaver) src = placement_.peer_of(edge_src_[e]);
+      }
+    }
+    if (channel_ != nullptr) channel_->reassign_sender(leaver, heir);
+  }
+
+  // 3. Declared dead: the net layer stops waiting. Parked updates
+  //    addressed to the dead peer are evicted (the Outbox dropped_dead
+  //    exit) and the channel abandons retransmission (gave_up) — both
+  //    losses are audited so the quiescence repair re-injects the mass.
+  for (const PeerId d : mplan.declared_dead) {
+    auto& entries = deferred_by_peer_[d];
+    for (const auto& [e, src] : entries) {
+      pending_[e] = false;
+      --total_pending_;
+      ++outbox_dropped_dead_;
+      if (auditor_ != nullptr) auditor_->on_known_loss(pending_value_[e]);
+      if (tracer_ != nullptr && pending_trace_[e] != obs::kNoTrace) {
+        tracer_->async_end(pending_trace_[e], "outbox.dropped_dead", "net",
+                           d, {});
+        pending_trace_[e] = obs::kNoTrace;
+      }
+    }
+    entries.clear();
+    if (channel_ != nullptr) (void)channel_->give_up_on_dest(d);
+  }
+  drain_gave_up();
+
+  // 4. Handoffs. Phase A restores every reconstructed document's rank
+  //    first (from a live replica copy where one exists), so phase B's
+  //    cell rebuild reads consistent source ranks whatever the order of
+  //    documents inside the moved range — recover_peer's two-phase
+  //    shape.
+  stats.handoff_docs += mplan.handoffs.size();
+  handoff_docs_ += mplan.handoffs.size();
+  using Reason = MembershipCoordinator::Handoff::Reason;
+  for (const auto& h : mplan.handoffs) {
+    if (h.reason != Reason::kReconstruct) {
+      // Live-to-live transfer: the new owner pulls (join) or the leaver
+      // pushes (leave) the document's rank and its stored contribution
+      // cells in one bulk message; the values themselves are already
+      // correct, so only traffic and dirty bookkeeping change.
+      const std::size_t cells = graph_.in_neighbors(h.doc).size();
+      meter_.record_batch(1 + cells, options_.batch_payload_bytes,
+                          options_.batch_header_bytes);
+      continue;
+    }
+    bool restored = false;
+    if (!replica_value_.empty()) {
+      for (const PeerId rp : replicas_->replicas_of(h.doc)) {
+        if (presence[rp] && reachable(rp, h.to)) {
+          ranks_[h.doc] = replica_value_[h.doc];
+          meter_.record_message(PagerankUpdate::kWireBytes);
+          ++replica_restores_;
+          ++recovery_messages_;
+          restored = true;
+          break;
+        }
+      }
+    }
+    if (!restored) ranks_[h.doc] = options_.initial_rank;
+    ++recovered_docs_;
+    ++stats.recovered_docs;
+  }
+  for (const auto& h : mplan.handoffs) {
+    if (h.reason != Reason::kReconstruct) continue;
+    const NodeId v = h.doc;
+    const PeerId owner = h.to;
+    const auto sources = graph_.in_neighbors(v);
+    const auto slots = graph_.in_to_out_edge(v);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const NodeId u = sources[i];
+      const EdgeId e = slots[i];
+      const PeerId pu = placement_.peer_of(u);
+      if (pu != owner && pending_[e]) {
+        // A fresher value waits in the sender's outbox; the drain later
+        // this pass delivers it (re-filed to the new owner below).
+        continue;
+      }
+      if (pu != owner && (!presence[pu] || !reachable(pu, owner))) {
+        // Source unreachable: the cell stays empty until the source's
+        // next emission or the quiescence mass repair.
+        continue;
+      }
+      const double c = ranks_[u] / static_cast<double>(graph_.out_degree(u));
+      contrib_[graph_.in_edge_begin(v) + i] = c;
+      if (auditor_ != nullptr) auditor_->on_emit(e, c);
+      if (channel_ != nullptr) {
+        const std::uint32_t seq = channel_->next_seq(e);
+        (void)channel_->accept(e, seq);
+        channel_->ack(e, seq);
+      }
+      if (pu == owner) {
+        meter_.record_local_update();
+        ++stats.local_updates;
+      } else {
+        // One pull: the re-request out, the contribution back.
+        meter_.record_resend(PagerankUpdate::kWireBytes);
+        meter_.record_message(PagerankUpdate::kWireBytes);
+        ++recovery_messages_;
+      }
+    }
+    if (residual_mode_) {
+      residual_[v] = std::numeric_limits<double>::infinity();
+    }
+    mark_dirty_now(v);
+  }
+
+  // 5. Re-file parked entries whose target changed owner: the outbox
+  //    files every parked edge under the peer owning its target
+  //    (validate_state's invariant), and that peer just changed for the
+  //    moved ranges. Only the old owners' lists can hold stale filings.
+  if (!mplan.handoffs.empty()) {
+    std::vector<PeerId> affected;
+    affected.reserve(mplan.handoffs.size());
+    for (const auto& h : mplan.handoffs) affected.push_back(h.from);
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+    for (const PeerId from : affected) {
+      auto& entries = deferred_by_peer_[from];
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        const PeerId owner =
+            placement_.peer_of(graph_.out_target(entries[i].first));
+        if (owner == from) {
+          entries[kept++] = entries[i];
+        } else {
+          deferred_by_peer_[owner].push_back(entries[i]);
+        }
+      }
+      entries.resize(kept);
+    }
+  }
+}
+
 void DistributedPagerank::deliver_delayed(std::uint64_t pass,
                                           const std::vector<bool>& presence,
                                           PassStats& stats) {
@@ -484,6 +695,9 @@ void DistributedPagerank::process_retries(std::uint64_t pass,
     }
   }
   stats.retransmissions += channel_->retransmissions() - before;
+  // Records whose retry budget ran out during re-track above reached the
+  // gave_up terminal outcome: account the loss now, not at quiescence.
+  drain_gave_up();
 }
 
 void DistributedPagerank::build_effective(std::vector<double>& out) const {
@@ -537,12 +751,13 @@ void DistributedPagerank::prepare_parallel_state() {
   // The batched exchange applies updates outside the sequential emission
   // order. That is invisible on clean and churn-only runs — every write
   // lands in its own per-edge cell and every counter is a commutative
-  // sum — but fault plans, tracers, replicas, overlays and the audit all
-  // consume ordered state (RNG draws, cache warms, trace event order),
-  // so those configurations keep the sequential sender-major exchange.
+  // sum — but fault plans, tracers, replicas, overlays, dynamic
+  // membership and the audit all consume ordered state (RNG draws, cache
+  // warms, trace event order, stale-owner counts), so those
+  // configurations keep the sequential sender-major exchange.
   batched_exchange_ = plan_ == nullptr && tracer_ == nullptr &&
                       replicas_ == nullptr && ring_ == nullptr &&
-                      !audit_enabled_;
+                      membership_ == nullptr && !audit_enabled_;
   const std::uint32_t threads = std::max<std::uint32_t>(1, options_.threads);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads - 1);
   const PeerId num_peers = placement_.num_peers();
@@ -1081,11 +1296,12 @@ void DistributedPagerank::validate_state() const {
 
   // Rank-mass conservation identity (§2.3): on fault-free runs every
   // emitted contribution is applied or parked, nothing else — the ledger
-  // balances exactly. Under a fault plan transient leaks are expected
-  // (crash wipes, unacked drops) until audit_and_repair re-injects them,
-  // so the identity only holds at quiescence and is checked there by the
-  // audit machinery instead.
-  if (auditor_ != nullptr && plan_ == nullptr) {
+  // balances exactly. Under a fault plan or dynamic membership transient
+  // leaks are expected (crash wipes, unacked drops, dropped_dead
+  // evictions) until audit_and_repair re-injects them, so the identity
+  // only holds at quiescence and is checked there by the audit machinery
+  // instead.
+  if (auditor_ != nullptr && plan_ == nullptr && membership_ == nullptr) {
     std::vector<double> effective;
     build_effective(effective);
     const MassAuditReport report = auditor_->audit(effective, kAuditSlack);
@@ -1102,6 +1318,19 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
   ran_ = true;
   if (churn != nullptr && churn->num_peers() != placement_.num_peers()) {
     throw std::invalid_argument("DistributedPagerank::run: churn peer count");
+  }
+  if (membership_ != nullptr && churn != nullptr) {
+    throw std::invalid_argument(
+        "DistributedPagerank::run: dynamic membership and a churn schedule "
+        "both own the presence mask; attach one or the other");
+  }
+  if (membership_ != nullptr && plan_ != nullptr &&
+      (!plan_->config().crashes.empty() ||
+       plan_->config().crash_probability > 0.0)) {
+    throw std::invalid_argument(
+        "DistributedPagerank::run: fault-plan crashes are temporary "
+        "(downtime + recovery) and index a static ownership map; with "
+        "dynamic membership, schedule crashes as membership events");
   }
   prepare_fault_state();
   prepare_parallel_state();
@@ -1126,6 +1355,17 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
     stats.pass = pass;
     const std::vector<bool>* presence =
         churn != nullptr ? &churn->presence_for_pass(pass) : &all_present;
+
+    if (membership_ != nullptr) {
+      // Membership pass hook: scheduled events strike, heartbeats feed
+      // the detector, the ring stabilizes, ownership moves — then the
+      // engine moves/wipes/rebuilds the corresponding state. The
+      // coordinator's mask is the pass's base presence (a fault plan's
+      // temporary effects compose on top below).
+      apply_membership(membership_->begin_pass(pass), pass, stats);
+      presence = &membership_->presence();
+      if (contracts::enabled()) membership_->validate();
+    }
 
     if (plan_ != nullptr) {
       // Fault-plan pass hook: partitions advance, crashes strike.
@@ -1275,6 +1515,12 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
           }
         } else {
           if (plan_ != nullptr && (*presence)[pv]) ++partition_deferrals_;
+          if (membership_ != nullptr && membership_->undetected_crash(pv)) {
+            // The sender does not know the owner is gone yet: the query
+            // goes out to the stale owner and parks until the verdict.
+            ++stale_owner_queries_;
+            ++stats.stale_owner_queries;
+          }
           if (auditor_ != nullptr) auditor_->on_emit(e, c);
           const std::uint32_t seq =
               channel_ != nullptr ? channel_->next_seq(e) : 0;
@@ -1315,6 +1561,12 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
           }
         }
       }
+    }
+    if (membership_ != nullptr && quiescent) {
+      // Convergence is meaningless while events remain scheduled or a
+      // crash is still undeclared (its range is frozen, its updates are
+      // parked): the run idles forward until membership settles.
+      quiescent = membership_->quiescent();
     }
     if (quiescent && audit_enabled_) {
       quiescent = audit_and_repair(*presence, stats);
@@ -1417,6 +1669,43 @@ void DistributedPagerank::flush_metrics(const DistributedRunResult& result) {
                       static_cast<double>(p.docs_deferred));
     }
     reg.counter("pagerank.docs_deferred").add(total_deferred);
+  }
+  if (membership_ != nullptr) {
+    reg.counter("membership.events").add(membership_->events_applied());
+    reg.counter("membership.handoff_docs").add(handoff_docs_);
+    reg.counter("membership.stale_owner_queries").add(stale_owner_queries_);
+    reg.counter("membership.outbox_dropped_dead").add(outbox_dropped_dead_);
+    reg.counter("membership.gave_up").add(gave_up());
+    reg.counter("membership.ring_repairs").add(membership_->ring().repairs());
+    reg.counter("membership.emergency_rebootstraps")
+        .add(membership_->ring().emergency_rebootstraps());
+    reg.counter("membership.stabilize_rounds")
+        .add(membership_->stabilize_rounds_total());
+    reg.counter("membership.declared_dead")
+        .add(membership_->detector().declared_dead());
+    reg.counter("membership.false_suspicions")
+        .add(membership_->detector().false_suspicions());
+    reg.gauge("membership.live_peers")
+        .set(static_cast<double>(membership_->live_peers()));
+    // Crash -> verdict latency per death: recovery starts at the
+    // verdict, so this histogram is the recovery-trigger latency the
+    // chaos campaign reports.
+    obs::Histogram& lat = reg.histogram("membership.detection_latency");
+    for (const std::uint64_t l : membership_->detection_latencies()) {
+      lat.record(static_cast<double>(l));
+    }
+    obs::Series& handoffs = reg.series("membership.handoffs");
+    obs::Series& stale = reg.series("membership.stale_queries");
+    for (const PassStats& p : history_) {
+      if (p.handoff_docs != 0) {
+        handoffs.append(static_cast<double>(p.pass),
+                        static_cast<double>(p.handoff_docs));
+      }
+      if (p.stale_owner_queries != 0) {
+        stale.append(static_cast<double>(p.pass),
+                     static_cast<double>(p.stale_owner_queries));
+      }
+    }
   }
   if (any_fault_event) {
     obs::Series& crash_tl = reg.series("pagerank.crash_events");

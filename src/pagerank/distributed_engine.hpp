@@ -79,6 +79,7 @@
 #include "net/reliable_channel.hpp"
 #include "net/traffic_meter.hpp"
 #include "p2p/churn.hpp"
+#include "p2p/membership.hpp"
 #include "p2p/placement.hpp"
 #include "p2p/replication.hpp"
 #include "pagerank/mass_audit.hpp"
@@ -103,6 +104,13 @@ struct PassStats {
   /// Dirty documents whose recompute the residual scheduler pushed to a
   /// later pass (always zero under Schedule::kFifo).
   std::uint64_t docs_deferred = 0;
+  // Dynamic-membership extensions (all zero without attach_membership).
+  /// Documents whose ownership moved this pass (join pulls, leave pushes
+  /// and crash-range reconstructions).
+  std::uint64_t handoff_docs = 0;
+  /// Cross-peer sends addressed to a crashed-but-undeclared owner — the
+  /// detection-latency window where senders still query the stale owner.
+  std::uint64_t stale_owner_queries = 0;
 };
 
 /// DEPRECATED legacy fault vocabulary: UDP-style drop/duplication only.
@@ -165,6 +173,21 @@ class DistributedPagerank {
   /// a time and advances its own RNG streams — it must outlive the engine
   /// and must not be shared between engines. Call before run().
   void attach_fault_plan(FaultPlan& plan);
+
+  /// Attach a dynamic-membership coordinator (p2p/membership.hpp): the
+  /// peer population changes while the iteration runs. Each pass the
+  /// engine pulls the coordinator's PassPlan and acts on it — crashed
+  /// peers lose sender state and stored contributions, declared-dead
+  /// peers trigger outbox eviction (dropped_dead) and channel give-up,
+  /// leavers hand their in-flight sends to their ring heir, and every
+  /// document handoff moves parked state to the new owner (join/leave)
+  /// or reconstructs the range from replicas and live sources
+  /// (kReconstruct). The coordinator must share this engine's Placement
+  /// object and must outlive it; call before run(). Mutually exclusive
+  /// with attach_overlay (a static converged ring), a ChurnSchedule
+  /// (both own the presence mask) and fault-plan crashes (separate crash
+  /// vocabularies — schedule crashes as membership events).
+  void attach_membership(MembershipCoordinator& membership);
 
   /// Enable the rank-mass conservation audit: at every would-be
   /// convergence the engine audits the contribution ledger and, if the
@@ -254,6 +277,22 @@ class DistributedPagerank {
   [[nodiscard]] std::uint64_t duplicates_suppressed() const {
     return channel_ ? channel_->duplicates_suppressed() : 0;
   }
+  /// Records the channel retired through the `gave_up` terminal outcome
+  /// (declared-dead destinations + exhausted retry budgets).
+  [[nodiscard]] std::uint64_t gave_up() const {
+    return channel_ ? channel_->gave_up() : 0;
+  }
+
+  // ---- Membership observability (zero without attach_membership) ----
+  [[nodiscard]] std::uint64_t handoff_docs() const { return handoff_docs_; }
+  [[nodiscard]] std::uint64_t stale_owner_queries() const {
+    return stale_owner_queries_;
+  }
+  /// Parked updates evicted when their destination was declared dead
+  /// (the engine-side analogue of Outbox::dropped_dead_count()).
+  [[nodiscard]] std::uint64_t outbox_dropped_dead() const {
+    return outbox_dropped_dead_;
+  }
   /// Ledger view; nullptr until enable_mass_audit() (or an audit-enabled
   /// run) creates it.
   [[nodiscard]] const MassAuditor* mass_auditor() const {
@@ -325,6 +364,19 @@ class DistributedPagerank {
   void crash_peer(PeerId p, std::uint64_t pass);
   void recover_peer(PeerId p, const std::vector<bool>& presence,
                     PassStats& stats);
+  /// Fail-stop wipe, sender side: every update `p` had parked for
+  /// offline destinations and its in-flight retransmission records.
+  void wipe_sender_state(PeerId p);
+  /// Fail-stop wipe, receiver side: document v's stored contribution
+  /// cells (values still parked at live senders survive).
+  void wipe_receiver_cells(NodeId v);
+  /// Mass-audit + trace the channel records that reached the `gave_up`
+  /// terminal outcome since the last drain.
+  void drain_gave_up();
+  /// Act on one pass's membership plan (crashes, declared-dead
+  /// evictions, leaver state transfer, document handoffs).
+  void apply_membership(const MembershipCoordinator::PassPlan& mplan,
+                        std::uint64_t pass, PassStats& stats);
   void deliver_delayed(std::uint64_t pass,
                        const std::vector<bool>& presence, PassStats& stats);
   void process_retries(std::uint64_t pass,
@@ -360,6 +412,11 @@ class DistributedPagerank {
   const ReplicaRegistry* replicas_ = nullptr;
   std::uint64_t replica_messages_ = 0;
   std::uint64_t replica_stale_ = 0;
+
+  MembershipCoordinator* membership_ = nullptr;
+  std::uint64_t handoff_docs_ = 0;
+  std::uint64_t stale_owner_queries_ = 0;
+  std::uint64_t outbox_dropped_dead_ = 0;
 
   FaultPlan* plan_ = nullptr;
   std::unique_ptr<FaultPlan> owned_plan_;  // inject_faults() shim

@@ -1,0 +1,118 @@
+#include "net/failure_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dprank {
+namespace {
+
+using State = FailureDetector::State;
+
+TEST(FailureDetector, UnmonitoredUntilFirstHeartbeat) {
+  FailureDetector fd;
+  EXPECT_EQ(fd.state(3), State::kUnmonitored);
+  EXPECT_FALSE(fd.considers_live(3));
+  EXPECT_TRUE(fd.tick(0).empty());
+  fd.monitor(3, 0);
+  EXPECT_EQ(fd.state(3), State::kAlive);
+  EXPECT_TRUE(fd.considers_live(3));
+  fd.validate();
+}
+
+TEST(FailureDetector, DefaultVerdictLandsThreePassesAfterLastHeartbeat) {
+  // Defaults: suspected after 2 silent passes, confirmed on the 2nd
+  // suspicion — the verdict lands last_heartbeat + 3.
+  FailureDetector fd;
+  for (std::uint64_t pass = 0; pass <= 4; ++pass) {
+    fd.heartbeat(7, pass);
+    EXPECT_TRUE(fd.tick(pass).empty());
+  }
+  // Silence from pass 5 on; last heartbeat was pass 4.
+  EXPECT_TRUE(fd.tick(5).empty());
+  EXPECT_TRUE(fd.tick(6).empty());  // first suspicion
+  EXPECT_EQ(fd.state(7), State::kSuspected);
+  const auto dead = fd.tick(7);  // second suspicion confirms
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], 7u);
+  EXPECT_TRUE(fd.is_dead(7));
+  EXPECT_EQ(fd.declared_dead(), 1u);
+  // Reported exactly once.
+  EXPECT_TRUE(fd.tick(8).empty());
+  fd.validate();
+}
+
+TEST(FailureDetector, HeartbeatExoneratesSuspicion) {
+  FailureDetector fd;
+  fd.heartbeat(2, 0);
+  EXPECT_TRUE(fd.tick(1).empty());
+  EXPECT_TRUE(fd.tick(2).empty());  // suspected
+  EXPECT_EQ(fd.state(2), State::kSuspected);
+  fd.heartbeat(2, 3);  // came back: near-miss, not a death
+  EXPECT_EQ(fd.state(2), State::kAlive);
+  EXPECT_EQ(fd.false_suspicions(), 1u);
+  EXPECT_TRUE(fd.tick(3).empty());
+  EXPECT_EQ(fd.declared_dead(), 0u);
+  fd.validate();
+}
+
+TEST(FailureDetector, DeadVerdictIsPermanent) {
+  FailureDetector fd;
+  fd.heartbeat(1, 0);
+  std::uint64_t pass = 1;
+  while (!fd.is_dead(1)) {
+    ASSERT_LT(pass, 10u);
+    (void)fd.tick(pass++);
+  }
+  fd.heartbeat(1, pass);  // ignored: the verdict never reverts
+  EXPECT_TRUE(fd.is_dead(1));
+  EXPECT_FALSE(fd.considers_live(1));
+  fd.validate();
+}
+
+TEST(FailureDetector, LeftPeersAreNeverSuspectedOrReported) {
+  FailureDetector fd;
+  fd.heartbeat(4, 0);
+  fd.mark_left(4);
+  EXPECT_EQ(fd.state(4), State::kLeft);
+  for (std::uint64_t pass = 1; pass < 10; ++pass) {
+    EXPECT_TRUE(fd.tick(pass).empty());
+  }
+  EXPECT_EQ(fd.declared_dead(), 0u);
+  EXPECT_EQ(fd.suspicions_raised(), 0u);
+  fd.heartbeat(4, 11);  // permanent, like kDead
+  EXPECT_EQ(fd.state(4), State::kLeft);
+  fd.validate();
+}
+
+TEST(FailureDetector, SimultaneousDeathsReportedInAscendingOrder) {
+  FailureDetector fd;
+  for (const PeerId p : {9u, 2u, 5u}) fd.heartbeat(p, 0);
+  fd.heartbeat(1, 0);
+  std::vector<PeerId> dead;
+  for (std::uint64_t pass = 1; pass < 10 && dead.empty(); ++pass) {
+    fd.heartbeat(1, pass);  // 1 stays alive throughout
+    dead = fd.tick(pass);
+  }
+  EXPECT_EQ(dead, (std::vector<PeerId>{2, 5, 9}));
+  EXPECT_TRUE(fd.considers_live(1));
+  EXPECT_EQ(fd.declared_dead(), 3u);
+  fd.validate();
+}
+
+TEST(FailureDetector, ConfigurableTimeoutsStretchTheLatency) {
+  FailureDetector fd(FailureDetector::Config{.suspect_after_passes = 3,
+                                             .confirm_after_suspicions = 4});
+  fd.heartbeat(0, 0);
+  // Suspected at pass 3, confirmed on the 4th suspicion: pass 6.
+  for (std::uint64_t pass = 1; pass <= 5; ++pass) {
+    EXPECT_TRUE(fd.tick(pass).empty()) << "pass " << pass;
+  }
+  const auto dead = fd.tick(6);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], 0u);
+  fd.validate();
+}
+
+}  // namespace
+}  // namespace dprank

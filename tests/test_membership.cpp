@@ -1,0 +1,216 @@
+#include "p2p/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/guid.hpp"
+#include "graph/generator.hpp"
+#include "p2p/placement.hpp"
+#include "pagerank/distributed_engine.hpp"
+#include "pagerank/options.hpp"
+
+namespace dprank {
+namespace {
+
+using Kind = MembershipEvent::Kind;
+using Reason = MembershipCoordinator::Handoff::Reason;
+
+Placement dht_placement(std::uint64_t num_docs, PeerId peers,
+                        PeerId capacity) {
+  Placement p = Placement::by_dht(num_docs, ChordRing(peers));
+  p.grow_peers(capacity);
+  return p;
+}
+
+TEST(MembershipCoordinator, RejectsMalformedSchedules) {
+  Placement p = dht_placement(100, 8, 8);
+  // Join of an already-live peer.
+  EXPECT_THROW(MembershipCoordinator(p, 8, {{1, Kind::kJoin, 3}}),
+               std::invalid_argument);
+  // Departure of a peer that is not live.
+  Placement p2 = dht_placement(100, 4, 8);
+  EXPECT_THROW(MembershipCoordinator(p2, 4, {{1, Kind::kCrash, 6}}),
+               std::invalid_argument);
+  // Event id beyond placement capacity.
+  Placement p3 = dht_placement(100, 8, 8);
+  EXPECT_THROW(MembershipCoordinator(p3, 8, {{1, Kind::kJoin, 8}}),
+               std::invalid_argument);
+  // Schedule that empties the ring.
+  Placement p4 = dht_placement(100, 2, 2);
+  EXPECT_THROW(MembershipCoordinator(
+                   p4, 2, {{1, Kind::kCrash, 0}, {2, Kind::kLeave, 1}}),
+               std::invalid_argument);
+  // Zero initial peers / capacity below the initial population.
+  Placement p5 = dht_placement(100, 4, 4);
+  EXPECT_THROW(MembershipCoordinator(p5, 0, {}), std::invalid_argument);
+  EXPECT_THROW(MembershipCoordinator(p5, 9, {}), std::invalid_argument);
+}
+
+TEST(MembershipCoordinator, NormalizesPlacementToRingOwnership) {
+  // A placement that ignores the ring is rewritten to consistent-hash
+  // ownership at construction.
+  Placement p = Placement::random(200, 8, /*seed=*/3);
+  MembershipCoordinator m(p, 8, {});
+  for (NodeId d = 0; d < p.num_docs(); ++d) {
+    EXPECT_EQ(p.peer_of(d), m.ring().successor_of_key(document_guid(d)));
+  }
+  EXPECT_TRUE(m.quiescent());
+  m.validate();
+}
+
+TEST(MembershipCoordinator, JoinSplitsArcWithPullHandoffs) {
+  Placement p = dht_placement(400, 8, 9);
+  MembershipCoordinator m(p, 8, {{2, Kind::kJoin, 8}});
+  EXPECT_FALSE(m.quiescent());
+  EXPECT_FALSE(m.begin_pass(0).any_event());
+  EXPECT_FALSE(m.begin_pass(1).any_event());
+  const auto& plan = m.begin_pass(2);
+  EXPECT_EQ(plan.joins, (std::vector<PeerId>{8}));
+  EXPECT_TRUE(m.presence()[8]);
+  EXPECT_EQ(m.live_peers(), 9u);
+  // Every handoff pulls a document onto the joiner, and the placement
+  // already reflects the move.
+  ASSERT_FALSE(plan.handoffs.empty());
+  for (const auto& h : plan.handoffs) {
+    EXPECT_EQ(h.to, 8u);
+    EXPECT_EQ(h.reason, Reason::kJoinPull);
+    EXPECT_EQ(p.peer_of(h.doc), 8u);
+  }
+  EXPECT_TRUE(m.quiescent());
+  m.validate();
+}
+
+TEST(MembershipCoordinator, GracefulLeavePushesArcToHeir) {
+  Placement p = dht_placement(400, 8, 8);
+  MembershipCoordinator m(p, 8, {{1, Kind::kLeave, 3}});
+  // The heir is the ring successor of the leaver's id, computed before
+  // the event fires.
+  (void)m.begin_pass(0);
+  const auto& plan = m.begin_pass(1);
+  ASSERT_EQ(plan.leaves.size(), 1u);
+  EXPECT_EQ(plan.leaves[0].first, 3u);
+  const PeerId heir = plan.leaves[0].second;
+  EXPECT_TRUE(m.presence()[heir]);
+  for (const auto& h : plan.handoffs) {
+    EXPECT_EQ(h.from, 3u);
+    EXPECT_EQ(h.to, heir);
+    EXPECT_EQ(h.reason, Reason::kLeavePush);
+  }
+  EXPECT_EQ(m.detector().state(3), FailureDetector::State::kLeft);
+  EXPECT_TRUE(m.quiescent());  // graceful: nothing left to detect
+  m.validate();
+}
+
+TEST(MembershipCoordinator, CrashFreezesOwnershipUntilDeclared) {
+  Placement p = dht_placement(400, 8, 8);
+  MembershipCoordinator m(p, 8, {{1, Kind::kCrash, 5}});
+  (void)m.begin_pass(0);
+
+  const auto& crash_plan = m.begin_pass(1);
+  EXPECT_EQ(crash_plan.crashes, (std::vector<PeerId>{5}));
+  // Detection window: the dead peer still owns its documents and no
+  // handoff has fired for them.
+  EXPECT_TRUE(crash_plan.handoffs.empty());
+  EXPECT_TRUE(m.undetected_crash(5));
+  EXPECT_FALSE(m.quiescent());
+  std::vector<NodeId> frozen;
+  for (NodeId d = 0; d < p.num_docs(); ++d) {
+    if (p.peer_of(d) == 5) frozen.push_back(d);
+  }
+  ASSERT_FALSE(frozen.empty());
+  m.validate();
+
+  // Advance until the detector verdict lands; the frozen range then
+  // moves as reconstruction handoffs.
+  std::uint64_t declared_pass = 0;
+  std::vector<MembershipCoordinator::Handoff> handoffs;
+  for (std::uint64_t pass = 2; pass < 12 && declared_pass == 0; ++pass) {
+    const auto& plan = m.begin_pass(pass);
+    if (!plan.declared_dead.empty()) {
+      EXPECT_EQ(plan.declared_dead, (std::vector<PeerId>{5}));
+      declared_pass = pass;
+      handoffs = plan.handoffs;
+    } else {
+      EXPECT_TRUE(plan.handoffs.empty());
+    }
+    m.validate();
+  }
+  ASSERT_GT(declared_pass, 1u);
+  EXPECT_FALSE(m.undetected_crash(5));
+  EXPECT_TRUE(m.quiescent());
+  ASSERT_EQ(m.detection_latencies().size(), 1u);
+  EXPECT_EQ(m.detection_latencies()[0], declared_pass - 1);
+
+  // Every frozen document moved off the dead owner, as kReconstruct.
+  ASSERT_EQ(handoffs.size(), frozen.size());
+  for (const auto& h : handoffs) {
+    EXPECT_EQ(h.from, 5u);
+    EXPECT_EQ(h.reason, Reason::kReconstruct);
+    EXPECT_NE(p.peer_of(h.doc), 5u);
+    EXPECT_TRUE(std::find(frozen.begin(), frozen.end(), h.doc) !=
+                frozen.end());
+  }
+}
+
+TEST(MembershipCoordinator, PassesMustIncrease) {
+  Placement p = dht_placement(50, 4, 4);
+  MembershipCoordinator m(p, 4, {});
+  (void)m.begin_pass(3);
+  EXPECT_THROW((void)m.begin_pass(3), std::invalid_argument);
+  (void)m.begin_pass(4);
+}
+
+TEST(MembershipCoordinator, StaticMembershipLeavesEngineResultsBitExact) {
+  // An attached coordinator with an empty schedule must not perturb the
+  // iteration: same graph + same (normalized) placement => bit-identical
+  // ranks and pass count vs. a plain run.
+  const Digraph g = paper_graph(500, 11);
+  PagerankOptions opt;
+  opt.epsilon = 1e-3;
+
+  Placement plain = Placement::by_dht(g.num_nodes(), ChordRing(16));
+  DistributedPagerank baseline(g, plain, opt);
+  const auto base_run = baseline.run();
+
+  Placement shared = Placement::by_dht(g.num_nodes(), ChordRing(16));
+  MembershipCoordinator m(shared, 16, {});
+  DistributedPagerank engine(g, shared, opt);
+  engine.attach_membership(m);
+  const auto run = engine.run();
+
+  EXPECT_TRUE(run.converged);
+  EXPECT_EQ(run.passes, base_run.passes);
+  ASSERT_EQ(engine.ranks().size(), baseline.ranks().size());
+  for (NodeId d = 0; d < g.num_nodes(); ++d) {
+    EXPECT_EQ(engine.ranks()[d], baseline.ranks()[d]) << "doc " << d;
+  }
+  EXPECT_EQ(engine.handoff_docs(), 0u);
+  EXPECT_EQ(engine.stale_owner_queries(), 0u);
+}
+
+TEST(MembershipCoordinator, AttachmentGuards) {
+  const Digraph g = paper_graph(100, 5);
+  Placement p = Placement::by_dht(g.num_nodes(), ChordRing(4));
+  MembershipCoordinator m(p, 4, {});
+  PagerankOptions opt;
+
+  // The coordinator must share the engine's placement object.
+  Placement other = Placement::by_dht(g.num_nodes(), ChordRing(4));
+  DistributedPagerank stranger(g, other, opt);
+  EXPECT_THROW(stranger.attach_membership(m), std::invalid_argument);
+
+  // Membership and fault-plan crashes are separate crash vocabularies.
+  DistributedPagerank engine(g, p, opt);
+  engine.attach_membership(m);
+  FaultPlanConfig fpc;
+  fpc.crashes.push_back({.pass = 1, .peer = 0});
+  FaultPlan plan(fpc);
+  engine.attach_fault_plan(plan);
+  EXPECT_THROW((void)engine.run(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dprank

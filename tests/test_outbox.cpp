@@ -151,6 +151,125 @@ TEST(Outbox, RetryScheduleBacksOffAndResetsOnDrain) {
   EXPECT_EQ(box.due_destinations(11), (std::vector<std::uint32_t>{7}));
 }
 
+TEST(Outbox, DropDeadEvictsWholeQueueIntoTheLedger) {
+  Outbox box;
+  box.store(3, 10, update(0.1));
+  box.store(3, 20, update(0.2));
+  box.store(3, 10, update(0.3));  // supersedes slot 10
+  box.store(4, 10, update(0.4));  // other destination, untouched
+
+  const auto dropped = box.drop_dead(3);
+  ASSERT_EQ(dropped.size(), 2u);  // slot order, freshest value per slot
+  EXPECT_EQ(dropped[0].first, 10u);
+  EXPECT_DOUBLE_EQ(std::get<PagerankUpdate>(dropped[0].second).value, 0.3);
+  EXPECT_EQ(dropped[1].first, 20u);
+  EXPECT_FALSE(box.has_pending(3));
+  EXPECT_TRUE(box.has_pending(4));
+  EXPECT_EQ(box.dropped_dead_count(), 2u);
+  // Conservation: stored == drained + superseded + evicted +
+  // dropped_dead + pending.
+  EXPECT_EQ(box.stored_count(), 4u);
+  EXPECT_EQ(box.superseded_count(), 1u);
+  EXPECT_EQ(box.pending_count(), 1u);
+  box.validate();
+  // Idempotent: a second declaration finds nothing.
+  EXPECT_TRUE(box.drop_dead(3).empty());
+  EXPECT_EQ(box.dropped_dead_count(), 2u);
+  // A dead destination's timer no longer fires.
+  EXPECT_EQ(box.due_destinations(100), (std::vector<std::uint32_t>{4}));
+  box.validate();
+}
+
+TEST(ReliableChannel, GiveUpOnDestIsTerminalAndDrainsOnce) {
+  ReliableChannel ch;
+  for (const std::uint64_t slot : {1, 2, 3}) (void)ch.next_seq(slot);
+  ch.track({.slot = 1, .dest = 9, .src = 0, .value = 0.1, .seq = 1}, 0);
+  ch.track({.slot = 2, .dest = 9, .src = 3, .value = 0.2, .seq = 1}, 0);
+  ch.track({.slot = 3, .dest = 5, .src = 0, .value = 0.3, .seq = 1}, 0);
+
+  const auto abandoned = ch.give_up_on_dest(9);
+  ASSERT_EQ(abandoned.size(), 2u);  // slot order
+  EXPECT_EQ(abandoned[0].slot, 1u);
+  EXPECT_EQ(abandoned[1].slot, 2u);
+  EXPECT_EQ(ch.in_flight(), 1u);  // the live destination keeps its record
+  EXPECT_EQ(ch.gave_up(), 2u);
+
+  // The same records queue for the auditor exactly once.
+  const auto drained = ch.take_gave_up();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].slot, 1u);
+  EXPECT_EQ(drained[1].slot, 2u);
+  EXPECT_TRUE(ch.take_gave_up().empty());
+  EXPECT_TRUE(ch.give_up_on_dest(9).empty());  // idempotent
+  ch.validate();
+}
+
+TEST(ReliableChannel, ExhaustedRetryBudgetGivesUp) {
+  ReliableChannel ch(ReliableChannel::Config{.ack_timeout_passes = 1,
+                                             .retry_backoff_cap = 2,
+                                             .max_attempts = 2});
+  (void)ch.next_seq(7);
+  ch.track({.slot = 7, .dest = 1, .src = 0, .value = 0.5, .seq = 1}, 0);
+  std::uint64_t pass = 0;
+  // Drive the retry loop as the engine does: take due, re-track with
+  // attempt + 1, until the budget bites.
+  while (ch.in_flight() > 0) {
+    ASSERT_LT(pass, 20u);
+    ++pass;
+    for (auto& p : ch.take_due(pass)) {
+      ++p.attempt;
+      ch.track(p, pass);
+    }
+  }
+  EXPECT_EQ(ch.gave_up(), 1u);
+  const auto lost = ch.take_gave_up();
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0].slot, 7u);
+  EXPECT_EQ(lost[0].attempt, 2u);
+  ch.validate();
+}
+
+TEST(ReliableChannel, ReassignSenderHandsRecordsToHeir) {
+  ReliableChannel ch;
+  for (const std::uint64_t slot : {1, 2, 3}) (void)ch.next_seq(slot);
+  ch.track({.slot = 1, .dest = 5, .src = 3, .value = 0.1, .seq = 1}, 0);
+  ch.track({.slot = 2, .dest = 6, .src = 3, .value = 0.2, .seq = 1}, 0);
+  ch.track({.slot = 3, .dest = 5, .src = 8, .value = 0.3, .seq = 1}, 0);
+  EXPECT_EQ(ch.reassign_sender(3, 4), 2u);
+  EXPECT_EQ(ch.in_flight(), 3u);  // nothing lost, only re-labelled
+  // The heir now owns the retransmissions; forgetting the leaver is a
+  // no-op and forgetting the heir yields the moved records.
+  EXPECT_TRUE(ch.forget_sender(3).empty());
+  const auto heirs = ch.forget_sender(4);
+  ASSERT_EQ(heirs.size(), 2u);
+  EXPECT_EQ(heirs[0].slot, 1u);
+  EXPECT_EQ(heirs[0].src, 4u);
+  EXPECT_EQ(heirs[1].slot, 2u);
+  ch.validate();
+}
+
+TEST(ReliableChannel, LedgerBalancesAcrossEveryExit) {
+  ReliableChannel ch(ReliableChannel::Config{.ack_timeout_passes = 1,
+                                             .retry_backoff_cap = 2,
+                                             .max_attempts = 1});
+  for (const std::uint64_t slot : {1, 2, 3, 4}) (void)ch.next_seq(slot);
+  ch.track({.slot = 1, .dest = 1, .src = 0, .value = 0.1, .seq = 1}, 0);
+  ch.ack(1, 1);  // exit: acked
+  ch.track({.slot = 2, .dest = 2, .src = 6, .value = 0.2, .seq = 1}, 0);
+  (void)ch.forget_sender(6);  // exit: forgotten
+  ch.track({.slot = 3, .dest = 3, .src = 0, .value = 0.3, .seq = 1}, 0);
+  (void)ch.give_up_on_dest(3);  // exit: gave up
+  ch.track({.slot = 4, .dest = 4, .src = 0, .value = 0.4, .seq = 1}, 0);
+  auto due = ch.take_due(2);  // exit: taken
+  ASSERT_EQ(due.size(), 1u);
+  due[0].attempt = 1;
+  ch.track(due[0], 2);  // budget (1) exhausted: gave up instead of re-arm
+  EXPECT_EQ(ch.gave_up(), 2u);
+  EXPECT_TRUE(ch.idle());
+  (void)ch.take_gave_up();
+  ch.validate();  // tracked == acked + forgotten + taken + gave_up
+}
+
 TEST(ReliableChannel, SequenceNumbersRejectStaleAndDuplicates) {
   ReliableChannel ch;
   EXPECT_EQ(ch.next_seq(5), 1u);

@@ -184,6 +184,146 @@ TEST(ChordRing, RejoinRestoresOwnership) {
   EXPECT_EQ(ring.successor_of_key(key), 5u);
 }
 
+// ---- SelfHealingRing: local tables, stabilization, repair ----
+
+/// Oracle owner over live membership (same arc convention as ChordRing).
+PeerId healing_brute_owner(const SelfHealingRing& ring, Guid key) {
+  PeerId best = kInvalidPeer;
+  U128 best_dist = U128::max();
+  for (const PeerId p : ring.peers_in_ring_order()) {
+    const U128 dist = ring_distance(key, ring.id_of(p));
+    if (best == kInvalidPeer || dist < best_dist) {
+      best = p;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+/// Sampled lookups from random live origins must land on the oracle
+/// owner (the routability contract validate() also asserts).
+void expect_routable(const SelfHealingRing& ring, std::uint64_t seed,
+                     int samples = 100) {
+  const auto live = ring.peers_in_ring_order();
+  Rng rng(seed);
+  for (int i = 0; i < samples; ++i) {
+    const PeerId from = live[rng.bounded(live.size())];
+    const Guid key{rng(), rng()};
+    const auto route = ring.route(from, key);
+    ASSERT_TRUE(route.ok);
+    EXPECT_EQ(route.destination, healing_brute_owner(ring, key));
+  }
+}
+
+TEST(SelfHealingRing, StartsConvergedAndRoutable) {
+  const SelfHealingRing ring(32);
+  EXPECT_TRUE(ring.converged());
+  ring.validate(64);
+  expect_routable(ring, 51);
+  // Successor lists match the converged oracle.
+  const auto order = ring.peers_in_ring_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto succ = ring.successors_of(order[i]);
+    ASSERT_EQ(succ.size(), SelfHealingRing::kSuccessors);
+    for (std::size_t k = 0; k < succ.size(); ++k) {
+      EXPECT_EQ(succ[k], order[(i + 1 + k) % order.size()]);
+    }
+  }
+}
+
+TEST(SelfHealingRing, SurvivesKSuccessiveCrashes) {
+  // The r = 3 successor list tolerates up to 3 consecutive simultaneous
+  // failures: kill 3 ring-adjacent peers at once, stabilize, and every
+  // key must resolve to the live oracle owner again.
+  SelfHealingRing ring(32);
+  const auto order = ring.peers_in_ring_order();
+  for (std::size_t k = 0; k < SelfHealingRing::kSuccessors; ++k) {
+    ring.crash(order[(5 + k) % order.size()]);
+  }
+  EXPECT_FALSE(ring.converged());
+  const std::size_t rounds = ring.stabilize(8);
+  EXPECT_GT(rounds, 0u);
+  EXPECT_TRUE(ring.converged());
+  ring.validate(64);
+  expect_routable(ring, 53);
+  EXPECT_GT(ring.repairs(), 0u);
+}
+
+TEST(SelfHealingRing, RoutesDuringDisruptionSkippingDeadPointers) {
+  SelfHealingRing ring(32);
+  const auto order = ring.peers_in_ring_order();
+  ring.crash(order[10]);
+  // Before any stabilization, pointers at other peers still name the
+  // victim; lookups skip them (counted as dead probes) and keep making
+  // clockwise progress instead of failing.
+  std::size_t dead_probes = 0;
+  Rng rng(57);
+  const auto live = ring.peers_in_ring_order();
+  for (int i = 0; i < 200; ++i) {
+    const PeerId from = live[rng.bounded(live.size())];
+    const auto probe = ring.route(from, Guid{rng(), rng()});
+    ASSERT_TRUE(probe.ok);
+    dead_probes += probe.dead_probes;
+  }
+  EXPECT_GT(dead_probes, 0u);  // stale pointers were seen and skipped
+}
+
+TEST(SelfHealingRing, JoinConvergesThroughStabilization) {
+  SelfHealingRing ring(16);
+  ring.join(100, peer_guid(100));
+  EXPECT_TRUE(ring.contains(100));
+  // The joiner bootstrapped its own tables; neighbors converge in a
+  // round or two of stabilization.
+  (void)ring.stabilize(8);
+  EXPECT_TRUE(ring.converged());
+  ring.validate(64);
+  expect_routable(ring, 59);
+  // The joiner now owns the arc ending at its id.
+  EXPECT_EQ(ring.successor_of_key(peer_guid(100)), 100u);
+}
+
+TEST(SelfHealingRing, GracefulLeaveNeverBreaksRouting) {
+  SelfHealingRing ring(16);
+  const auto order = ring.peers_in_ring_order();
+  ring.leave(order[4]);
+  // The leaver repaired its immediate neighbors on the way out: routing
+  // works before stabilization even runs.
+  expect_routable(ring, 61, 50);
+  (void)ring.stabilize(8);
+  EXPECT_TRUE(ring.converged());
+  ring.validate(64);
+}
+
+TEST(SelfHealingRing, HealsEvenBeyondSuccessorListDepth) {
+  // Killing MORE than r consecutive peers exceeds the successor-list
+  // guarantee; finger fallback (and, in the limit, the oracle
+  // re-bootstrap) still heals the ring.
+  SelfHealingRing ring(24);
+  const auto order = ring.peers_in_ring_order();
+  for (std::size_t k = 0; k < SelfHealingRing::kSuccessors + 2; ++k) {
+    ring.crash(order[(3 + k) % order.size()]);
+  }
+  (void)ring.stabilize(16);
+  EXPECT_TRUE(ring.converged());
+  ring.validate(64);
+  expect_routable(ring, 67);
+}
+
+TEST(SelfHealingRing, CrashDownToTwoPeersStillHeals) {
+  // Degenerate shrink: crash all but two peers, one event per
+  // stabilization window (the supported regime).
+  SelfHealingRing ring(8);
+  const auto order = ring.peers_in_ring_order();
+  for (std::size_t i = 0; i + 2 < order.size(); ++i) {
+    ring.crash(order[i]);
+    (void)ring.stabilize(8);
+    EXPECT_TRUE(ring.converged()) << "after crash " << i;
+  }
+  EXPECT_EQ(ring.size(), 2u);
+  ring.validate(16);
+  expect_routable(ring, 71, 50);
+}
+
 TEST(ChordRing, RoutingAfterChurn) {
   ChordRing ring(64);
   Rng rng(47);
