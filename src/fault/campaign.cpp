@@ -1,6 +1,5 @@
 #include "fault/campaign.hpp"
 
-#include <bit>
 #include <optional>
 #include <stdexcept>
 
@@ -8,6 +7,7 @@
 #include "fault/fault_plan.hpp"
 #include "p2p/placement.hpp"
 #include "p2p/replication.hpp"
+#include "pagerank/quality.hpp"
 
 namespace dprank {
 
@@ -17,18 +17,6 @@ namespace {
 // replica count) must not reshuffle the membership history.
 constexpr std::uint64_t kScheduleSalt = 0x43484153u;  // "CHAS"
 constexpr std::uint64_t kReplicaSalt = 0x5245504Cu;   // "REPL"
-
-std::uint64_t fnv1a_ranks(const std::vector<double>& ranks) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const double r : ranks) {
-    const auto bits = std::bit_cast<std::uint64_t>(r);
-    for (int i = 0; i < 8; ++i) {
-      h ^= (bits >> (8 * i)) & 0xFFu;
-      h *= 1099511628211ULL;
-    }
-  }
-  return h;
-}
 
 }  // namespace
 
@@ -161,7 +149,8 @@ ChaosCampaignReport run_chaos_campaign(const Digraph& g,
     rep.audited_known_loss = auditor->known_lost();
     rep.known_loss_events = auditor->known_loss_events();
   }
-  rep.rank_digest = fnv1a_ranks(engine.ranks());
+  rep.final_ranks = engine.ranks();
+  rep.rank_digest = fnv1a_rank_digest(rep.final_ranks);
   return rep;
 }
 

@@ -116,6 +116,9 @@ struct ChaosCampaignReport {
   std::uint64_t known_loss_events = 0;
 
   PeerId final_live_peers = 0;
+  /// Converged rank vector at campaign exit, document order. The stream
+  /// subsystem's batched reconvergence adopts these wholesale.
+  std::vector<double> final_ranks;
   /// FNV-1a over the bit patterns of the final rank vector, in document
   /// order — equal configs and seeds must produce equal digests.
   std::uint64_t rank_digest = 0;

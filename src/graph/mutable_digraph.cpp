@@ -57,12 +57,13 @@ bool MutableDigraph::remove_edge(NodeId u, NodeId v) {
   return true;
 }
 
-void MutableDigraph::isolate_node(NodeId v) {
+std::uint64_t MutableDigraph::isolate_node(NodeId v) {
   // Copy the lists: remove_edge mutates them while we iterate.
   const std::vector<NodeId> outs = out_[v];
   for (const NodeId w : outs) remove_edge(v, w);
   const std::vector<NodeId> ins = in_[v];
   for (const NodeId u : ins) remove_edge(u, v);
+  return outs.size() + ins.size();
 }
 
 void MutableDigraph::validate() const {

@@ -40,8 +40,18 @@ class MutableDigraph {
   /// document deletion: "removing a document is equivalent to deleting
   /// its row and its corresponding column from the A matrix" (§4.7).
   /// The node id remains allocated but isolated (ids stay stable, as GUIDs
-  /// do in a real DHT).
-  void isolate_node(NodeId v);
+  /// do in a real DHT). Returns the number of edges removed.
+  ///
+  /// Rank-mass note: isolating a node is only the structural half of a
+  /// document delete. The rank half — propagating the negated rank along
+  /// the out-links and zeroing the document's own rank — must happen in
+  /// the same step or the system is left holding dangling rank that no
+  /// live document backs (and, transiently, in-links still feeding mass
+  /// to a tombstone). Use IncrementalPagerank::propagate_full_delete (or
+  /// the delete_document convenience) rather than calling this directly
+  /// from ingest paths; the global rank sum intentionally drops by
+  /// ~R(v) per delete (see pagerank/incremental.hpp).
+  std::uint64_t isolate_node(NodeId v);
 
   [[nodiscard]] bool is_isolated(NodeId v) const {
     return out_[v].empty() && in_[v].empty();

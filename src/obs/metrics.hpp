@@ -18,9 +18,11 @@
 //
 // Naming scheme (see DESIGN.md "Observability"): dot-separated
 // `<layer>.<object>.<measure>`, e.g. `net.messages`, `dht.chord.lookup_hops`,
-// `pagerank.residual`, `search.query.fanout`. Callers cache the returned
-// reference; name lookup takes the registry mutex and belongs outside
-// hot loops.
+// `pagerank.residual`, `search.query.fanout`, and the streaming-ingest
+// family `stream.staleness` (series: mean |served - oracle| vs events
+// offered), `stream.ingest_lag_events`, `stream.batch_apply_us`,
+// `stream.mass_ratio`. Callers cache the returned reference; name lookup
+// takes the registry mutex and belongs outside hot loops.
 
 #include <array>
 #include <atomic>

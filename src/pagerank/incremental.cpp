@@ -80,6 +80,13 @@ void IncrementalPagerank::deliver(const WorkItem& item,
   }
 }
 
+void IncrementalPagerank::touch_seed(NodeId node) {
+  if (covered_epoch_[node] != epoch_) {
+    covered_epoch_[node] = epoch_;
+    last_touched_.push_back(node);
+  }
+}
+
 PropagationStats IncrementalPagerank::seed_and_propagate(NodeId node) {
   if (node >= graph_.num_nodes()) {
     throw std::out_of_range("seed_and_propagate: bad node");
@@ -89,6 +96,7 @@ PropagationStats IncrementalPagerank::seed_and_propagate(NodeId node) {
   auto items = make_seed_items(node, options_.initial_rank, cross);
   auto stats = run_cascade(std::move(items), false);
   stats.cross_peer_messages += cross;
+  touch_seed(node);  // the seed's own rank was rewritten above
   return stats;
 }
 
@@ -114,6 +122,25 @@ PropagationStats IncrementalPagerank::propagate_delete(NodeId node) {
   auto items = make_seed_items(node, -ranks_[node], cross);
   auto stats = run_cascade(std::move(items), false);
   stats.cross_peer_messages += cross;
+  // The deleted document itself is touched: its rank is zeroed by the
+  // caller (propagate_full_delete / delete_document), and index
+  // consumers must drop their entry for it.
+  touch_seed(node);
+  return stats;
+}
+
+PropagationStats IncrementalPagerank::propagate_full_delete(MutableDigraph& g,
+                                                            NodeId node) {
+  if (g.num_nodes() != graph_.num_nodes()) {
+    throw std::invalid_argument(
+        "propagate_full_delete: graph is not the snapshot source");
+  }
+  if (node >= graph_.num_nodes()) {
+    throw std::out_of_range("propagate_full_delete: bad node");
+  }
+  auto stats = propagate_delete(node);
+  g.isolate_node(node);
+  ranks_[node] = 0.0;
   return stats;
 }
 
@@ -122,6 +149,30 @@ PropagationStats IncrementalPagerank::inject(NodeId node, double delta) {
     throw std::out_of_range("inject: bad node");
   }
   return run_cascade({{node, delta, 0}}, false);
+}
+
+PropagationStats IncrementalPagerank::inject_batch(
+    std::vector<std::pair<NodeId, double>> deltas) {
+  for (const auto& [node, delta] : deltas) {
+    (void)delta;
+    if (node >= graph_.num_nodes()) {
+      throw std::out_of_range("inject_batch: bad node");
+    }
+  }
+  // Coalesce: one seed delivery per document, ascending id order (the
+  // deterministic order the streaming equivalence tests pin).
+  std::sort(deltas.begin(), deltas.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<WorkItem> items;
+  items.reserve(deltas.size());
+  for (const auto& [node, delta] : deltas) {
+    if (!items.empty() && items.back().node == node) {
+      items.back().delta += delta;
+    } else {
+      items.push_back({node, delta, 0});
+    }
+  }
+  return run_cascade(std::move(items), false);
 }
 
 std::vector<IncrementalPagerank::WorkItem>
@@ -183,10 +234,7 @@ PropagationStats delete_document(MutableDigraph& g,
                                  const PagerankOptions& options) {
   const Digraph snapshot = g.freeze();
   IncrementalPagerank engine(snapshot, ranks, options);
-  auto stats = engine.propagate_delete(node);
-  g.isolate_node(node);
-  ranks[node] = 0.0;
-  return stats;
+  return engine.propagate_full_delete(g, node);
 }
 
 }  // namespace dprank

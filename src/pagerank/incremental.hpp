@@ -15,8 +15,25 @@
 // Table 4 measures, per insert, the longest propagation path and the set
 // of documents reached ("node coverage ... an upper bound on the number
 // of messages a document insert can generate").
+//
+// Mass conservation under deletion: the unnormalized Eq. 1 form carries
+// rank mass ~N across the system. A full delete (propagate_full_delete /
+// delete_document) removes document v's mass R(v) deliberately: each
+// out-link loses d * R(v)/outdeg(v) (the negated §3.1 update), the
+// (1-d) base share and the epsilon-truncated cascade tail simply leave
+// the system with the document, and the in-link sources' out-degrees are
+// NOT re-normalized (a second-order effect the paper's protocol does not
+// model — their remaining targets keep the slightly-stale per-link
+// share until those sources next recompute). The global rank sum
+// therefore drops by approximately R(v) per delete; stream consumers
+// that audit mass must treat deletes as accounted withdrawals, not
+// leaks. What a full delete guarantees is the absence of *dangling*
+// rank: the deleted document's own rank is zeroed in the same call that
+// isolates it, so no query can serve a rank for a document that no
+// longer exists.
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -63,10 +80,35 @@ class IncrementalPagerank {
   /// run the cascade. Mutates ranks.
   PropagationStats inject(NodeId node, double delta);
 
+  /// Batched, coalesced injection — the streaming-ingest entry point:
+  /// deliver every (node, delta) seed at depth 0 in ONE cascade.
+  /// Duplicate nodes are coalesced first (deltas summed, ascending node
+  /// order), so a document hit by several events in a batch receives one
+  /// delivery and at most one forward fan-out instead of one cascade per
+  /// event. Numerically equivalent to per-event inject() within the
+  /// epsilon truncation tolerance (the significance test sees the summed
+  /// delta rather than each piece). Mutates ranks.
+  PropagationStats inject_batch(std::vector<std::pair<NodeId, double>> deltas);
+
+  /// Full document deletion paired with the mutable graph: propagate the
+  /// negated rank over this engine's (pre-delete) snapshot, then isolate
+  /// `node` in `g` and zero its rank — one call, so a stream delete can
+  /// never leave a dangling rank between the cascade and the isolation.
+  /// `g` must be the graph this engine's snapshot was frozen from (same
+  /// node count and adjacency for `node`). See the header comment for
+  /// the mass-conservation consequence: the system's rank sum drops by
+  /// ~R(node) by design.
+  PropagationStats propagate_full_delete(MutableDigraph& g, NodeId node);
+
   /// Distinct documents whose rank the most recent cascade changed
   /// (valid until the next cascade; empty after probe_insert, which
-  /// restores every touched rank). Consumers use this to refresh
-  /// dependent state, e.g. index entries (§2.4.2).
+  /// restores every touched rank). Populated by every mutating entry
+  /// point: seed_and_propagate and propagate_delete include the seeded/
+  /// deleted document itself (its rank was rewritten even though the
+  /// cascade stats do not count it), inject and inject_batch include the
+  /// injection points. Consumers use this to refresh dependent state,
+  /// e.g. index entries (§2.4.2) or a live top-k cache. May therefore
+  /// hold one more entry than PropagationStats::nodes_covered.
   [[nodiscard]] const std::vector<NodeId>& last_touched() const {
     return last_touched_;
   }
@@ -81,6 +123,9 @@ class IncrementalPagerank {
   PropagationStats run_cascade(std::vector<WorkItem> initial, bool restore);
   void deliver(const WorkItem& item, PropagationStats& stats,
                std::vector<WorkItem>& queue, bool restore);
+  /// Record `node` in last_touched_ after a cascade that rewrote its
+  /// rank outside deliver() (seed re-seeding, delete zeroing).
+  void touch_seed(NodeId node);
   /// Initial deltas from `node` to its out-links at depth 1, as if the
   /// node's rank just became `rank_value`. Cross-peer seed messages are
   /// tallied into `cross_out` when a placement is attached.

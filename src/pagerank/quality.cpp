@@ -1,6 +1,7 @@
 #include "pagerank/quality.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -112,6 +113,18 @@ double kendall_tau_sampled(const std::vector<double>& distributed,
   if (total == 0) return 1.0;
   return static_cast<double>(concordant - discordant) /
          static_cast<double>(total);
+}
+
+std::uint64_t fnv1a_rank_digest(const std::vector<double>& ranks) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const double r : ranks) {
+    const auto bits = std::bit_cast<std::uint64_t>(r);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
 }
 
 }  // namespace dprank

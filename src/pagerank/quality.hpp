@@ -58,4 +58,10 @@ struct QualityReport {
     const std::vector<double>& reference, std::uint64_t samples = 200'000,
     std::uint64_t seed = 42);
 
+/// FNV-1a over the exact bit patterns of the ranks: equal digests mean
+/// bit-identical vectors, the determinism check the chaos-soak and
+/// stream-liverank benches gate on (same seed => same digest).
+[[nodiscard]] std::uint64_t fnv1a_rank_digest(
+    const std::vector<double>& ranks);
+
 }  // namespace dprank

@@ -1,0 +1,241 @@
+#include "stream/ingest_coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "pagerank/quality.hpp"
+
+namespace dprank {
+
+namespace {
+// Per-cycle salt for the reconvergence campaign seeds ("RCNV"): cycle k
+// of two same-config runs draws the same campaign, different cycles draw
+// independent membership histories.
+constexpr std::uint64_t kReconvergeSalt = 0x52434E56ULL;
+}  // namespace
+
+bool apply_structural_event(MutableDigraph& g,
+                            std::vector<std::uint8_t>& deleted,
+                            const StreamEvent& ev,
+                            const StreamSourceHook& touch) {
+  switch (ev.kind) {
+    case StreamEvent::Kind::kInsert: {
+      if (ev.node != g.num_nodes()) {
+        throw std::invalid_argument(
+            "apply_structural_event: insert id out of sequence (graph did "
+            "not start from the stream's initial_docs)");
+      }
+      const NodeId id = g.add_node();
+      deleted.push_back(0);
+      if (touch) touch(id);
+      for (const NodeId w : ev.out_links) {
+        // Targets were live at emission time, but an earlier delete in
+        // the same batch may have tombstoned one — skip links into it.
+        if (w < id && deleted[w] == 0) g.add_edge(id, w);
+      }
+      return true;
+    }
+    case StreamEvent::Kind::kDelete: {
+      const NodeId v = ev.node;
+      if (v >= g.num_nodes() || deleted[v] != 0) return false;
+      if (touch) {
+        touch(v);
+        for (const NodeId u : g.in_neighbors(v)) touch(u);
+      }
+      g.isolate_node(v);
+      deleted[v] = 1;
+      return true;
+    }
+    case StreamEvent::Kind::kAddEdge: {
+      const NodeId u = ev.node;
+      const NodeId v = ev.target;
+      if (u >= g.num_nodes() || v >= g.num_nodes() || u == v) return false;
+      if (deleted[u] != 0 || deleted[v] != 0) return false;
+      if (g.has_edge(u, v)) return false;
+      if (touch) touch(u);
+      g.add_edge(u, v);
+      return true;
+    }
+    case StreamEvent::Kind::kRemoveEdge: {
+      const NodeId u = ev.node;
+      if (u >= g.num_nodes() || deleted[u] != 0) return false;
+      const std::uint32_t deg = g.out_degree(u);
+      if (deg == 0) return false;
+      const NodeId w = g.out_neighbors(u)[ev.ordinal % deg];
+      if (touch) touch(u);
+      g.remove_edge(u, w);
+      return true;
+    }
+  }
+  return false;
+}
+
+IngestCoordinator::IngestCoordinator(MutableDigraph graph,
+                                     std::vector<double> ranks,
+                                     IngestConfig config,
+                                     obs::MetricsRegistry* metrics)
+    : graph_(std::move(graph)),
+      ranks_(std::move(ranks)),
+      config_(std::move(config)),
+      metrics_(metrics) {
+  if (ranks_.size() != graph_.num_nodes()) {
+    throw std::invalid_argument("IngestCoordinator: rank vector size");
+  }
+  if (config_.batch_size == 0) {
+    throw std::invalid_argument("IngestCoordinator: zero batch_size");
+  }
+  deleted_.assign(graph_.num_nodes(), 0);
+  snap_epoch_.assign(graph_.num_nodes(), 0);
+  pending_.reserve(config_.batch_size);
+}
+
+void IngestCoordinator::snapshot_source(NodeId u,
+                                        std::vector<SourceSnapshot>& snaps) {
+  // An insert allocated the id a moment ago: grow the parallel arrays
+  // (rank 0 until the post-mutation assignment; tombstone flag is grown
+  // by apply_structural_event itself).
+  if (ranks_.size() < graph_.num_nodes()) {
+    ranks_.resize(graph_.num_nodes(), 0.0);
+    snap_epoch_.resize(graph_.num_nodes(), 0);
+  }
+  if (snap_epoch_[u] == batch_epoch_) return;  // first touch only
+  snap_epoch_[u] = batch_epoch_;
+  SourceSnapshot s;
+  s.node = u;
+  s.rank = ranks_[u];
+  s.outs = graph_.out_neighbors(u);
+  snaps.push_back(std::move(s));
+}
+
+IngestBatchStats IngestCoordinator::flush() {
+  IngestBatchStats out;
+  if (pending_.empty()) return out;
+  // Telemetry measuring the harness, not the simulation: no control flow
+  // depends on the reading.
+  // dprank-lint: allow(wall-clock)
+  const auto t0 = std::chrono::steady_clock::now();
+
+  ++batch_epoch_;
+  std::vector<SourceSnapshot> snaps;
+  std::vector<NodeId> inserted;
+  std::vector<NodeId> deleted_now;
+  const auto touch = [this, &snaps](NodeId u) { snapshot_source(u, snaps); };
+
+  // Tier 1: structure, in stream order (identical across batch sizes).
+  for (const StreamEvent& ev : pending_) {
+    const bool applied = apply_structural_event(graph_, deleted_, ev, touch);
+    if (!applied) continue;
+    if (ev.kind == StreamEvent::Kind::kInsert) inserted.push_back(ev.node);
+    if (ev.kind == StreamEvent::Kind::kDelete) deleted_now.push_back(ev.node);
+  }
+
+  // Rank assignments outside the cascade: an inserted document enters at
+  // its no-in-link fixed point (1-d) — in-links gained later in the same
+  // batch arrive through the emission diff of their sources — and a
+  // deleted document carries no rank from the instant it is isolated.
+  const double d = config_.options.damping;
+  for (const NodeId id : inserted) {
+    if (deleted_[id] == 0) ranks_[id] = 1.0 - d;
+  }
+  for (const NodeId v : deleted_now) ranks_[v] = 0.0;
+
+  // Tier 2: fold the batch into one emission diff. Old emissions use the
+  // snapshotted (pre-batch) rank and out-list; new emissions use the
+  // current ones. Per-target sums coalesce naturally in inject_batch.
+  std::vector<std::pair<NodeId, double>> deltas;
+  for (const SourceSnapshot& s : snaps) {
+    if (!s.outs.empty() && s.rank != 0.0) {
+      const double per =
+          d * s.rank / static_cast<double>(s.outs.size());
+      for (const NodeId w : s.outs) {
+        if (deleted_[w] == 0) deltas.emplace_back(w, -per);
+      }
+    }
+    const std::vector<NodeId>& outs = graph_.out_neighbors(s.node);
+    if (!outs.empty() && ranks_[s.node] != 0.0) {
+      const double per =
+          d * ranks_[s.node] / static_cast<double>(outs.size());
+      for (const NodeId w : outs) {
+        if (deleted_[w] == 0) deltas.emplace_back(w, per);
+      }
+    }
+  }
+
+  out.events = pending_.size();
+  out.coalesced_seeds = deltas.size();
+  const Digraph snapshot = graph_.freeze();
+  IncrementalPagerank engine(snapshot, ranks_, config_.options);
+  out.cascade = engine.inject_batch(std::move(deltas));
+
+  last_batch_touched_ = engine.last_touched();
+  last_batch_touched_.insert(last_batch_touched_.end(), inserted.begin(),
+                             inserted.end());
+  last_batch_touched_.insert(last_batch_touched_.end(), deleted_now.begin(),
+                             deleted_now.end());
+  std::sort(last_batch_touched_.begin(), last_batch_touched_.end());
+  last_batch_touched_.erase(
+      std::unique(last_batch_touched_.begin(), last_batch_touched_.end()),
+      last_batch_touched_.end());
+
+  events_applied_ += pending_.size();
+  pending_.clear();
+  ++version_;
+
+  // dprank-lint: allow(wall-clock)
+  const auto t1 = std::chrono::steady_clock::now();
+  out.apply_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  if (metrics_ != nullptr) {
+    metrics_->histogram("stream.batch_apply_us").record(out.apply_us);
+    metrics_->counter("stream.batches").add();
+    metrics_->counter("stream.events_applied").add(out.events);
+    metrics_->counter("stream.cascade_updates")
+        .add(out.cascade.updates_delivered);
+  }
+  return out;
+}
+
+void IngestCoordinator::reconverge() {
+  flush();
+  ChaosCampaignConfig cc = config_.reconverge;
+  cc.options = config_.options;
+  cc.seed = mix64(config_.seed ^ (kReconvergeSalt + reconverge_cycles_));
+  const Digraph snapshot = graph_.freeze();
+  ChaosCampaignReport rep = run_chaos_campaign(snapshot, cc, metrics_);
+  ranks_ = std::move(rep.final_ranks);
+  // The campaign ranks every node of the frozen graph; tombstones come
+  // back at the isolated-node fixed point (1-d) and must stay zeroed.
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (deleted_[v] != 0) ranks_[v] = 0.0;
+  }
+  mass_ratios_.push_back(rep.result.mass_ratio);
+  ++reconverge_cycles_;
+  ++version_;
+  last_batch_touched_.clear();  // whole vector replaced: full refresh
+  if (metrics_ != nullptr) {
+    metrics_->counter("stream.reconverges").add();
+    metrics_->series("stream.mass_ratio")
+        .append(static_cast<double>(events_offered_), rep.result.mass_ratio);
+  }
+}
+
+void IngestCoordinator::offer(const StreamEvent& ev) {
+  pending_.push_back(ev);
+  ++events_offered_;
+  if (pending_.size() >= config_.batch_size) flush();
+  if (config_.reconverge_every_events > 0 &&
+      events_offered_ % config_.reconverge_every_events == 0) {
+    reconverge();
+  }
+  if (metrics_ != nullptr) {
+    metrics_->gauge("stream.pending")
+        .set(static_cast<double>(pending_.size()));
+  }
+}
+
+std::uint64_t IngestCoordinator::digest() const {
+  return fnv1a_rank_digest(ranks_);
+}
+
+}  // namespace dprank

@@ -1,0 +1,138 @@
+#include "stream/live_rank_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/mutable_digraph.hpp"
+#include "pagerank/centralized.hpp"
+
+namespace dprank {
+
+LiveRankService::LiveRankService(const IngestCoordinator& coordinator,
+                                 obs::MetricsRegistry* metrics)
+    : coordinator_(coordinator), metrics_(metrics) {}
+
+void LiveRankService::record_lag() {
+  ++queries_;
+  const auto lag = static_cast<double>(coordinator_.pending().size());
+  if (metrics_ != nullptr) {
+    metrics_->gauge("stream.ingest_lag_events").set(lag);
+    metrics_->histogram("stream.query_lag_events").record(lag);
+    metrics_->counter("stream.queries").add();
+  }
+}
+
+double LiveRankService::rank_of(NodeId doc) {
+  record_lag();
+  const std::vector<double>& ranks = coordinator_.ranks();
+  if (doc >= ranks.size() || coordinator_.is_deleted(doc)) return 0.0;
+  return ranks[doc];
+}
+
+void LiveRankService::recompute_top(std::size_t k) {
+  const std::vector<double>& ranks = coordinator_.ranks();
+  cache_.clear();
+  cache_.reserve(ranks.size());
+  for (NodeId v = 0; v < ranks.size(); ++v) {
+    if (!coordinator_.is_deleted(v)) cache_.emplace_back(v, ranks[v]);
+  }
+  const std::size_t keep = std::min(k, cache_.size());
+  const auto by_rank_desc = [](const std::pair<NodeId, double>& a,
+                               const std::pair<NodeId, double>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  std::partial_sort(cache_.begin(),
+                    cache_.begin() + static_cast<std::ptrdiff_t>(keep),
+                    cache_.end(), by_rank_desc);
+  cache_.resize(keep);
+  cache_version_ = coordinator_.version();
+  cache_valid_ = true;
+  ++topk_recomputes_;
+  if (metrics_ != nullptr) metrics_->counter("stream.topk_recomputes").add();
+}
+
+std::vector<std::pair<NodeId, double>> LiveRankService::top_k(std::size_t k) {
+  record_lag();
+  if (k == 0) return {};
+  const std::uint64_t version = coordinator_.version();
+  const bool fresh = cache_valid_ && cache_version_ == version;
+  bool revalidated = false;
+  if (cache_valid_ && !fresh && version == cache_version_ + 1 &&
+      k <= cache_.size() && !cache_.empty()) {
+    // One batch behind: the cached ordering survives iff no touched
+    // document sits in the cached prefix or now outranks its floor.
+    const std::vector<NodeId>& touched = coordinator_.last_batch_touched();
+    const std::vector<double>& ranks = coordinator_.ranks();
+    const double floor = cache_.back().second;
+    revalidated = !touched.empty();
+    for (const NodeId t : touched) {
+      const bool in_cache =
+          std::any_of(cache_.begin(), cache_.end(),
+                      [t](const auto& e) { return e.first == t; });
+      const double now =
+          (t < ranks.size() && !coordinator_.is_deleted(t)) ? ranks[t] : 0.0;
+      if (in_cache || now >= floor) {
+        revalidated = false;
+        break;
+      }
+    }
+    if (revalidated) cache_version_ = version;
+  }
+  if (fresh || revalidated) {
+    if (k <= cache_.size()) {
+      ++topk_cache_hits_;
+      if (metrics_ != nullptr) {
+        metrics_->counter("stream.topk_cache_hits").add();
+      }
+      return {cache_.begin(),
+              cache_.begin() + static_cast<std::ptrdiff_t>(k)};
+    }
+  }
+  recompute_top(k);
+  return cache_;
+}
+
+StalenessReport LiveRankService::measure_staleness(double oracle_tolerance) {
+  // Oracle view: the live graph with pending events applied, solved to
+  // convergence. Shares apply_structural_event with ingest so the replay
+  // cannot drift from what flush() will do.
+  MutableDigraph oracle_graph = coordinator_.graph();
+  std::vector<std::uint8_t> oracle_dead = coordinator_.deleted();
+  for (const StreamEvent& ev : coordinator_.pending()) {
+    apply_structural_event(oracle_graph, oracle_dead, ev);
+  }
+  const PagerankOptions& opt = coordinator_.options();
+  const CentralizedResult oracle =
+      centralized_pagerank(oracle_graph.freeze(), opt.damping,
+                           oracle_tolerance, 100'000, opt.initial_rank);
+
+  const std::vector<double>& served = coordinator_.ranks();
+  StalenessReport rep;
+  rep.pending_events = coordinator_.pending().size();
+  double sum = 0.0;
+  for (std::size_t v = 0; v < oracle.ranks.size(); ++v) {
+    // Pending inserts are unknown to the service and serve as 0;
+    // tombstones (applied or pending) carry no oracle rank.
+    const double s =
+        (v < served.size() && !coordinator_.is_deleted(static_cast<NodeId>(v)))
+            ? served[v]
+            : 0.0;
+    const double o = oracle_dead[v] != 0 ? 0.0 : oracle.ranks[v];
+    if (s == 0.0 && o == 0.0) continue;
+    const double diff = std::abs(s - o);
+    sum += diff;
+    rep.max_abs = std::max(rep.max_abs, diff);
+    ++rep.docs;
+  }
+  rep.mean_abs = rep.docs == 0 ? 0.0 : sum / static_cast<double>(rep.docs);
+  if (metrics_ != nullptr) {
+    metrics_->series("stream.staleness")
+        .append(static_cast<double>(coordinator_.events_offered()),
+                rep.mean_abs);
+    metrics_->gauge("stream.staleness_max").set(rep.max_abs);
+  }
+  return rep;
+}
+
+}  // namespace dprank

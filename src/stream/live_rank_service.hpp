@@ -1,0 +1,96 @@
+#pragma once
+
+// Rank-query front-end over a live IngestCoordinator (ROADMAP item 1).
+//
+// §2.4 sorts search hits by pagerank; a streaming deployment has to do
+// that while ingest is mid-flight, which makes every answer *stale* to
+// some degree: pending (offered-but-unapplied) events are invisible, and
+// applied batches are only incrementally propagated until the next full
+// reconvergence. LiveRankService serves point ranks and top-k from the
+// coordinator's current vector and quantifies the error honestly:
+//
+//  * staleness — measure_staleness() builds the oracle the served ranks
+//    are compared against: copy the live graph, replay the pending
+//    events structurally (same apply_structural_event as ingest, so the
+//    oracle cannot drift), solve to convergence with the centralized
+//    solver at a tight tolerance, zero tombstones. Staleness is the
+//    per-document |served - oracle| (documents the service does not know
+//    yet serve as 0), summarized as mean/max and recorded on the
+//    `stream.staleness` series (x = events offered). At a fixed ingest
+//    rate, shrinking the batch size shrinks the pending window and the
+//    mean staleness with it — the trade-off curve the stream bench maps.
+//  * ingest lag — every point query records offered - applied (the
+//    pending-event count) on `stream.ingest_lag_events`.
+//
+// top-k caching rides the coordinator's last_batch_touched() plumbing:
+// a cached ordering survives a batch when none of the touched documents
+// was in the cached prefix and none rose above its floor rank — the
+// common case for small batches, where a cascade touches a handful of
+// mid-tail documents. Reconvergence clears the touched list and forces
+// a full recompute.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "obs/metrics.hpp"
+#include "stream/ingest_coordinator.hpp"
+
+namespace dprank {
+
+struct StalenessReport {
+  /// Mean |served - oracle| over documents live in either view.
+  double mean_abs = 0.0;
+  double max_abs = 0.0;
+  /// Documents compared (live in served or oracle view).
+  std::uint64_t docs = 0;
+  /// Pending (offered-but-unapplied) events at measurement time.
+  std::uint64_t pending_events = 0;
+};
+
+class LiveRankService {
+ public:
+  explicit LiveRankService(const IngestCoordinator& coordinator,
+                           obs::MetricsRegistry* metrics = nullptr);
+
+  /// Current served rank of `doc`; 0 for tombstones and ids the service
+  /// has not seen yet. Records the ingest lag.
+  [[nodiscard]] double rank_of(NodeId doc);
+
+  /// Top-k live documents by served rank, descending (ties by smaller
+  /// id). Cached across queries; see the header comment for the
+  /// invalidation rule.
+  [[nodiscard]] std::vector<std::pair<NodeId, double>> top_k(std::size_t k);
+
+  /// Compare the served ranks against a fully-reconverged oracle that
+  /// has also seen the pending events. O(centralized solve); a
+  /// measurement probe, not a serving-path operation.
+  [[nodiscard]] StalenessReport measure_staleness(
+      double oracle_tolerance = 1e-12);
+
+  [[nodiscard]] std::uint64_t queries() const { return queries_; }
+  [[nodiscard]] std::uint64_t topk_recomputes() const {
+    return topk_recomputes_;
+  }
+  [[nodiscard]] std::uint64_t topk_cache_hits() const {
+    return topk_cache_hits_;
+  }
+
+ private:
+  void record_lag();
+  void recompute_top(std::size_t k);
+
+  const IngestCoordinator& coordinator_;
+  obs::MetricsRegistry* metrics_;
+
+  std::uint64_t cache_version_ = 0;
+  bool cache_valid_ = false;
+  std::vector<std::pair<NodeId, double>> cache_;  // descending rank
+  std::uint64_t queries_ = 0;
+  std::uint64_t topk_recomputes_ = 0;
+  std::uint64_t topk_cache_hits_ = 0;
+};
+
+}  // namespace dprank

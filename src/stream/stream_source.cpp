@@ -1,0 +1,132 @@
+#include "stream/stream_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dprank {
+
+namespace {
+// Retry budget for rejection sampling (distinct link targets, u != v).
+// Falling out of the budget degrades gracefully (shorter link list /
+// deterministic fallback target) instead of looping.
+constexpr int kSampleTries = 16;
+}  // namespace
+
+StreamSource::StreamSource(const StreamSourceConfig& config)
+    : config_(config),
+      rng_(mix64(config.seed ^ 0x53545245414DULL)),  // "STREAM"
+      zipf_(std::uint64_t{config.initial_docs} + config.max_events,
+            config.zipf_s) {
+  const std::uint64_t total = std::uint64_t{config.insert_weight} +
+                              config.delete_weight + config.add_edge_weight +
+                              config.remove_edge_weight;
+  if (total == 0) {
+    throw std::invalid_argument("StreamSource: all weights zero");
+  }
+  if (config.initial_docs < 2 || config.initial_docs < config.min_live_docs) {
+    throw std::invalid_argument("StreamSource: initial corpus too small");
+  }
+  if (config.max_out_links == 0) {
+    throw std::invalid_argument("StreamSource: max_out_links zero");
+  }
+  live_.resize(config.initial_docs);
+  for (NodeId v = 0; v < config.initial_docs; ++v) live_[v] = v;
+  next_id_ = config.initial_docs;
+}
+
+NodeId StreamSource::sample_live() {
+  // The table covers the maximum possible population; indices beyond the
+  // current live count are rejected. Low indices dominate under Zipf, so
+  // rejections are rare and the loop terminates quickly.
+  std::uint64_t idx = zipf_.sample(rng_);
+  while (idx >= live_.size()) idx = zipf_.sample(rng_);
+  return live_[idx];
+}
+
+StreamEvent StreamSource::next() {
+  const std::uint64_t total = std::uint64_t{config_.insert_weight} +
+                              config_.delete_weight + config_.add_edge_weight +
+                              config_.remove_edge_weight;
+  const std::uint64_t w = rng_.bounded(total);
+  StreamEvent::Kind kind;
+  if (w < config_.insert_weight) {
+    kind = StreamEvent::Kind::kInsert;
+  } else if (w < std::uint64_t{config_.insert_weight} + config_.delete_weight) {
+    kind = StreamEvent::Kind::kDelete;
+  } else if (w < std::uint64_t{config_.insert_weight} + config_.delete_weight +
+                     config_.add_edge_weight) {
+    kind = StreamEvent::Kind::kAddEdge;
+  } else {
+    kind = StreamEvent::Kind::kRemoveEdge;
+  }
+  // Population floor: a delete at or below min_live_docs becomes an
+  // insert, so the corpus can never empty (mirrors make_chaos_schedule's
+  // live-peer floor).
+  if (kind == StreamEvent::Kind::kDelete &&
+      live_.size() <= config_.min_live_docs) {
+    kind = StreamEvent::Kind::kInsert;
+  }
+
+  StreamEvent ev;
+  ev.kind = kind;
+  ev.seq = seq_;
+  ev.timestamp_us = static_cast<std::uint64_t>(
+      static_cast<double>(seq_) * 1e6 / config_.events_per_sec);
+
+  switch (kind) {
+    case StreamEvent::Kind::kInsert: {
+      const std::uint32_t want = 1 + static_cast<std::uint32_t>(rng_.bounded(
+                                         config_.max_out_links));
+      ev.out_links.reserve(want);
+      for (std::uint32_t i = 0; i < want; ++i) {
+        for (int tries = 0; tries < kSampleTries; ++tries) {
+          const NodeId cand = sample_live();
+          if (std::find(ev.out_links.begin(), ev.out_links.end(), cand) ==
+              ev.out_links.end()) {
+            ev.out_links.push_back(cand);
+            break;
+          }
+        }
+      }
+      ev.node = next_id_++;
+      live_.push_back(ev.node);
+      break;
+    }
+    case StreamEvent::Kind::kDelete: {
+      const std::size_t idx = rng_.bounded(live_.size());
+      ev.node = live_[idx];
+      live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(idx));
+      break;
+    }
+    case StreamEvent::Kind::kAddEdge: {
+      ev.node = sample_live();
+      ev.target = ev.node;
+      for (int tries = 0; tries < kSampleTries && ev.target == ev.node;
+           ++tries) {
+        ev.target = sample_live();
+      }
+      if (ev.target == ev.node) {
+        // Deterministic fallback: the oldest live document that is not
+        // the source (live_ has >= 2 entries: min_live_docs >= 2).
+        ev.target = live_[0] == ev.node ? live_[1] : live_[0];
+      }
+      break;
+    }
+    case StreamEvent::Kind::kRemoveEdge: {
+      ev.node = sample_live();
+      ev.ordinal = static_cast<std::uint32_t>(rng_.bounded(1u << 16));
+      break;
+    }
+  }
+  ++seq_;
+  return ev;
+}
+
+std::vector<StreamEvent> StreamSource::take(std::uint64_t n) {
+  std::vector<StreamEvent> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace dprank

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -205,6 +206,101 @@ TEST(Incremental, RankVectorSizeValidated) {
   std::vector<double> wrong(5, 1.0);
   EXPECT_THROW(IncrementalPagerank(g, wrong, opts(1e-3)),
                std::invalid_argument);
+}
+
+TEST(Incremental, LastTouchedPopulatedByEveryMutatingEntryPoint) {
+  const Digraph g = figure2_graph();
+
+  {  // seed_and_propagate: seed + cascade targets
+    std::vector<double> ranks(6, 0.0);
+    IncrementalPagerank engine(g, ranks, opts(1e-9, 1.0));
+    (void)engine.seed_and_propagate(0);
+    const auto& touched = engine.last_touched();
+    EXPECT_EQ(touched.size(), 6u);  // G itself + H, I, J, K, L
+    EXPECT_NE(std::find(touched.begin(), touched.end(), 0u), touched.end())
+        << "seed node missing from last_touched";
+  }
+  {  // propagate_delete: the deleted document + its cascade targets
+    std::vector<double> ranks(6, 1.0);
+    IncrementalPagerank engine(g, ranks, opts(1e-9, 1.0));
+    (void)engine.propagate_delete(0);
+    const auto& touched = engine.last_touched();
+    EXPECT_NE(std::find(touched.begin(), touched.end(), 0u), touched.end())
+        << "deleted node missing from last_touched";
+    EXPECT_GE(touched.size(), 4u);  // G + at least H, I, J
+  }
+  {  // inject: the injection point
+    std::vector<double> ranks(6, 1.0);
+    IncrementalPagerank engine(g, ranks, opts(1e-9, 1.0));
+    (void)engine.inject(4, 0.25);
+    const auto& touched = engine.last_touched();
+    EXPECT_NE(std::find(touched.begin(), touched.end(), 4u), touched.end());
+  }
+  {  // probe_insert restores everything: nothing stays touched
+    std::vector<double> ranks(6, 1.0);
+    IncrementalPagerank engine(g, ranks, opts(1e-9, 1.0));
+    (void)engine.probe_insert(0);
+    EXPECT_TRUE(engine.last_touched().empty());
+  }
+}
+
+TEST(Incremental, InjectBatchCoalescesDuplicates) {
+  // Two deltas to H coalesce into one delivery whose significance test
+  // sees the sum; the result matches a single inject of the sum.
+  const Digraph g = figure2_graph();
+  std::vector<double> batched(6, 1.0);
+  std::vector<double> single(6, 1.0);
+  {
+    IncrementalPagerank engine(g, batched, opts(1e-9, 1.0));
+    const auto stats = engine.inject_batch({{1, 0.1}, {1, 0.2}});
+    EXPECT_EQ(stats.updates_delivered, 3u);  // H once, then K and L
+    EXPECT_NE(std::find(engine.last_touched().begin(),
+                        engine.last_touched().end(), 1u),
+              engine.last_touched().end());
+  }
+  {
+    IncrementalPagerank engine(g, single, opts(1e-9, 1.0));
+    (void)engine.inject(1, 0.3);
+  }
+  for (NodeId v = 0; v < 6; ++v) {
+    ASSERT_DOUBLE_EQ(batched[v], single[v]) << "node " << v;
+  }
+}
+
+TEST(Incremental, InjectBatchValidatesNodeIds) {
+  const Digraph g = figure2_graph();
+  std::vector<double> ranks(6, 1.0);
+  IncrementalPagerank engine(g, ranks, opts(1e-3));
+  EXPECT_THROW(engine.inject_batch({{1, 0.1}, {6, 0.1}}), std::out_of_range);
+}
+
+TEST(Incremental, PropagateFullDeleteLeavesNoDanglingRank) {
+  const Digraph base = paper_graph(500, 12);
+  MutableDigraph g(base);
+  std::vector<double> ranks = centralized_pagerank(base, 0.85, 1e-13).ranks;
+  const Digraph snapshot = g.freeze();
+  IncrementalPagerank engine(snapshot, ranks, opts(1e-7));
+
+  const NodeId victim = 42;
+  (void)engine.propagate_full_delete(g, victim);
+  EXPECT_TRUE(g.is_isolated(victim));
+  EXPECT_DOUBLE_EQ(ranks[victim], 0.0);
+  const auto& touched = engine.last_touched();
+  EXPECT_NE(std::find(touched.begin(), touched.end(), victim), touched.end());
+
+  // Wrong graph (size mismatch with the snapshot) is rejected.
+  MutableDigraph other(NodeId{3});
+  EXPECT_THROW(engine.propagate_full_delete(other, 1), std::invalid_argument);
+}
+
+TEST(Incremental, IsolateNodeReturnsRemovedEdgeCount) {
+  MutableDigraph g(NodeId{4});
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(3, 0);
+  EXPECT_EQ(g.isolate_node(0), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.isolate_node(0), 0u);
 }
 
 TEST(Incremental, DanglingSeedSendsNothing) {

@@ -21,6 +21,16 @@
 //           measure insert-propagation cost (Table 4's experiment)
 //   search  [--docs N] [--peers P] [--queries Q] [--terms T] [--top PCT]
 //           corpus + distributed index + incremental search
+//   stream  [--docs N] [--events E] [--batch B] [--reconverge-every R]
+//           [--rate EPS] [--epsilon E] [--seed S] [--top K]
+//           continuous ingest through the live-rank service: a seeded
+//           event stream (inserts/deletes/edge mutations) is batched
+//           into coalesced rank cascades while top-k and point queries
+//           are served between batches; --reconverge-every R runs a
+//           full distributed reconvergence (churn + mass audit) every
+//           R offered events. Prints per-mark staleness vs the
+//           fully-reconverged oracle and the final top-k.
+//           (`dprank_cli --stream ...` is accepted as an alias.)
 //
 // rank/insert/search also take the telemetry flags:
 //   --metrics-out FILE   dump the run's metrics registry as JSON
@@ -32,6 +42,7 @@
 //   dprank_cli search --docs 11000 --terms 2 --top 10
 //   dprank_cli system --docs 5000 --ops 20   (lifecycle + doctor)
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -62,6 +73,9 @@
 #include "search/query_gen.hpp"
 #include "sim/experiment.hpp"
 #include "sim/time_model.hpp"
+#include "stream/ingest_coordinator.hpp"
+#include "stream/live_rank_service.hpp"
+#include "stream/stream_source.hpp"
 
 namespace dprank::cli {
 namespace {
@@ -430,9 +444,91 @@ int cmd_system(const Args& args) {
   return issues.empty() ? 0 : 1;
 }
 
+int cmd_stream(const Args& args) {
+  const auto docs =
+      static_cast<NodeId>(args.get_u64("docs", 2'000));
+  const auto events = args.get_u64("events", 240);
+  const auto batch =
+      static_cast<std::uint32_t>(args.get_u64("batch", 16));
+  const auto reconverge_every = args.get_u64("reconverge-every", 0);
+  const double rate = args.get_double("rate", 1'000.0);
+  const auto seed = args.get_u64("seed", 42);
+  const auto top_k = args.get_u64("top", 10);
+
+  std::cout << "Seeding " << format_count(docs)
+            << "-doc graph and converging the baseline ranks...\n";
+  const Digraph base = paper_graph(docs, seed);
+  IngestConfig ic;
+  ic.batch_size = batch;
+  ic.reconverge_every_events = reconverge_every;
+  ic.seed = seed;
+  ic.options.epsilon = args.get_double("epsilon", 1e-6);
+  ic.options.threads = 1;
+  ic.reconverge.initial_peers =
+      static_cast<PeerId>(args.get_u64("peers", 16));
+  ic.reconverge.events = 8;
+  ic.reconverge.min_live = 8;
+  ic.reconverge.replicas = 1;
+  std::vector<double> ranks =
+      centralized_pagerank(base, ic.options.damping, 1e-13).ranks;
+
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;  // stream has no tracer hooks; satisfies telemetry API
+  IngestCoordinator coord(MutableDigraph(base), std::move(ranks), ic,
+                          &registry);
+  LiveRankService service(coord, &registry);
+
+  StreamSourceConfig sc;
+  sc.initial_docs = docs;
+  sc.max_events = events;
+  sc.seed = seed;
+  sc.events_per_sec = rate;
+  StreamSource source(sc);
+
+  // Staleness marks: ~8 per run, clamped so short runs still report.
+  const std::uint64_t mark = std::max<std::uint64_t>(1, events / 8);
+  std::cout << "Ingesting " << format_count(events) << " events at "
+            << format_fixed(rate, 0) << " events/s (batch " << batch
+            << (reconverge_every != 0
+                    ? ", reconverge every " +
+                          std::to_string(reconverge_every)
+                    : std::string(", no reconvergence"))
+            << ")...\n";
+  for (std::uint64_t i = 1; i <= events; ++i) {
+    coord.offer(source.next());
+    (void)service.top_k(top_k);  // reads land mid-ingest, between batches
+    if (i % mark == 0 || i == events) {
+      const StalenessReport rep = service.measure_staleness();
+      std::cout << "  offered " << format_count(coord.events_offered())
+                << "  applied " << format_count(coord.events_applied())
+                << "  pending " << rep.pending_events << "  staleness mean "
+                << format_sig(rep.mean_abs, 3) << " max "
+                << format_sig(rep.max_abs, 3) << "\n";
+    }
+  }
+  coord.flush();
+
+  std::cout << "\nlive docs:     " << format_count(source.live_docs())
+            << " (of " << format_count(coord.graph().num_nodes())
+            << " ever allocated)\n"
+            << "reconverges:   " << format_count(coord.reconverge_cycles());
+  for (const double m : coord.mass_ratios()) {
+    std::cout << "  mass_ratio " << format_fixed(m, 6);
+  }
+  std::cout << "\nrank digest:   " << coord.digest() << "\n"
+            << "topk cache:    " << format_count(service.topk_cache_hits())
+            << " hits / " << format_count(service.topk_recomputes())
+            << " recomputes\n\ntop-" << top_k << " documents:\n";
+  for (const auto& [doc, rank] : service.top_k(top_k)) {
+    std::cout << "  doc-" << doc << "  " << format_sig(rank, 6) << "\n";
+  }
+  write_telemetry_outputs(args, registry, tracer);
+  return 0;
+}
+
 int usage() {
-  std::cerr << "usage: dprank_cli <gen|stats|rank|insert|search|system> "
-               "[--flag value]\n"
+  std::cerr << "usage: dprank_cli <gen|stats|rank|insert|search|system"
+               "|stream> [--flag value]\n"
                "see the header of tools/dprank_cli.cpp for per-command "
                "flags\n";
   return 2;
@@ -448,6 +544,9 @@ int run(int argc, char** argv) {
   if (cmd == "insert") return cmd_insert(args);
   if (cmd == "search") return cmd_search(args);
   if (cmd == "system") return cmd_system(args);
+  // `--stream` is accepted as an alias so the quickstart's flag-style
+  // invocation works too.
+  if (cmd == "stream" || cmd == "--stream") return cmd_stream(args);
   return usage();
 }
 
