@@ -62,7 +62,7 @@ from pathlib import Path
 
 # Subsystems that run *inside* the simulation and must be deterministic.
 SIM_DIRS = ("src/sim", "src/pagerank", "src/net", "src/dht", "src/p2p",
-            "src/stream")
+            "src/stream", "src/engines")
 
 # Where seeded randomness is implemented (exempt from seeded-rng).
 RNG_FILES = ("src/common/rng.hpp", "src/common/rng.cpp")
@@ -100,7 +100,7 @@ MUTABLE_STATIC_RE = re.compile(r"^\s*static\s+(?!const\b|constexpr\b|assert\b)")
 REGISTRY_TYPES_RE = re.compile(r"\b(MetricsRegistry|ResultStore)\b")
 
 # Subsystems forming the per-message hot path (see hot-path-map above).
-HOT_PATH_DIRS = ("src/net", "src/pagerank", "src/stream")
+HOT_PATH_DIRS = ("src/net", "src/pagerank", "src/stream", "src/engines")
 HOT_PATH_MAP_RE = re.compile(r"\bstd::(unordered_map|map)\s*<")
 
 # iwyu-lite: std symbols whose header must be included directly. Kept to

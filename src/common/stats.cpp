@@ -96,8 +96,14 @@ double max_cdf_deviation(const std::vector<double>& sorted_sample,
   const auto n = static_cast<double>(sorted_sample.size());
   double worst = 0.0;
   for (std::size_t i = 0; i < sorted_sample.size(); ++i) {
-    const double empirical = static_cast<double>(i + 1) / n;
-    worst = std::max(worst, std::abs(empirical - ref_cdf[i]));
+    // Two-sided KS statistic: the empirical CDF steps from i/n to
+    // (i+1)/n at sorted_sample[i], so the supremum over the step needs
+    // both sides — checking only (i+1)/n underestimates the deviation
+    // whenever the empirical CDF runs below the reference.
+    const double above = static_cast<double>(i + 1) / n;
+    const double below = static_cast<double>(i) / n;
+    worst = std::max(worst, std::abs(above - ref_cdf[i]));
+    worst = std::max(worst, std::abs(below - ref_cdf[i]));
   }
   return worst;
 }

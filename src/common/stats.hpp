@@ -60,9 +60,11 @@ class Welford {
   double max_ = 0.0;
 };
 
-/// Kolmogorov-Smirnov-style max CDF deviation between an empirical sample
-/// and a reference CDF evaluated at the sample points. Used by the graph
-/// generator tests to check the power-law degree distribution.
+/// Two-sided Kolmogorov-Smirnov statistic between an empirical sample
+/// and a reference CDF evaluated at the sample points: the empirical CDF
+/// steps from i/n to (i+1)/n at sorted_sample[i], and both sides of the
+/// step are compared against ref_cdf[i]. Used by the graph generator
+/// tests to check the power-law degree distribution.
 [[nodiscard]] double max_cdf_deviation(const std::vector<double>& sorted_sample,
                                        const std::vector<double>& ref_cdf);
 

@@ -1,0 +1,267 @@
+#include "engines/gossip_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "net/message.hpp"
+
+namespace dprank {
+
+namespace {
+constexpr std::uint64_t kDocSalt = 0x9E3779B97F4A7C15ULL;
+}  // namespace
+
+GossipEngine::GossipEngine(const Digraph& g, const Placement& placement,
+                           const EngineOptions& options)
+    : graph_(g), placement_(placement), options_(options) {
+  if (placement.num_docs() != g.num_nodes()) {
+    throw std::invalid_argument(
+        "GossipEngine: placement does not cover the graph");
+  }
+  if (options_.gossip_fraction <= 0.0 || options_.gossip_fraction > 1.0) {
+    throw std::invalid_argument(
+        "GossipEngine: gossip_fraction out of (0,1]");
+  }
+  const NodeId n = g.num_nodes();
+  ranks_.assign(n, options_.pagerank.initial_rank);
+  last_sent_.assign(n, options_.pagerank.initial_rank);
+  // Pass-0 cells match the distributed engine: contribution of edge
+  // u->v starts at initial_rank / outdeg(u).
+  contrib_.resize(g.num_edges());
+  for (NodeId u = 0; u < n; ++u) {
+    const double c = options_.pagerank.initial_rank /
+                     static_cast<double>(std::max<std::uint32_t>(
+                         1, g.out_degree(u)));
+    for (EdgeId e = g.out_edge_begin(u); e < g.out_edge_end(u); ++e) {
+      contrib_[e] = c;
+    }
+  }
+  pending_value_.assign(g.num_edges(), 0.0);
+  pending_.assign(g.num_edges(), 0);
+  deferred_by_peer_.resize(placement.num_peers());
+  in_dirty_.assign(n, 1);
+  dirty_.resize(n);
+  for (NodeId v = 0; v < n; ++v) dirty_[v] = v;  // first round: everyone
+  defer_age_.assign(n, 0);
+  peer_msgs_this_pass_.assign(placement.num_peers(), 0);
+}
+
+bool GossipEngine::selected(std::uint64_t round, NodeId v) const {
+  const std::uint64_t h =
+      mix64(mix64(options_.seed + round) ^
+            (static_cast<std::uint64_t>(v) * kDocSalt));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 <
+         options_.gossip_fraction;
+}
+
+void GossipEngine::enable_mass_audit(double tolerance) {
+  if (ran_) throw std::logic_error("enable_mass_audit after run");
+  if (tolerance < 0.0) {
+    throw std::invalid_argument("enable_mass_audit: negative tolerance");
+  }
+  audit_enabled_ = true;
+  audit_tolerance_ = tolerance;
+  emitted_value_.assign(graph_.num_edges(), 0.0);
+  emitted_seen_.assign(graph_.num_edges(), 0);
+}
+
+void GossipEngine::attach_metrics(obs::MetricsRegistry& registry) {
+  if (ran_) throw std::logic_error("attach_metrics after run");
+  metrics_ = &registry;
+}
+
+void GossipEngine::mark_dirty(NodeId v) {
+  // Called from apply_emissions, after the round's dirty_/keep_dirty_
+  // swap: dirty_ is already the next round's list.
+  if (in_dirty_[v] != 0) return;
+  in_dirty_[v] = 1;
+  dirty_.push_back(v);
+}
+
+void GossipEngine::deliver_parked(const std::vector<bool>& presence,
+                                  PassStats& stats) {
+  if (total_pending_ == 0) return;
+  for (PeerId p = 0; p < placement_.num_peers(); ++p) {
+    if (!presence[p] || deferred_by_peer_[p].empty()) continue;
+    for (const EdgeId e : deferred_by_peer_[p]) {
+      contrib_[e] = pending_value_[e];
+      pending_[e] = 0;
+      --total_pending_;
+      meter_.record_message(PagerankUpdate::kWireBytes, 1);
+      ++stats.messages_delivered_late;
+      const NodeId target = graph_.out_target(e);
+      // The freshly delivered value joins this round's lottery.
+      if (in_dirty_[target] == 0) {
+        in_dirty_[target] = 1;
+        dirty_.push_back(target);
+      }
+    }
+    deferred_by_peer_[p].clear();
+  }
+}
+
+void GossipEngine::apply_emissions(const std::vector<bool>& presence,
+                                   PassStats& stats) {
+  for (const Emission& em : emissions_) {
+    const EdgeId e = em.edge;
+    const NodeId target = graph_.out_target(e);
+    const PeerId dst = placement_.peer_of(target);
+    if (audit_enabled_) {
+      emitted_value_[e] = em.value;
+      emitted_seen_[e] = 1;
+    }
+    if (dst == em.src) {
+      contrib_[e] = em.value;
+      meter_.record_local_update();
+      ++stats.local_updates;
+      mark_dirty(target);
+    } else if (presence[dst]) {
+      contrib_[e] = em.value;
+      meter_.record_message(PagerankUpdate::kWireBytes, 1);
+      ++stats.messages_sent;
+      ++peer_msgs_this_pass_[em.src];
+      mark_dirty(target);
+    } else {
+      // Park, newest value wins; billed at delivery.
+      if (pending_[e] == 0) {
+        pending_[e] = 1;
+        ++total_pending_;
+        deferred_by_peer_[dst].push_back(e);
+      }
+      pending_value_[e] = em.value;
+      ++stats.messages_deferred;
+    }
+  }
+  emissions_.clear();
+}
+
+DistributedRunResult GossipEngine::run(ChurnSchedule* churn,
+                                       const PassObserver& observer) {
+  if (ran_) throw std::logic_error("run: engine instance already ran");
+  ran_ = true;
+  if (churn != nullptr && churn->num_peers() != placement_.num_peers()) {
+    throw std::invalid_argument("run: churn schedule peer count mismatch");
+  }
+  const std::vector<bool> all_present(placement_.num_peers(), true);
+  const double d = options_.pagerank.damping;
+  const double eps = options_.pagerank.epsilon;
+  DistributedRunResult result;
+  for (std::uint64_t round = 0; round < options_.pagerank.max_passes;
+       ++round) {
+    const std::vector<bool>& presence =
+        churn != nullptr ? churn->presence_for_pass(round) : all_present;
+    PassStats stats;
+    stats.pass = round;
+    std::fill(peer_msgs_this_pass_.begin(), peer_msgs_this_pass_.end(), 0);
+
+    deliver_parked(presence, stats);
+
+    keep_dirty_.clear();
+    for (const NodeId v : dirty_) {
+      const PeerId owner = placement_.peer_of(v);
+      if (!presence[owner]) {
+        // Offline owner: the document neither computes nor ages.
+        keep_dirty_.push_back(v);
+        continue;
+      }
+      if (defer_age_[v] < options_.gossip_max_defer &&
+          !selected(round, v)) {
+        ++defer_age_[v];
+        ++stats.docs_deferred;
+        keep_dirty_.push_back(v);
+        continue;
+      }
+      defer_age_[v] = 0;
+      in_dirty_[v] = 0;
+      ++stats.docs_recomputed;
+      double sum = 0.0;
+      for (const EdgeId e : graph_.in_to_out_edge(v)) sum += contrib_[e];
+      const double new_rank = (1.0 - d) + d * sum;
+      stats.max_rel_change =
+          std::max(stats.max_rel_change, relative_change(ranks_[v], new_rank));
+      ranks_[v] = new_rank;
+      // Gate against what the out-links actually hold, so a recompute
+      // chain of sub-ε steps cannot silently strand accumulated change.
+      if (relative_change(last_sent_[v], new_rank) > eps &&
+          graph_.out_degree(v) != 0) {
+        last_sent_[v] = new_rank;
+        const double c =
+            new_rank / static_cast<double>(graph_.out_degree(v));
+        for (EdgeId e = graph_.out_edge_begin(v); e < graph_.out_edge_end(v);
+             ++e) {
+          emissions_.push_back(Emission{e, owner, c});
+        }
+      }
+    }
+    dirty_.swap(keep_dirty_);
+
+    // Round-t emissions become visible in round t+1 (Jacobi apply).
+    apply_emissions(presence, stats);
+
+    stats.max_peer_messages = peer_msgs_this_pass_.empty()
+                                  ? 0
+                                  : *std::max_element(
+                                        peer_msgs_this_pass_.begin(),
+                                        peer_msgs_this_pass_.end());
+    history_.push_back(stats);
+    result.passes = round + 1;
+    if (observer) observer(round, ranks_);
+    if (dirty_.empty() && total_pending_ == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (audit_enabled_) {
+    result.mass_ratio = audit_ratio();
+    if (result.mass_ratio < 1.0 - audit_tolerance_ ||
+        result.mass_ratio > 1.0 + audit_tolerance_) {
+      result.converged = false;
+    }
+  }
+  if (metrics_ != nullptr) flush_metrics(result);
+  return result;
+}
+
+double GossipEngine::audit_ratio() const {
+  // Emission ledger: per edge, the effective value (delivered cell, or
+  // the parked newest value) must equal the last emitted value — parks
+  // are newest-wins and deliveries overwrite, so nothing can leak.
+  double emitted = 0.0;
+  double effective = 0.0;
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    if (emitted_seen_[e] == 0) continue;
+    emitted += emitted_value_[e];
+    effective += pending_[e] != 0 ? pending_value_[e] : contrib_[e];
+  }
+  if (emitted == 0.0) return 1.0;
+  return effective / emitted;
+}
+
+void GossipEngine::flush_metrics(const DistributedRunResult& result) {
+  obs::MetricsRegistry& reg = *metrics_;
+  meter_.flush_to(reg);
+  reg.counter("pagerank.runs").add(1);
+  reg.counter("pagerank.passes").add(result.passes);
+  if (result.converged) reg.counter("pagerank.converged_runs").add(1);
+  reg.gauge("pagerank.mass_ratio").set(result.mass_ratio);
+  obs::Series& residual = reg.series("pagerank.residual");
+  obs::Series& recomputed = reg.series("pagerank.docs_recomputed");
+  obs::Series& sent = reg.series("pagerank.messages_sent");
+  obs::Series& deferred = reg.series("pagerank.deferred");
+  obs::Histogram& pass_msgs = reg.histogram("pagerank.pass.messages");
+  std::uint64_t total_deferred = 0;
+  for (const PassStats& p : history_) {
+    const double x = static_cast<double>(p.pass);
+    residual.append(x, p.max_rel_change);
+    recomputed.append(x, static_cast<double>(p.docs_recomputed));
+    sent.append(x, static_cast<double>(p.messages_sent));
+    deferred.append(x, static_cast<double>(p.docs_deferred));
+    total_deferred += p.docs_deferred;
+    pass_msgs.record(static_cast<double>(p.messages_sent));
+  }
+  reg.counter("pagerank.docs_deferred").add(total_deferred);
+}
+
+}  // namespace dprank

@@ -1,0 +1,74 @@
+#include "engines/registry.hpp"
+
+#include <stdexcept>
+
+#include "engines/gossip_engine.hpp"
+#include "engines/walk_engine.hpp"
+#include "pagerank/distributed_engine.hpp"
+
+namespace dprank {
+
+const std::vector<std::string>& registered_engines() {
+  static const std::vector<std::string> kNames = {"distributed", "walk",
+                                                  "gossip"};
+  return kNames;
+}
+
+bool is_registered_engine(const std::string& name) {
+  for (const std::string& n : registered_engines()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+EngineTraits engine_traits(const std::string& name) {
+  // Traits are constants per engine class; a throwaway 1-node instance
+  // would also work, but a static table keeps this allocation-free.
+  if (name == "distributed") {
+    EngineTraits t;
+    t.name = "distributed";
+    t.supports_churn = true;
+    t.exact = true;
+    t.supports_tracer = true;
+    t.quality_bound = 0.01;
+    return t;
+  }
+  if (name == "walk") {
+    EngineTraits t;
+    t.name = "walk";
+    t.supports_churn = true;
+    t.exact = false;
+    t.supports_tracer = false;
+    t.quality_bound = 0.10;
+    return t;
+  }
+  if (name == "gossip") {
+    EngineTraits t;
+    t.name = "gossip";
+    t.supports_churn = true;
+    t.exact = true;
+    t.supports_tracer = false;
+    t.quality_bound = 0.01;
+    return t;
+  }
+  throw std::invalid_argument("engine_traits: unknown engine '" + name +
+                              "'");
+}
+
+std::unique_ptr<PagerankEngineInterface> make_engine(
+    const std::string& name, const Digraph& g, const Placement& placement,
+    const EngineOptions& options) {
+  if (name == "distributed") {
+    return std::make_unique<DistributedPagerank>(g, placement,
+                                                 options.pagerank);
+  }
+  if (name == "walk") {
+    return std::make_unique<RandomWalkEngine>(g, placement, options);
+  }
+  if (name == "gossip") {
+    return std::make_unique<GossipEngine>(g, placement, options);
+  }
+  throw std::invalid_argument("make_engine: unknown engine '" + name + "'");
+}
+
+}  // namespace dprank

@@ -1,0 +1,41 @@
+#pragma once
+
+// Engine-zoo registry: name -> engine factory over the shared
+// PagerankEngineInterface (pagerank/engine.hpp). The conformance suite
+// (tests/test_engine_interface.cpp), the cross-engine bench matrix
+// (bench/bench_engine_matrix.cpp) and `dprank_cli rank --engine` all
+// construct engines exclusively through make_engine, so a new engine
+// registered here is automatically tested, benched and reachable from
+// the CLI.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "p2p/placement.hpp"
+#include "pagerank/engine.hpp"
+
+namespace dprank {
+
+/// Registered engine names, in canonical order ("distributed" first —
+/// it is the default everywhere).
+[[nodiscard]] const std::vector<std::string>& registered_engines();
+
+/// True when `name` is a registered engine name.
+[[nodiscard]] bool is_registered_engine(const std::string& name);
+
+/// Static traits for a registered engine, without constructing one.
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] EngineTraits engine_traits(const std::string& name);
+
+/// Build a registered engine over (g, placement). The graph and
+/// placement must outlive the returned engine. "distributed" consumes
+/// options.pagerank only; "walk" and "gossip" additionally consume
+/// options.seed and their own knobs. Throws std::invalid_argument for
+/// unknown names.
+[[nodiscard]] std::unique_ptr<PagerankEngineInterface> make_engine(
+    const std::string& name, const Digraph& g, const Placement& placement,
+    const EngineOptions& options);
+
+}  // namespace dprank

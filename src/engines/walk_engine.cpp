@@ -1,0 +1,233 @@
+#include "engines/walk_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "net/message.hpp"
+
+namespace dprank {
+
+namespace {
+
+/// Second draw of a step: decorrelates the neighbor choice from the
+/// termination draw taken from the same step hash.
+constexpr std::uint64_t kNeighborSalt = 0xD1B54A32D192ED03ULL;
+
+/// Uniform double in [0, 1) from a hash (the Rng::uniform construction).
+double hash_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Unbiased-enough bounded draw from a hash (Lemire multiply-shift; the
+/// rejection loop of Rng::bounded needs a stream, a single mapping is
+/// fine at out-degree scale: bias < deg / 2^64).
+std::uint64_t hash_bounded(std::uint64_t h, std::uint64_t bound) noexcept {
+  const __uint128_t m = static_cast<__uint128_t>(h) * bound;
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace
+
+RandomWalkEngine::RandomWalkEngine(const Digraph& g,
+                                   const Placement& placement,
+                                   const EngineOptions& options)
+    : graph_(g), placement_(placement), options_(options) {
+  if (placement.num_docs() != g.num_nodes()) {
+    throw std::invalid_argument(
+        "RandomWalkEngine: placement does not cover the graph");
+  }
+  if (options_.walks_per_node == 0) {
+    throw std::invalid_argument("RandomWalkEngine: walks_per_node == 0");
+  }
+  if (options_.walk_step_cap == 0) {
+    throw std::invalid_argument("RandomWalkEngine: walk_step_cap == 0");
+  }
+  const double d = options_.pagerank.damping;
+  if (d <= 0.0 || d >= 1.0) {
+    throw std::invalid_argument("RandomWalkEngine: damping out of (0,1)");
+  }
+  const NodeId n = g.num_nodes();
+  const std::uint64_t k = options_.walks_per_node;
+  minted_ = static_cast<std::uint64_t>(n) * k;
+  live_ = minted_;
+  doc_.resize(minted_);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint64_t j = 0; j < k; ++j) doc_[v * k + j] = v;
+  }
+  step_.assign(minted_, 0);
+  state_.assign(minted_, TokenState::kLive);
+  // Every token visits its start document.
+  visits_.assign(n, k);
+  ranks_.assign(n, options_.pagerank.initial_rank);
+  parked_by_peer_.resize(placement.num_peers());
+  peer_msgs_this_pass_.assign(placement.num_peers(), 0);
+}
+
+std::uint64_t RandomWalkEngine::step_hash(std::uint64_t token,
+                                          std::uint32_t step) const {
+  return mix64(mix64(options_.seed ^ token) + step);
+}
+
+void RandomWalkEngine::enable_mass_audit(double tolerance) {
+  if (ran_) throw std::logic_error("enable_mass_audit after run");
+  if (tolerance < 0.0) {
+    throw std::invalid_argument("enable_mass_audit: negative tolerance");
+  }
+  audit_enabled_ = true;
+  audit_tolerance_ = tolerance;
+}
+
+void RandomWalkEngine::attach_metrics(obs::MetricsRegistry& registry) {
+  if (ran_) throw std::logic_error("attach_metrics after run");
+  metrics_ = &registry;
+}
+
+void RandomWalkEngine::deliver_parked(const std::vector<bool>& presence,
+                                      PassStats& stats) {
+  if (parked_ == 0) return;
+  for (PeerId p = 0; p < placement_.num_peers(); ++p) {
+    if (!presence[p] || parked_by_peer_[p].empty()) continue;
+    for (const std::uint64_t t : parked_by_peer_[p]) {
+      // Billed once, at delivery (the distributed engine's outbox
+      // convention); the token then rejoins this pass's sweep.
+      meter_.record_message(PagerankUpdate::kWireBytes, 1);
+      ++stats.messages_delivered_late;
+      ++visits_[doc_[t]];
+      state_[t] = TokenState::kLive;
+      --parked_;
+      ++live_;
+    }
+    parked_by_peer_[p].clear();
+  }
+}
+
+DistributedRunResult RandomWalkEngine::run(ChurnSchedule* churn,
+                                           const PassObserver& observer) {
+  if (ran_) throw std::logic_error("run: engine instance already ran");
+  ran_ = true;
+  if (churn != nullptr && churn->num_peers() != placement_.num_peers()) {
+    throw std::invalid_argument("run: churn schedule peer count mismatch");
+  }
+  const std::vector<bool> all_present(placement_.num_peers(), true);
+  const double d = options_.pagerank.damping;
+  DistributedRunResult result;
+  for (std::uint64_t pass = 0; pass < options_.pagerank.max_passes; ++pass) {
+    const std::vector<bool>& presence =
+        churn != nullptr ? churn->presence_for_pass(pass) : all_present;
+    PassStats stats;
+    stats.pass = pass;
+    std::fill(peer_msgs_this_pass_.begin(), peer_msgs_this_pass_.end(), 0);
+
+    deliver_parked(presence, stats);
+
+    for (std::uint64_t t = 0; t < minted_; ++t) {
+      if (state_[t] != TokenState::kLive) continue;
+      const NodeId u = doc_[t];
+      const PeerId host = placement_.peer_of(u);
+      if (!presence[host]) continue;  // hosting peer offline: frozen
+      ++stats.docs_recomputed;
+      const std::uint32_t s = step_[t];
+      const std::uint32_t deg = graph_.out_degree(u);
+      std::uint64_t h = 0;
+      bool terminate = s >= options_.walk_step_cap || deg == 0;
+      if (!terminate) {
+        h = step_hash(t, s);
+        terminate = hash_unit(h) >= d;
+      }
+      if (terminate) {
+        state_[t] = TokenState::kDone;
+        --live_;
+        ++terminated_;
+        continue;
+      }
+      const auto idx = static_cast<std::size_t>(
+          hash_bounded(mix64(h ^ kNeighborSalt), deg));
+      const NodeId v = graph_.out_neighbors(u)[idx];
+      step_[t] = s + 1;
+      doc_[t] = v;
+      const PeerId dst = placement_.peer_of(v);
+      if (dst == host) {
+        meter_.record_local_update();
+        ++stats.local_updates;
+        ++visits_[v];
+      } else if (presence[dst]) {
+        meter_.record_message(PagerankUpdate::kWireBytes, 1);
+        ++stats.messages_sent;
+        ++peer_msgs_this_pass_[host];
+        ++visits_[v];
+      } else {
+        state_[t] = TokenState::kParked;
+        --live_;
+        ++parked_;
+        parked_by_peer_[dst].push_back(t);
+        ++stats.messages_deferred;
+      }
+    }
+
+    stats.max_peer_messages = peer_msgs_this_pass_.empty()
+                                  ? 0
+                                  : *std::max_element(
+                                        peer_msgs_this_pass_.begin(),
+                                        peer_msgs_this_pass_.end());
+    // The engine's residual: the fraction of tokens still in flight.
+    stats.max_rel_change =
+        static_cast<double>(live_ + parked_) / static_cast<double>(minted_);
+    history_.push_back(stats);
+    result.passes = pass + 1;
+    if (observer) {
+      finalize_ranks();
+      observer(pass, ranks_);
+    }
+    if (live_ == 0 && parked_ == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  finalize_ranks();
+  if (audit_enabled_) {
+    // Token conservation: every minted token is terminated, live or
+    // parked — a ledger mismatch means a token was lost or duplicated.
+    const double ratio =
+        static_cast<double>(terminated_ + live_ + parked_) /
+        static_cast<double>(minted_);
+    result.mass_ratio = ratio;
+    if (ratio < 1.0 - audit_tolerance_ || ratio > 1.0 + audit_tolerance_) {
+      result.converged = false;
+    }
+  }
+  if (metrics_ != nullptr) flush_metrics(result);
+  return result;
+}
+
+void RandomWalkEngine::finalize_ranks() {
+  const double scale = (1.0 - options_.pagerank.damping) /
+                       static_cast<double>(options_.walks_per_node);
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    ranks_[v] = scale * static_cast<double>(visits_[v]);
+  }
+}
+
+void RandomWalkEngine::flush_metrics(const DistributedRunResult& result) {
+  obs::MetricsRegistry& reg = *metrics_;
+  meter_.flush_to(reg);
+  reg.counter("pagerank.runs").add(1);
+  reg.counter("pagerank.passes").add(result.passes);
+  if (result.converged) reg.counter("pagerank.converged_runs").add(1);
+  reg.gauge("pagerank.mass_ratio").set(result.mass_ratio);
+  reg.counter("walk.tokens_minted").add(minted_);
+  reg.counter("walk.tokens_terminated").add(terminated_);
+  obs::Series& residual = reg.series("pagerank.residual");
+  obs::Series& recomputed = reg.series("pagerank.docs_recomputed");
+  obs::Series& sent = reg.series("pagerank.messages_sent");
+  obs::Histogram& pass_msgs = reg.histogram("pagerank.pass.messages");
+  for (const PassStats& p : history_) {
+    const double x = static_cast<double>(p.pass);
+    residual.append(x, p.max_rel_change);
+    recomputed.append(x, static_cast<double>(p.docs_recomputed));
+    sent.append(x, static_cast<double>(p.messages_sent));
+    pass_msgs.record(static_cast<double>(p.messages_sent));
+  }
+}
+
+}  // namespace dprank

@@ -1,0 +1,134 @@
+#pragma once
+
+// Random-walk pagerank engine (Das Sarma et al., arXiv:1208.3071,
+// adapted to the paper's unnormalized Google form).
+//
+// Semantics:
+//  * Every document mints `walks_per_node` walk tokens at pass 0. A
+//    token visits its current document, then with probability d moves
+//    to a uniformly-random out-neighbor and with probability 1-d
+//    terminates; a token at a dangling document terminates.
+//  * Unrolling R(v) = (1-d) + d * sum R(u)/outdeg(u) gives
+//    R(v) = (1-d) * sum_t d^t [(P^T)^t 1](v) with P(u,.) uniform over
+//    u's out-links, which is exactly (1-d) times the expected visit
+//    count of such a walk started at every document. The estimator is
+//    R̂(v) = (1-d) * visits(v) / walks_per_node — unbiased, with
+//    relative error shrinking as 1/sqrt(walks_per_node).
+//  * A pass: every live token hosted on a present peer advances one
+//    step. A move whose target document lives on the same peer is a
+//    free local update (Fig. 1 step b analogy); a move to a present
+//    remote peer is one 24-byte token message (the same GUID+state wire
+//    size as a pagerank update, §4.6.1); a move to an absent peer parks
+//    the token in the sender's outbox and is delivered — and billed —
+//    on the first pass the destination returns (the churn convention of
+//    the distributed engine). Tokens hosted on absent peers freeze.
+//  * Per-step randomness is a stateless hash of (seed, token id, step),
+//    so trajectories are independent of processing order and identical
+//    across same-seed reruns, with or without churn.
+//  * Convergence: every token has terminated and none is parked.
+//    PassStats::max_rel_change reports the live-token fraction (the
+//    engine's natural residual); docs_recomputed counts token steps.
+//  * Mass audit = token conservation: minted tokens always equal
+//    terminated + live + parked. run() reports the ledger ratio as
+//    mass_ratio.
+//
+// The engine is sequential (PagerankOptions::threads is ignored): one
+// pass is a single ordered sweep over the token array.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "net/traffic_meter.hpp"
+#include "obs/metrics.hpp"
+#include "p2p/churn.hpp"
+#include "p2p/placement.hpp"
+#include "pagerank/engine.hpp"
+
+namespace dprank {
+
+class RandomWalkEngine : public PagerankEngineInterface {
+ public:
+  /// The placement must cover exactly g.num_nodes() documents. The
+  /// engine keeps references: graph and placement must outlive it.
+  RandomWalkEngine(const Digraph& g, const Placement& placement,
+                   const EngineOptions& options);
+  RandomWalkEngine(Digraph&&, const Placement&, EngineOptions) = delete;
+  RandomWalkEngine(const Digraph&, Placement&&, EngineOptions) = delete;
+  RandomWalkEngine(Digraph&&, Placement&&, EngineOptions) = delete;
+
+  DistributedRunResult run(ChurnSchedule* churn = nullptr,
+                           const PassObserver& observer = nullptr) override;
+
+  [[nodiscard]] const std::vector<double>& ranks() const override {
+    return ranks_;
+  }
+  [[nodiscard]] const TrafficMeter& traffic() const override {
+    return meter_;
+  }
+  [[nodiscard]] const std::vector<PassStats>& pass_history() const override {
+    return history_;
+  }
+  void attach_metrics(obs::MetricsRegistry& registry) override;
+  void enable_mass_audit(double tolerance = 1e-9) override;
+
+  /// Statistical estimator: quality_bound is the declared mean
+  /// relative-error ceiling vs the centralized oracle at the default
+  /// walks_per_node on the conformance graph (measured ≈ half of it).
+  [[nodiscard]] EngineTraits traits() const override {
+    EngineTraits t;
+    t.name = "walk";
+    t.supports_churn = true;
+    t.exact = false;
+    t.supports_tracer = false;
+    t.quality_bound = 0.10;
+    return t;
+  }
+
+  /// Token-conservation ledger counters (valid after run()).
+  [[nodiscard]] std::uint64_t tokens_minted() const { return minted_; }
+  [[nodiscard]] std::uint64_t tokens_terminated() const {
+    return terminated_;
+  }
+
+ private:
+  /// One step of one token: the (terminate?, neighbor-index) draws for
+  /// (token, step), hashed statelessly from the seed.
+  [[nodiscard]] std::uint64_t step_hash(std::uint64_t token,
+                                        std::uint32_t step) const;
+  void deliver_parked(const std::vector<bool>& presence, PassStats& stats);
+  void finalize_ranks();
+  void flush_metrics(const DistributedRunResult& result);
+
+  const Digraph& graph_;
+  const Placement& placement_;
+  EngineOptions options_;
+
+  // Token state, indexed by token id (doc * walks_per_node + k). A
+  // parked token keeps its destination in doc_ but is absent from the
+  // live sweep until the destination peer returns.
+  std::vector<NodeId> doc_;          // current document
+  std::vector<std::uint32_t> step_;  // steps taken so far
+  enum class TokenState : std::uint8_t { kLive, kParked, kDone };
+  std::vector<TokenState> state_;
+  std::vector<std::vector<std::uint64_t>> parked_by_peer_;
+
+  std::vector<std::uint64_t> visits_;
+  std::vector<double> ranks_;
+  std::vector<std::uint64_t> peer_msgs_this_pass_;
+
+  std::uint64_t minted_ = 0;
+  std::uint64_t terminated_ = 0;
+  std::uint64_t live_ = 0;
+  std::uint64_t parked_ = 0;
+
+  bool audit_enabled_ = false;
+  double audit_tolerance_ = 1e-9;
+
+  TrafficMeter meter_;
+  std::vector<PassStats> history_;
+  bool ran_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace dprank

@@ -82,36 +82,11 @@
 #include "p2p/membership.hpp"
 #include "p2p/placement.hpp"
 #include "p2p/replication.hpp"
+#include "pagerank/engine.hpp"
 #include "pagerank/mass_audit.hpp"
 #include "pagerank/options.hpp"
 
 namespace dprank {
-
-struct PassStats {
-  std::uint64_t pass = 0;
-  std::uint64_t docs_recomputed = 0;
-  std::uint64_t messages_sent = 0;      // cross-peer, delivered immediately
-  std::uint64_t messages_deferred = 0;  // parked in an outbox this pass
-  std::uint64_t messages_delivered_late = 0;  // outbox drains this pass
-  std::uint64_t local_updates = 0;
-  std::uint64_t max_peer_messages = 0;  // busiest sender, for Eq. 4
-  double max_rel_change = 0.0;
-  // Fault-plan extensions (all zero without an attached plan).
-  std::uint64_t crashes = 0;            // peers crashing at pass start
-  std::uint64_t recovered_docs = 0;     // documents rebuilt this pass
-  std::uint64_t retransmissions = 0;    // acked-delivery retries this pass
-  std::uint64_t repair_messages = 0;    // mass-audit re-injections
-  /// Dirty documents whose recompute the residual scheduler pushed to a
-  /// later pass (always zero under Schedule::kFifo).
-  std::uint64_t docs_deferred = 0;
-  // Dynamic-membership extensions (all zero without attach_membership).
-  /// Documents whose ownership moved this pass (join pulls, leave pushes
-  /// and crash-range reconstructions).
-  std::uint64_t handoff_docs = 0;
-  /// Cross-peer sends addressed to a crashed-but-undeclared owner — the
-  /// detection-latency window where senders still query the stale owner.
-  std::uint64_t stale_owner_queries = 0;
-};
 
 /// DEPRECATED legacy fault vocabulary: UDP-style drop/duplication only.
 /// Superseded by FaultPlan (fault/fault_plan.hpp), which composes drop,
@@ -125,18 +100,7 @@ struct FaultModel {
   std::uint64_t seed = 42;
 };
 
-struct DistributedRunResult {
-  std::uint64_t passes = 0;
-  bool converged = false;
-  /// Rank-mass conservation at termination (1.0 = every emitted
-  /// contribution accounted for). Only meaningful with the mass audit
-  /// enabled; 1.0 otherwise.
-  double mass_ratio = 1.0;
-  /// Audit rounds that found leaks and re-injected mass.
-  std::uint64_t repair_rounds = 0;
-};
-
-class DistributedPagerank {
+class DistributedPagerank : public PagerankEngineInterface {
  public:
   /// The placement must cover exactly g.num_nodes() documents. The engine
   /// keeps references: graph and placement must outlive it (temporaries
@@ -146,11 +110,6 @@ class DistributedPagerank {
   DistributedPagerank(Digraph&&, const Placement&, PagerankOptions) = delete;
   DistributedPagerank(const Digraph&, Placement&&, PagerankOptions) = delete;
   DistributedPagerank(Digraph&&, Placement&&, PagerankOptions) = delete;
-
-  /// Observer invoked after every pass with (pass index, current ranks);
-  /// used to measure convergence trajectories (§4.3).
-  using PassObserver =
-      std::function<void(std::uint64_t, const std::vector<double>&)>;
 
   /// Meter overlay hop costs (§3.2): every cross-peer update consults
   /// `cache` over `ring` — an enabled cache models IP caching (first
@@ -194,7 +153,7 @@ class DistributedPagerank {
   /// accounted mass ratio deviates from 1.0 beyond `tolerance`,
   /// re-injects exactly the leaked contributions and keeps iterating.
   /// Call before run().
-  void enable_mass_audit(double tolerance = 1e-9);
+  void enable_mass_audit(double tolerance = 1e-9) override;
 
   /// DEPRECATED: legacy drop/duplicate injection. Compatibility shim that
   /// attaches an internally-owned FaultPlan with the same probabilities
@@ -211,12 +170,7 @@ class DistributedPagerank {
   /// loop untouched; live per-send metrics come from the attached
   /// IpCache (IpCache::bind_metrics). The registry must outlive the
   /// engine. Call before run().
-  void attach_metrics(obs::MetricsRegistry& registry);
-
-  /// Per-pass simulated duration in microseconds, driven by the pass
-  /// just completed (sim/time_model.hpp's make_pass_clock builds one
-  /// from the Eq. 4 network model).
-  using PassClock = std::function<double(const PassStats&)>;
+  void attach_metrics(obs::MetricsRegistry& registry) override;
 
   /// Attach a causal message tracer (obs/trace.hpp). Every cross-peer
   /// update mints a TraceId at send time; DHT routing hops, outbox
@@ -226,16 +180,33 @@ class DistributedPagerank {
   /// `clock` advances simulated time once per pass (1 us per pass when
   /// omitted — ordering only). Tracer must outlive the engine; call
   /// before run().
-  void attach_tracer(obs::Tracer& tracer, PassClock clock = nullptr);
+  void attach_tracer(obs::Tracer& tracer, PassClock clock = nullptr) override;
 
   /// Run to convergence. `churn == nullptr` means all peers always
   /// present. Can be called once per engine instance.
   DistributedRunResult run(ChurnSchedule* churn = nullptr,
-                           const PassObserver& observer = nullptr);
+                           const PassObserver& observer = nullptr) override;
 
-  [[nodiscard]] const std::vector<double>& ranks() const { return ranks_; }
-  [[nodiscard]] const TrafficMeter& traffic() const { return meter_; }
-  [[nodiscard]] const std::vector<PassStats>& pass_history() const {
+  /// The reference implementation: exact, churn-capable, traceable. The
+  /// quality bound is the fifo mean relative error vs the centralized
+  /// oracle at the default ε = 1e-3 on the conformance graph, with slack.
+  [[nodiscard]] EngineTraits traits() const override {
+    EngineTraits t;
+    t.name = "distributed";
+    t.supports_churn = true;
+    t.exact = true;
+    t.supports_tracer = true;
+    t.quality_bound = 0.01;
+    return t;
+  }
+
+  [[nodiscard]] const std::vector<double>& ranks() const override {
+    return ranks_;
+  }
+  [[nodiscard]] const TrafficMeter& traffic() const override {
+    return meter_;
+  }
+  [[nodiscard]] const std::vector<PassStats>& pass_history() const override {
     return history_;
   }
   [[nodiscard]] std::uint64_t outbox_peak() const { return outbox_peak_; }

@@ -27,6 +27,14 @@ std::vector<double> relative_errors(const std::vector<double>& distributed,
 QualityReport summarize_quality(const std::vector<double>& distributed,
                                 const std::vector<double>& reference) {
   const auto errs = relative_errors(distributed, reference);
+  if (errs.empty()) {
+    // Vacuous comparison: zero error everywhere, everything within 1%.
+    // (Summary::percentile throws on empty input, so return before
+    // constructing one.)
+    QualityReport r;
+    r.fraction_within_1pct = 1.0;
+    return r;
+  }
   std::size_t within = 0;
   for (const double e : errs) {
     if (e < 0.01) ++within;
@@ -41,10 +49,22 @@ QualityReport summarize_quality(const std::vector<double>& distributed,
   r.max = s.max();
   r.avg = s.mean();
   r.fraction_within_1pct =
-      errs.empty() ? 1.0
-                   : static_cast<double>(within) /
-                         static_cast<double>(errs.size());
+      static_cast<double>(within) / static_cast<double>(errs.size());
   return r;
+}
+
+double l1_rank_error(const std::vector<double>& distributed,
+                     const std::vector<double>& reference) {
+  if (distributed.size() != reference.size()) {
+    throw std::invalid_argument("l1_rank_error: size mismatch");
+  }
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < distributed.size(); ++i) {
+    num += std::abs(distributed[i] - reference[i]);
+    den += std::abs(reference[i]);
+  }
+  return den != 0.0 ? num / den : num;
 }
 
 namespace {

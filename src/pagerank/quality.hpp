@@ -37,6 +37,14 @@ struct QualityReport {
     const std::vector<double>& distributed,
     const std::vector<double>& reference);
 
+/// Normalized L1 distance: Σ|distributed_i − reference_i| / Σ|reference_i|
+/// — the single-number rank-mass displacement the cross-engine bench
+/// matrix reports. 0.0 for two empty vectors; absolute L1 when the
+/// reference has zero mass. Throws std::invalid_argument on size
+/// mismatch.
+[[nodiscard]] double l1_rank_error(const std::vector<double>& distributed,
+                                   const std::vector<double>& reference);
+
 // ---- Ordering quality -------------------------------------------------
 //
 // Search relevance depends on the *ordering* pageranks induce, not on

@@ -54,6 +54,32 @@ TEST(Quality, PerfectMatch) {
   EXPECT_DOUBLE_EQ(q.fraction_within_1pct, 1.0);
 }
 
+TEST(Quality, L1RankErrorNormalizesByReferenceMass) {
+  const std::vector<double> ref{1.0, 2.0, 4.0};
+  const std::vector<double> dist{1.0, 2.0, 3.0};
+  EXPECT_NEAR(l1_rank_error(dist, ref), 1.0 / 7.0, 1e-15);
+  EXPECT_DOUBLE_EQ(l1_rank_error(ref, ref), 0.0);
+  EXPECT_DOUBLE_EQ(l1_rank_error({}, {}), 0.0);
+  EXPECT_THROW(l1_rank_error({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Quality, EmptyInputYieldsZeroReport) {
+  // Regression: Summary::percentile throws on an empty sample, and
+  // summarize_quality used to construct the Summary before its empty
+  // guard — so comparing two empty rank vectors crashed instead of
+  // returning the vacuous all-zero / all-within report.
+  const std::vector<double> empty;
+  const auto q = summarize_quality(empty, empty);
+  EXPECT_DOUBLE_EQ(q.p50, 0.0);
+  EXPECT_DOUBLE_EQ(q.p75, 0.0);
+  EXPECT_DOUBLE_EQ(q.p90, 0.0);
+  EXPECT_DOUBLE_EQ(q.p99, 0.0);
+  EXPECT_DOUBLE_EQ(q.p99_9, 0.0);
+  EXPECT_DOUBLE_EQ(q.max, 0.0);
+  EXPECT_DOUBLE_EQ(q.avg, 0.0);
+  EXPECT_DOUBLE_EQ(q.fraction_within_1pct, 1.0);
+}
+
 TEST(Ordering, TopKOverlapIdentical) {
   const std::vector<double> r{5, 4, 3, 2, 1};
   EXPECT_DOUBLE_EQ(top_k_overlap(r, r, 3), 1.0);

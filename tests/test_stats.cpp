@@ -135,5 +135,15 @@ TEST(MaxCdfDeviation, DetectsMismatch) {
   EXPECT_NEAR(max_cdf_deviation(sample, cdf), 0.6, 1e-12);
 }
 
+TEST(MaxCdfDeviation, DetectsEmpiricalBelowReference) {
+  // The reference jumps to 1.0 before the first sample point: the
+  // deviation lives on the *lower* side of the empirical step
+  // (|0/2 - 1.0| = 1.0). The one-sided statistic evaluated only at
+  // (i+1)/n reported 0.5 here — the regression this test pins.
+  std::vector<double> sample{1, 2};
+  std::vector<double> cdf{1.0, 1.0};
+  EXPECT_NEAR(max_cdf_deviation(sample, cdf), 1.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace dprank

@@ -7,9 +7,13 @@
 //           degree statistics + Broder bow-tie decomposition
 //   rank    --graph FILE [--peers P] [--epsilon E] [--placement MODE]
 //           [--availability F] [--threads T] [--ranks-out FILE]
+//           [--engine distributed|walk|gossip]
 //           [--schedule fifo|residual] [--adaptive-epsilon]
 //           [--check-invariants [N]]
-//           run the distributed pagerank computation; --schedule residual
+//           run the distributed pagerank computation; --engine selects
+//           the algorithm (default distributed = the paper's chaotic
+//           fifo iteration; walk = random-walk estimation; gossip =
+//           randomized gossip iteration); --schedule residual
 //           enables residual-prioritized scheduling (fewer update
 //           messages, ranks within epsilon of fifo) and
 //           --adaptive-epsilon additionally loosens the emission
@@ -54,6 +58,7 @@
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "engines/registry.hpp"
 #include "graph/generator.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/graph_stats.hpp"
@@ -217,30 +222,58 @@ int cmd_rank(const Args& args) {
                  "checks are compiled out; rebuild with "
                  "-DDPRANK_CHECK_INVARIANTS=ON\n";
   }
-  DistributedPagerank engine(g, placement, options);
+
+  const std::string engine_name = args.get("engine", "distributed");
+  if (!is_registered_engine(engine_name)) {
+    std::string known;
+    for (const auto& n : registered_engines()) {
+      if (!known.empty()) known += "|";
+      known += n;
+    }
+    throw std::invalid_argument("--engine must be one of " + known +
+                                ", got: " + engine_name);
+  }
+  // The scheduler knobs are features of the fifo/residual engine only.
+  if (engine_name != "distributed" &&
+      (schedule != "fifo" || options.adaptive_epsilon ||
+       options.validate_every_n_passes != 0)) {
+    throw std::invalid_argument(
+        "--schedule/--adaptive-epsilon/--check-invariants only apply to "
+        "--engine distributed");
+  }
+  EngineOptions engine_options;
+  engine_options.pagerank = options;
+  engine_options.seed = seed;
+  const auto engine = make_engine(engine_name, g, placement, engine_options);
+
   obs::MetricsRegistry registry;
   obs::Tracer tracer;
-  engine.attach_metrics(registry);
+  engine->attach_metrics(registry);
   if (!args.get("trace-out", "").empty()) {
-    engine.attach_tracer(tracer, make_pass_clock(NetworkParams{}));
+    if (!engine->traits().supports_tracer) {
+      throw std::invalid_argument("--trace-out: engine '" + engine_name +
+                                  "' does not support tracing");
+    }
+    engine->attach_tracer(tracer, make_pass_clock(NetworkParams{}));
   }
   DistributedRunResult run;
   if (availability < 1.0) {
     ChurnSchedule churn(peers, availability, seed);
-    run = engine.run(&churn);
+    run = engine->run(&churn);
   } else {
-    run = engine.run();
+    run = engine->run();
   }
 
-  std::cout << "converged: " << (run.converged ? "yes" : "NO") << " in "
+  std::cout << "engine:    " << engine_name << "\n"
+            << "converged: " << (run.converged ? "yes" : "NO") << " in "
             << run.passes << " passes\n"
-            << "messages:  " << format_count(engine.traffic().messages())
-            << " (" << format_count(engine.traffic().bytes()) << " bytes)\n"
-            << "local upd: " << format_count(engine.traffic().local_updates())
+            << "messages:  " << format_count(engine->traffic().messages())
+            << " (" << format_count(engine->traffic().bytes()) << " bytes)\n"
+            << "local upd: " << format_count(engine->traffic().local_updates())
             << "\n";
   if (options.schedule == Schedule::kResidual) {
     std::uint64_t deferred = 0;
-    for (const auto& pass : engine.pass_history()) {
+    for (const auto& pass : engine->pass_history()) {
       deferred += pass.docs_deferred;
     }
     std::cout << "deferred:  " << format_count(deferred)
@@ -251,7 +284,7 @@ int cmd_rank(const Args& args) {
   if (!ranks_out.empty()) {
     std::ofstream os(ranks_out);
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      os << v << ' ' << engine.ranks()[v] << '\n';
+      os << v << ' ' << engine->ranks()[v] << '\n';
     }
     std::cout << "wrote ranks to " << ranks_out << "\n";
   }
