@@ -16,13 +16,19 @@ that matter for the messaging hot path:
                   the convergence behavior changed, not just the speed
     passes        pagerank.passes counter
 
-The comparison refuses to judge apples against oranges: the config block
-(sizes / seed / threads / full_scale) must match the baseline's, or the
-pair is reported as SKIPPED.
+The comparison refuses to judge apples against oranges, and that refusal
+is now an ERROR, not a skip: a config-block mismatch (sizes / seed /
+threads / full_scale) means the candidate measured something other than
+what the baseline recorded, and treating it as "pass" silently disabled
+the gate (exactly what happened when the perf job ran table1/table3 with
+no committed baseline). Likewise a candidate BENCH_*.json with no
+committed baseline is an error: record one at threads=1 on a quiet
+machine and commit it under bench/baselines/.
 
-Exit status is non-zero only when pass_wall_us regressed by more than
---max-wall-regress percent (default 25). Everything else — message-count
-drift, pass-count drift, missing candidates — is advisory text, because
+Exit status is non-zero when pass_wall_us regressed by more than
+--max-wall-regress percent (default 25), on a config mismatch, or on a
+candidate without a baseline. Message-count and pass-count drift stay
+advisory text, as does a baseline whose bench was not run, because
 machine noise on shared CI runners makes hard gates on small absolute
 times flaky; the 25% bar is wide enough to only catch real regressions.
 """
@@ -65,9 +71,13 @@ def compare_one(name: str, base: dict, cand: dict,
     base_cfg = {k: base.get("config", {}).get(k) for k in CONFIG_KEYS}
     cand_cfg = {k: cand.get("config", {}).get(k) for k in CONFIG_KEYS}
     if base_cfg != cand_cfg:
-        print(f"{name}: SKIPPED — config mismatch "
-              f"(baseline {base_cfg}, candidate {cand_cfg})")
-        return True
+        print(f"{name}: FAIL — config mismatch: the candidate measured a "
+              f"different experiment than the baseline records\n"
+              f"  baseline  {base_cfg}\n"
+              f"  candidate {cand_cfg}\n"
+              f"  (re-run the bench with the baseline's config, or re-record "
+              f"the baseline and commit it)")
+        return False
 
     rows = [
         ("pass_wall_us", pass_wall_sum(base), pass_wall_sum(cand)),
@@ -118,6 +128,7 @@ def main() -> int:
 
     ok = True
     compared = 0
+    baseline_names = {p.name for p in baselines}
     for base_path in baselines:
         cand_path = args.candidate_dir / base_path.name
         if not cand_path.exists():
@@ -127,6 +138,15 @@ def main() -> int:
         compared += 1
         ok &= compare_one(base_path.stem, load(base_path), load(cand_path),
                           args.max_wall_regress)
+
+    # A candidate nobody can judge is a hole in the gate, not a pass:
+    # every produced BENCH_*.json needs a committed baseline.
+    for cand_path in sorted(args.candidate_dir.glob("BENCH_*.json")):
+        if cand_path.name not in baseline_names:
+            print(f"{cand_path.stem}: FAIL — no committed baseline under "
+                  f"{args.baseline_dir}; record one at threads=1 on a quiet "
+                  f"machine and commit it")
+            ok = False
 
     if compared == 0:
         print("error: no candidate files matched any baseline",

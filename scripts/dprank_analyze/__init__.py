@@ -1,0 +1,79 @@
+"""dprank_analyze: AST-level determinism & concurrency analyzer.
+
+Companion to scripts/dprank_lint.py (line-regex rules). This package
+implements the rule classes that need structure — loop bodies, lambda
+captures, cross-file call graphs — rather than single lines:
+
+  unordered-iteration (R1)  iteration over std::unordered_map/set (or a
+                            pointer-keyed container) in a simulation
+                            subsystem whose body emits messages, appends
+                            to history, or draws from the seeded RNG.
+  nondet-source       (R2)  rand()/std::random_device, wall-clock reads
+                            in simulation code, pointer-value ordering
+                            (std::less<T*>, pointer-keyed containers,
+                            std::hash<T*>).
+  float-order         (R3)  double accumulation (+=, std::fma) folded in
+                            unordered-container iteration order in
+                            engine/quality code.
+  thread-capture      (R4)  lambdas handed to ThreadPool region APIs that
+                            capture by reference without the peer-sharded
+                            index pattern (first statement derives the
+                            shard's slice from the shard index).
+  contract-coverage   (R5)  a class declares validate() but no contract
+                            sweep outside its own translation unit ever
+                            calls it.
+
+Waivers: `// dprank-analyze: allow(<rule>) -- reason`, on the offending
+line or the line directly above. The reason is mandatory, and a waiver
+that suppresses nothing is itself an error (unused-waiver) so stale
+waivers cannot linger after a refactor.
+
+Backends: with the `clang` Python bindings and build/compile_commands.json
+present, loop/container types are resolved from the real AST; otherwise a
+self-contained tokenizer ("astlite") resolves them from declarations, so
+the analyzer never silently skips. `--backend astlite` pins the
+tokenizer path (what the golden tests use).
+"""
+
+from __future__ import annotations
+
+RULES = {
+    "unordered-iteration": (
+        "iteration over an unordered/pointer-keyed container with an "
+        "order-sensitive body (message emission, history append, RNG draw)"
+    ),
+    "nondet-source": (
+        "nondeterminism source: platform RNG, wall-clock in simulation "
+        "code, or pointer-value ordering"
+    ),
+    "float-order": (
+        "floating-point accumulation folded in unordered iteration order"
+    ),
+    "thread-capture": (
+        "by-reference lambda capture into a ThreadPool region without "
+        "the peer-sharded index pattern"
+    ),
+    "contract-coverage": (
+        "class declares validate() but no contract sweep reaches it"
+    ),
+    "unused-waiver": "waiver suppresses nothing",
+    "malformed-waiver": "waiver is missing its `-- reason`",
+}
+
+# Subsystems that run inside the simulation and must replay bit-for-bit.
+SIM_DIRS = (
+    "src/sim",
+    "src/pagerank",
+    "src/net",
+    "src/dht",
+    "src/p2p",
+    "src/stream",
+    "src/engines",
+)
+
+# Engine/quality code where FP fold order is pinned by design (the PR 3
+# shard merges and the PR 5 sorted source-peer delta folds).
+FLOAT_ORDER_DIRS = ("src/pagerank", "src/engines")
+
+# Where seeded randomness is implemented (exempt from the RNG patterns).
+RNG_IMPL_FILES = ("src/common/rng.hpp", "src/common/rng.cpp")

@@ -1,0 +1,17 @@
+"""Entry point: works both as `python3 -m dprank_analyze` (from
+scripts/) and as `python3 scripts/dprank_analyze` (directory execution,
+where the package itself is not importable until its parent is on
+sys.path)."""
+
+import sys
+
+if __package__ in (None, ""):
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from dprank_analyze.cli import main
+else:
+    from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

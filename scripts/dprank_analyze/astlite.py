@@ -1,0 +1,305 @@
+"""Self-contained structural extraction ("AST-lite").
+
+Builds a per-file model from the scrubbed source — container
+declarations, range-for loops with body extents, lambdas handed to
+ThreadPool region APIs, validate() declarations and call sites — using
+brace matching over position-preserved text. No compiler needed, so the
+analyzer runs identically everywhere; the libclang backend (when
+available) replaces only the loop/container-type resolution with real
+AST types.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .tokens import find_matching, scrub
+
+_CONTAINER_RE = re.compile(
+    r"\bstd::(unordered_(?:multi)?map|unordered_(?:multi)?set"
+    r"|(?:multi)?map|(?:multi)?set)\s*<"
+)
+_IDENT_AFTER_RE = re.compile(r"\s*[&*]?\s*([A-Za-z_]\w*)")
+_FOR_RE = re.compile(r"\bfor\s*\(")
+_RANGE_EXPR_ID_RE = re.compile(r"^\s*\*?\s*([A-Za-z_]\w*)\s*$")
+_ITER_BEGIN_RE = re.compile(r"=\s*([A-Za-z_]\w*)\s*(?:\.|->)\s*begin\s*\(")
+_CLASS_RE = re.compile(r"\b(?:class|struct)\s+([A-Za-z_]\w*)")
+_VALIDATE_DECL_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:virtual\s+)?"
+    r"(?:void|bool|std::vector<std::string>)\s+validate\s*\("
+)
+_VALIDATE_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*validate\s*\(")
+_TYPE_DECL_RE = re.compile(
+    r"\b(?:const\s+)?([A-Z]\w*)\s*[&*]?\s+([a-z_]\w*)\s*[;={(,]"
+)
+_SMART_PTR_RE = re.compile(
+    r"\bstd::(?:unique|shared)_ptr\s*<\s*(?:const\s+)?([A-Z]\w*)\s*>"
+    r"\s*([a-z_]\w*)"
+)
+_REGION_CALL_RE = re.compile(
+    r"\b(?:parallel_region|\w*pool\w*\s*(?:\.|->)\s*run)\s*\("
+)
+
+
+@dataclass
+class Loop:
+    line: int  # 0-based line of the `for`
+    container: str  # iterated identifier (or "<inline>")
+    kind: str  # unordered | ptr-ordered | ordered | unknown
+    body: str  # scrubbed body text
+    body_end_off: int  # flat offset one past the body
+
+
+@dataclass
+class RegionLambda:
+    line: int  # 0-based line of the lambda's `[`
+    by_ref: bool
+    params: list[str]
+    body: str
+
+
+@dataclass
+class SourceFile:
+    path: Path
+    rel: str
+    raw_lines: list[str] = field(default_factory=list)
+    code_lines: list[str] = field(default_factory=list)
+    flat: str = ""
+    line_starts: list[int] = field(default_factory=list)
+    containers: dict[str, str] = field(default_factory=dict)  # name -> kind
+    type_of: dict[str, str] = field(default_factory=dict)  # ident -> class
+    loops: list[Loop] = field(default_factory=list)
+    region_lambdas: list[RegionLambda] = field(default_factory=list)
+    validate_decls: list[tuple[str, int]] = field(default_factory=list)
+    validate_calls: list[tuple[str, int]] = field(default_factory=list)
+
+    def line_of(self, off: int) -> int:
+        return bisect.bisect_right(self.line_starts, off) - 1
+
+
+def container_kind(name: str, args: str) -> str:
+    key = args.split(",")[0].strip()
+    if name.startswith("unordered_"):
+        return "unordered"
+    # std::map / std::set keyed on a pointer orders by address.
+    if key.endswith("*"):
+        return "ptr-ordered"
+    return "ordered"
+
+
+def _scan_containers(sf: SourceFile) -> None:
+    for m in _CONTAINER_RE.finditer(sf.flat):
+        lt = m.end() - 1
+        try:
+            gt = find_matching(sf.flat, lt)
+        except ValueError:
+            continue
+        args = sf.flat[lt + 1 : gt]
+        kind = container_kind(m.group(1), args)
+        if kind == "unordered" and args.split(",")[0].strip().endswith("*"):
+            kind = "unordered"  # address-hashed; nondet either way
+        im = _IDENT_AFTER_RE.match(sf.flat, gt + 1)
+        if im is None:
+            continue
+        name = im.group(1)
+        if name in ("const",):
+            im2 = _IDENT_AFTER_RE.match(sf.flat, im.end())
+            if im2 is None:
+                continue
+            name = im2.group(1)
+        sf.containers.setdefault(name, kind)
+
+
+def _scan_types(sf: SourceFile) -> None:
+    for line in sf.code_lines:
+        for m in _SMART_PTR_RE.finditer(line):
+            sf.type_of.setdefault(m.group(2), m.group(1))
+        for m in _TYPE_DECL_RE.finditer(line):
+            sf.type_of.setdefault(m.group(2), m.group(1))
+
+
+def _body_extent(sf: SourceFile, after: int) -> tuple[str, int]:
+    """Body text starting at the first non-space char at/after `after`:
+    a braced block, or a single statement up to ';'."""
+    n = len(sf.flat)
+    i = after
+    while i < n and sf.flat[i] in " \n\t":
+        i += 1
+    if i >= n:
+        return "", i
+    if sf.flat[i] == "{":
+        end = find_matching(sf.flat, i)
+        return sf.flat[i + 1 : end], end + 1
+    end = sf.flat.find(";", i)
+    if end == -1:
+        end = n - 1
+    return sf.flat[i : end + 1], end + 1
+
+
+def _iterated_kind(sf: SourceFile, expr: str) -> tuple[str, str]:
+    expr = expr.strip()
+    if "std::unordered_" in expr:
+        return "<inline>", "unordered"
+    m = _RANGE_EXPR_ID_RE.match(expr)
+    if m is None:
+        return expr, "unknown"
+    name = m.group(1)
+    return name, sf.containers.get(name, "unknown")
+
+
+def _scan_loops(sf: SourceFile) -> None:
+    for m in _FOR_RE.finditer(sf.flat):
+        op = m.end() - 1
+        try:
+            cp = find_matching(sf.flat, op)
+        except ValueError:
+            continue
+        header = sf.flat[op + 1 : cp]
+        body, body_end = _body_extent(sf, cp + 1)
+        # Range-for: the ':' at top paren depth splits decl from range.
+        depth = 0
+        colon = -1
+        for i, ch in enumerate(header):
+            if ch in "<([{":
+                depth += 1
+            elif ch in ">)]}":
+                depth -= 1
+            elif ch == ":" and depth == 0:
+                if i + 1 < len(header) and header[i + 1] == ":":
+                    continue
+                if i > 0 and header[i - 1] == ":":
+                    continue
+                colon = i
+                break
+        if colon >= 0:
+            name, kind = _iterated_kind(sf, header[colon + 1 :])
+        else:
+            it = _ITER_BEGIN_RE.search(header)
+            if it is None:
+                continue
+            name = it.group(1)
+            kind = sf.containers.get(name, "unknown")
+        sf.loops.append(
+            Loop(sf.line_of(m.start()), name, kind, body, body_end)
+        )
+
+
+def _lambda_params(text: str) -> list[str]:
+    params = []
+    for piece in text.split(","):
+        words = re.findall(r"[A-Za-z_]\w*", piece)
+        params.append(words[-1] if words else "")
+    return params
+
+
+def _find_lambda_start(args: str) -> int:
+    """Offset of a lambda literal's '[' at the top level of an argument
+    list (-1 if none): a '[' whose preceding non-space char starts an
+    argument, so array subscripts never match."""
+    depth = 0
+    prev = ""
+    for i, ch in enumerate(args):
+        if ch == "[" and depth == 0 and prev in ("", ","):
+            return i
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        if not ch.isspace():
+            prev = ch
+    return -1
+
+
+def _scan_region_lambdas(sf: SourceFile) -> None:
+    for m in _REGION_CALL_RE.finditer(sf.flat):
+        op = m.end() - 1
+        try:
+            cp = find_matching(sf.flat, op)
+        except ValueError:
+            continue
+        args = sf.flat[op + 1 : cp]
+        i = _find_lambda_start(args)
+        if i == -1:
+            continue
+        start = op + 1 + i
+        try:
+            cap_end = find_matching(sf.flat, start)
+        except ValueError:
+            continue
+        capture = sf.flat[start + 1 : cap_end]
+        j = cap_end + 1
+        while j < len(sf.flat) and sf.flat[j] in " \n\t":
+            j += 1
+        params: list[str] = []
+        if j < len(sf.flat) and sf.flat[j] == "(":
+            pend = find_matching(sf.flat, j)
+            params = _lambda_params(sf.flat[j + 1 : pend])
+            j = pend + 1
+        while j < cp and sf.flat[j] != "{":
+            j += 1
+        if j >= cp:
+            continue
+        bend = find_matching(sf.flat, j)
+        body = sf.flat[j + 1 : bend]
+        sf.region_lambdas.append(
+            RegionLambda(sf.line_of(start), "&" in capture, params, body)
+        )
+
+
+def _scan_validate(sf: SourceFile) -> None:
+    # Class spans: (name, open_off, close_off), innermost wins.
+    spans: list[tuple[str, int, int]] = []
+    for m in _CLASS_RE.finditer(sf.flat):
+        tail = sf.flat[m.end() : m.end() + 200]
+        brace = tail.find("{")
+        semi = tail.find(";")
+        if brace == -1 or (semi != -1 and semi < brace):
+            continue  # forward declaration
+        op = m.end() + brace
+        try:
+            cl = find_matching(sf.flat, op)
+        except ValueError:
+            continue
+        spans.append((m.group(1), op, cl))
+
+    for idx, line in enumerate(sf.code_lines):
+        if _VALIDATE_DECL_RE.match(line):
+            off = sf.line_starts[idx]
+            inner: tuple[str, int, int] | None = None
+            for name, op, cl in spans:
+                if op < off < cl and (inner is None or op > inner[1]):
+                    inner = (name, op, cl)
+            if inner is not None:
+                sf.validate_decls.append((inner[0], idx))
+        for m in _VALIDATE_CALL_RE.finditer(line):
+            sf.validate_calls.append((m.group(1), idx))
+
+
+def load_file(path: Path, root: Path) -> SourceFile:
+    text = path.read_text(encoding="utf-8")
+    sf = SourceFile(path=path, rel=path.relative_to(root).as_posix())
+    sf.raw_lines = text.splitlines()
+    sf.code_lines = scrub(text)
+    sf.flat = "\n".join(sf.code_lines)
+    starts = [0]
+    for line in sf.code_lines[:-1]:
+        starts.append(starts[-1] + len(line) + 1)
+    sf.line_starts = starts
+    _scan_containers(sf)
+    _scan_types(sf)
+    _scan_loops(sf)
+    _scan_region_lambdas(sf)
+    _scan_validate(sf)
+    return sf
+
+
+def merge_pair(a: SourceFile, b: SourceFile) -> None:
+    """Share declarations between a .cpp and its paired .hpp, so member
+    containers declared in the header resolve in the implementation."""
+    for name, kind in b.containers.items():
+        a.containers.setdefault(name, kind)
+    for name, cls in b.type_of.items():
+        a.type_of.setdefault(name, cls)

@@ -1,0 +1,232 @@
+"""Rule implementations over the extracted file models."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from . import FLOAT_ORDER_DIRS, RNG_IMPL_FILES, SIM_DIRS
+from .astlite import SourceFile
+from .waivers import WaiverTable
+
+
+@dataclass
+class Finding:
+    rel: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.rel}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_json(self) -> dict:
+        return {
+            "file": self.rel,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+# --- R1 / R3 helpers ------------------------------------------------------
+
+# Order-sensitive effects inside a loop body.
+_MSG_RE = re.compile(
+    r"\b\w*(?:send|deliver|emit|enqueue)\w*\s*\(|\brecord_message\s*\("
+)
+_APPEND_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*(?:push_back|emplace_back|append)\s*\("
+)
+# A draw from (or hand-off of) the seeded generator: consuming the RNG
+# stream in hash-table order reorders every later draw.
+_RNG_USE_RE = re.compile(r"\brng\w*\s*(?:\.|->)|\(\s*rng\w*\s*[),]")
+_FLOAT_ACCUM_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\+=")
+_FMA_RE = re.compile(r"\bstd::fma\s*\(")
+_SORT_NEARBY = 2000  # chars after the loop to look for a canonicalizing sort
+
+
+def _sorted_after(sf: SourceFile, target: str, from_off: int) -> bool:
+    tail = sf.flat[from_off : from_off + _SORT_NEARBY]
+    return re.search(
+        r"\bsort\s*\([^;]*\b" + re.escape(target) + r"\b", tail
+    ) is not None
+
+
+def _in_dirs(rel: str, dirs: tuple[str, ...]) -> bool:
+    return rel.startswith(tuple(d + "/" for d in dirs))
+
+
+def check_iteration_rules(sf: SourceFile, waivers: WaiverTable,
+                          findings: list[Finding]) -> None:
+    """R1 unordered-iteration and R3 float-order."""
+    in_sim = _in_dirs(sf.rel, SIM_DIRS)
+    in_float = _in_dirs(sf.rel, FLOAT_ORDER_DIRS)
+    for loop in sf.loops:
+        if loop.kind not in ("unordered", "ptr-ordered"):
+            continue
+        if in_sim:
+            effects: list[str] = []
+            if _MSG_RE.search(loop.body):
+                effects.append("emits messages")
+            if _RNG_USE_RE.search(loop.body):
+                effects.append("feeds RNG draws")
+            for am in _APPEND_RE.finditer(loop.body):
+                if not _sorted_after(sf, am.group(1), loop.body_end_off):
+                    effects.append(f"appends to '{am.group(1)}' "
+                                   "without a sorted materialization")
+                    break
+            if effects:
+                if not waivers.allows(sf.path, loop.line,
+                                      "unordered-iteration"):
+                    findings.append(Finding(
+                        sf.rel, loop.line + 1, "unordered-iteration",
+                        f"iteration over {loop.kind} container "
+                        f"'{loop.container}' {'; '.join(effects)} — "
+                        "hash-table order is not part of the seeded "
+                        "replay contract; materialize and sort first",
+                    ))
+        if in_float:
+            accum = None
+            for fm in _FLOAT_ACCUM_RE.finditer(loop.body):
+                if re.search(r"\bdouble\s+" + re.escape(fm.group(1)) + r"\b",
+                             sf.flat):
+                    accum = fm.group(1)
+                    break
+            if accum is None and _FMA_RE.search(loop.body):
+                accum = "<fma>"
+            if accum is not None:
+                if not waivers.allows(sf.path, loop.line, "float-order"):
+                    findings.append(Finding(
+                        sf.rel, loop.line + 1, "float-order",
+                        f"double accumulation into '{accum}' folded in "
+                        f"{loop.kind} iteration order over "
+                        f"'{loop.container}' — FP addition does not "
+                        "commute across reorderings; fold in a sorted "
+                        "canonical order",
+                    ))
+
+
+# --- R2 -------------------------------------------------------------------
+
+_RAND_RE = re.compile(
+    r"\bstd::random_device\b"
+    r"|\bstd::(?:mt19937(?:_64)?|minstd_rand0?|ranlux\w+|knuth_b"
+    r"|default_random_engine)\b"
+    r"|\b(?:std::)?s?rand\s*\("
+)
+_CLOCK_RE = re.compile(
+    r"std::chrono::\w*clock::now"
+    r"|std::this_thread::sleep_(?:for|until)"
+    r"|\bgettimeofday\s*\("
+    r"|\bclock_gettime\s*\("
+    r"|\bstd::time\s*\("
+    r"|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+)
+_PTR_ORDER_RE = re.compile(
+    r"std::less\s*<[^<>]*\*\s*>"
+    r"|std::hash\s*<[^<>]*\*\s*>"
+    r"|std::(?:unordered_)?(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?"
+    r"[\w:]+\s*\*"
+)
+
+
+def check_nondet_sources(sf: SourceFile, waivers: WaiverTable,
+                         findings: list[Finding]) -> None:
+    """R2 nondet-source."""
+    in_sim = _in_dirs(sf.rel, SIM_DIRS)
+    is_rng_impl = sf.rel in RNG_IMPL_FILES
+
+    def report(idx: int, what: str) -> None:
+        if not waivers.allows(sf.path, idx, "nondet-source"):
+            findings.append(Finding(sf.rel, idx + 1, "nondet-source", what))
+
+    for idx, code in enumerate(sf.code_lines):
+        if not code.strip():
+            continue
+        if not is_rng_impl and _RAND_RE.search(code):
+            report(idx, "platform RNG breaks bit-identical replay; draw "
+                        "from the seeded generator in common/rng.hpp")
+        if in_sim and _CLOCK_RE.search(code):
+            report(idx, "wall-clock read in simulation code; simulated "
+                        "time comes from the pass clock / time model")
+        if _PTR_ORDER_RE.search(code):
+            report(idx, "pointer-value ordering (address compare/hash) "
+                        "varies run to run under ASLR; key on a stable "
+                        "id instead")
+
+
+# --- R4 -------------------------------------------------------------------
+
+
+def check_thread_captures(sf: SourceFile, waivers: WaiverTable,
+                          findings: list[Finding]) -> None:
+    """R4 thread-capture: a by-reference lambda in a ThreadPool region is
+    fine only when each shard derives its slice from the shard index —
+    `X[i]` / `X[slot]` indexing, or forwarding the index to a callable."""
+    for lam in sf.region_lambdas:
+        if not lam.by_ref:
+            continue
+        sharded = False
+        for p in lam.params:
+            if not p:
+                continue
+            if re.search(r"\w\s*\[\s*" + re.escape(p) + r"\s*\]", lam.body):
+                sharded = True
+                break
+            if re.search(r"\b\w+\s*\(\s*" + re.escape(p) + r"\s*[,)]",
+                         lam.body):
+                sharded = True
+                break
+        if sharded:
+            continue
+        if not waivers.allows(sf.path, lam.line, "thread-capture"):
+            findings.append(Finding(
+                sf.rel, lam.line + 1, "thread-capture",
+                "by-reference capture into a ThreadPool region without "
+                "the peer-sharded index pattern: concurrent shards may "
+                "write shared captured state — index per-shard storage "
+                "by the shard/slot parameter",
+            ))
+
+
+# --- R5 -------------------------------------------------------------------
+
+
+def _pair_key(rel: str) -> str:
+    return rel.rsplit(".", 1)[0]
+
+
+def check_contract_coverage(files: list[SourceFile], waivers: WaiverTable,
+                            findings: list[Finding]) -> None:
+    """R5 contract-coverage, cross-file: every class declaring validate()
+    must be the receiver of a validate() call outside its own .cpp/.hpp
+    pair (a contract sweep), somewhere in the analyzed set."""
+    decls: dict[str, tuple[SourceFile, int]] = {}
+    for sf in files:
+        for cls, idx in sf.validate_decls:
+            decls.setdefault(cls, (sf, idx))
+    if not decls:
+        return
+    reached: set[str] = set()
+    for sf in files:
+        for ident, idx in sf.validate_calls:
+            cls = sf.type_of.get(ident)
+            if cls is None or cls not in decls:
+                continue
+            if _pair_key(decls[cls][0].rel) == _pair_key(sf.rel):
+                continue  # a class's own TU validating itself proves nothing
+            reached.add(cls)
+    for cls, (sf, idx) in sorted(decls.items()):
+        if cls in reached:
+            continue
+        if waivers.allows(sf.path, idx, "contract-coverage"):
+            continue
+        findings.append(Finding(
+            sf.rel, idx + 1, "contract-coverage",
+            f"{cls}::validate() is never called from a contract sweep "
+            "outside its own translation unit — wire it into a "
+            "validate_state()/validate() walk or waiver with the reason "
+            "it is test-only",
+        ))

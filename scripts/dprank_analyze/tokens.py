@@ -1,0 +1,142 @@
+"""Position-preserving C++ comment/string scrubbing and brace helpers.
+
+`scrub` blanks comments, string literals (including raw strings), and
+char literals with spaces, keeping every remaining character at its
+original (line, column). Downstream passes can therefore brace-match and
+regex over the scrubbed text while reporting positions in the real file.
+"""
+
+from __future__ import annotations
+
+import re
+
+_RAW_OPEN = re.compile(r'R"([^()\\ ]{0,16})\(')
+
+
+def scrub(text: str) -> list[str]:
+    out: list[str] = []
+    i, n = 0, len(text)
+    buf: list[str] = []
+    state = "code"  # code | line_comment | block_comment | str | char | raw
+    raw_close = ""
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            buf.append("\n")
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and i + 1 < n and text[i + 1] == "/":
+                state = "line_comment"
+                buf.append("  ")
+                i += 2
+                continue
+            if c == "/" and i + 1 < n and text[i + 1] == "*":
+                state = "block_comment"
+                buf.append("  ")
+                i += 2
+                continue
+            m = _RAW_OPEN.match(text, i)
+            if m is not None:
+                state = "raw"
+                raw_close = ")" + m.group(1) + '"'
+                buf.append(" " * (m.end() - i))
+                i = m.end()
+                continue
+            if c == '"':
+                state = "str"
+                buf.append('"')
+                i += 1
+                continue
+            if c == "'":
+                # C++14 digit separator (10'000, 0xFF'FF): a ' inside a
+                # numeric literal is not a char literal. The token run
+                # ending here starts with a digit exactly when we are in
+                # a number.
+                j = i - 1
+                while j >= 0 and (text[j].isalnum() or text[j] == "_"):
+                    j -= 1
+                if j + 1 < i and text[j + 1].isdigit():
+                    buf.append(" ")
+                    i += 1
+                    continue
+                state = "char"
+                buf.append("'")
+                i += 1
+                continue
+            buf.append(c)
+            i += 1
+            continue
+        if state in ("line_comment", "block_comment"):
+            if state == "block_comment" and c == "*" and i + 1 < n and \
+                    text[i + 1] == "/":
+                state = "code"
+                buf.append("  ")
+                i += 2
+                continue
+            buf.append(" ")
+            i += 1
+            continue
+        if state == "raw":
+            if text.startswith(raw_close, i):
+                buf.append(" " * (len(raw_close) - 1) + '"')
+                i += len(raw_close)
+                state = "code"
+                continue
+            buf.append(" ")
+            i += 1
+            continue
+        # str / char
+        if c == "\\":
+            buf.append("  ")
+            i += 2
+            continue
+        if (state == "str" and c == '"') or (state == "char" and c == "'"):
+            buf.append(c)
+            state = "code"
+            i += 1
+            continue
+        buf.append(" ")
+        i += 1
+    return "".join(buf).split("\n")
+
+
+def match_brace(lines: list[str], line: int, col: int) -> tuple[int, int]:
+    """Given scrubbed lines and the position of an opening '{', '(' or
+    '<', return (line, col) of the matching closer. Raises ValueError on
+    unbalanced input."""
+    opener = lines[line][col]
+    closer = {"{": "}", "(": ")", "<": ">", "[": "]"}[opener]
+    depth = 0
+    li, ci = line, col
+    while li < len(lines):
+        row = lines[li]
+        while ci < len(row):
+            ch = row[ci]
+            if ch == opener:
+                depth += 1
+            elif ch == closer:
+                depth -= 1
+                if depth == 0:
+                    return li, ci
+            ci += 1
+        li += 1
+        ci = 0
+    raise ValueError(f"unbalanced {opener!r} at line {line + 1}")
+
+
+def find_matching(flat: str, pos: int) -> int:
+    """Match an opening bracket in a flat string; returns closer index."""
+    opener = flat[pos]
+    closer = {"{": "}", "(": ")", "<": ">", "[": "]"}[opener]
+    depth = 0
+    for i in range(pos, len(flat)):
+        if flat[i] == opener:
+            depth += 1
+        elif flat[i] == closer:
+            depth -= 1
+            if depth == 0:
+                return i
+    raise ValueError(f"unbalanced {opener!r} at offset {pos}")

@@ -47,7 +47,10 @@ simulator that generic tooling does not know about:
 
 Waivers: append `// dprank-lint: allow(<rule>)` to the offending line,
 or put it on the line directly above. Each waiver should sit next to a
-comment explaining why the rule does not apply.
+comment explaining why the rule does not apply. A waiver that suppresses
+nothing is itself an error (unused-waiver): stale waivers reopen the
+hole they once covered, silently. (Waiver parsing is shared with
+scripts/dprank_analyze, which enforces the same policy.)
 
 Usage:  python3 scripts/dprank_lint.py [--root DIR]
 Exit:   0 clean, 1 findings, 2 usage/internal error.
@@ -60,14 +63,15 @@ import re
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from dprank_analyze.waivers import WaiverTable  # noqa: E402
+
 # Subsystems that run *inside* the simulation and must be deterministic.
 SIM_DIRS = ("src/sim", "src/pagerank", "src/net", "src/dht", "src/p2p",
             "src/stream", "src/engines")
 
 # Where seeded randomness is implemented (exempt from seeded-rng).
 RNG_FILES = ("src/common/rng.hpp", "src/common/rng.cpp")
-
-WAIVER_RE = re.compile(r"//.*?dprank-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
 WALL_CLOCK_RE = re.compile(
     r"std::chrono::(system_clock|steady_clock|high_resolution_clock)::now"
@@ -170,25 +174,15 @@ def strip_comments_and_strings(line: str) -> str:
     return "".join(out)
 
 
-def waived_rules(lines: list[str], idx: int) -> set[str]:
-    """Waivers on the line itself or the line directly above."""
-    rules: set[str] = set()
-    for j in (idx, idx - 1):
-        if 0 <= j < len(lines):
-            m = WAIVER_RE.search(lines[j])
-            if m:
-                rules.update(r.strip() for r in m.group(1).split(","))
-    return rules
-
-
 def relative(path: Path, root: Path) -> str:
     return path.relative_to(root).as_posix()
 
 
-def lint_file(path: Path, root: Path) -> list[Finding]:
+def lint_file(path: Path, root: Path, waivers: WaiverTable) -> list[Finding]:
     text = path.read_text(encoding="utf-8")
     raw_lines = text.splitlines()
     rel = relative(path, root)
+    waivers.scan_file(path, raw_lines)
 
     # Pre-compute code-only lines (no strings, no // comments, block
     # comments blanked) for the pattern rules.
@@ -219,7 +213,7 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
     findings: list[Finding] = []
 
     def report(idx: int, rule: str, message: str) -> None:
-        if rule in waived_rules(raw_lines, idx):
+        if waivers.allows(path, idx, rule):
             return
         findings.append(Finding(path, idx + 1, rule, message))
 
@@ -346,13 +340,23 @@ def main() -> int:
                 files.extend(sorted(base.rglob("*.hpp")))
                 files.extend(sorted(base.rglob("*.cpp")))
 
+    waivers = WaiverTable("dprank-lint")
     all_findings: list[Finding] = []
     for f in files:
         try:
-            all_findings.extend(lint_file(f, root))
+            all_findings.extend(lint_file(f, root, waivers))
         except ValueError:
             print(f"error: {f} is outside --root {root}", file=sys.stderr)
             return 2
+
+    # Same policy as dprank_analyze: a waiver that suppressed nothing is
+    # stale and must go, or the rule it silences can regress unnoticed.
+    for waiver, rule in waivers.unused():
+        all_findings.append(Finding(
+            waiver.path, waiver.line + 1, "unused-waiver",
+            f"waiver for '{rule}' suppresses nothing — remove it",
+        ))
+    all_findings.sort(key=lambda f: (str(f.path), f.line, f.rule))
 
     for finding in all_findings:
         print(finding)

@@ -5,17 +5,21 @@
 namespace dprank {
 
 bool full_scale_requested() {
+  // Env reads happen single-threaded at startup, before any pool spins up.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* v = std::getenv("DPRANK_FULL");
   return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
 }
 
 std::uint64_t experiment_seed() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* v = std::getenv("DPRANK_SEED");
   if (v == nullptr || v[0] == '\0') return 42;
   return std::strtoull(v, nullptr, 10);
 }
 
 std::uint32_t experiment_threads() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* v = std::getenv("DPRANK_THREADS");
   if (v == nullptr || v[0] == '\0') return 1;
   const unsigned long parsed = std::strtoul(v, nullptr, 10);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
 #include <vector>
 
 #include "common/zipf.hpp"

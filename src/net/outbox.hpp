@@ -111,6 +111,11 @@ class Outbox {
   ///  * peak_pending() never understates pending_count().
   /// Throws contracts::ContractViolation on the first violation; no-op
   /// when contracts are compiled out.
+  // The PR 5 hot-path rework left Outbox with no src-side owner
+  // (ReliableChannel absorbed retransmission); test_outbox drives
+  // validate() directly, and the class stays for the multi-process
+  // transport on the roadmap.
+  // dprank-analyze: allow(contract-coverage) -- test-only until then
   void validate() const;
 
   /// Queues recycled through the pool keep their warmed-up slot-map

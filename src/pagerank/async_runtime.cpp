@@ -337,7 +337,9 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
           for (const auto v : victims) paused[v].store(true);
           // The async runtime runs real threads; churn downtime is real
           // elapsed time, not simulated passes — there is no pass clock
-          // to consult here. dprank-lint: allow(wall-clock)
+          // to consult here.
+          // dprank-analyze: allow(nondet-source) -- real-thread downtime
+          // dprank-lint: allow(wall-clock)
           std::this_thread::sleep_for(
               std::chrono::microseconds(params.pause_microseconds));
           {
@@ -347,7 +349,9 @@ AsyncRunResult AsyncPagerankRuntime::run_impl(std::uint64_t message_cap,
             for (const auto v : victims) paused[v].store(false);
           }
           pause_cv.notify_all();
-          // Real inter-cycle gap, as above. dprank-lint: allow(wall-clock)
+          // Real inter-cycle gap, as above.
+          // dprank-analyze: allow(nondet-source) -- real-thread downtime
+          // dprank-lint: allow(wall-clock)
           std::this_thread::sleep_for(
               std::chrono::microseconds(params.pause_microseconds));
         }

@@ -1349,7 +1349,9 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
   DistributedRunResult result;
   for (std::uint64_t pass = 0; pass < options_.max_passes; ++pass) {
     // Telemetry measures the simulator itself (real wall time per pass),
-    // never feeds the simulation. dprank-lint: allow(wall-clock)
+    // never feeds the simulation.
+    // dprank-analyze: allow(nondet-source) -- measures the harness only
+    // dprank-lint: allow(wall-clock)
     const auto wall_start = std::chrono::steady_clock::now();
     PassStats stats;
     stats.pass = pass;
@@ -1588,6 +1590,7 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
     if (pass_wall != nullptr) {
       pass_wall->record(std::chrono::duration<double, std::micro>(
                             // Same telemetry read as wall_start.
+                            // dprank-analyze: allow(nondet-source) -- ditto
                             // dprank-lint: allow(wall-clock)
                             std::chrono::steady_clock::now() - wall_start)
                             .count());

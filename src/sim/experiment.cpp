@@ -26,6 +26,8 @@ std::shared_ptr<const Digraph> cached_paper_graph(std::uint64_t num_docs,
   if (auto existing = cache[key].lock()) return existing;
 
   std::shared_ptr<const Digraph> graph;
+  // Read once per process in practice; the cache mutex is already held.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* dir = std::getenv("DPRANK_CACHE_DIR");
   if (dir != nullptr && dir[0] != '\0') {
     std::filesystem::create_directories(dir);

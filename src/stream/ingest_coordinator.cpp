@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "pagerank/quality.hpp"
 
@@ -114,6 +115,7 @@ IngestBatchStats IngestCoordinator::flush() {
   if (pending_.empty()) return out;
   // Telemetry measuring the harness, not the simulation: no control flow
   // depends on the reading.
+  // dprank-analyze: allow(nondet-source) -- measures the harness only
   // dprank-lint: allow(wall-clock)
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -183,6 +185,18 @@ IngestBatchStats IngestCoordinator::flush() {
   pending_.clear();
   ++version_;
 
+  // Contract coverage for the live graph: until this sweep existed, no
+  // src-side walk ever reached MutableDigraph::validate() — a corrupted
+  // adjacency mirror would have served wrong ranks until the next full
+  // reconvergence.
+  if (contracts::enabled() && config_.sweep_every_batches != 0 &&
+      ++batches_since_sweep_ >= config_.sweep_every_batches) {
+    batches_since_sweep_ = 0;
+    validate();
+    if (metrics_ != nullptr) metrics_->counter("stream.contract_sweeps").add();
+  }
+
+  // dprank-analyze: allow(nondet-source) -- measures the harness only
   // dprank-lint: allow(wall-clock)
   const auto t1 = std::chrono::steady_clock::now();
   out.apply_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
@@ -213,6 +227,11 @@ void IngestCoordinator::reconverge() {
   ++reconverge_cycles_;
   ++version_;
   last_batch_touched_.clear();  // whole vector replaced: full refresh
+  if (contracts::enabled()) {
+    batches_since_sweep_ = 0;
+    validate();
+    if (metrics_ != nullptr) metrics_->counter("stream.contract_sweeps").add();
+  }
   if (metrics_ != nullptr) {
     metrics_->counter("stream.reconverges").add();
     metrics_->series("stream.mass_ratio")
@@ -236,6 +255,25 @@ void IngestCoordinator::offer(const StreamEvent& ev) {
 
 std::uint64_t IngestCoordinator::digest() const {
   return fnv1a_rank_digest(ranks_);
+}
+
+void IngestCoordinator::validate() const {
+  if (!contracts::enabled()) return;
+  constexpr const char* kSub = "stream";
+  graph_.validate();
+  DPRANK_INVARIANT(ranks_.size() == graph_.num_nodes(), kSub,
+                   "rank vector out of step with the live graph");
+  DPRANK_INVARIANT(deleted_.size() == graph_.num_nodes(), kSub,
+                   "tombstone array out of step with the live graph");
+  DPRANK_INVARIANT(snap_epoch_.size() == graph_.num_nodes(), kSub,
+                   "snapshot-epoch array out of step with the live graph");
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (deleted_[v] == 0) continue;
+    DPRANK_INVARIANT(ranks_[v] == 0.0, kSub,
+                     "tombstoned document serves a nonzero rank");
+    DPRANK_INVARIANT(graph_.out_degree(v) == 0, kSub,
+                     "tombstoned document still has out-edges");
+  }
 }
 
 }  // namespace dprank

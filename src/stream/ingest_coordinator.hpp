@@ -85,6 +85,11 @@ struct IngestConfig {
   std::uint64_t reconverge_every_events = 0;
   /// Salts the per-cycle reconvergence campaign seeds.
   std::uint64_t seed = 42;
+  /// Contract sweep (validate()) every this many applied batches when
+  /// invariants are compiled in; 0 = only at reconvergence. The sweep
+  /// walks the MutableDigraph's adjacency mirror — O(V+E) — so per-batch
+  /// sweeping is for tests, not production ingest.
+  std::uint32_t sweep_every_batches = 32;
   PagerankOptions options{};
   /// Template for the reconvergence campaigns; options and seed are
   /// overwritten per cycle.
@@ -160,7 +165,17 @@ class IngestCoordinator {
   /// FNV-1a digest of the current rank vector (determinism checks).
   [[nodiscard]] std::uint64_t digest() const;
 
+  /// Contract sweep: cascades into graph_.validate() and checks the
+  /// coordinator's own parallel-array invariants (rank/tombstone sizes,
+  /// tombstoned documents isolated with zero rank). No-op unless
+  /// contracts are compiled in. Runs automatically every
+  /// sweep_every_batches applied batches and at every reconvergence;
+  /// throws ContractViolation (subsystem "stream") on corruption.
+  void validate() const;
+
  private:
+  friend struct TestCorruptor;  // negative invariant tests corrupt privates
+
   struct SourceSnapshot {
     NodeId node = 0;
     double rank = 0.0;
@@ -189,6 +204,7 @@ class IngestCoordinator {
   // already snapshotted for the in-flight batch.
   std::uint32_t batch_epoch_ = 0;
   std::vector<std::uint32_t> snap_epoch_;
+  std::uint32_t batches_since_sweep_ = 0;
 };
 
 }  // namespace dprank

@@ -1,0 +1,14 @@
+// dprank_analyze fixture: R2 scope negative. src/common/ is not a
+// simulation dir, so a wall-clock read here is fine (the CLI and bench
+// harnesses time real work); platform RNG would still be flagged.
+
+#include <chrono>
+
+namespace fx {
+
+inline double harness_elapsed_us(std::chrono::steady_clock::time_point t0) {
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+}  // namespace fx

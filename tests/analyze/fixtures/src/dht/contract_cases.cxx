@@ -1,0 +1,35 @@
+// dprank_analyze fixture: R5 contract-coverage. A class that declares
+// validate() must be reached from somewhere outside its own
+// translation-unit pair, or the contract is dead weight that silently
+// rots.
+
+#include <cstdint>
+
+namespace fx {
+
+// ok: contract_sweep.cxx calls this from another pair.
+class SweptIndex {
+ public:
+  void validate() const;
+
+ private:
+  std::uint32_t entries_ = 0;
+};
+
+// FINDING contract-coverage: nothing anywhere calls this.
+class OrphanBuffer {
+ public:
+  void validate() const;
+
+ private:
+  std::uint32_t capacity_ = 0;
+};
+
+// ok (waivered): declared for tests only, and says so.
+class TestOnlyCache {
+ public:
+  // dprank-analyze: allow(contract-coverage) -- fixture test-only case
+  void validate() const;
+};
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// dprank_analyze fixture: the sweeping side of the R5 negative case.
+// This file is a different pair from contract_cases.cxx, so the call
+// below counts as reach for SweptIndex.
+
+namespace fx {
+
+class SweptIndex;
+
+struct Sweeper {
+  SweptIndex* index_;
+  void sweep();
+};
+
+inline void run_sweep(Sweeper& s) {
+  SweptIndex* idx = s.index_;
+  idx->validate();
+}
+
+}  // namespace fx

@@ -1,0 +1,60 @@
+// dprank_analyze fixture: R2 nondet-source. Under src/net/ (a
+// simulation dir), so wall-clock reads are in scope alongside the
+// everywhere-scoped platform-RNG and pointer-ordering patterns.
+
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+namespace fx {
+
+struct Message {
+  int id;
+};
+
+// FINDING nondet-source: platform RNG.
+inline int roll_dice() {
+  return std::rand() % 6;
+}
+
+// FINDING nondet-source: platform RNG.
+inline unsigned seed_from_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+// FINDING nondet-source: wall clock in simulation code.
+inline double batch_deadline_us() {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<double>(now.time_since_epoch().count());
+}
+
+// ok (waivered): telemetry that measures the harness.
+inline double waived_telemetry_read() {
+  // dprank-analyze: allow(nondet-source) -- fixture telemetry waiver case
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+// FINDING nondet-source: std::map keyed on pointers orders by address.
+struct OrdersByAddress {
+  std::map<Message*, int> by_ptr_;
+};
+
+// FINDING nondet-source: hashing addresses.
+struct HashesAddresses {
+  std::unordered_map<Message*, int> cache_;
+};
+
+// FINDING nondet-source: explicit address comparator.
+using PtrLess = std::less<Message*>;
+
+// ok: value keys order deterministically.
+struct KeyedById {
+  std::map<int, int> by_id_;
+};
+
+}  // namespace fx

@@ -1,0 +1,75 @@
+// dprank_analyze fixture: R4 thread-capture. A by-ref lambda handed to
+// a thread-pool region API must index per-shard state with a lambda
+// parameter (the peer-sharded pattern) or forward the parameter to a
+// callable; anything else races or serializes on shared state.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fx {
+
+struct Pool {
+  template <typename Fn>
+  void run(unsigned shards, Fn&& fn);
+};
+
+template <typename Fn>
+void parallel_region(std::size_t shards, Fn&& fn);
+
+// FINDING thread-capture: by-ref capture mutating shared state with no
+// shard-indexed access.
+struct SharedAccumulator {
+  Pool* pool_;
+  double total_ = 0.0;
+  void reduce(unsigned shards) {
+    pool_->run(shards, [&](std::size_t i, unsigned slot) {
+      total_ += 1.0;
+    });
+  }
+};
+
+// ok: the peer-sharded pattern — every write lands in a slot owned by
+// exactly one worker.
+struct ShardedWriter {
+  Pool* pool_;
+  std::vector<double> per_shard_;
+  std::vector<std::uint32_t> peers_;
+  void reduce(unsigned shards) {
+    pool_->run(shards, [&](std::size_t i, unsigned slot) {
+      per_shard_[slot] += static_cast<double>(peers_[i]);
+    });
+  }
+};
+
+// ok: the shard index is forwarded to a callable that owns the split.
+struct ForwardsIndex {
+  void reduce() {
+    parallel_region(4, [&](std::size_t i, unsigned slot) {
+      consume(i, slot);
+    });
+  }
+  void consume(std::size_t i, unsigned slot);
+};
+
+// ok: by-value capture cannot alias caller state.
+struct ByValueCapture {
+  Pool* pool_;
+  void scan(unsigned shards) {
+    pool_->run(shards, [=](std::size_t i, unsigned) {
+      (void)i;
+    });
+  }
+};
+
+// ok (waivered): the fixture's story claims external serialization.
+struct WaivedRegion {
+  Pool* pool_;
+  double total_ = 0.0;
+  void reduce(unsigned shards) {
+    // dprank-analyze: allow(thread-capture) -- fixture waiver case
+    pool_->run(shards, [&](std::size_t, unsigned) { total_ += 1.0; });
+  }
+};
+
+}  // namespace fx

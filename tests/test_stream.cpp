@@ -6,8 +6,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "graph/generator.hpp"
 #include "graph/mutable_digraph.hpp"
+#include "obs/metrics.hpp"
 #include "pagerank/centralized.hpp"
 #include "pagerank/quality.hpp"
 #include "stream/ingest_coordinator.hpp"
@@ -15,7 +17,45 @@
 #include "stream/stream_source.hpp"
 
 namespace dprank {
+
+// Friend of the validated classes (one definition per test binary, same
+// pattern as test_validators.cpp): plants exactly one inconsistency so
+// the negative tests can prove the contract sweep actually looks.
+struct TestCorruptor {
+  static void shrink_rank_vector(IngestCoordinator& c) {
+    // Rank array out of step with the live graph — the coordinator's
+    // own parallel-array invariant.
+    c.ranks_.pop_back();
+  }
+  static void corrupt_adjacency_mirror(IngestCoordinator& c) {
+    // An out-entry with no in-mirror, planted in the coordinator's
+    // graph: caught one layer down, by MutableDigraph::validate().
+    c.graph_.out_[0].push_back(1);
+  }
+};
+
 namespace {
+
+using contracts::ContractViolation;
+
+// EXPECT_THROW cannot inspect the exception; this asserts both the type
+// and that the violation names the expected subsystem.
+template <typename Fn>
+void expect_violation(const char* subsystem, Fn&& fn) {
+  try {
+    std::forward<Fn>(fn)();
+    FAIL() << "expected ContractViolation from subsystem " << subsystem;
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.subsystem(), subsystem) << v.what();
+    EXPECT_FALSE(v.expression().empty());
+  }
+}
+
+#define SKIP_WITHOUT_CONTRACTS()                                          \
+  if (!contracts::enabled()) {                                            \
+    GTEST_SKIP() << "contracts compiled out (DPRANK_CHECK_INVARIANTS "    \
+                    "off)";                                               \
+  }
 
 StreamSourceConfig source_config(NodeId initial_docs, std::uint64_t seed) {
   StreamSourceConfig sc;
@@ -322,6 +362,76 @@ TEST(LiveRankService, StalenessShrinksWhenPendingEventsAreApplied) {
   // oracle is identical, and the served view has caught up to it.
   EXPECT_LT(applied.mean_abs, lagging.mean_abs);
   EXPECT_LT(applied.mean_abs, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Contract-sweep regression (the dprank_analyze contract-coverage
+// finding): IngestCoordinator::validate() now walks MutableDigraph's
+// invariants from src during ingest. Positive: the sweep runs and is
+// observation-only (bit-identical digests with it on or off). Negative:
+// a planted inconsistency surfaces as a ContractViolation naming the
+// owning subsystem.
+// ---------------------------------------------------------------------------
+
+TEST(IngestCoordinator, ContractSweepIsObservationOnly) {
+  SKIP_WITHOUT_CONTRACTS();
+  const StreamSourceConfig sc = source_config(120, 13);
+  IngestConfig ic = ingest_config(8);
+  ic.reconverge_every_events = 50;
+
+  auto run = [&](std::uint32_t sweep_every, obs::MetricsRegistry* metrics) {
+    StreamSource src(sc);
+    IngestConfig cfg = ic;
+    cfg.sweep_every_batches = sweep_every;
+    const Digraph base = paper_graph(120, 13);
+    std::vector<double> ranks =
+        centralized_pagerank(base, cfg.options.damping, 1e-13).ranks;
+    IngestCoordinator coord(MutableDigraph(base), std::move(ranks), cfg,
+                            metrics);
+    for (const StreamEvent& ev : src.take(110)) coord.offer(ev);
+    coord.flush();
+    return coord.digest();
+  };
+
+  obs::MetricsRegistry swept;
+  obs::MetricsRegistry lazy;
+  const std::uint64_t digest_on = run(1, &swept);    // sweep every batch
+  const std::uint64_t digest_off = run(0, &lazy);    // reconvergence only
+  // The sweep must never perturb the maintained ranks.
+  EXPECT_EQ(digest_on, digest_off);
+  const std::uint64_t sweeps_on =
+      swept.counter("stream.contract_sweeps").value();
+  const std::uint64_t sweeps_off =
+      lazy.counter("stream.contract_sweeps").value();
+  // Every applied batch swept, plus the reconvergence sweeps...
+  EXPECT_GT(sweeps_on, sweeps_off);
+  EXPECT_GT(sweeps_on, 10u);
+  // ...while sweep_every_batches = 0 keeps only the reconvergence ones.
+  EXPECT_EQ(sweeps_off, lazy.counter("stream.reconverges").value());
+}
+
+TEST(ValidatorNegative, IngestSweepCatchesRankArrayDrift) {
+  SKIP_WITHOUT_CONTRACTS();
+  const StreamSourceConfig sc = source_config(100, 7);
+  StreamSource src(sc);
+  IngestCoordinator coord = make_coordinator(100, 7, ingest_config(8));
+  for (const StreamEvent& ev : src.take(60)) coord.offer(ev);
+  coord.flush();
+  coord.validate();  // sanity: clean before the corruption
+  TestCorruptor::shrink_rank_vector(coord);
+  expect_violation("stream", [&] { coord.validate(); });
+}
+
+TEST(ValidatorNegative, IngestSweepCatchesGraphCorruption) {
+  SKIP_WITHOUT_CONTRACTS();
+  const StreamSourceConfig sc = source_config(100, 7);
+  StreamSource src(sc);
+  IngestCoordinator coord = make_coordinator(100, 7, ingest_config(8));
+  for (const StreamEvent& ev : src.take(60)) coord.offer(ev);
+  coord.flush();
+  TestCorruptor::corrupt_adjacency_mirror(coord);
+  // The coordinator's sweep cascades into the graph's own invariants.
+  expect_violation("graph", [&] { coord.validate(); });
 }
 
 }  // namespace

@@ -540,6 +540,10 @@ int cmd_stream(const Args& args) {
     }
   }
   coord.flush();
+  // Doctor-style final sweep (same contract as `doctor`'s
+  // system.validate()): the served graph/rank state must be internally
+  // consistent after the full ingest. No-op in contract-free builds.
+  coord.validate();
 
   std::cout << "\nlive docs:     " << format_count(source.live_docs())
             << " (of " << format_count(coord.graph().num_nodes())
