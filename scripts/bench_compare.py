@@ -16,6 +16,12 @@ that matter for the messaging hot path:
                   the convergence behavior changed, not just the speed
     passes        pagerank.passes counter
 
+plus advisory memory telemetry when both sides recorded it: the mem.*
+gauges (graph/engine heap bytes, process peak RSS) and bench_scale's
+per-config bytes-per-edge / peak-RSS extras. Memory drift never gates —
+RSS is allocator- and runner-dependent — but a bytes/edge jump is the
+first sign the compact layout regressed.
+
 The comparison refuses to judge apples against oranges, and that refusal
 is now an ERROR, not a skip: a config-block mismatch (sizes / seed /
 threads / full_scale) means the candidate measured something other than
@@ -59,6 +65,38 @@ def counter(doc: dict, name: str) -> int | None:
     return None if value is None else int(value)
 
 
+def gauge(doc: dict, name: str) -> float | None:
+    value = doc.get("metrics", {}).get("gauges", {}).get(name)
+    return None if value is None else float(value)
+
+
+# Memory telemetry shown per comparison when both sides recorded it —
+# always advisory: footprint drift flags a layout change worth a look
+# (did bytes/edge grow back past the compact-layout numbers?), but RSS
+# depends on allocator and runner, so it never gates.
+MEMORY_GAUGES = (
+    ("graph_bytes", "mem.graph_bytes"),
+    ("engine_bytes", "mem.engine_bytes"),
+    ("peak_rss", "mem.peak_rss_bytes"),
+)
+MEMORY_EXTRA_SUFFIXES = ("bytes_per_edge", "peak_rss_mb")
+
+
+def memory_rows(base: dict, cand: dict) -> list[tuple[str, float, float]]:
+    rows: list[tuple[str, float, float]] = []
+    for label, name in MEMORY_GAUGES:
+        old, new = gauge(base, name), gauge(cand, name)
+        if old is not None and new is not None:
+            rows.append((label, old, new))
+    # Per-config extras (bench_scale): "<size>/<peers>/bytes_per_edge" etc.
+    base_extra = base.get("extra", {})
+    cand_extra = cand.get("extra", {})
+    for key in sorted(base_extra):
+        if key.endswith(MEMORY_EXTRA_SUFFIXES) and key in cand_extra:
+            rows.append((key, float(base_extra[key]), float(cand_extra[key])))
+    return rows
+
+
 def pct(new: float, old: float) -> str:
     if old == 0:
         return "n/a"
@@ -92,6 +130,10 @@ def compare_one(name: str, base: dict, cand: dict,
             print(f"  {label:<14} (missing)")
             continue
         print(f"  {label:<14} {old:>14.1f} -> {new:>14.1f}  {pct(new, old)}")
+
+    for label, old_mem, new_mem in memory_rows(base, cand):
+        print(f"  {label:<28} {old_mem:>14.1f} -> {new_mem:>14.1f}  "
+              f"{pct(new_mem, old_mem)} (advisory)")
 
     old_wall, new_wall = rows[0][1], rows[0][2]
     if old_wall is None or new_wall is None or old_wall == 0:

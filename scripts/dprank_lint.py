@@ -39,6 +39,18 @@ simulator that generic tooling does not know about:
                   metrics export, a rarely-touched delay buffer) carry
                   an explicit waiver naming why the path is cold.
 
+  unaligned-hot-buffer
+                  Files on the gather hot path (hot-path subsystems that
+                  include the fold kernel, common/simd.hpp) hold the
+                  arrays its per-lane gathers stream through. A raw
+                  std::vector<double>/<float> buffer there gets the
+                  allocator's default 16-byte alignment, splitting cache
+                  lines under the 4-lane gather; use AlignedVec
+                  (common/arena.hpp). Buffers the kernel never touches
+                  (outbox parking, audit scratch) or whose type is fixed
+                  by a public interface carry an explicit waiver naming
+                  why.
+
   include-what-you-use (iwyu-lite)
                   A file that names a std:: container/utility must
                   include its header directly (or in its paired .hpp) —
@@ -106,6 +118,11 @@ REGISTRY_TYPES_RE = re.compile(r"\b(MetricsRegistry|ResultStore)\b")
 # Subsystems forming the per-message hot path (see hot-path-map above).
 HOT_PATH_DIRS = ("src/net", "src/pagerank", "src/stream", "src/engines")
 HOT_PATH_MAP_RE = re.compile(r"\bstd::(unordered_map|map)\s*<")
+
+# Gather hot path (see unaligned-hot-buffer above): a hot-path file that
+# includes the fold kernel holds the buffers its gathers stream through.
+GATHER_MARKER = "common/simd.hpp"
+HOT_BUFFER_DECL_RE = re.compile(r"\bstd::vector<\s*(double|float)\s*>\s*\w+\s*[;{=\[]")
 
 # iwyu-lite: std symbols whose header must be included directly. Kept to
 # high-signal, low-noise symbols (containers and threading primitives
@@ -219,6 +236,7 @@ def lint_file(path: Path, root: Path, waivers: WaiverTable) -> list[Finding]:
 
     in_sim = rel.startswith(SIM_DIRS)
     in_hot_path = rel.startswith(HOT_PATH_DIRS)
+    in_gather_path = in_hot_path and GATHER_MARKER in text
     is_rng_impl = rel in RNG_FILES
     threaded = any(marker in text for marker in THREADED_MARKERS)
 
@@ -258,6 +276,15 @@ def lint_file(path: Path, root: Path, waivers: WaiverTable) -> list[Finding]:
                 "node-based map on the messaging hot path: use FlatMap64 "
                 "(common/flat_map.hpp), a vector, or an EpochArray; waive "
                 "only with a comment naming why this path is cold",
+            )
+        if in_gather_path and HOT_BUFFER_DECL_RE.search(code):
+            report(
+                idx,
+                "unaligned-hot-buffer",
+                "raw std::vector<double/float> buffer in a gather-hot-path "
+                "file: the fold kernel's lane gathers want 64-byte-aligned "
+                "arrays — use AlignedVec (common/arena.hpp), or waive with "
+                "a comment naming why this buffer is never gathered",
             )
         if (
             MUTABLE_STATIC_RE.search(code)

@@ -20,6 +20,10 @@
 //     O(1); at(i) re-initializes a slot on first touch of the new epoch.
 //     Replaces the clear()-every-pass pattern for per-peer counters where
 //     only a handful of the slots are touched each pass.
+//   * AlignedAllocator<T> / AlignedVec<T>: 64-byte-aligned vector storage
+//     for the engine's hot arrays (contribution cells, pass scratch), so
+//     the vectorized gather kernel (common/simd.hpp) never straddles a
+//     cache line at a block boundary and streaming sweeps start aligned.
 //
 // Lifetime rules (DESIGN.md §9): pooled buffers belong to exactly one
 // owner between acquire() and release(); releasing twice or using after
@@ -28,6 +32,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -48,6 +53,44 @@
 #endif
 
 namespace dprank {
+
+/// Minimal std::allocator drop-in returning storage aligned to kAlign
+/// bytes (default: one cache line). The gather kernel's hot arrays use
+/// AlignedVec so vector loads never split lines at block boundaries; the
+/// alignment is a performance contract only — element layout and vector
+/// semantics are unchanged.
+template <typename T, std::size_t kAlign = 64>
+struct AlignedAllocator {
+  static_assert(kAlign >= alignof(T) && (kAlign & (kAlign - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, kAlign>&) noexcept {}  // NOLINT
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, kAlign>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kAlign}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{kAlign});
+  }
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// 64-byte-aligned vector: the engine's contribution cells and pass
+/// scratch live here (see common/simd.hpp and dprank_lint's
+/// aligned-hot-buffer rule).
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAllocator<T>>;
 
 /// Free list of reusable std::vector<T> buffers (see the header comment).
 /// T must be trivially destructible: a parked buffer's storage is poisoned

@@ -1,0 +1,50 @@
+#include "common/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dprank::simd {
+
+namespace {
+
+// -1 = no test override; otherwise the forced Level value.
+int g_forced_level = -1;
+
+Level detect_level() {
+  // Environment override first: DPRANK_SIMD=scalar pins the fallback,
+  // =avx2 demands the vector path (still gated on CPU support so a
+  // mis-set variable cannot crash), anything else means auto.
+  const char* env = std::getenv("DPRANK_SIMD");
+  const bool want_scalar = env != nullptr && std::strcmp(env, "scalar") == 0;
+  if (want_scalar) return Level::kScalar;
+#if DPRANK_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+}  // namespace
+
+Level active_level() {
+  if (g_forced_level >= 0) return static_cast<Level>(g_forced_level);
+  static const Level detected = detect_level();
+  return detected;
+}
+
+void force_level_for_test(Level level) {
+  g_forced_level = static_cast<int>(level);
+}
+
+void reset_level_for_test() { g_forced_level = -1; }
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+}  // namespace dprank::simd

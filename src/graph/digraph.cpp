@@ -8,7 +8,8 @@
 
 namespace dprank {
 
-Digraph Digraph::from_edges(NodeId num_nodes, std::vector<Edge> edges) {
+Digraph Digraph::from_edges(NodeId num_nodes, std::vector<Edge> edges,
+                            CrossIndexWidth width) {
   for (const auto& [src, dst] : edges) {
     if (src >= num_nodes || dst >= num_nodes) {
       throw std::out_of_range("Digraph::from_edges: endpoint out of range");
@@ -30,25 +31,102 @@ Digraph Digraph::from_edges(NodeId num_nodes, std::vector<Edge> edges) {
     g.out_offsets_[u + 1] += g.out_offsets_[u];
   }
   for (EdgeId i = 0; i < m; ++i) g.out_targets_[i] = edges[i].dst;
-
-  // In-CSR with the cross index, via counting sort over destinations.
-  g.in_offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
-  g.in_sources_.resize(m);
-  g.in_to_out_.resize(m);
-  for (const auto& e : edges) ++g.in_offsets_[e.dst + 1];
-  for (NodeId v = 0; v < num_nodes; ++v) {
-    g.in_offsets_[v + 1] += g.in_offsets_[v];
-  }
-  g.out_to_in_.resize(m);
-  std::vector<EdgeId> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
-  for (EdgeId e = 0; e < m; ++e) {
-    const NodeId v = edges[e].dst;
-    const EdgeId pos = cursor[v]++;
-    g.in_sources_[pos] = edges[e].src;
-    g.in_to_out_[pos] = e;  // edges are already in out-CSR (edge id) order
-    g.out_to_in_[e] = pos;
-  }
+  g.build_from_out_csr(width);
   return g;
+}
+
+Digraph::Builder::Builder(NodeId num_nodes, EdgeId expected_edges,
+                          CrossIndexWidth width)
+    : num_nodes_(num_nodes), width_(width) {
+  out_offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  if (expected_edges != 0) out_targets_.reserve(expected_edges);
+}
+
+void Digraph::Builder::add_node(NodeId u, std::span<const NodeId> targets) {
+  if (u >= num_nodes_ || u < next_node_) {
+    throw std::out_of_range(
+        "Digraph::Builder::add_node: nodes must arrive in ascending order");
+  }
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i] >= num_nodes_ || targets[i] == u ||
+        (i != 0 && targets[i - 1] >= targets[i])) {
+      throw std::invalid_argument(
+          "Digraph::Builder::add_node: targets must be strictly sorted, in "
+          "range and self-loop free");
+    }
+  }
+  // Close out the offsets of every node since the last append.
+  for (NodeId v = next_node_; v <= u; ++v) {
+    out_offsets_[v] = out_targets_.size();
+  }
+  out_targets_.insert(out_targets_.end(), targets.begin(), targets.end());
+  next_node_ = u + 1;
+}
+
+Digraph Digraph::Builder::finalize() && {
+  for (NodeId v = next_node_; v <= num_nodes_; ++v) {
+    out_offsets_[v] = out_targets_.size();
+  }
+  Digraph g;
+  g.out_offsets_ = std::move(out_offsets_);
+  g.out_targets_ = std::move(out_targets_);
+  g.build_from_out_csr(width_);
+  return g;
+}
+
+void Digraph::build_from_out_csr(CrossIndexWidth width) {
+  const NodeId n = num_nodes();
+  const EdgeId m = num_edges();
+  cross_index_narrow_ =
+      width == CrossIndexWidth::kAuto && narrow_cross_index_allowed(m);
+
+  // In-CSR with the cross index, via counting sort over destinations (the
+  // out-CSR is already in (src, dst) order, so edge ids ascend here).
+  in_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  in_sources_.resize(m);
+  in_to_out_.resize(m);
+  for (const NodeId v : out_targets_) ++in_offsets_[v + 1];
+  for (NodeId v = 0; v < n; ++v) in_offsets_[v + 1] += in_offsets_[v];
+  if (cross_index_narrow_) {
+    out_to_in32_.resize(m);
+    out_to_in_.clear();
+    out_to_in_.shrink_to_fit();
+  } else {
+    out_to_in_.resize(m);
+    out_to_in32_.clear();
+    out_to_in32_.shrink_to_fit();
+  }
+  std::vector<EdgeId> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    const EdgeId out_end = out_offsets_[u + 1];
+    for (EdgeId e = out_offsets_[u]; e < out_end; ++e) {
+      const NodeId v = out_targets_[e];
+      const EdgeId pos = cursor[v]++;
+      in_sources_[pos] = u;
+      in_to_out_[pos] = e;
+      if (cross_index_narrow_) {
+        out_to_in32_[e] = static_cast<std::uint32_t>(pos);
+      } else {
+        out_to_in_[e] = pos;
+      }
+    }
+  }
+
+  inv_out_degree_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const std::uint32_t deg = out_degree(u);
+    inv_out_degree_[u] = deg == 0 ? 0.0f : 1.0f / static_cast<float>(deg);
+  }
+}
+
+std::uint64_t Digraph::memory_bytes() const {
+  const auto bytes = [](const auto& v) {
+    return static_cast<std::uint64_t>(v.capacity()) *
+           sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  return bytes(out_offsets_) + bytes(out_targets_) + bytes(in_offsets_) +
+         bytes(in_sources_) + bytes(in_to_out_) + bytes(out_to_in_) +
+         bytes(out_to_in32_) + bytes(inv_out_degree_);
 }
 
 bool Digraph::has_edge(NodeId u, NodeId v) const {
@@ -66,10 +144,30 @@ void Digraph::validate() const {
   DPRANK_INVARIANT(
       (n == 0 && out_offsets_.empty()) || out_offsets_.size() == n + 1, kSub,
       "offset array size does not match node count");
+  // Compact cross-index contract: the narrow (32-bit) layout may only be
+  // stored while every in-CSR position fits a 32-bit word, and exactly
+  // the selected array carries the index.
+  DPRANK_INVARIANT(!cross_index_narrow_ || narrow_cross_index_allowed(m),
+                   kSub,
+                   "32-bit cross index stored for a graph with m >= 2^32");
+  DPRANK_INVARIANT(cross_index_narrow_
+                       ? (out_to_in32_.size() == m && out_to_in_.empty())
+                       : (out_to_in_.size() == m && out_to_in32_.empty()),
+                   kSub,
+                   "cross-index storage does not match the selected width");
   if (n == 0) {
     DPRANK_INVARIANT(m == 0 && in_sources_.empty() && in_to_out_.empty(),
                      kSub, "empty graph holds edges");
     return;
+  }
+  DPRANK_INVARIANT(inv_out_degree_.size() == n, kSub,
+                   "inverse out-degree array does not cover the nodes");
+  for (NodeId u = 0; u < n; ++u) {
+    const std::uint32_t deg = out_degree(u);
+    const float expect = deg == 0 ? 0.0f : 1.0f / static_cast<float>(deg);
+    DPRANK_INVARIANT(inv_out_degree_[u] == expect, kSub,
+                     "inverse out-degree does not match the CSR degree at "
+                     "node " + std::to_string(u));
   }
   DPRANK_INVARIANT(out_offsets_.front() == 0 && in_offsets_.front() == 0,
                    kSub, "offset arrays do not start at 0");
@@ -102,9 +200,7 @@ void Digraph::validate() const {
   // In-CSR mirror: in_to_out_ is a permutation of [0, m); each mirrored
   // edge id must target the list's owner and originate at the recorded
   // source (the per-edge contribution cells depend on this cross index),
-  // and out_to_in_ must be its exact inverse.
-  DPRANK_INVARIANT(out_to_in_.size() == m, kSub,
-                   "out_to_in inverse index does not cover the edges");
+  // and out_to_in_edge must be its exact inverse in whichever width.
   std::vector<std::uint8_t> seen(m, 0);
   for (NodeId v = 0; v < n; ++v) {
     const auto srcs = in_neighbors(v);
@@ -114,7 +210,7 @@ void Digraph::validate() const {
       DPRANK_INVARIANT(e < m, kSub,
                        "in_to_out edge id out of range at node " +
                            std::to_string(v));
-      DPRANK_INVARIANT(out_to_in_[e] == in_offsets_[v] + i, kSub,
+      DPRANK_INVARIANT(out_to_in_edge(e) == in_offsets_[v] + i, kSub,
                        "out_to_in is not the inverse of in_to_out at edge " +
                            std::to_string(e));
       DPRANK_INVARIANT(!seen[e], kSub,

@@ -14,6 +14,16 @@
 // Both adjacency directions are stored in CSR form; `in_to_out_edge()`
 // provides the cross index. Node ids are 32-bit (the paper's largest graph
 // is 5 million nodes), edge ids 64-bit.
+//
+// Compact layout (ROADMAP item 4): the inverse cross index `out_to_in_`
+// is stored as 32-bit words whenever m < 2^32 — every graph this
+// reproduction can actually build — halving the hottest per-edge load of
+// the exchange phase; the 64-bit fallback is selected at build time when
+// the edge count demands it (and can be forced for the layout-equivalence
+// tests). Float inverse out-degrees ride along for consumers that only
+// need approximate per-link weights (scale diagnostics, future inexact
+// engines); the exact engine keeps its double divisions — they are part
+// of the bit-reproducibility anchor.
 
 #include <cstdint>
 #include <span>
@@ -33,12 +43,50 @@ struct Edge {
 
 class Digraph {
  public:
+  /// Storage width of the out_to_in_ cross index. kAuto picks 32-bit
+  /// whenever the edge count allows (see narrow_cross_index_allowed);
+  /// kForceWide keeps the legacy 64-bit layout — the layout-equivalence
+  /// tests run both and assert bit-identical engine output.
+  enum class CrossIndexWidth : std::uint8_t { kAuto = 0, kForceWide = 1 };
+
   Digraph() = default;
 
   /// Build from an edge list. Self-loops and duplicate edges are dropped
   /// (hyperlink multiplicity does not change the random-surfer model the
   /// paper uses). Edge endpoints must be < num_nodes.
-  static Digraph from_edges(NodeId num_nodes, std::vector<Edge> edges);
+  static Digraph from_edges(NodeId num_nodes, std::vector<Edge> edges,
+                            CrossIndexWidth width = CrossIndexWidth::kAuto);
+
+  /// Streaming CSR construction: callers append each node's out-links in
+  /// ascending node order and finalize() derives the in-CSR and cross
+  /// indexes in place. Peak memory is the finished CSR itself — no
+  /// intermediate edge list (generate_web_graph's peak used to be the
+  /// full std::vector<Edge> *plus* the CSR).
+  class Builder {
+   public:
+    /// `expected_edges` is a reservation hint only (0 = none).
+    explicit Builder(NodeId num_nodes, EdgeId expected_edges = 0,
+                     CrossIndexWidth width = CrossIndexWidth::kAuto);
+
+    /// Append node `u`'s out-links. Nodes must arrive in strictly
+    /// ascending order (gaps are fine — skipped nodes have no
+    /// out-links); `targets` must be strictly sorted, in range and
+    /// self-loop free, exactly what from_edges' sort+dedup produces.
+    void add_node(NodeId u, std::span<const NodeId> targets);
+
+    /// Derive the in-CSR, cross indexes and inverse out-degrees.
+    /// The builder is consumed.
+    [[nodiscard]] Digraph finalize() &&;
+
+   private:
+    // Raw out-CSR under construction (a Digraph member would need the
+    // enclosing class complete); finalize() moves these into the graph.
+    std::vector<EdgeId> out_offsets_;
+    std::vector<NodeId> out_targets_;
+    NodeId num_nodes_ = 0;
+    NodeId next_node_ = 0;
+    CrossIndexWidth width_ = CrossIndexWidth::kAuto;
+  };
 
   [[nodiscard]] NodeId num_nodes() const {
     return static_cast<NodeId>(out_offsets_.empty() ? 0
@@ -91,10 +139,49 @@ class Digraph {
     return in_offsets_[v + 1];
   }
 
+  /// Raw in-CSR offset array (num_nodes + 1 entries): offsets[v] ..
+  /// offsets[v+1] bound v's cell range. The engine's fold kernel
+  /// (common/simd.hpp) indexes this directly per lane.
+  [[nodiscard]] const EdgeId* in_offsets_data() const {
+    return in_offsets_.data();
+  }
+
   /// Inverse of the in_to_out_edge cross index: the in-CSR position that
   /// mirrors out-edge id e. in_to_out_edge(v)[i] == e implies
   /// out_to_in_edge(e) == in_edge_begin(v) + i.
-  [[nodiscard]] EdgeId out_to_in_edge(EdgeId e) const { return out_to_in_[e]; }
+  [[nodiscard]] EdgeId out_to_in_edge(EdgeId e) const {
+    return cross_index_narrow_ ? static_cast<EdgeId>(out_to_in32_[e])
+                               : out_to_in_[e];
+  }
+
+  /// Selection rule for the compact cross index: 32-bit positions can
+  /// address every in-CSR slot only while m fits in a 32-bit word. The
+  /// contract in validate() rejects a narrow index stored for a graph
+  /// this predicate refuses.
+  [[nodiscard]] static constexpr bool narrow_cross_index_allowed(EdgeId m) {
+    return m < (EdgeId{1} << 32);
+  }
+
+  /// The compact 32-bit cross index, or nullptr when this graph carries
+  /// the wide layout. Hot kernels branch once per run, not per edge.
+  [[nodiscard]] const std::uint32_t* out_to_in32_data() const {
+    return cross_index_narrow_ ? out_to_in32_.data() : nullptr;
+  }
+
+  /// Precomputed 1/outdeg(u) as float (0.0f for dangling nodes) — the
+  /// compact layout's approximate per-link weight. Exact engines must
+  /// keep dividing doubles (rank emission values are digest-pinned).
+  [[nodiscard]] float inv_out_degree(NodeId u) const {
+    return inv_out_degree_[u];
+  }
+  [[nodiscard]] std::span<const float> inv_out_degrees() const {
+    return {inv_out_degree_.data(), inv_out_degree_.size()};
+  }
+
+  /// Heap bytes held by the CSR arrays (capacity, not size — what the
+  /// allocator actually handed over). Feeds mem.graph_bytes telemetry
+  /// and the bytes-per-edge scale diagnostics.
+  [[nodiscard]] std::uint64_t memory_bytes() const;
 
   /// True if u has an edge to v (binary search over sorted out-list).
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
@@ -115,6 +202,11 @@ class Digraph {
 
  private:
   friend struct TestCorruptor;  // negative invariant tests corrupt privates
+
+  /// Build everything derived from the finished out-CSR: in-CSR, both
+  /// cross indexes (narrow or wide per `width`), inverse out-degrees.
+  void build_from_out_csr(CrossIndexWidth width);
+
   // Out-CSR: out_offsets_[u]..out_offsets_[u+1] indexes out_targets_.
   std::vector<EdgeId> out_offsets_;
   std::vector<NodeId> out_targets_;
@@ -123,8 +215,13 @@ class Digraph {
   std::vector<EdgeId> in_offsets_;
   std::vector<NodeId> in_sources_;
   std::vector<EdgeId> in_to_out_;
-  // Inverse permutation of in_to_out_, indexed by out-edge id.
+  // Inverse permutation of in_to_out_, indexed by out-edge id. Exactly
+  // one of the two is populated (see cross_index_narrow_).
   std::vector<EdgeId> out_to_in_;
+  std::vector<std::uint32_t> out_to_in32_;
+  bool cross_index_narrow_ = true;  // empty graph: narrow trivially holds
+  // 1/outdeg as float, 0.0f for dangling nodes.
+  std::vector<float> inv_out_degree_;
 };
 
 }  // namespace dprank

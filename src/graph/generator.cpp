@@ -54,9 +54,13 @@ Digraph generate_web_graph(const WebGraphParams& params) {
   }
   rng.shuffle(pool);
 
-  // 3. Wire out-stubs to pool entries, skipping self-loops/duplicates.
-  std::vector<Edge> edges;
-  edges.reserve(total_out);
+  // 3. Wire out-stubs to pool entries, skipping self-loops/duplicates,
+  // streaming each finished node straight into the CSR builder. Sources
+  // ascend and per-node targets are distinct, so sorting the per-node
+  // scratch reproduces from_edges' (src, dst) order exactly — same graph
+  // bytes, without ever materializing the full edge list (the old peak
+  // was the complete std::vector<Edge> on top of the finished CSR).
+  Digraph::Builder builder(static_cast<NodeId>(n), total_out);
   std::size_t cursor = 0;
   auto next_candidate = [&]() -> NodeId {
     if (cursor >= pool.size()) {
@@ -80,10 +84,11 @@ Digraph generate_web_graph(const WebGraphParams& params) {
       if (std::find(chosen.begin(), chosen.end(), v) != chosen.end()) continue;
       chosen.push_back(v);
     }
-    for (const NodeId v : chosen) edges.push_back({static_cast<NodeId>(u), v});
+    std::sort(chosen.begin(), chosen.end());
+    builder.add_node(static_cast<NodeId>(u), chosen);
   }
 
-  return Digraph::from_edges(static_cast<NodeId>(n), std::move(edges));
+  return std::move(builder).finalize();
 }
 
 Digraph paper_graph(std::uint64_t num_nodes, std::uint64_t seed) {

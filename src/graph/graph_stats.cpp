@@ -19,17 +19,40 @@ DegreeStats compute_degree_stats(const Digraph& g) {
   return s;
 }
 
-std::vector<double> degree_histogram(const Digraph& g, bool out_direction,
-                                     std::uint32_t max_k) {
-  std::vector<double> hist(static_cast<std::size_t>(max_k) + 1, 0.0);
+std::vector<std::uint64_t> degree_counts(const Digraph& g, bool out_direction,
+                                         std::uint32_t max_k) {
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(max_k) + 1, 0);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     const std::uint32_t k =
         out_direction ? g.out_degree(u) : g.in_degree(u);
-    if (k <= max_k) hist[k] += 1.0;
+    if (k <= max_k) ++counts[k];
   }
+  return counts;
+}
+
+std::vector<double> degree_histogram(const Digraph& g, bool out_direction,
+                                     std::uint32_t max_k) {
+  const auto counts = degree_counts(g, out_direction, max_k);
+  std::vector<double> hist(counts.size(), 0.0);
   const auto n = static_cast<double>(g.num_nodes());
-  for (auto& h : hist) h /= n;
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    hist[k] = static_cast<double>(counts[k]) / n;
+  }
   return hist;
+}
+
+LayoutStats compute_layout_stats(const Digraph& g) {
+  LayoutStats s;
+  s.heap_bytes = g.memory_bytes();
+  if (g.num_edges() > 0) {
+    s.bytes_per_edge = static_cast<double>(s.heap_bytes) /
+                       static_cast<double>(g.num_edges());
+  }
+  if (g.num_nodes() > 0) {
+    s.bytes_per_node = static_cast<double>(s.heap_bytes) /
+                       static_cast<double>(g.num_nodes());
+  }
+  return s;
 }
 
 double fit_power_law_slope(const std::vector<double>& histogram,

@@ -23,10 +23,30 @@ struct DegreeStats {
 
 [[nodiscard]] DegreeStats compute_degree_stats(const Digraph& g);
 
-/// Empirical P(degree = k) for k in [0, max_k], out- or in-degree.
+/// Raw degree counts: counts[k] = number of nodes with degree k, for
+/// k in [0, max_k]. 64-bit accumulators — a double-valued histogram
+/// silently loses counts past 2^53 and invites per-element rounding;
+/// the counts stay exact integers until a caller normalizes.
+[[nodiscard]] std::vector<std::uint64_t> degree_counts(const Digraph& g,
+                                                       bool out_direction,
+                                                       std::uint32_t max_k);
+
+/// Empirical P(degree = k) for k in [0, max_k], out- or in-degree
+/// (degree_counts normalized by the node count).
 [[nodiscard]] std::vector<double> degree_histogram(const Digraph& g,
                                                    bool out_direction,
                                                    std::uint32_t max_k);
+
+/// Memory-layout summary of a built CSR: the per-edge and per-node cost
+/// of the structure as allocated (Digraph::memory_bytes), the compact
+/// layout's scale yardstick (bench_scale reports these per config).
+struct LayoutStats {
+  std::uint64_t heap_bytes = 0;
+  double bytes_per_edge = 0.0;
+  double bytes_per_node = 0.0;
+};
+
+[[nodiscard]] LayoutStats compute_layout_stats(const Digraph& g);
 
 /// Least-squares slope of log(count) vs log(k) over k with nonzero count
 /// in [k_lo, k_hi]; for a power law P(k) ∝ k^-alpha this estimates -alpha.

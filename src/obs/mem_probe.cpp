@@ -1,0 +1,27 @@
+#include "obs/mem_probe.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define DPRANK_HAS_GETRUSAGE 1
+#else
+#define DPRANK_HAS_GETRUSAGE 0
+#endif
+
+namespace dprank::obs {
+
+std::uint64_t peak_rss_bytes() {
+#if DPRANK_HAS_GETRUSAGE
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  const auto maxrss = static_cast<std::uint64_t>(usage.ru_maxrss);
+#if defined(__APPLE__)
+  return maxrss;  // already bytes
+#else
+  return maxrss * 1024;  // Linux: KiB
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace dprank::obs

@@ -1,0 +1,17 @@
+#pragma once
+
+// Process memory probe for the mem.* telemetry gauges and the scale
+// bench (bench/bench_scale.cpp). Observability only: the reading never
+// feeds the simulation, so determinism is untouched — it measures the
+// harness, like pagerank.pass_wall_us.
+
+#include <cstdint>
+
+namespace dprank::obs {
+
+/// Peak resident set size of the current process in bytes, as the OS
+/// accounts it (Linux: getrusage ru_maxrss, reported in KiB and scaled
+/// here; macOS reports bytes natively). 0 on platforms without the call.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace dprank::obs

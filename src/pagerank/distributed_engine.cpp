@@ -10,6 +10,7 @@
 #include "common/contracts.hpp"
 #include "common/guid.hpp"
 #include "net/message.hpp"
+#include "obs/mem_probe.hpp"
 
 namespace dprank {
 
@@ -28,12 +29,20 @@ DistributedPagerank::DistributedPagerank(const Digraph& g,
   // initial_rank / outdeg(u). Cells live at in-CSR positions (see the
   // header): iterate per destination, reading each source's out-degree.
   contrib_.resize(g.num_edges());
+  // One division per *source document* (identical to dividing per edge —
+  // same operands, same rounding), then a scatter: n divisions instead of
+  // m for the million-doc constructor.
+  std::vector<double> init_contrib(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const std::uint32_t deg = g.out_degree(u);
+    init_contrib[u] =
+        deg == 0 ? 0.0 : options_.initial_rank / static_cast<double>(deg);
+  }
   for (NodeId v = 0; v < n; ++v) {
     const auto sources = g.in_neighbors(v);
     const EdgeId base = g.in_edge_begin(v);
     for (std::size_t i = 0; i < sources.size(); ++i) {
-      contrib_[base + i] = options_.initial_rank /
-                           static_cast<double>(g.out_degree(sources[i]));
+      contrib_[base + i] = init_contrib[sources[i]];
     }
   }
   pending_value_.assign(g.num_edges(), 0.0);
@@ -765,8 +774,19 @@ void DistributedPagerank::prepare_parallel_state() {
   peer_scratch_.resize(num_peers);
   if (batched_exchange_) {
     if (pool_ == nullptr && !residual_mode_) {
-      // Sequential fifo runs skip the bucket machinery entirely.
-      dst_count_.resize(num_peers);
+      // Sequential fifo runs take the fused pass_sequential path: flat
+      // scratch sized once here, so no pass ever grows an allocation.
+      seq_fast_ = true;
+      const NodeId n = graph_.num_nodes();
+      seq_docs_.resize(n);
+      seq_acc_.resize(n);
+      seq_senders_.resize(n);
+      seq_count_.assign(num_peers, 0);
+      seq_seg_end_.assign(num_peers, 0);
+      seq_sender_pos_.reserve(static_cast<std::size_t>(num_peers) + 1);
+      dst_count32_.assign(num_peers, 0);
+      touched_dsts_.reserve(num_peers);
+      simd_level_ = simd::active_level();
       return;
     }
     dst_incoming_.resize(num_peers);
@@ -1069,32 +1089,128 @@ void DistributedPagerank::exchange_batched(const std::vector<bool>& presence,
   active_dsts_.clear();
 }
 
-void DistributedPagerank::exchange_direct(const std::vector<bool>& presence,
-                                          PassStats& stats,
+void DistributedPagerank::pass_sequential(const std::vector<bool>& presence,
+                                          bool all_present, PassStats& stats,
                                           obs::Histogram* batch_hist) {
+  // Group dirty_ peer-major with a counting sort over flat arrays: count
+  // per peer, carve segments in ascending peer order, stable scatter.
+  // Segment order and intra-segment order match bucket_dirty() exactly,
+  // so the recompute below visits documents in compute_peer's order.
+  active_peers_.clear();
+  for (const NodeId v : dirty_) {
+    const PeerId p = placement_.peer_of(v);
+    if (seq_count_[p]++ == 0) active_peers_.push_back(p);
+  }
+  std::sort(active_peers_.begin(), active_peers_.end());
+  std::uint64_t off = 0;
+  for (const PeerId p : active_peers_) {
+    seq_seg_end_[p] = off;  // scatter cursor, starts at the segment base
+    off += seq_count_[p];
+  }
+  for (const NodeId v : dirty_) {
+    seq_docs_[seq_seg_end_[placement_.peer_of(v)]++] = v;
+  }
+  // seq_seg_end_[p] now sits one past p's segment.
+
+  // Phase 1: recompute, split fold-then-epilogue per segment. The fold
+  // kernel (common/simd.hpp) writes each document's cell sum into
+  // seq_acc_ — its lane-refill path computes the sums out of document
+  // order, but every per-document fold is the exact left-to-right scalar
+  // order, so seq_acc_ is bit-identical either way. The epilogue then
+  // walks the segment strictly in bucket order, keeping the observable
+  // sequence (rank writes, max fold, sender selection) identical to the
+  // pre-vectorization loop.
+  const double d = options_.damping;
+  const double base = 1.0 - d;
+  const double eps = options_.epsilon;
+  const simd::Level level = simd_level_;
+  const double* cells = contrib_.data();
+  const EdgeId* offsets = graph_.in_offsets_data();
+  const float* inv_deg = graph_.inv_out_degrees().data();
+  double max_rel = 0.0;
+  std::uint64_t recomputed = 0;
+  std::uint64_t sender_total = 0;
+  seq_sender_pos_.clear();
+  for (const PeerId p : active_peers_) {
+    seq_sender_pos_.push_back(sender_total);
+    const std::uint64_t seg_end = seq_seg_end_[p];
+    const std::uint64_t seg_begin = seg_end - seq_count_[p];
+    seq_count_[p] = 0;  // ready for the next pass
+    if (!all_present && !presence[p]) {
+      // Docs stay dirty (flags stay set); requeued for the next pass.
+      next_dirty_.insert(next_dirty_.end(), seq_docs_.data() + seg_begin,
+                         seq_docs_.data() + seg_end);
+      continue;
+    }
+    simd::fold_cells(level, cells, offsets, seq_docs_.data() + seg_begin,
+                     seg_end - seg_begin, seq_acc_.data() + seg_begin);
+    for (std::uint64_t i = seg_begin; i < seg_end; ++i) {
+      const NodeId v = seq_docs_[i];
+      in_dirty_[v] = 0;
+      const double newrank = base + d * seq_acc_[i];
+      const double rel = relative_change(ranks_[v], newrank);
+      ranks_[v] = newrank;
+      if (rel > max_rel) max_rel = rel;
+      // inv_out_degree(v) != 0 is exactly out_degree(v) != 0 (the
+      // stored inverse is 0 only for degree 0), one 4-byte load.
+      if (rel > eps && inv_deg[v] != 0.0f) seq_senders_[sender_total++] = v;
+    }
+    recomputed += seg_end - seg_begin;
+  }
+  seq_sender_pos_.push_back(sender_total);
+  stats.docs_recomputed = recomputed;
+  stats.max_rel_change = max_rel;
+
+  // Phase 2: emission, templated on the all-present fast case so clean
+  // runs never consult the presence mask per edge.
+  if (all_present) {
+    exchange_sequential<true>(presence, stats, batch_hist);
+  } else {
+    exchange_sequential<false>(presence, stats, batch_hist);
+  }
+}
+
+template <bool kAllPresent>
+void DistributedPagerank::exchange_sequential(
+    const std::vector<bool>& presence, PassStats& stats,
+    obs::Histogram* batch_hist) {
   // Mirror of exchange_batched for the sequential fifo case: identical
   // emission order (source peers ascending, senders in recompute order),
   // identical billing order (per source, destinations ascending), same
-  // counters — but each update is one inline cell write plus an
-  // epoch-stamped per-destination tally instead of a materialized bucket.
+  // counters — but each update is one inline cell write plus a plain
+  // per-destination tally instead of a materialized bucket.
   std::uint64_t delivered_total = 0;
   std::uint64_t local_total = 0;
-  for (const PeerId p : active_peers_) {
-    PeerScratch& s = peer_scratch_[p];
-    if (s.senders.empty()) continue;
-    dst_count_.advance();
+  // Size-1 wire batches dominate incremental passes; each histogram
+  // record is several atomic RMWs, so they are tallied here and recorded
+  // once at the end. record_count(1.0, k) is bit-identical to k separate
+  // record(1.0) calls: the values are small integers (sums stay exact)
+  // and bucket/min/max updates commute.
+  std::uint64_t ones = 0;
+  // Narrow (32-bit) cross index when the graph carries one — half the
+  // index bytes through the hottest random-access loop.
+  const std::uint32_t* cross32 = graph_.out_to_in32_data();
+  MassAuditor* const auditor = auditor_.get();
+  for (std::size_t ai = 0; ai < active_peers_.size(); ++ai) {
+    const PeerId p = active_peers_[ai];
+    const std::uint64_t s_begin = seq_sender_pos_[ai];
+    const std::uint64_t s_end = seq_sender_pos_[ai + 1];
+    if (s_begin == s_end) continue;
     touched_dsts_.clear();
-    for (const NodeId u : s.senders) {
+    for (std::uint64_t si = s_begin; si < s_end; ++si) {
+      const NodeId u = seq_senders_[si];
       const double c = ranks_[u] / static_cast<double>(graph_.out_degree(u));
       const EdgeId out_end = graph_.out_edge_end(u);
       for (EdgeId e = graph_.out_edge_begin(u); e < out_end; ++e) {
         const NodeId v = graph_.out_target(e);
         const PeerId pv = placement_.peer_of(v);
-        if (auditor_ != nullptr) auditor_->on_emit(e, c);
-        if (presence[pv]) {
-          contrib_[graph_.out_to_in_edge(e)] = c;
-          if (!dst_count_.fresh(pv)) touched_dsts_.push_back(pv);
-          ++dst_count_.at(pv);
+        if (auditor != nullptr) auditor->on_emit(e, c);
+        if (kAllPresent || presence[pv]) {
+          const EdgeId cell = cross32 != nullptr
+                                  ? static_cast<EdgeId>(cross32[e])
+                                  : graph_.out_to_in_edge(e);
+          contrib_[cell] = c;
+          if (dst_count32_[pv]++ == 0) touched_dsts_.push_back(pv);
           if (!in_dirty_[v]) {
             in_dirty_[v] = 1;
             next_dirty_.push_back(v);
@@ -1115,7 +1231,8 @@ void DistributedPagerank::exchange_direct(const std::vector<bool>& presence,
     std::sort(touched_dsts_.begin(), touched_dsts_.end());
     std::uint64_t cross_msgs = 0;  // wire messages this peer sent
     for (const PeerId dst : touched_dsts_) {
-      const std::uint64_t k = dst_count_.peek(dst);
+      const std::uint64_t k = dst_count32_[dst];
+      dst_count32_[dst] = 0;  // ready for the next source peer
       if (dst == p) {
         local_total += k;
         stats.local_updates += k;
@@ -1128,11 +1245,20 @@ void DistributedPagerank::exchange_direct(const std::vector<bool>& presence,
         } else {
           cross_msgs += k;
         }
-        if (batch_hist != nullptr) batch_hist->record(static_cast<double>(k));
+        if (batch_hist != nullptr) {
+          if (k == 1) {
+            ++ones;
+          } else {
+            batch_hist->record(static_cast<double>(k));
+          }
+        }
       }
     }
     stats.messages_sent += cross_msgs;
     stats.max_peer_messages = std::max(stats.max_peer_messages, cross_msgs);
+  }
+  if (batch_hist != nullptr && ones != 0) {
+    batch_hist->record_count(1.0, ones);
   }
   if (!options_.coalesce_wire && delivered_total != 0) {
     meter_.record_messages(delivered_total, PagerankUpdate::kWireBytes);
@@ -1178,6 +1304,21 @@ void DistributedPagerank::deliver_deferred(const std::vector<bool>& presence,
     }
     entries.resize(kept);
   }
+}
+
+std::uint64_t DistributedPagerank::memory_bytes() const {
+  const auto bytes = [](const auto& v) {
+    return static_cast<std::uint64_t>(v.capacity()) *
+           sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  return bytes(ranks_) + bytes(contrib_) + bytes(pending_value_) +
+         bytes(pending_) + bytes(pending_seq_) + bytes(in_dirty_) +
+         bytes(dirty_) + bytes(next_dirty_) + bytes(seq_docs_) +
+         bytes(seq_acc_) +
+         bytes(seq_senders_) + bytes(seq_count_) + bytes(seq_seg_end_) +
+         bytes(seq_sender_pos_) + bytes(dst_count32_) +
+         bytes(touched_dsts_) + bytes(residual_) + bytes(last_sent_) +
+         bytes(defer_age_);
 }
 
 void DistributedPagerank::validate_state() const {
@@ -1302,6 +1443,8 @@ void DistributedPagerank::validate_state() const {
   // only holds at quiescence and is checked there by the audit machinery
   // instead.
   if (auditor_ != nullptr && plan_ == nullptr && membership_ == nullptr) {
+    // Audit-only local (cold validation path, never gathered).
+    // dprank-lint: allow(unaligned-hot-buffer)
     std::vector<double> effective;
     build_effective(effective);
     const MassAuditReport report = auditor_->audit(effective, kAuditSlack);
@@ -1407,6 +1550,12 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
               ? std::max(options_.epsilon, std::min(0.05, prev_max_rel_ / 8.0))
               : options_.epsilon;
     }
+    if (seq_fast_) {
+      // Fused single-threaded fifo pass: grouping, recompute and
+      // emission in one call over flat scratch (see pass_sequential).
+      pass_sequential(*presence, churn == nullptr, stats, batch_hist);
+      prev_max_rel_ = stats.max_rel_change;
+    } else {
     bucket_dirty();
     parallel_region(active_peers_.size(), [&](std::size_t i, unsigned) {
       compute_peer(active_peers_[i], *presence, track_replica_values);
@@ -1434,11 +1583,7 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
     // Phase 2: senders emit their new contribution on every out-link;
     // visible next pass (or parked in the outbox for absent peers).
     if (batched_exchange_) {
-      if (pool_ == nullptr && !residual_mode_) {
-        exchange_direct(*presence, stats, batch_hist);
-      } else {
-        exchange_batched(*presence, stats, batch_hist);
-      }
+      exchange_batched(*presence, stats, batch_hist);
     } else {
     // Sequential sender-major exchange: fault fates, overlay cache warms
     // and trace events must observe emissions in one canonical order —
@@ -1547,6 +1692,7 @@ DistributedRunResult DistributedPagerank::run(ChurnSchedule* churn,
       peer_msgs_this_pass_[pu] = 0;  // reset only touched entries
     }
     }
+    }
 
     // Quiescence: nothing to recompute, nothing parked, nothing in
     // flight, nobody awaiting recovery — then, if auditing, the mass
@@ -1644,6 +1790,14 @@ void DistributedPagerank::flush_metrics(const DistributedRunResult& result) {
   reg.gauge("pagerank.outbox_peak").set(static_cast<double>(outbox_peak_));
   reg.gauge("pagerank.threads")
       .set(static_cast<double>(std::max<std::uint32_t>(1, options_.threads)));
+  // Memory footprint (scale bench, §DESIGN.md 14): graph CSR arrays,
+  // the engine's per-document/per-edge arrays, and the OS-accounted
+  // process peak — observability only, read after the run.
+  reg.gauge("mem.graph_bytes")
+      .set(static_cast<double>(graph_.memory_bytes()));
+  reg.gauge("mem.engine_bytes").set(static_cast<double>(memory_bytes()));
+  reg.gauge("mem.peak_rss_bytes")
+      .set(static_cast<double>(obs::peak_rss_bytes()));
 
   // Per-pass telemetry, entry for entry with pass_history(): the residual
   // series is the convergence timeline Fig. 2-style plots read.

@@ -70,6 +70,7 @@
 
 #include "common/arena.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
 #include "obs/metrics.hpp"
@@ -210,6 +211,11 @@ class DistributedPagerank : public PagerankEngineInterface {
     return history_;
   }
   [[nodiscard]] std::uint64_t outbox_peak() const { return outbox_peak_; }
+  /// Bytes held by the engine's per-document / per-edge arrays (capacity,
+  /// not size — what the allocator actually carries). Graph storage is
+  /// reported separately by Digraph::memory_bytes(); both feed the mem.*
+  /// gauges and the scale bench's bytes-per-edge figure.
+  [[nodiscard]] std::uint64_t memory_bytes() const;
   [[nodiscard]] const PagerankOptions& options() const { return options_; }
   [[nodiscard]] std::uint64_t replica_messages() const {
     return replica_messages_;
@@ -412,11 +418,15 @@ class DistributedPagerank : public PagerankEngineInterface {
   std::vector<std::uint8_t> needs_recovery_;  // uint8_t: see pending_
   std::vector<std::vector<NodeId>> docs_by_peer_;
   std::vector<NodeId> edge_src_;        // edge id -> source document
+  // Replica rank store (crash-recovery path); never folded by the
+  // gather kernel. dprank-lint: allow(unaligned-hot-buffer)
   std::vector<double> replica_value_;   // last rank a live replica holds
   // Churn presence minus crashed peers. vector<bool> is safe here:
   // written only by the coordinator between parallel regions, and read
   // through const access inside them. dprank-lint: allow(vector-bool)
   std::vector<bool> presence_eff_;
+  // Mass-audit workspace (cold validation path, never gathered).
+  // dprank-lint: allow(unaligned-hot-buffer)
   std::vector<double> effective_scratch_;  // audit workspace
 
   // Delivery-delay buffer: pass -> messages arriving at its start. A
@@ -426,14 +436,19 @@ class DistributedPagerank : public PagerankEngineInterface {
   std::map<std::uint64_t, std::vector<DelayedMsg>> delayed_;
   std::uint64_t delayed_total_ = 0;
 
+  // The interface returns const std::vector<double>&, so ranks_ keeps the
+  // default allocator. dprank-lint: allow(unaligned-hot-buffer)
   std::vector<double> ranks_;
   // Delivered contribution cells, indexed by in-CSR *position* (see
   // Digraph::in_edge_begin): a document's cells are contiguous, so the
   // recompute — the engine's hottest loop — streams them sequentially.
   // Everything keyed by message identity (outbox, sequence numbers,
   // audit ledger) stays on out-edge ids; writes translate through
-  // Digraph::out_to_in_edge.
-  std::vector<double> contrib_;
+  // Digraph::out_to_in_edge. 64-byte aligned: the vector gather kernel
+  // (common/simd.hpp) sweeps this array.
+  AlignedVec<double> contrib_;
+  // Outbox parking values: scalar random writes only, the fold kernel
+  // never streams them. dprank-lint: allow(unaligned-hot-buffer)
   std::vector<double> pending_value_;  // per out-edge, undelivered value
   // Per out-edge outbox flag. uint8_t, not vector<bool>: parallel workers
   // set flags for distinct edges concurrently, which must not share words.
@@ -475,6 +490,8 @@ class DistributedPagerank : public PagerankEngineInterface {
     std::vector<NodeId> targets;
     // Residual schedule: |Δcontribution| per entry of targets, folded
     // into residual_ by the destination shard (deterministic order).
+    // Residual-mode only; residual runs never take the fused gather
+    // path. dprank-lint: allow(unaligned-hot-buffer)
     std::vector<double> target_deltas;
     std::vector<Bucket> buckets;
     std::vector<std::pair<PeerId, EdgeId>> parked;  // newly parked edges
@@ -513,16 +530,25 @@ class DistributedPagerank : public PagerankEngineInterface {
   /// per-update traffic, apply and mark sharded by destination peer.
   void exchange_batched(const std::vector<bool>& presence, PassStats& stats,
                         obs::Histogram* batch_hist);
-  /// Single-threaded fifo specialization of exchange_batched: delivery
-  /// is one cell write at the emission site and per-destination message
-  /// counts come from an epoch-stamped counter array, skipping the
-  /// bucket materialization entirely (at 500 peers the median batch is
-  /// one update, so the buckets cost more than the updates). Counters,
-  /// traffic and dirty-set membership are bit-identical to the batched
-  /// path; only the order of next_dirty_ differs, which no observable
-  /// state depends on.
-  void exchange_direct(const std::vector<bool>& presence, PassStats& stats,
-                       obs::Histogram* batch_hist);
+  /// Single-threaded fifo fast path: one fused pass replacing
+  /// bucket_dirty + compute_peer + merge + exchange. The dirty set is
+  /// grouped peer-major into flat preallocated arrays (counting sort —
+  /// no per-peer vectors, no pass-0 allocation storm), documents are
+  /// recomputed through the vector fold kernel (common/simd.hpp; one
+  /// document per lane, per-lane left-to-right cell order), and delivery
+  /// is one cell write at the emission site with plain per-destination
+  /// tallies (at 500 peers the median batch is one update, so
+  /// materialized buckets cost more than the updates). Ranks, counters,
+  /// traffic and dirty-set membership are bit-identical to the sharded
+  /// path — the golden-digest tests pin this; only the order of
+  /// next_dirty_ differs, which no observable state depends on.
+  void pass_sequential(const std::vector<bool>& presence, bool all_present,
+                       PassStats& stats, obs::Histogram* batch_hist);
+  /// Emission half of pass_sequential; kAllPresent elides the per-edge
+  /// presence test on churn-free runs.
+  template <bool kAllPresent>
+  void exchange_sequential(const std::vector<bool>& presence,
+                           PassStats& stats, obs::Histogram* batch_hist);
 
   std::unique_ptr<ThreadPool> pool_;   // only when options_.threads > 1
   bool batched_exchange_ = false;
@@ -533,9 +559,20 @@ class DistributedPagerank : public PagerankEngineInterface {
   std::vector<std::vector<DstSlice>> dst_incoming_;
   std::vector<std::vector<NodeId>> dst_marked_;
   std::vector<PeerId> active_dsts_;    // destinations this pass, sorted
-  // exchange_direct scratch: per-destination update counts, epoch-reset
-  // per source peer instead of cleared.
-  EpochArray<std::uint32_t> dst_count_;
+  // ---- fused sequential-pass scratch (pass_sequential only) ----
+  bool seq_fast_ = false;
+  simd::Level simd_level_ = simd::Level::kScalar;  // hoisted per run
+  AlignedVec<NodeId> seq_docs_;     // dirty docs, grouped peer-major
+  AlignedVec<double> seq_acc_;      // per-doc cell sums from the fold kernel
+  AlignedVec<NodeId> seq_senders_;  // epsilon-exceeding docs, peer-major
+  std::vector<std::uint32_t> seq_count_;    // per peer: docs this pass
+  std::vector<std::uint64_t> seq_seg_end_;  // per peer: scatter cursor,
+                                            // then one past the segment
+  // Per active peer: its sender segment [pos[i], pos[i+1]) in seq_senders_.
+  std::vector<std::uint64_t> seq_sender_pos_;
+  // exchange_sequential scratch: per-destination update counts, reset
+  // through touched_dsts_ after each source peer instead of cleared.
+  std::vector<std::uint32_t> dst_count32_;
   std::vector<PeerId> touched_dsts_;
 
   // ---- residual scheduler state (Schedule::kResidual only) ----
@@ -544,10 +581,14 @@ class DistributedPagerank : public PagerankEngineInterface {
   double prev_max_rel_ = 0.0;  // last pass's max relative change
   // Accumulated |Δcontribution| since the document's last recompute;
   // +inf until first recomputed, so pass 0 processes everything.
+  // Residual scheduler state; residual runs never take the fused
+  // gather path. dprank-lint: allow(unaligned-hot-buffer)
   std::vector<double> residual_;
   // Rank value behind the document's last emission: the emission gate
   // compares against what the out-links actually hold, not last pass's
   // rank, so coalesced (deferred) updates are never silently dropped.
+  // Residual-mode emission gate, off the fused gather path.
+  // dprank-lint: allow(unaligned-hot-buffer)
   std::vector<double> last_sent_;
   std::vector<std::uint8_t> defer_age_;  // consecutive deferrals
 

@@ -1,0 +1,252 @@
+// Layout and kernel equivalence (ROADMAP item 4).
+//
+// The compact graph layout (32-bit out_to_in_ cross index, float inverse
+// out-degrees) and the vectorized fold kernel are pure representation
+// changes: the engine's observable behavior — ranks, the full pass
+// history, the traffic ledger, the outbox peak — must be BIT-IDENTICAL
+// to the wide layout and the scalar kernel. These tests pin that, the
+// 2^32 selection boundary of the narrow cross index, and (negatively)
+// that the graph validator actually catches a corrupted compact index.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/simd.hpp"
+#include "graph/digraph.hpp"
+#include "graph/generator.hpp"
+#include "p2p/churn.hpp"
+#include "p2p/placement.hpp"
+#include "pagerank/distributed_engine.hpp"
+
+namespace dprank {
+
+// Friend of Digraph; plants exactly one inconsistency per negative test.
+struct TestCorruptor {
+  static void corrupt_narrow_cross_entry(Digraph& g) {
+    // One narrow cross-index slot stops being the inverse of in_to_out_.
+    g.out_to_in32_[0] ^= 1u;
+  }
+  static void mismatch_cross_width(Digraph& g) {
+    // Claim the wide layout while only the narrow array is populated.
+    g.cross_index_narrow_ = false;
+  }
+};
+
+namespace {
+
+constexpr NodeId kDocs = 2'000;
+constexpr PeerId kPeers = 40;
+
+class Fnv {
+ public:
+  void mix(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 1099511628211ULL;
+    }
+  }
+  template <typename T>
+  void mix_value(const T& v) {
+    mix(&v, sizeof(v));
+  }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ULL;
+};
+
+/// Same observables as test_scheduler's golden digest: any layout- or
+/// kernel-induced difference in ranks, pass history or traffic flips it.
+std::uint64_t digest_run(const Digraph& g, std::uint64_t seed,
+                         std::uint32_t threads, double availability) {
+  const auto placement = Placement::random(kDocs, kPeers, seed);
+  PagerankOptions o;
+  o.epsilon = 1e-3;
+  o.threads = threads;
+  DistributedPagerank engine(g, placement, o);
+  DistributedRunResult run;
+  if (availability < 1.0) {
+    ChurnSchedule churn(kPeers, availability, seed);
+    run = engine.run(&churn);
+  } else {
+    run = engine.run();
+  }
+  Fnv f;
+  f.mix_value(run.passes);
+  f.mix_value(run.converged);
+  f.mix(engine.ranks().data(), engine.ranks().size() * sizeof(double));
+  for (const PassStats& s : engine.pass_history()) {
+    f.mix_value(s.pass);
+    f.mix_value(s.docs_recomputed);
+    f.mix_value(s.messages_sent);
+    f.mix_value(s.messages_deferred);
+    f.mix_value(s.messages_delivered_late);
+    f.mix_value(s.local_updates);
+    f.mix_value(s.max_peer_messages);
+    f.mix_value(s.max_rel_change);
+  }
+  const TrafficMeter& t = engine.traffic();
+  f.mix_value(t.messages());
+  f.mix_value(t.local_updates());
+  f.mix_value(t.bytes());
+  f.mix_value(t.resends());
+  f.mix_value(t.hop_transmissions());
+  f.mix_value(engine.outbox_peak());
+  return f.value();
+}
+
+/// The same graph in the legacy wide layout.
+Digraph wide_copy(const Digraph& g) {
+  return Digraph::from_edges(g.num_nodes(), g.edge_list(),
+                             Digraph::CrossIndexWidth::kForceWide);
+}
+
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(simd::Level level) {
+    simd::force_level_for_test(level);
+  }
+  ~ScopedSimdLevel() { simd::reset_level_for_test(); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+};
+
+// ---- layout equivalence ----------------------------------------------
+
+TEST(LayoutEquivalence, NarrowAndWideBitIdentical) {
+  for (const std::uint64_t seed : {7ULL, 42ULL}) {
+    const Digraph narrow = paper_graph(kDocs, seed);
+    ASSERT_NE(narrow.out_to_in32_data(), nullptr)
+        << "paper graph should auto-select the narrow cross index";
+    const Digraph wide = wide_copy(narrow);
+    ASSERT_EQ(wide.out_to_in32_data(), nullptr);
+    ASSERT_EQ(wide.num_edges(), narrow.num_edges());
+    for (const std::uint32_t threads : {1U, 4U}) {
+      for (const double availability : {1.0, 0.85}) {
+        EXPECT_EQ(digest_run(narrow, seed, threads, availability),
+                  digest_run(wide, seed, threads, availability))
+            << "seed=" << seed << " threads=" << threads
+            << " availability=" << availability;
+      }
+    }
+  }
+}
+
+TEST(LayoutEquivalence, SimdAndScalarBitIdentical) {
+  for (const std::uint64_t seed : {7ULL, 42ULL}) {
+    const Digraph g = paper_graph(kDocs, seed);
+    for (const std::uint32_t threads : {1U, 4U}) {
+      std::uint64_t active = 0;
+      std::uint64_t scalar = 0;
+      {
+        const ScopedSimdLevel pin(simd::active_level());
+        active = digest_run(g, seed, threads, 1.0);
+      }
+      {
+        const ScopedSimdLevel pin(simd::Level::kScalar);
+        scalar = digest_run(g, seed, threads, 1.0);
+      }
+      EXPECT_EQ(active, scalar)
+          << "seed=" << seed << " threads=" << threads << " level="
+          << simd::level_name(simd::active_level());
+    }
+  }
+}
+
+// ---- fold kernel ------------------------------------------------------
+
+// Direct kernel equivalence on a degree-skewed CSR: exercises the
+// refill path (lanes retiring at different times), the scalar drain of
+// in-flight lanes, empty documents, and a sub-lane-count tail.
+TEST(FoldKernel, VectorMatchesScalarBitwise) {
+  if (simd::active_level() == simd::Level::kScalar) {
+    GTEST_SKIP() << "no vector level available on this host";
+  }
+  // Degrees cycle through 0..16 — poor man's power law with empties.
+  constexpr NodeId kNodes = 257;
+  std::vector<std::uint64_t> offsets(kNodes + 1, 0);
+  for (NodeId v = 0; v < kNodes; ++v) {
+    offsets[v + 1] = offsets[v] + (v * 7) % 17;
+  }
+  const std::uint64_t m = offsets[kNodes];
+  std::vector<double> cells(m);
+  for (std::uint64_t c = 0; c < m; ++c) {
+    cells[c] = 1.0 / (1.0 + static_cast<double>(c % 97));
+  }
+  std::vector<NodeId> docs(kNodes);
+  std::iota(docs.begin(), docs.end(), NodeId{0});
+  for (const std::size_t count :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{4},
+        std::size_t{5}, std::size_t{kNodes}}) {
+    std::vector<double> ref(count + 1, -1.0);
+    std::vector<double> vec(count + 1, -1.0);
+    simd::fold_cells(simd::Level::kScalar, cells.data(), offsets.data(),
+                     docs.data(), count, ref.data());
+    simd::fold_cells(simd::active_level(), cells.data(), offsets.data(),
+                     docs.data(), count, vec.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(ref[i], vec[i]) << "doc " << i << " of " << count;
+    }
+    EXPECT_EQ(vec[count], -1.0) << "kernel wrote past count=" << count;
+  }
+}
+
+// ---- narrow cross-index selection boundary ----------------------------
+
+TEST(NarrowCrossIndex, SelectionBoundaryAtTwoToThe32) {
+  static_assert(Digraph::narrow_cross_index_allowed(0));
+  static_assert(
+      Digraph::narrow_cross_index_allowed((EdgeId{1} << 32) - 1));
+  static_assert(!Digraph::narrow_cross_index_allowed(EdgeId{1} << 32));
+  static_assert(
+      !Digraph::narrow_cross_index_allowed((EdgeId{1} << 32) + 1));
+  // Runtime spot checks of the same predicate (static_assert already
+  // proved them; these keep the test visible in the runner output).
+  EXPECT_TRUE(Digraph::narrow_cross_index_allowed((EdgeId{1} << 32) - 1));
+  EXPECT_FALSE(Digraph::narrow_cross_index_allowed(EdgeId{1} << 32));
+}
+
+// ---- negative contract tests ------------------------------------------
+
+#define SKIP_WITHOUT_CONTRACTS()                                          \
+  if (!contracts::enabled()) {                                            \
+    GTEST_SKIP() << "contracts compiled out (DPRANK_CHECK_INVARIANTS "    \
+                    "off)";                                               \
+  }
+
+template <typename Fn>
+void expect_violation(const char* subsystem, Fn&& fn) {
+  try {
+    std::forward<Fn>(fn)();
+    FAIL() << "expected ContractViolation from subsystem " << subsystem;
+  } catch (const contracts::ContractViolation& v) {
+    EXPECT_EQ(v.subsystem(), subsystem) << v.what();
+    EXPECT_FALSE(v.expression().empty());
+    EXPECT_NE(v.line(), 0);
+  }
+}
+
+TEST(LayoutNegative, ValidatorCatchesCorruptNarrowCrossEntry) {
+  SKIP_WITHOUT_CONTRACTS();
+  Digraph g = paper_graph(200, 3);
+  ASSERT_NE(g.out_to_in32_data(), nullptr);
+  g.validate();  // healthy before the corruption
+  TestCorruptor::corrupt_narrow_cross_entry(g);
+  expect_violation("graph", [&] { g.validate(); });
+}
+
+TEST(LayoutNegative, ValidatorCatchesCrossWidthMismatch) {
+  SKIP_WITHOUT_CONTRACTS();
+  Digraph g = paper_graph(200, 3);
+  g.validate();
+  TestCorruptor::mismatch_cross_width(g);
+  expect_violation("graph", [&] { g.validate(); });
+}
+
+}  // namespace
+}  // namespace dprank
